@@ -1,0 +1,50 @@
+// Shared helpers for the experiment harnesses (bench_t*/bench_f*).
+//
+// Each harness regenerates one reconstructed table/figure from DESIGN.md.
+// Absolute numbers are modeled (see machine/ and baseline/); the claims
+// under test are the *shapes*: who wins, by what factor, where knees fall.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/cluster.hpp"
+#include "machine/config.hpp"
+#include "machine/timing.hpp"
+#include "machine/workload.hpp"
+#include "util/table.hpp"
+
+namespace antmd::bench {
+
+/// Average modeled step time with reciprocal space evaluated every
+/// `kspace_interval` steps (the RESPA amortization Anton uses).
+inline double amortized_step_s(const machine::TimingModel& model,
+                               machine::StepWork work, int kspace_interval) {
+  machine::StepWork with_k = work;
+  with_k.kspace.active = true;
+  machine::StepWork without_k = work;
+  without_k.kspace.active = false;
+  double t_with = model.step_time(with_k).total;
+  double t_without = model.step_time(without_k).total;
+  return (t_with + (kspace_interval - 1) * t_without) /
+         static_cast<double>(kspace_interval);
+}
+
+inline double amortized_step_s(const baseline::ClusterModel& model,
+                               machine::StepWork work, int kspace_interval) {
+  machine::StepWork with_k = work;
+  with_k.kspace.active = true;
+  machine::StepWork without_k = work;
+  without_k.kspace.active = false;
+  double t_with = model.step_time(with_k).total;
+  double t_without = model.step_time(without_k).total;
+  return (t_with + (kspace_interval - 1) * t_without) /
+         static_cast<double>(kspace_interval);
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& caption) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), caption.c_str());
+}
+
+}  // namespace antmd::bench

@@ -1,0 +1,61 @@
+// Experiment F1 — strong scaling on the torus: modeled step time vs node
+// count for three system sizes (reconstructed; see DESIGN.md).
+//
+// Expected shape: near-linear scaling while each node holds thousands of
+// atoms, flattening into a latency/communication floor as atoms/node drops
+// into the tens (Anton's published strong-scaling behaviour).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace antmd;
+
+int main() {
+  bench::print_header(
+      "F1: strong scaling",
+      "Modeled step time (us) vs torus size; water systems; dt 2.5 fs, "
+      "k-space every 2 steps");
+
+  machine::WorkloadParams params;
+  params.cutoff = 10.0;
+
+  const std::vector<size_t> waters_list = {3840, 7849, 30720};
+  const std::vector<std::array<int, 3>> layouts = {
+      {2, 2, 2}, {3, 3, 3}, {4, 4, 4}, {6, 6, 6}, {8, 8, 8}};
+
+  Table table({"nodes", "system", "atoms/node", "step (us)", "ns/day",
+               "parallel eff"});
+  for (size_t waters : waters_list) {
+    auto stats = machine::SystemStats::water(waters);
+    double t_ref = 0.0;
+    size_t nodes_ref = 0;
+    for (const auto& l : layouts) {
+      machine::MachineConfig cfg =
+          machine::anton_with_torus(l[0], l[1], l[2]);
+      machine::TimingModel model(cfg);
+      auto work = machine::estimate_step_work(stats, cfg.node_count(),
+                                              params);
+      double t = bench::amortized_step_s(model, work, 2);
+      if (nodes_ref == 0) {
+        t_ref = t;
+        nodes_ref = cfg.node_count();
+      }
+      double eff = (t_ref * static_cast<double>(nodes_ref)) /
+                   (t * static_cast<double>(cfg.node_count()));
+      table.add_row(
+          {std::to_string(cfg.node_count()),
+           "water-" + std::to_string(waters),
+           Table::num(static_cast<double>(stats.atoms) /
+                          static_cast<double>(cfg.node_count()),
+                      0),
+           Table::num(t * 1e6, 2),
+           Table::num(machine::ns_per_day(2.5, t), 0),
+           Table::num(eff, 2)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nShape check: efficiency stays high while atoms/node >~ 1000 and "
+      "degrades as the per-node work shrinks toward the network floor.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment F5 — Gaussian Split Ewald cost breakdown and FFT scaling
+// (reconstructed; see DESIGN.md): modeled k-space phase times vs grid size
+// and node count.
+//
+// Expected shape: spread/interpolate dominate at few nodes (they scale with
+// charges/node); the distributed FFT's all-to-all communication becomes the
+// floor at large node counts — the reason Anton built a dedicated FFT
+// path.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace antmd;
+
+int main() {
+  bench::print_header(
+      "F5: GSE k-space phase breakdown",
+      "Modeled per-invocation k-space times (us); water systems sized to "
+      "their grids");
+
+  Table table({"grid", "charges", "nodes", "spread", "FFT compute",
+               "FFT comm", "convolve", "interp", "total k-space (us)"});
+
+  struct GridCase {
+    size_t edge;
+    size_t waters;
+  };
+  // Water boxes whose boxes produce these power-of-two grids at 1 Å.
+  const std::vector<GridCase> grids = {{32, 1000}, {64, 7849}, {128, 61440}};
+  const std::vector<std::array<int, 3>> layouts = {{4, 4, 4}, {8, 8, 8}};
+
+  for (const auto& g : grids) {
+    auto stats = machine::SystemStats::water(g.waters);
+    for (const auto& l : layouts) {
+      machine::MachineConfig cfg =
+          machine::anton_with_torus(l[0], l[1], l[2]);
+      machine::TimingModel model(cfg);
+      machine::WorkloadParams params;
+      params.cutoff = 10.0;
+      auto work = machine::estimate_step_work(stats, cfg.node_count(),
+                                              params);
+      // Zero out the direct-space work so only the k-space phase shows.
+      for (auto& n : work.nodes) {
+        n.pairs = 0;
+        n.gc_force_flops = 0;
+        n.gc_update_flops = 0;
+        n.import_bytes = 0;
+        n.export_bytes = 0;
+        n.messages = 0;
+      }
+      auto bd = model.step_time(work);
+      table.add_row({std::to_string(g.edge) + "^3",
+                     std::to_string(work.kspace.charges),
+                     std::to_string(cfg.node_count()),
+                     Table::num(bd.kspace_spread * 1e6, 2),
+                     Table::num(bd.kspace_fft_compute * 1e6, 2),
+                     Table::num(bd.kspace_fft_comm * 1e6, 2),
+                     Table::num(bd.kspace_convolve * 1e6, 2),
+                     Table::num(bd.kspace_interp * 1e6, 2),
+                     Table::num(bd.kspace_total() * 1e6, 2)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nShape check: per-node compute shrinks with node count but the FFT "
+      "transpose communication does not — it is the scaling floor of the "
+      "k-space phase.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Google-benchmark microbenchmarks of the host implementation's hot
+// kernels.  These measure the *simulator's* speed (useful when sizing test
+// budgets), not the modeled machine — modeled times come from machine/.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "ewald/gse.hpp"
+#include "ff/forcefield.hpp"
+#include "fft/fft3d.hpp"
+#include "math/rng.hpp"
+#include "math/spline.hpp"
+#include "md/constraints.hpp"
+#include "md/neighbor.hpp"
+#include "topo/builders.hpp"
+
+namespace antmd {
+namespace {
+
+void BM_RadialTableEval(benchmark::State& state) {
+  auto table = RadialTable::from_potential(
+      [](double r) {
+        double s6 = std::pow(3.4 / r, 6);
+        return 4.0 * 0.24 * (s6 * s6 - s6);
+      },
+      [](double r) {
+        double s6 = std::pow(3.4 / r, 6);
+        return 4.0 * 0.24 * (-12 * s6 * s6 + 6 * s6) / r;
+      },
+      0.9, 10.0, 2048, true);
+  double r2 = 20.0;
+  for (auto _ : state) {
+    auto e = table.evaluate(r2);
+    benchmark::DoNotOptimize(e);
+    r2 = 10.0 + std::fmod(r2 + 1.37, 80.0);
+  }
+}
+BENCHMARK(BM_RadialTableEval);
+
+void BM_PairLoop(benchmark::State& state) {
+  auto spec = build_lj_fluid(static_cast<size_t>(state.range(0)), 0.021, 3);
+  ff::NonbondedModel model;
+  model.cutoff = 8.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ff::PairTableSet tables(spec.topology, model);
+  md::NeighborList list(spec.topology, model.cutoff, 1.0);
+  list.build(spec.positions, spec.box);
+  ForceResult out(spec.topology.atom_count());
+  for (auto _ : state) {
+    out.reset(spec.topology.atom_count());
+    ff::compute_pairs(list.pairs(), tables, spec.topology.type_ids(),
+                      spec.topology.charges(), spec.positions, spec.box,
+                      out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(list.pairs().size()));
+}
+BENCHMARK(BM_PairLoop)->Arg(512)->Arg(1728);
+
+void BM_NeighborBuild(benchmark::State& state) {
+  auto spec = build_lj_fluid(static_cast<size_t>(state.range(0)), 0.021, 5);
+  md::NeighborList list(spec.topology, 8.0, 1.0);
+  for (auto _ : state) {
+    list.build(spec.positions, spec.box);
+    benchmark::DoNotOptimize(list.pairs().size());
+  }
+}
+BENCHMARK(BM_NeighborBuild)->Arg(1728)->Arg(4096);
+
+void BM_Fft3d(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  Grid3D grid(n, n, n);
+  SequentialRng rng(7);
+  for (auto& v : grid.raw()) v = {rng.uniform(-1, 1), 0.0};
+  for (auto _ : state) {
+    fft3d_forward(grid);
+    fft3d_inverse(grid);
+    benchmark::DoNotOptimize(grid.raw()[0]);
+  }
+}
+BENCHMARK(BM_Fft3d)->Arg(16)->Arg(32);
+
+void BM_GseSolve(benchmark::State& state) {
+  auto spec = build_water_box(static_cast<size_t>(state.range(0)),
+                              WaterModel::kRigid3Site);
+  GseParams params;
+  params.beta = 0.4;
+  GseSolver solver(spec.box, params);
+  auto excl = spec.topology.excluded_pairs();
+  ForceResult out(spec.topology.atom_count());
+  for (auto _ : state) {
+    out.reset(spec.topology.atom_count());
+    solver.compute(spec.positions, spec.topology.charges(), excl, spec.box,
+                   out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GseSolve)->Arg(125)->Arg(512);
+
+void BM_ShakeWaterBox(benchmark::State& state) {
+  auto spec = build_water_box(216, WaterModel::kRigid3Site);
+  md::ConstraintSolver solver(spec.topology);
+  SequentialRng rng(3);
+  auto perturbed = spec.positions;
+  for (auto& p : perturbed) {
+    p += Vec3{rng.uniform(-0.02, 0.02), rng.uniform(-0.02, 0.02),
+              rng.uniform(-0.02, 0.02)};
+  }
+  std::vector<Vec3> velocities(perturbed.size(), Vec3{});
+  for (auto _ : state) {
+    auto work = perturbed;
+    auto stats = solver.apply_positions(spec.positions, work, velocities,
+                                        0.0, spec.box);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_ShakeWaterBox);
+
+void BM_PhiloxGaussian3(benchmark::State& state) {
+  CounterRng rng(42, 1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto g = rng.gaussian3(i++, 17);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_PhiloxGaussian3);
+
+}  // namespace
+}  // namespace antmd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,197 @@
+// antmd_run: config-file-driven simulation driver.
+//
+// Describes a run in a small `key = value` file and executes it on either
+// the plain host engine or the modeled machine, e.g.:
+//
+//   # water.cfg
+//   system       = water        # water | ljfluid | polymer | bilayer | dimer
+//   size         = 216          # molecules/atoms (builder-specific)
+//   engine       = machine      # host | machine
+//   nodes        = 4            # torus edge when engine = machine
+//   steps        = 500
+//   dt_fs        = 2.0
+//   temperature  = 300
+//   thermostat   = langevin     # none | berendsen | langevin | nosehoover
+//   electrostatics = gse        # none | cutoff | gse
+//   cutoff       = 6.0
+//   xyz          = out.xyz      # optional trajectory
+//
+//   ./antmd_run water.cfg
+#include <cstdio>
+#include <memory>
+
+#include "ff/forcefield.hpp"
+#include "io/config.hpp"
+#include "io/trajectory.hpp"
+#include "md/simulation.hpp"
+#include "runtime/machine_sim.hpp"
+#include "topo/builders.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace antmd;
+
+namespace {
+
+SystemSpec build_system(const io::RunConfig& cfg) {
+  std::string system = cfg.require_string("system");
+  auto size = static_cast<size_t>(cfg.get_int("size", 216));
+  uint64_t seed = static_cast<uint64_t>(cfg.get_int("seed", 1));
+  if (system == "water") {
+    std::string model = cfg.get_string("water_model", "rigid3");
+    WaterModel wm = WaterModel::kRigid3Site;
+    if (model == "flexible3") wm = WaterModel::kFlexible3Site;
+    else if (model == "rigid4") wm = WaterModel::kRigid4Site;
+    else ANTMD_REQUIRE(model == "rigid3", "unknown water_model: " + model);
+    return build_water_box(size, wm, seed);
+  }
+  if (system == "ljfluid") {
+    return build_lj_fluid(size, cfg.get_double("density", 0.021), seed);
+  }
+  if (system == "polymer") {
+    return build_polymer_in_solvent(
+        static_cast<size_t>(cfg.get_int("chain_length", 20)), size, seed);
+  }
+  if (system == "bilayer") {
+    return build_lipid_bilayer(size,
+        static_cast<size_t>(cfg.get_int("water_layers", 3)), seed);
+  }
+  if (system == "dimer") {
+    return build_dimer_in_solvent(size, cfg.get_double("separation", 5.0),
+                                  seed);
+  }
+  throw ConfigError("unknown system: " + system);
+}
+
+ff::NonbondedModel build_model(const io::RunConfig& cfg) {
+  ff::NonbondedModel model;
+  model.cutoff = cfg.get_double("cutoff", 8.0);
+  std::string elec = cfg.get_string("electrostatics", "gse");
+  if (elec == "none") model.electrostatics = ff::Electrostatics::kNone;
+  else if (elec == "cutoff") {
+    model.electrostatics = ff::Electrostatics::kReactionCutoff;
+  } else if (elec == "gse") {
+    model.electrostatics = ff::Electrostatics::kEwaldReal;
+    model.ewald_beta = cfg.get_double("ewald_beta", 0.4);
+  } else {
+    throw ConfigError("unknown electrostatics: " + elec);
+  }
+  return model;
+}
+
+md::ThermostatConfig build_thermostat(const io::RunConfig& cfg) {
+  md::ThermostatConfig t;
+  t.temperature_k = cfg.get_double("temperature", 300.0);
+  t.gamma_per_ps = cfg.get_double("gamma", 5.0);
+  t.tau_fs = cfg.get_double("tau_fs", 500.0);
+  std::string kind = cfg.get_string("thermostat", "langevin");
+  if (kind == "none") t.kind = md::ThermostatKind::kNone;
+  else if (kind == "berendsen") t.kind = md::ThermostatKind::kBerendsen;
+  else if (kind == "langevin") t.kind = md::ThermostatKind::kLangevin;
+  else if (kind == "nosehoover") t.kind = md::ThermostatKind::kNoseHoover;
+  else throw ConfigError("unknown thermostat: " + kind);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: antmd_run <config-file>\n");
+    return 1;
+  }
+  try {
+    auto cfg = io::RunConfig::from_file(argv[1]);
+    auto spec = build_system(cfg);
+    auto model = build_model(cfg);
+    // GSE water without charges is meaningless; drop electrostatics when
+    // the system carries none.
+    bool charged = false;
+    for (double q : spec.topology.charges()) {
+      if (q != 0.0) charged = true;
+    }
+    if (!charged) model.electrostatics = ff::Electrostatics::kNone;
+
+    ForceField field(spec.topology, model);
+    const int steps = cfg.get_int("steps", 200);
+    const int report = std::max(1, steps / 10);
+    std::unique_ptr<io::XyzWriter> xyz;
+    if (cfg.has("xyz")) {
+      xyz = std::make_unique<io::XyzWriter>(cfg.require_string("xyz"),
+                                            spec.topology);
+    }
+
+    std::printf("system: %s — %zu atoms\n", spec.name.c_str(),
+                spec.topology.atom_count());
+
+    std::string engine = cfg.get_string("engine", "host");
+    if (engine == "machine") {
+      runtime::MachineSimConfig mc;
+      mc.dt_fs = cfg.get_double("dt_fs", 2.0);
+      mc.kspace_interval = cfg.get_int("kspace_interval", 2);
+      mc.neighbor_skin = cfg.get_double("skin", 1.0);
+      mc.init_temperature_k = cfg.get_double("temperature", 300.0);
+      mc.thermostat = build_thermostat(cfg);
+      int edge = cfg.get_int("nodes", 4);
+      runtime::MachineSimulation sim(
+          field, machine::anton_with_torus(edge, edge, edge), spec.positions,
+          spec.box, mc);
+      Table table({"step", "T (K)", "potential", "modeled ns/day"});
+      for (int s = 0; s < steps; ++s) {
+        sim.step();
+        if ((s + 1) % report == 0) {
+          table.add_row({std::to_string(s + 1),
+                         Table::num(sim.temperature(), 1),
+                         Table::num(sim.potential_energy(), 1),
+                         Table::num(sim.ns_per_day(), 0)});
+          if (xyz) xyz->write_frame(sim.state());
+        }
+      }
+      std::fputs(table.render().c_str(), stdout);
+      std::printf("modeled mean step: %.2f us on %zu nodes\n",
+                  sim.mean_step_time_s() * 1e6, sim.engine().node_count());
+    } else if (engine == "host") {
+      md::SimulationConfig hc;
+      hc.dt_fs = cfg.get_double("dt_fs", 2.0);
+      hc.kspace_interval = cfg.get_int("kspace_interval", 1);
+      hc.respa_inner = cfg.get_int("respa_inner", 1);
+      hc.neighbor_skin = cfg.get_double("skin", 1.0);
+      hc.init_temperature_k = cfg.get_double("temperature", 300.0);
+      hc.thermostat = build_thermostat(cfg);
+      std::string barostat = cfg.get_string("barostat", "none");
+      if (barostat == "mc") {
+        hc.barostat.kind = md::BarostatKind::kMonteCarlo;
+      } else if (barostat == "berendsen") {
+        hc.barostat.kind = md::BarostatKind::kBerendsen;
+      } else if (barostat == "semiiso") {
+        hc.barostat.kind = md::BarostatKind::kBerendsenSemiIso;
+      } else {
+        ANTMD_REQUIRE(barostat == "none", "unknown barostat: " + barostat);
+      }
+      hc.barostat.pressure_atm = cfg.get_double("pressure", 1.0);
+      md::Simulation sim(field, spec.positions, spec.box, hc);
+      Table table({"step", "T (K)", "potential", "pressure (atm)"});
+      for (int s = 0; s < steps; ++s) {
+        sim.step();
+        if ((s + 1) % report == 0) {
+          table.add_row({std::to_string(s + 1),
+                         Table::num(sim.temperature(), 1),
+                         Table::num(sim.potential_energy(), 1),
+                         Table::num(sim.pressure_atm(), 1)});
+          if (xyz) xyz->write_frame(sim.state());
+        }
+      }
+      std::fputs(table.render().c_str(), stdout);
+    } else {
+      throw ConfigError("unknown engine: " + engine);
+    }
+    if (xyz) {
+      std::printf("wrote %zu frames to %s\n", xyz->frames_written(),
+                  cfg.require_string("xyz").c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "antmd_run: %s\n", e.what());
+    return 1;
+  }
+}

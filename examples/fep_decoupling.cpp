@@ -1,0 +1,68 @@
+// Example: absolute solvation free energy of a LJ solute by soft-core FEP
+// — each λ window is just another table in the pair pipelines.
+//
+//   ./fep_decoupling --windows 6 --prod 800
+#include <cstdio>
+
+#include "analysis/free_energy.hpp"
+#include "sampling/fep.hpp"
+#include "topo/builders.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace antmd;
+
+int main(int argc, char** argv) {
+  CliParser cli("fep_decoupling",
+                "Soft-core FEP decoupling of a dimer from a LJ bath");
+  cli.add_flag("solvent", "solvent atoms", 125);
+  cli.add_flag("windows", "lambda windows", 6);
+  cli.add_flag("equil", "equilibration steps per window", 150);
+  cli.add_flag("prod", "production steps per window", 800);
+  cli.add_flag("temperature", "bath temperature (K)", 120.0);
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto spec = build_dimer_in_solvent(
+      static_cast<size_t>(cli.get_int("solvent")), 4.0);
+  ff::NonbondedModel model;
+  model.cutoff = 6.5;  // sized so cutoff+skin fits the 64-atom bath's box
+  model.electrostatics = ff::Electrostatics::kNone;
+
+  sampling::FepConfig cfg;
+  cfg.lambdas.clear();
+  int n_win = cli.get_int("windows");
+  for (int w = 0; w < n_win; ++w) {
+    cfg.lambdas.push_back(1.0 - static_cast<double>(w) /
+                                    static_cast<double>(n_win - 1));
+  }
+  cfg.equil_steps = static_cast<size_t>(cli.get_int("equil"));
+  cfg.prod_steps = static_cast<size_t>(cli.get_int("prod"));
+  cfg.sample_interval = 5;
+  double t = cli.get_double("temperature");
+  cfg.md.dt_fs = 4.0;
+  cfg.md.neighbor_skin = 0.8;
+  cfg.md.init_temperature_k = t;
+  cfg.md.thermostat.kind = md::ThermostatKind::kLangevin;
+  cfg.md.thermostat.temperature_k = t;
+
+  std::printf("decoupling solute type DM from %s over %d windows...\n",
+              spec.name.c_str(), n_win);
+  sampling::FepDecoupling fep(spec, 0, model, cfg);
+  auto result = fep.run();
+
+  Table table({"lambda window", "dF Zwanzig (kcal/mol)", "dF BAR"});
+  for (size_t w = 0; w + 1 < result.windows.size(); ++w) {
+    const auto& fwd = result.windows[w].du_to_next;
+    const auto& rev = result.windows[w + 1].du_to_prev;
+    table.add_row({Table::num(result.windows[w].lambda, 2) + " -> " +
+                       Table::num(result.windows[w + 1].lambda, 2),
+                   Table::num(analysis::zwanzig_delta_f(fwd, t), 3),
+                   Table::num(analysis::bar_delta_f(fwd, rev, t), 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\ntotal decoupling dF: Zwanzig %.3f, BAR %.3f kcal/mol\n",
+              result.delta_f_zwanzig, result.delta_f_bar);
+  std::printf(
+      "(-dF is the solvation free energy of the dimer pair in this bath)\n");
+  return 0;
+}

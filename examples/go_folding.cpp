@@ -1,0 +1,94 @@
+// Example: Gō-model mini-protein folding with simulated tempering — the
+// protein-folding workload class Anton is famous for, on the synthetic
+// substrate.  Progress is scored by the fraction of native contacts.
+//
+//   ./go_folding --beads 24 --steps 8000
+#include <cstdio>
+
+#include "analysis/structure.hpp"
+#include "ff/forcefield.hpp"
+#include "md/simulation.hpp"
+#include "sampling/tempering.hpp"
+#include "topo/builders.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace antmd;
+
+namespace {
+
+std::vector<analysis::Contact> contacts_of(const Topology& topo) {
+  std::vector<analysis::Contact> out;
+  for (const auto& g : topo.go_contacts()) {
+    out.push_back({g.i, g.j, g.r_native});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("go_folding", "Fold a Go-model mini-protein with tempering");
+  cli.add_flag("beads", "chain length", 24);
+  cli.add_flag("steps", "MD steps", 8000);
+  cli.add_flag("fold_temp", "folding (cold) temperature (K)", 120.0);
+  cli.add_flag("tempering", "use simulated tempering", true);
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto spec = build_go_protein(static_cast<size_t>(cli.get_int("beads")),
+                               /*contact_epsilon=*/1.2);
+  auto contacts = contacts_of(spec.topology);
+  std::printf("system: %s — %zu native contacts\n", spec.name.c_str(),
+              contacts.size());
+
+  ff::NonbondedModel model;
+  model.cutoff = 10.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ForceField field(spec.topology, model);
+
+  const double cold = cli.get_double("fold_temp");
+  md::SimulationConfig cfg;
+  cfg.dt_fs = 6.0;
+  cfg.neighbor_skin = 2.0;
+  cfg.init_temperature_k = cold;
+  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  cfg.thermostat.temperature_k = cold;
+  cfg.thermostat.gamma_per_ps = 2.0;
+  md::Simulation sim(field, spec.positions, spec.box, cfg);
+
+  std::unique_ptr<sampling::SimulatedTempering> st;
+  if (cli.get_bool("tempering")) {
+    sampling::TemperingConfig tc;
+    tc.ladder = {cold, cold * 1.4, cold * 2.0, cold * 2.8};
+    tc.attempt_interval = 50;
+    st = std::make_unique<sampling::SimulatedTempering>(sim, tc);
+  }
+
+  const int steps = cli.get_int("steps");
+  const int report = std::max(1, steps / 12);
+  Table table({"step", "T rung (K)", "native contacts", "potential"});
+  double initial_q = analysis::native_contact_fraction(
+      sim.state().positions, contacts, sim.state().box);
+  for (int s = 0; s < steps; ++s) {
+    if (st) st->run(1);
+    else sim.step();
+    if ((s + 1) % report == 0) {
+      double q = analysis::native_contact_fraction(sim.state().positions,
+                                                   contacts,
+                                                   sim.state().box);
+      table.add_row({std::to_string(s + 1),
+                     Table::num(st ? st->current_temperature() : cold, 0),
+                     Table::num(q, 2),
+                     Table::num(sim.potential_energy(), 1)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  double final_q = analysis::native_contact_fraction(
+      sim.state().positions, contacts, sim.state().box);
+  std::printf("\nnative-contact fraction: %.2f (start) -> %.2f (end)\n",
+              initial_q, final_q);
+  std::printf(
+      "The chain starts fully extended; native 12-10 contacts pull it "
+      "toward the helical reference as the tempering walk anneals it.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Example: steered-MD "ligand unbinding" — pull a dimer out of a custom
+// tabulated binding well and record the pulling work (Jarzynski-style
+// traces), the workload pattern behind the Shaw-group drug-unbinding
+// studies the generality extensions enabled.
+//
+//   ./ligand_pulling --velocity 0.04 --steps 2500 --csv work.csv
+#include <cstdio>
+
+#include "ff/forcefield.hpp"
+#include "io/trajectory.hpp"
+#include "md/simulation.hpp"
+#include "sampling/smd.hpp"
+#include "topo/builders.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace antmd;
+
+int main(int argc, char** argv) {
+  CliParser cli("ligand_pulling",
+                "Steered pulling out of a tabulated binding well");
+  cli.add_flag("solvent", "solvent atoms", 216);
+  cli.add_flag("velocity", "anchor velocity (A per internal time)", 0.04);
+  cli.add_flag("spring", "spring constant (kcal/mol/A^2)", 15.0);
+  cli.add_flag("steps", "MD steps", 2500);
+  cli.add_flag("csv", "work trace CSV path (empty = none)",
+               std::string(""));
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto spec = build_dimer_in_solvent(
+      static_cast<size_t>(cli.get_int("solvent")), 4.0);
+
+  ff::NonbondedModel model;
+  model.cutoff = 8.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ForceField field(spec.topology, model);
+
+  // "Binding site": a 4 kcal/mol tabulated well at 4 Å between the dimer
+  // partners — installed through the same custom-table path as any other
+  // pair potential.
+  auto well = RadialTable::from_potential(
+      [](double r) { return 2.0 * (r - 4.0) * (r - 4.0) - 4.0; },
+      [](double r) { return 4.0 * (r - 4.0); }, 1.2, 8.0, 2048, true);
+  field.set_custom_pair_table(0, 0, std::move(well));
+
+  size_t spring = field.add_steered_spring(
+      {spec.tagged[0], spec.tagged[1], cli.get_double("spring"), 4.0,
+       cli.get_double("velocity")});
+
+  md::SimulationConfig mdcfg;
+  mdcfg.dt_fs = 4.0;
+  mdcfg.neighbor_skin = 1.0;
+  mdcfg.init_temperature_k = 150.0;
+  mdcfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  mdcfg.thermostat.temperature_k = 150.0;
+  md::Simulation sim(field, spec.positions, spec.box, mdcfg);
+
+  sampling::SteeredPull pull(sim, spring);
+  pull.run(static_cast<size_t>(cli.get_int("steps")), 25);
+
+  Table table({"time (internal)", "anchor (A)", "distance (A)",
+               "work (kcal/mol)"});
+  const auto& times = pull.times();
+  size_t stride = std::max<size_t>(1, times.size() / 12);
+  for (size_t k = 0; k < times.size(); k += stride) {
+    table.add_row({Table::num(times[k], 1), Table::num(pull.targets()[k], 2),
+                   Table::num(pull.distances()[k], 2),
+                   Table::num(pull.work_trace()[k], 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\ntotal pulling work: %.2f kcal/mol (well depth was 4.0)\n",
+              pull.total_work());
+
+  if (!cli.get_string("csv").empty()) {
+    io::CsvWriter csv(cli.get_string("csv"),
+                      {"time", "target", "distance", "work"});
+    for (size_t k = 0; k < times.size(); ++k) {
+      csv.write_row(std::vector<double>{times[k], pull.targets()[k],
+                                        pull.distances()[k],
+                                        pull.work_trace()[k]});
+    }
+    std::printf("wrote %zu rows to %s\n", times.size(),
+                cli.get_string("csv").c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Example: coarse-grained lipid bilayer under semi-isotropic pressure
+// coupling — the membrane workload class (GPCRs, ion channels) that
+// motivated several of Anton's generality extensions.
+//
+//   ./membrane_npt --side 4 --steps 600
+#include <cstdio>
+
+#include "analysis/structure.hpp"
+#include "ff/forcefield.hpp"
+#include "md/simulation.hpp"
+#include "topo/builders.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace antmd;
+
+int main(int argc, char** argv) {
+  CliParser cli("membrane_npt",
+                "Coarse bilayer in water with semi-isotropic coupling");
+  cli.add_flag("side", "lipids per leaflet edge", 4);
+  cli.add_flag("steps", "MD steps", 600);
+  cli.add_flag("temperature", "bath temperature (K)", 310.0);
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto spec = build_lipid_bilayer(static_cast<size_t>(cli.get_int("side")),
+                                  /*water_layers=*/3);
+  std::printf("system: %s — %zu atoms, box %.1f x %.1f x %.1f A\n",
+              spec.name.c_str(), spec.topology.atom_count(),
+              spec.box.edges().x, spec.box.edges().y, spec.box.edges().z);
+
+  // Head-bead indices (first bead of each LIP molecule).
+  std::vector<uint32_t> heads;
+  for (const auto& mol : spec.topology.molecules()) {
+    if (mol.name == "LIP") heads.push_back(mol.first);
+  }
+
+  ff::NonbondedModel model;
+  model.cutoff = 8.0;
+  model.electrostatics = ff::Electrostatics::kEwaldReal;
+  model.ewald_beta = 0.4;
+  ForceField field(spec.topology, model);
+
+  md::SimulationConfig cfg;
+  cfg.dt_fs = 2.0;
+  cfg.kspace_interval = 2;
+  cfg.neighbor_skin = 1.0;
+  cfg.init_temperature_k = cli.get_double("temperature");
+  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  cfg.thermostat.temperature_k = cli.get_double("temperature");
+  cfg.thermostat.gamma_per_ps = 10.0;
+  cfg.barostat.kind = md::BarostatKind::kBerendsenSemiIso;
+  cfg.barostat.pressure_atm = 1.0;
+  cfg.barostat.interval = 20;
+  md::Simulation sim(field, spec.positions, spec.box, cfg);
+
+  const int steps = cli.get_int("steps");
+  const int report = std::max(1, steps / 10);
+  Table table({"step", "T (K)", "box xy (A)", "box z (A)",
+               "bilayer thickness (A)"});
+  for (int s = 0; s < steps; ++s) {
+    sim.step();
+    if ((s + 1) % report == 0) {
+      table.add_row(
+          {std::to_string(s + 1), Table::num(sim.temperature(), 1),
+           Table::num(sim.state().box.edges().x, 2),
+           Table::num(sim.state().box.edges().z, 2),
+           Table::num(analysis::bilayer_thickness(sim.state().positions,
+                                                  heads, sim.state().box),
+                      2)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nSemi-isotropic coupling lets the xy (membrane-plane) and z axes "
+      "relax independently — the bilayer keeps its thickness while the "
+      "area per lipid equilibrates.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Example: simulated tempering accelerates the collapse of a solvated
+// "mini-protein" (bead-spring polymer with attractive beads).
+//
+// At the cold target temperature the chain collapses slowly; the tempering
+// walk borrows high-temperature mobility.  We track the radius of gyration
+// and the temperature-ladder occupancy.
+//
+//   ./tempering_miniprotein --beads 20 --steps 4000
+#include <cmath>
+#include <cstdio>
+
+#include "ff/forcefield.hpp"
+#include "md/simulation.hpp"
+#include "sampling/tempering.hpp"
+#include "topo/builders.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace antmd;
+
+namespace {
+
+double radius_of_gyration(const md::Simulation& sim, size_t beads) {
+  const auto& pos = sim.state().positions;
+  const Box& box = sim.state().box;
+  // Unwrap the chain relative to bead 0.
+  std::vector<Vec3> chain(beads);
+  chain[0] = pos[0];
+  for (size_t b = 1; b < beads; ++b) {
+    chain[b] = chain[b - 1] + box.min_image(pos[b], pos[b - 1]);
+  }
+  Vec3 com{};
+  for (const auto& p : chain) com += p;
+  com /= static_cast<double>(beads);
+  double rg2 = 0;
+  for (const auto& p : chain) rg2 += norm2(p - com);
+  return std::sqrt(rg2 / static_cast<double>(beads));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("tempering_miniprotein",
+                "Polymer collapse with simulated tempering");
+  cli.add_flag("beads", "chain length", 20);
+  cli.add_flag("solvent", "solvent atoms", 125);
+  cli.add_flag("steps", "MD steps", 4000);
+  cli.add_flag("cold", "target (cold) temperature (K)", 120.0);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto beads = static_cast<size_t>(cli.get_int("beads"));
+  auto spec = build_polymer_in_solvent(beads,
+                                       static_cast<size_t>(
+                                           cli.get_int("solvent")));
+  std::printf("system: %s — %zu atoms\n", spec.name.c_str(),
+              spec.topology.atom_count());
+
+  ff::NonbondedModel model;
+  model.cutoff = 8.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ForceField field(spec.topology, model);
+
+  const double cold = cli.get_double("cold");
+  md::SimulationConfig mdcfg;
+  mdcfg.dt_fs = 4.0;
+  mdcfg.neighbor_skin = 1.0;
+  mdcfg.init_temperature_k = cold;
+  mdcfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  mdcfg.thermostat.temperature_k = cold;
+  mdcfg.thermostat.gamma_per_ps = 5.0;
+  md::Simulation sim(field, spec.positions, spec.box, mdcfg);
+
+  // Small-system rung spacing: dT/T ~ sqrt(2/(3N)) keeps acceptance alive.
+  sampling::TemperingConfig tc;
+  double ratio = 1.07;
+  double t = cold;
+  for (int k = 0; k < 11; ++k) {
+    tc.ladder.push_back(t);
+    t *= ratio;
+  }
+  tc.attempt_interval = 20;
+  tc.wl_increment = 2.0;
+  sampling::SimulatedTempering st(sim, tc);
+
+  const int steps = cli.get_int("steps");
+  const int report = std::max(1, steps / 12);
+  Table table({"step", "rung T (K)", "Rg (A)", "potential"});
+  for (int s = 0; s < steps; ++s) {
+    st.run(1);
+    if ((s + 1) % report == 0) {
+      table.add_row({std::to_string(s + 1),
+                     Table::num(st.current_temperature(), 0),
+                     Table::num(radius_of_gyration(sim, beads), 2),
+                     Table::num(sim.potential_energy(), 1)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nladder occupancy:");
+  for (size_t k = 0; k < st.occupancy().size(); ++k) {
+    std::printf(" %.0fK:%llu", tc.ladder[k],
+                static_cast<unsigned long long>(st.occupancy()[k]));
+  }
+  std::printf("\nexchange acceptance: %.0f%% of %llu attempts\n",
+              100.0 * static_cast<double>(st.accepts()) /
+                  static_cast<double>(std::max<uint64_t>(st.attempts(), 1)),
+              static_cast<unsigned long long>(st.attempts()));
+  std::printf(
+      "The tempering walk keeps neighbour acceptance high while visiting "
+      "hot rungs; over longer runs (tens of thousands of steps) the "
+      "chain's Rg falls toward the collapsed globule. Compare "
+      "examples/go_folding, where the native-contact funnel makes the "
+      "collapse visible within the demo budget.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates every reconstructed table/figure (DESIGN.md experiment index)
+# and the micro-benchmarks, collecting output into bench_output.txt.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+OUT=bench_output.txt
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "build directory '$BUILD' not found — run cmake/ninja first" >&2
+  exit 1
+fi
+
+: > "$OUT"
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$OUT"
+  "$b" 2>&1 | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "wrote $OUT"

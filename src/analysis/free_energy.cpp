@@ -1,0 +1,181 @@
+#include "analysis/free_energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::analysis {
+
+WhamResult wham(std::span<const UmbrellaWindow> windows, double temperature_k,
+                double xi_min, double xi_max, size_t bins,
+                size_t max_iterations, double tolerance) {
+  ANTMD_REQUIRE(!windows.empty(), "WHAM needs at least one window");
+  const double kt = units::kBoltzmann * temperature_k;
+  const double beta = 1.0 / kt;
+  const size_t n_win = windows.size();
+  const double width = (xi_max - xi_min) / static_cast<double>(bins);
+
+  // Histograms per window.
+  std::vector<std::vector<double>> hist(n_win, std::vector<double>(bins, 0));
+  std::vector<double> n_samples(n_win, 0.0);
+  for (size_t w = 0; w < n_win; ++w) {
+    for (double s : windows[w].samples) {
+      if (s < xi_min || s >= xi_max) continue;
+      auto b = static_cast<size_t>((s - xi_min) / width);
+      if (b >= bins) b = bins - 1;
+      hist[w][b] += 1.0;
+      n_samples[w] += 1.0;
+    }
+    ANTMD_REQUIRE(n_samples[w] > 0,
+                  "umbrella window has no samples in range");
+  }
+
+  // Bias energies at bin centers.
+  std::vector<std::vector<double>> bias(n_win, std::vector<double>(bins));
+  std::vector<double> centers(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    centers[b] = xi_min + (static_cast<double>(b) + 0.5) * width;
+    for (size_t w = 0; w < n_win; ++w) {
+      double d = centers[b] - windows[w].center;
+      bias[w][b] = windows[w].k * d * d;
+    }
+  }
+
+  // Self-consistent iteration for the window free energies f_w.
+  std::vector<double> f(n_win, 0.0);
+  std::vector<double> p(bins, 0.0);
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    // Unbiased probability estimate.
+    for (size_t b = 0; b < bins; ++b) {
+      double num = 0.0, den = 0.0;
+      for (size_t w = 0; w < n_win; ++w) {
+        num += hist[w][b];
+        den += n_samples[w] * std::exp(-beta * (bias[w][b] - f[w]));
+      }
+      p[b] = den > 0 ? num / den : 0.0;
+    }
+    // Update window free energies.
+    double max_change = 0.0;
+    for (size_t w = 0; w < n_win; ++w) {
+      double z = 0.0;
+      for (size_t b = 0; b < bins; ++b) {
+        z += p[b] * std::exp(-beta * bias[w][b]);
+      }
+      double f_new = -kt * std::log(std::max(z, 1e-300));
+      max_change = std::max(max_change, std::abs(f_new - f[w]));
+      f[w] = f_new;
+    }
+    if (max_change < tolerance) break;
+  }
+
+  WhamResult result;
+  result.xi = centers;
+  result.free_energy.resize(bins);
+  double fmin = 1e300;
+  for (size_t b = 0; b < bins; ++b) {
+    result.free_energy[b] =
+        p[b] > 0 ? -kt * std::log(p[b]) : 1e6;  // empty bins -> high plateau
+    if (p[b] > 0) fmin = std::min(fmin, result.free_energy[b]);
+  }
+  for (double& v : result.free_energy) {
+    if (v < 1e6) v -= fmin;
+  }
+  return result;
+}
+
+double zwanzig_delta_f(std::span<const double> delta_u,
+                       double temperature_k) {
+  ANTMD_REQUIRE(!delta_u.empty(), "no samples");
+  const double kt = units::kBoltzmann * temperature_k;
+  // Log-sum-exp for numerical stability.
+  double m = *std::min_element(delta_u.begin(), delta_u.end());
+  double s = 0;
+  for (double du : delta_u) s += std::exp(-(du - m) / kt);
+  return m - kt * std::log(s / static_cast<double>(delta_u.size()));
+}
+
+double bar_delta_f(std::span<const double> forward,
+                   std::span<const double> reverse, double temperature_k,
+                   size_t max_iterations) {
+  ANTMD_REQUIRE(!forward.empty() && !reverse.empty(), "need both directions");
+  const double kt = units::kBoltzmann * temperature_k;
+  const double log_ratio =
+      std::log(static_cast<double>(forward.size()) /
+               static_cast<double>(reverse.size()));
+
+  // Solve the implicit BAR equation by bisection on ΔF.
+  auto objective = [&](double df) {
+    // Σ_F fermi(+(du - df)/kT) - Σ_R fermi(-(du + df)/kT) balance:
+    double sf = 0;
+    for (double du : forward) {
+      sf += 1.0 / (1.0 + std::exp(log_ratio + (du - df) / kt));
+    }
+    double sr = 0;
+    for (double du : reverse) {
+      sr += 1.0 / (1.0 + std::exp(-log_ratio + (du + df) / kt));
+    }
+    return sf - sr;
+  };
+
+  double lo = zwanzig_delta_f(forward, temperature_k) - 50.0 * kt;
+  double hi = -zwanzig_delta_f(reverse, temperature_k) + 50.0 * kt;
+  if (lo > hi) std::swap(lo, hi);
+  double flo = objective(lo);
+  for (size_t i = 0; i < max_iterations; ++i) {
+    double mid = 0.5 * (lo + hi);
+    double fm = objective(mid);
+    if ((fm > 0) == (flo > 0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-9) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double jarzynski_delta_f(std::span<const double> work,
+                         double temperature_k) {
+  // Mathematically identical to exponential averaging of ΔU samples.
+  return zwanzig_delta_f(work, temperature_k);
+}
+
+std::vector<std::pair<double, double>> rdf(std::span<const Vec3> positions,
+                                           std::span<const uint32_t> group_a,
+                                           std::span<const uint32_t> group_b,
+                                           const Box& box, double r_max,
+                                           size_t bins) {
+  ANTMD_REQUIRE(!group_a.empty() && !group_b.empty(), "empty RDF groups");
+  Histogram h(0.0, r_max, bins);
+  size_t pair_count = 0;
+  for (uint32_t a : group_a) {
+    for (uint32_t b : group_b) {
+      if (a == b) continue;
+      double r = std::sqrt(box.distance2(positions[a], positions[b]));
+      h.add(r);
+      ++pair_count;
+    }
+  }
+  // Normalize by ideal-gas shell counts.
+  const double rho_pairs =
+      static_cast<double>(pair_count) / box.volume();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(bins);
+  const double width = r_max / static_cast<double>(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    double r_lo = static_cast<double>(b) * width;
+    double r_hi = r_lo + width;
+    double shell = 4.0 / 3.0 * M_PI * (r_hi * r_hi * r_hi - r_lo * r_lo *
+                                       r_lo);
+    double ideal = rho_pairs * shell;
+    double g = ideal > 0 ? h.count(b) / ideal : 0.0;
+    out.emplace_back(h.bin_center(b), g);
+  }
+  return out;
+}
+
+}  // namespace antmd::analysis

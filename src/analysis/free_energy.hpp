@@ -1,0 +1,57 @@
+// Free-energy estimators: WHAM for umbrella sampling, exponential averaging
+// (Zwanzig) and Bennett acceptance ratio (BAR) for FEP windows, and a
+// radial-distribution-function helper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "math/pbc.hpp"
+#include "math/vec.hpp"
+
+namespace antmd::analysis {
+
+/// One umbrella window: harmonic bias U_b(ξ) = k (ξ - center)² and the
+/// sampled reaction-coordinate series.
+struct UmbrellaWindow {
+  double center = 0.0;
+  double k = 0.0;  ///< same convention as DistanceRestraint: U = k Δ²
+  std::vector<double> samples;
+};
+
+struct WhamResult {
+  std::vector<double> xi;        ///< bin centers
+  std::vector<double> free_energy;  ///< PMF in kcal/mol, min shifted to 0
+};
+
+/// Standard self-consistent WHAM over the given windows.
+[[nodiscard]] WhamResult wham(std::span<const UmbrellaWindow> windows,
+                              double temperature_k, double xi_min,
+                              double xi_max, size_t bins,
+                              size_t max_iterations = 5000,
+                              double tolerance = 1e-7);
+
+/// Zwanzig / exponential averaging: ΔF(A→B) from samples of U_B - U_A drawn
+/// in state A.  delta_u in kcal/mol.
+[[nodiscard]] double zwanzig_delta_f(std::span<const double> delta_u,
+                                     double temperature_k);
+
+/// Bennett acceptance ratio: ΔF(A→B) from forward samples (U_B - U_A in A)
+/// and reverse samples (U_A - U_B in B).  Solved by bisection.
+[[nodiscard]] double bar_delta_f(std::span<const double> forward,
+                                 std::span<const double> reverse,
+                                 double temperature_k,
+                                 size_t max_iterations = 200);
+
+/// Jarzynski equality: ΔF = -kT ln <exp(-W/kT)> over repeated
+/// nonequilibrium pulls (work samples in kcal/mol).
+[[nodiscard]] double jarzynski_delta_f(std::span<const double> work,
+                                       double temperature_k);
+
+/// Radial distribution function g(r) between two index sets.
+[[nodiscard]] std::vector<std::pair<double, double>> rdf(
+    std::span<const Vec3> positions, std::span<const uint32_t> group_a,
+    std::span<const uint32_t> group_b, const Box& box, double r_max,
+    size_t bins);
+
+}  // namespace antmd::analysis

@@ -1,0 +1,98 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::analysis {
+
+double mean(std::span<const double> x) {
+  ANTMD_REQUIRE(!x.empty(), "mean of empty series");
+  double s = 0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  ANTMD_REQUIRE(x.size() >= 2, "variance needs >= 2 samples");
+  double m = mean(x);
+  double s = 0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size() - 1);
+}
+
+double block_stderr(std::span<const double> x, size_t blocks) {
+  ANTMD_REQUIRE(blocks >= 2 && x.size() >= blocks,
+                "need at least 2 blocks of data");
+  size_t block_len = x.size() / blocks;
+  std::vector<double> block_means;
+  block_means.reserve(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    auto sub = x.subspan(b * block_len, block_len);
+    block_means.push_back(mean(sub));
+  }
+  return std::sqrt(variance(block_means) / static_cast<double>(blocks));
+}
+
+double autocorrelation(std::span<const double> x, size_t lag) {
+  ANTMD_REQUIRE(x.size() > lag + 1, "series too short for this lag");
+  double m = mean(x);
+  double num = 0, den = 0;
+  for (size_t i = 0; i + lag < x.size(); ++i) {
+    num += (x[i] - m) * (x[i + lag] - m);
+  }
+  for (size_t i = 0; i < x.size(); ++i) den += (x[i] - m) * (x[i] - m);
+  if (den == 0) return 0.0;
+  return num / den;
+}
+
+double integrated_autocorrelation_time(std::span<const double> x) {
+  double tau = 0.5;  // lag-0 contributes 1/2
+  for (size_t lag = 1; lag < x.size() / 2; ++lag) {
+    double c = autocorrelation(x, lag);
+    if (c <= 0.0) break;
+    tau += c;
+  }
+  return 2.0 * tau;  // conventional normalization: tau_int >= 1
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  ANTMD_REQUIRE(x.size() == y.size() && x.size() >= 2, "bad fit input");
+  double mx = mean(x), my = mean(y);
+  double sxx = 0, sxy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  ANTMD_REQUIRE(sxx > 0, "degenerate x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  ANTMD_REQUIRE(hi > lo && bins > 0, "bad histogram range");
+}
+
+void Histogram::add(double x, double weight) {
+  if (x < lo_ || x >= hi_) return;
+  auto b = static_cast<size_t>((x - lo_) / width_);
+  if (b >= counts_.size()) b = counts_.size() - 1;
+  counts_[b] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_center(size_t b) const {
+  return lo_ + (static_cast<double>(b) + 0.5) * width_;
+}
+
+double Histogram::density(size_t b) const {
+  if (total_ == 0) return 0.0;
+  return counts_[b] / (total_ * width_);
+}
+
+}  // namespace antmd::analysis

@@ -1,0 +1,55 @@
+// Time-series statistics: means, block-averaged error bars, autocorrelation
+// times, and linear drift fits (used by the energy-conservation experiment).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace antmd::analysis {
+
+[[nodiscard]] double mean(std::span<const double> x);
+[[nodiscard]] double variance(std::span<const double> x);  ///< unbiased
+
+/// Standard error of the mean from block averaging (robust to correlation):
+/// the series is split into `blocks` contiguous blocks.
+[[nodiscard]] double block_stderr(std::span<const double> x, size_t blocks);
+
+/// Normalized autocorrelation function at the given lag.
+[[nodiscard]] double autocorrelation(std::span<const double> x, size_t lag);
+
+/// Integrated autocorrelation time (sum of the ACF until its first
+/// non-positive value, the standard windowing heuristic).
+[[nodiscard]] double integrated_autocorrelation_time(
+    std::span<const double> x);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+
+/// Least-squares fit y = slope * x + intercept.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Histogram with fixed bin width over [lo, hi).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void add(double x, double weight = 1.0);
+  [[nodiscard]] size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_center(size_t b) const;
+  [[nodiscard]] double count(size_t b) const { return counts_[b]; }
+  [[nodiscard]] double total() const { return total_; }
+  /// Probability density estimate in bin b.
+  [[nodiscard]] double density(size_t b) const;
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace antmd::analysis

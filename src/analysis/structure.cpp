@@ -1,0 +1,73 @@
+#include "analysis/structure.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace antmd::analysis {
+namespace {
+
+std::vector<Vec3> unwrap_chain(std::span<const Vec3> positions,
+                               std::span<const uint32_t> chain,
+                               const Box& box) {
+  ANTMD_REQUIRE(chain.size() >= 2, "chain needs at least 2 atoms");
+  std::vector<Vec3> out(chain.size());
+  out[0] = positions[chain[0]];
+  for (size_t k = 1; k < chain.size(); ++k) {
+    out[k] = out[k - 1] +
+             box.min_image(positions[chain[k]], positions[chain[k - 1]]);
+  }
+  return out;
+}
+
+}  // namespace
+
+double chain_radius_of_gyration(std::span<const Vec3> positions,
+                                std::span<const uint32_t> chain,
+                                const Box& box) {
+  auto unwrapped = unwrap_chain(positions, chain, box);
+  Vec3 com{};
+  for (const auto& p : unwrapped) com += p;
+  com /= static_cast<double>(unwrapped.size());
+  double rg2 = 0;
+  for (const auto& p : unwrapped) rg2 += norm2(p - com);
+  return std::sqrt(rg2 / static_cast<double>(unwrapped.size()));
+}
+
+double chain_end_to_end(std::span<const Vec3> positions,
+                        std::span<const uint32_t> chain, const Box& box) {
+  auto unwrapped = unwrap_chain(positions, chain, box);
+  return norm(unwrapped.back() - unwrapped.front());
+}
+
+double bilayer_thickness(std::span<const Vec3> positions,
+                         std::span<const uint32_t> heads, const Box& box) {
+  ANTMD_REQUIRE(!heads.empty(), "no head beads given");
+  double z_sum = 0;
+  std::vector<double> zs;
+  zs.reserve(heads.size());
+  for (uint32_t h : heads) {
+    double z = box.wrap(positions[h]).z;
+    zs.push_back(z);
+    z_sum += z;
+  }
+  double z_mid = z_sum / static_cast<double>(zs.size());
+  double dev = 0;
+  for (double z : zs) dev += std::abs(z - z_mid);
+  return 2.0 * dev / static_cast<double>(zs.size());
+}
+
+double native_contact_fraction(std::span<const Vec3> positions,
+                               std::span<const Contact> contacts,
+                               const Box& box, double factor) {
+  ANTMD_REQUIRE(!contacts.empty(), "no contacts given");
+  size_t formed = 0;
+  for (const auto& c : contacts) {
+    double r = std::sqrt(box.distance2(positions[c.i], positions[c.j]));
+    if (r <= factor * c.reference) ++formed;
+  }
+  return static_cast<double>(formed) / static_cast<double>(contacts.size());
+}
+
+}  // namespace antmd::analysis

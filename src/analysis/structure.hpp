@@ -1,0 +1,44 @@
+// Structural observables: chain radius of gyration, end-to-end distance,
+// membrane thickness — used by the tempering and membrane examples/benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "math/pbc.hpp"
+#include "math/vec.hpp"
+
+namespace antmd::analysis {
+
+/// Radius of gyration of a bonded chain of consecutive atom indices.
+/// The chain is unwrapped bond-by-bond before the COM is computed, so the
+/// result is correct even when the chain straddles the periodic boundary.
+[[nodiscard]] double chain_radius_of_gyration(std::span<const Vec3> positions,
+                                              std::span<const uint32_t> chain,
+                                              const Box& box);
+
+/// End-to-end distance of a bonded chain (unwrapped).
+[[nodiscard]] double chain_end_to_end(std::span<const Vec3> positions,
+                                      std::span<const uint32_t> chain,
+                                      const Box& box);
+
+/// Bilayer thickness: twice the mean |z - z_mid| of the given head-bead
+/// indices, where z_mid is the mean head z (wrapped into the box first).
+[[nodiscard]] double bilayer_thickness(std::span<const Vec3> positions,
+                                       std::span<const uint32_t> heads,
+                                       const Box& box);
+
+/// Fraction of "native contacts" currently formed: pairs from `contacts`
+/// count as formed when within `factor` × their reference distance.
+struct Contact {
+  uint32_t i = 0, j = 0;
+  double reference = 0.0;
+};
+
+[[nodiscard]] double native_contact_fraction(std::span<const Vec3> positions,
+                                             std::span<const Contact>
+                                                 contacts,
+                                             const Box& box,
+                                             double factor = 1.3);
+
+}  // namespace antmd::analysis

@@ -1,0 +1,117 @@
+#include "analysis/transport.hpp"
+
+#include "analysis/stats.hpp"
+#include "util/error.hpp"
+
+namespace antmd::analysis {
+
+TransportAccumulator::TransportAccumulator(std::vector<uint32_t> atoms,
+                                           double frame_dt)
+    : atoms_(std::move(atoms)), dt_(frame_dt) {
+  ANTMD_REQUIRE(!atoms_.empty(), "no atoms to track");
+  ANTMD_REQUIRE(frame_dt > 0, "frame spacing must be positive");
+}
+
+void TransportAccumulator::add_frame(std::span<const Vec3> positions,
+                                     std::span<const Vec3> velocities,
+                                     const Box& box) {
+  std::vector<Vec3> r(atoms_.size());
+  std::vector<Vec3> v(atoms_.size());
+  for (size_t a = 0; a < atoms_.size(); ++a) {
+    v[a] = velocities[atoms_[a]];
+  }
+  if (frames_r_.empty()) {
+    last_wrapped_.resize(atoms_.size());
+    for (size_t a = 0; a < atoms_.size(); ++a) {
+      last_wrapped_[a] = positions[atoms_[a]];
+      r[a] = last_wrapped_[a];
+    }
+  } else {
+    const auto& prev = frames_r_.back();
+    for (size_t a = 0; a < atoms_.size(); ++a) {
+      Vec3 step = box.min_image(positions[atoms_[a]], last_wrapped_[a]);
+      r[a] = prev[a] + step;
+      last_wrapped_[a] = positions[atoms_[a]];
+    }
+  }
+  frames_r_.push_back(std::move(r));
+  frames_v_.push_back(std::move(v));
+}
+
+std::vector<double> TransportAccumulator::msd(size_t max_lag) const {
+  ANTMD_REQUIRE(frames_r_.size() > max_lag, "not enough frames for this lag");
+  std::vector<double> out(max_lag + 1, 0.0);
+  for (size_t lag = 0; lag <= max_lag; ++lag) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t t0 = 0; t0 + lag < frames_r_.size(); ++t0) {
+      const auto& a = frames_r_[t0];
+      const auto& b = frames_r_[t0 + lag];
+      for (size_t k = 0; k < atoms_.size(); ++k) {
+        sum += norm2(b[k] - a[k]);
+        ++count;
+      }
+    }
+    out[lag] = count ? sum / static_cast<double>(count) : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> TransportAccumulator::vacf(size_t max_lag) const {
+  ANTMD_REQUIRE(frames_v_.size() > max_lag, "not enough frames for this lag");
+  std::vector<double> out(max_lag + 1, 0.0);
+  for (size_t lag = 0; lag <= max_lag; ++lag) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t t0 = 0; t0 + lag < frames_v_.size(); ++t0) {
+      const auto& a = frames_v_[t0];
+      const auto& b = frames_v_[t0 + lag];
+      for (size_t k = 0; k < atoms_.size(); ++k) {
+        sum += dot(a[k], b[k]);
+        ++count;
+      }
+    }
+    out[lag] = count ? sum / static_cast<double>(count) : 0.0;
+  }
+  if (out[0] > 0) {
+    double c0 = out[0];
+    for (double& c : out) c /= c0;
+  }
+  return out;
+}
+
+double TransportAccumulator::diffusion_einstein(size_t max_lag,
+                                                size_t fit_from) const {
+  ANTMD_REQUIRE(fit_from < max_lag, "fit window is empty");
+  auto m = msd(max_lag);
+  std::vector<double> t, y;
+  for (size_t lag = fit_from; lag <= max_lag; ++lag) {
+    t.push_back(static_cast<double>(lag) * dt_);
+    y.push_back(m[lag]);
+  }
+  return linear_fit(t, y).slope / 6.0;
+}
+
+double TransportAccumulator::diffusion_green_kubo(size_t max_lag) const {
+  ANTMD_REQUIRE(frames_v_.size() > max_lag, "not enough frames");
+  // Un-normalized VACF via the same averaging, integrated by trapezoid.
+  std::vector<double> c(max_lag + 1, 0.0);
+  for (size_t lag = 0; lag <= max_lag; ++lag) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t t0 = 0; t0 + lag < frames_v_.size(); ++t0) {
+      for (size_t k = 0; k < atoms_.size(); ++k) {
+        sum += dot(frames_v_[t0][k], frames_v_[t0 + lag][k]);
+        ++count;
+      }
+    }
+    c[lag] = sum / static_cast<double>(count);
+  }
+  double integral = 0.0;
+  for (size_t lag = 0; lag < max_lag; ++lag) {
+    integral += 0.5 * (c[lag] + c[lag + 1]) * dt_;
+  }
+  return integral / 3.0;
+}
+
+}  // namespace antmd::analysis

@@ -1,0 +1,52 @@
+// Transport observables from trajectories: mean-squared displacement,
+// velocity autocorrelation, and self-diffusion coefficients via both the
+// Einstein relation and Green–Kubo integration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/pbc.hpp"
+#include "math/vec.hpp"
+
+namespace antmd::analysis {
+
+/// Accumulates trajectory snapshots for a subset of atoms; positions are
+/// unwrapped frame-to-frame (minimum-image increments) so MSD is not
+/// confused by periodic wrapping. Frames must be added at a fixed time
+/// spacing `dt` (internal units).
+class TransportAccumulator {
+ public:
+  TransportAccumulator(std::vector<uint32_t> atoms, double frame_dt);
+
+  void add_frame(std::span<const Vec3> positions,
+                 std::span<const Vec3> velocities, const Box& box);
+
+  [[nodiscard]] size_t frame_count() const { return frames_r_.size(); }
+  [[nodiscard]] double frame_dt() const { return dt_; }
+
+  /// MSD(lag) averaged over atoms and time origins (Å²).
+  [[nodiscard]] std::vector<double> msd(size_t max_lag) const;
+
+  /// Normalized velocity autocorrelation C(lag)/C(0).
+  [[nodiscard]] std::vector<double> vacf(size_t max_lag) const;
+
+  /// D from the Einstein relation: slope of MSD over [fit_from, max_lag]
+  /// divided by 6 (Å²/internal time).
+  [[nodiscard]] double diffusion_einstein(size_t max_lag,
+                                          size_t fit_from) const;
+
+  /// D from Green–Kubo: (1/3) ∫ <v(0)·v(t)> dt (trapezoidal, un-normalized
+  /// VACF), in Å²/internal time.
+  [[nodiscard]] double diffusion_green_kubo(size_t max_lag) const;
+
+ private:
+  std::vector<uint32_t> atoms_;
+  double dt_;
+  std::vector<std::vector<Vec3>> frames_r_;  ///< unwrapped positions
+  std::vector<std::vector<Vec3>> frames_v_;
+  std::vector<Vec3> last_wrapped_;
+};
+
+}  // namespace antmd::analysis

@@ -1,0 +1,75 @@
+#include "baseline/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::baseline {
+
+ClusterConfig commodity_cluster(size_t ranks) {
+  ClusterConfig cfg;
+  cfg.ranks = ranks;
+  cfg.name = "commodity-" + std::to_string(ranks);
+  return cfg;
+}
+
+machine::StepBreakdown ClusterModel::step_time(
+    const machine::StepWork& work) const {
+  ANTMD_REQUIRE(!work.nodes.empty(), "workload must cover at least 1 rank");
+  machine::StepBreakdown out;
+
+  double worst_pair = 0, worst_force = 0, worst_update = 0, worst_comm = 0;
+  for (const auto& n : work.nodes) {
+    double t_pair = static_cast<double>(n.pairs) / config_.pair_rate_per_rank;
+    double t_force = n.gc_force_flops / config_.flops_per_rank;
+    double t_update = n.gc_update_flops / config_.flops_per_rank;
+    double t_comm =
+        (n.import_bytes + n.export_bytes) / config_.nic_bandwidth_Bps +
+        static_cast<double>(std::max<size_t>(n.messages, 1)) *
+            (config_.latency_s + config_.message_overhead_s);
+    worst_pair = std::max(worst_pair, t_pair);
+    worst_force = std::max(worst_force, t_force);
+    worst_update = std::max(worst_update, t_update);
+    worst_comm = std::max(worst_comm, t_comm);
+  }
+  out.pair_phase = worst_pair;
+  out.gc_force_phase = worst_force;
+  // No hardwired/programmable overlap on a CPU: pair and bonded serialize.
+  out.interaction = worst_pair + worst_force;
+  out.multicast = worst_comm;
+  out.reduce = worst_comm;  // halo exchange runs both directions
+  out.update = worst_update;
+
+  if (work.kspace.active) {
+    const double n_ranks = static_cast<double>(work.nodes.size());
+    double grid_flops = static_cast<double>(work.kspace.grid_points) * 14.0;
+    double spread_flops = static_cast<double>(work.kspace.charges) *
+                          work.kspace.stencil_points * 7.0;
+    double interp_flops = static_cast<double>(work.kspace.charges) *
+                          work.kspace.stencil_points * 9.0;
+    out.kspace_spread = spread_flops / n_ranks / config_.flops_per_rank;
+    out.kspace_interp = interp_flops / n_ranks / config_.flops_per_rank;
+    out.kspace_convolve = grid_flops / n_ranks / config_.flops_per_rank;
+    out.kspace_fft_compute =
+        work.kspace.fft_flops / n_ranks / config_.flops_per_rank;
+    if (work.nodes.size() > 1) {
+      // MPI all-to-all transposes: bandwidth over NICs plus latency that
+      // grows with rank count — the classic PME scaling wall.
+      double transpose_bytes =
+          4.0 * static_cast<double>(work.kspace.grid_points) * 16.0;
+      double aggregate_bw = config_.nic_bandwidth_Bps * n_ranks / 2.0;
+      double msgs = 4.0 * std::sqrt(n_ranks);
+      out.kspace_fft_comm =
+          transpose_bytes / aggregate_bw +
+          msgs * (config_.latency_s + config_.message_overhead_s);
+    }
+  }
+
+  out.sync = config_.barrier_s();
+  out.total = out.multicast + out.interaction + out.reduce + out.update +
+              out.kspace_total() + out.sync;
+  return out;
+}
+
+}  // namespace antmd::baseline

@@ -1,0 +1,78 @@
+// Commodity-cluster performance model — the "previous state of the art"
+// the paper's abstract compares against (a Desmond/GROMACS-class MD code on
+// a circa-2012 InfiniBand cluster).
+//
+// It consumes the SAME per-node workload counts the machine model uses, so
+// speedup comparisons are apples-to-apples: identical physics, identical
+// decomposition, different hardware model.  Differences from the
+// special-purpose machine:
+//   * pair interactions run on general-purpose cores (no 32-wide hardwired
+//     pipelines) and therefore do NOT overlap with bonded work,
+//   * network latency is microseconds, not tens of nanoseconds,
+//   * there is no fine-grained hardware barrier (software allreduce).
+#pragma once
+
+#include <string>
+
+#include "machine/timing.hpp"
+
+namespace antmd::baseline {
+
+struct ClusterConfig {
+  std::string name = "commodity-512";
+  /// MPI ranks (one per core for the workloads we model).
+  size_t ranks = 512;
+  /// Tabulated-pair evaluations per second per rank: a ~3 GHz 2012 core
+  /// spends ~135 cycles/pair once gather/scatter and list traversal are
+  /// counted — calibrated so 512 ranks land in the published Desmond/NAMD
+  /// performance envelope for DHFR-class systems.
+  double pair_rate_per_rank = 2.2e7;
+  /// General flops per rank (AVX, ~4 doubles @ 3 GHz).
+  double flops_per_rank = 1.2e10;
+  /// Per-node NIC bandwidth (IB QDR).
+  double nic_bandwidth_Bps = 3.2e9;
+  /// Point-to-point latency.
+  double latency_s = 2.0e-6;
+  /// Per-message software overhead.
+  double message_overhead_s = 0.5e-6;
+  /// Wall power per rank: a 2012 dual-socket node (~350 W with its share
+  /// of switch/cooling) hosting ~8 ranks.
+  double power_per_rank_w = 45.0;
+
+  /// Whole-cluster wall power (kW).
+  [[nodiscard]] double cluster_power_kw() const {
+    return static_cast<double>(ranks) * power_per_rank_w / 1000.0;
+  }
+
+  /// Latency of a software barrier / small allreduce across all ranks.
+  [[nodiscard]] double barrier_s() const {
+    double log2r = 1.0;
+    size_t r = ranks;
+    while (r > 1) {
+      r >>= 1;
+      log2r += 1.0;
+    }
+    return latency_s * log2r;
+  }
+};
+
+/// A 2012-era 512-core InfiniBand cluster.
+[[nodiscard]] ClusterConfig commodity_cluster(size_t ranks = 512);
+
+class ClusterModel {
+ public:
+  explicit ClusterModel(ClusterConfig config) : config_(std::move(config)) {}
+
+  /// Models one MD step from the same workload counts the machine model
+  /// consumes.  work.nodes.size() should equal config.ranks for a fair
+  /// comparison (the bench harnesses arrange this).
+  [[nodiscard]] machine::StepBreakdown step_time(
+      const machine::StepWork& work) const;
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace antmd::baseline

@@ -1,0 +1,288 @@
+#include "ewald/gse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd {
+namespace {
+
+size_t next_pow2(double x) {
+  size_t n = 1;
+  while (static_cast<double>(n) < x) n <<= 1;
+  return n;
+}
+
+/// Wraps a (possibly negative) grid index into [0, n).
+inline size_t wrap_index(long i, long n) {
+  long m = i % n;
+  if (m < 0) m += n;
+  return static_cast<size_t>(m);
+}
+
+}  // namespace
+
+GseSolver::GseSolver(const Box& box, GseParams params)
+    : params_(params) {
+  ANTMD_REQUIRE(params_.beta > 0, "beta must be positive");
+  ANTMD_REQUIRE(params_.sigma_split > 0 && params_.sigma_split < 1,
+                "sigma_split must be in (0, 1)");
+  rebuild(box);
+}
+
+void GseSolver::rebuild(const Box& box) {
+  nx_ = next_pow2(box.edges().x / params_.grid_spacing);
+  ny_ = next_pow2(box.edges().y / params_.grid_spacing);
+  nz_ = next_pow2(box.edges().z / params_.grid_spacing);
+  // Total reciprocal Gaussian variance α = 1/(4β²); σ_s² takes a fraction.
+  const double alpha = 1.0 / (4.0 * params_.beta * params_.beta);
+  sigma_s_ = std::sqrt(params_.sigma_split * alpha);
+  const double h_max =
+      std::max({box.edges().x / static_cast<double>(nx_),
+                box.edges().y / static_cast<double>(ny_),
+                box.edges().z / static_cast<double>(nz_)});
+  support_ = static_cast<int>(
+      std::ceil(params_.stencil_sigmas * sigma_s_ / h_max));
+  ANTMD_REQUIRE(support_ >= 1, "spreading support collapsed to zero");
+  ANTMD_REQUIRE(2 * support_ + 1 <= static_cast<int>(std::min({nx_, ny_, nz_})),
+                "grid too small for the spreading stencil");
+}
+
+GseWorkload GseSolver::workload(size_t n_charges) const {
+  GseWorkload w;
+  w.grid_points = nx_ * ny_ * nz_;
+  size_t stencil = static_cast<size_t>(2 * support_ + 1);
+  w.spread_stencil_points = stencil * stencil * stencil;
+  w.charges = n_charges;
+  w.fft_flops = 2.0 * estimate_fft_cost(nx_, ny_, nz_, 1).flops;  // fwd+inv
+  return w;
+}
+
+void GseSolver::compute(
+    std::span<const Vec3> pos, std::span<const double> charges,
+    std::span<const std::pair<uint32_t, uint32_t>> excluded_pairs,
+    const Box& box, ForceResult& out) const {
+  const size_t n = pos.size();
+  ANTMD_REQUIRE(charges.size() == n, "positions/charges size mismatch");
+
+  const double hx = box.edges().x / static_cast<double>(nx_);
+  const double hy = box.edges().y / static_cast<double>(ny_);
+  const double hz = box.edges().z / static_cast<double>(nz_);
+  const double cell_volume = hx * hy * hz;
+  const double volume = box.volume();
+  const double alpha = 1.0 / (4.0 * params_.beta * params_.beta);
+  const double sigma2 = sigma_s_ * sigma_s_;
+  const double kernel_alpha = alpha - sigma2;  // remaining variance
+  const double gauss_norm =
+      std::pow(2.0 * M_PI * sigma2, -1.5);  // 3D Gaussian normalization
+
+  // --- spread charges -------------------------------------------------------
+  Grid3D grid(nx_, ny_, nz_);
+  grid.fill({0.0, 0.0});
+  const int sup = support_;
+  const size_t stencil = static_cast<size_t>(2 * sup + 1);
+  std::vector<double> wx(stencil), wy(stencil), wz(stencil);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (charges[i] == 0.0) continue;
+    Vec3 r = box.wrap(pos[i]);
+    long cx = static_cast<long>(std::floor(r.x / hx));
+    long cy = static_cast<long>(std::floor(r.y / hy));
+    long cz = static_cast<long>(std::floor(r.z / hz));
+    for (int o = -sup; o <= sup; ++o) {
+      double dx = r.x - static_cast<double>(cx + o) * hx;
+      double dy = r.y - static_cast<double>(cy + o) * hy;
+      double dz = r.z - static_cast<double>(cz + o) * hz;
+      wx[static_cast<size_t>(o + sup)] = std::exp(-dx * dx / (2.0 * sigma2));
+      wy[static_cast<size_t>(o + sup)] = std::exp(-dy * dy / (2.0 * sigma2));
+      wz[static_cast<size_t>(o + sup)] = std::exp(-dz * dz / (2.0 * sigma2));
+    }
+    for (int oz = -sup; oz <= sup; ++oz) {
+      size_t gz = wrap_index(cz + oz, static_cast<long>(nz_));
+      for (int oy = -sup; oy <= sup; ++oy) {
+        size_t gy = wrap_index(cy + oy, static_cast<long>(ny_));
+        double wyz = wy[static_cast<size_t>(oy + sup)] *
+                     wz[static_cast<size_t>(oz + sup)];
+        for (int ox = -sup; ox <= sup; ++ox) {
+          size_t gx = wrap_index(cx + ox, static_cast<long>(nx_));
+          double w = gauss_norm * wx[static_cast<size_t>(ox + sup)] * wyz;
+          grid.at(gx, gy, gz) += Complex(charges[i] * w, 0.0);
+        }
+      }
+    }
+  }
+
+  // --- k-space convolution ---------------------------------------------------
+  fft3d_forward(grid);
+
+  const double two_pi = 2.0 * M_PI;
+  double energy = 0.0;
+  Mat3 virial{};
+  for (size_t iz = 0; iz < nz_; ++iz) {
+    long mz = static_cast<long>(iz);
+    if (mz > static_cast<long>(nz_ / 2)) mz -= static_cast<long>(nz_);
+    double kz = two_pi * static_cast<double>(mz) / box.edges().z;
+    for (size_t iy = 0; iy < ny_; ++iy) {
+      long my = static_cast<long>(iy);
+      if (my > static_cast<long>(ny_ / 2)) my -= static_cast<long>(ny_);
+      double ky = two_pi * static_cast<double>(my) / box.edges().y;
+      for (size_t ix = 0; ix < nx_; ++ix) {
+        long mx = static_cast<long>(ix);
+        if (mx > static_cast<long>(nx_ / 2)) mx -= static_cast<long>(nx_);
+        double kx = two_pi * static_cast<double>(mx) / box.edges().x;
+        double k2 = kx * kx + ky * ky + kz * kz;
+        Complex& g = grid.at(ix, iy, iz);
+        if (k2 == 0.0) {
+          g = {0.0, 0.0};  // tinfoil boundary conditions
+          continue;
+        }
+        double green = 4.0 * M_PI * units::kCoulomb / k2 *
+                       std::exp(-kernel_alpha * k2);
+        // Energy via Parseval on the DFT coefficients:
+        // rho_hat(k) = F * cell_volume; E = 1/(2V) Σ G |rho_hat|² / kC...
+        double f2 = std::norm(g) * cell_volume * cell_volume;
+        double e_k = 0.5 / volume * green * f2;
+        energy += e_k;
+        double vfac = 2.0 * (1.0 / k2 + alpha);
+        virial(0, 0) += e_k * (1.0 - vfac * kx * kx);
+        virial(1, 1) += e_k * (1.0 - vfac * ky * ky);
+        virial(2, 2) += e_k * (1.0 - vfac * kz * kz);
+        virial(0, 1) += e_k * (-vfac * kx * ky);
+        virial(0, 2) += e_k * (-vfac * kx * kz);
+        virial(1, 2) += e_k * (-vfac * ky * kz);
+        g *= green;
+      }
+    }
+  }
+  virial(1, 0) = virial(0, 1);
+  virial(2, 0) = virial(0, 2);
+  virial(2, 1) = virial(1, 2);
+
+  fft3d_inverse(grid);  // grid now holds the (smeared) potential φ
+
+  // --- interpolate forces off the grid --------------------------------------
+  for (size_t i = 0; i < n; ++i) {
+    if (charges[i] == 0.0) continue;
+    Vec3 r = box.wrap(pos[i]);
+    long cx = static_cast<long>(std::floor(r.x / hx));
+    long cy = static_cast<long>(std::floor(r.y / hy));
+    long cz = static_cast<long>(std::floor(r.z / hz));
+    Vec3 f{};
+    for (int oz = -sup; oz <= sup; ++oz) {
+      size_t gz = wrap_index(cz + oz, static_cast<long>(nz_));
+      double dz = r.z - static_cast<double>(cz + oz) * hz;
+      double wzv = std::exp(-dz * dz / (2.0 * sigma2));
+      for (int oy = -sup; oy <= sup; ++oy) {
+        size_t gy = wrap_index(cy + oy, static_cast<long>(ny_));
+        double dy = r.y - static_cast<double>(cy + oy) * hy;
+        double wyv = std::exp(-dy * dy / (2.0 * sigma2));
+        for (int ox = -sup; ox <= sup; ++ox) {
+          size_t gx = wrap_index(cx + ox, static_cast<long>(nx_));
+          double dx = r.x - static_cast<double>(cx + ox) * hx;
+          double wxv = std::exp(-dx * dx / (2.0 * sigma2));
+          double w = gauss_norm * wxv * wyv * wzv;
+          double phi = grid.at(gx, gy, gz).real();
+          // f = -q ∇φ_interp; ∇W = -d/σ² W  (d = r_atom - r_cell)
+          double coeff = charges[i] * phi * cell_volume * w / sigma2;
+          f += coeff * Vec3{dx, dy, dz};
+        }
+      }
+    }
+    out.forces.add(i, f);
+  }
+
+  out.energy.coulomb_kspace.add(energy);
+  out.virial += virial;
+
+  corrections(pos, charges, excluded_pairs, box, out);
+}
+
+void GseSolver::corrections(
+    std::span<const Vec3> pos, std::span<const double> charges,
+    std::span<const std::pair<uint32_t, uint32_t>> excluded_pairs,
+    const Box& box, ForceResult& out) const {
+  const double beta = params_.beta;
+  double q2_sum = 0.0;
+  double q_sum = 0.0;
+  for (double q : charges) {
+    q2_sum += q * q;
+    q_sum += q;
+  }
+  // Point self-interaction removed from the reciprocal sum.
+  double self_energy = -units::kCoulomb * beta / std::sqrt(M_PI) * q2_sum;
+  // Neutralizing background for non-neutral systems.
+  double bg_energy = -units::kCoulomb * M_PI /
+                     (2.0 * beta * beta * box.volume()) * q_sum * q_sum;
+  out.energy.coulomb_self.add(self_energy + bg_energy);
+  out.virial += Mat3::diagonal(bg_energy, bg_energy, bg_energy);
+
+  // Excluded pairs: the reciprocal sum contains their full (smeared)
+  // interaction; remove the erf(βr)/r piece so excluded pairs feel nothing.
+  const double two_beta_over_sqrt_pi = 2.0 * beta / std::sqrt(M_PI);
+  for (const auto& [i, j] : excluded_pairs) {
+    double qq = charges[i] * charges[j];
+    if (qq == 0.0) continue;
+    Vec3 d = box.min_image(pos[i], pos[j]);
+    double r2 = norm2(d);
+    double r = std::sqrt(r2);
+    double erf_term = std::erf(beta * r);
+    double gauss = two_beta_over_sqrt_pi * std::exp(-beta * beta * r2);
+    double energy = -units::kCoulomb * qq * erf_term / r;
+    // f_over_r for U = -kC qq erf(βr)/r:
+    double f_over_r =
+        units::kCoulomb * qq * (gauss / r2 - erf_term / (r2 * r));
+    Vec3 f = f_over_r * d;
+    out.forces.add_pair(i, j, f);
+    out.energy.coulomb_self.add(energy);
+    out.virial += outer(d, f);
+  }
+}
+
+void GseSolver::compute_reference(
+    std::span<const Vec3> pos, std::span<const double> charges,
+    std::span<const std::pair<uint32_t, uint32_t>> excluded_pairs,
+    const Box& box, double beta, int kmax, ForceResult& out) {
+  const size_t n = pos.size();
+  const double volume = box.volume();
+  const double alpha = 1.0 / (4.0 * beta * beta);
+  const double two_pi = 2.0 * M_PI;
+
+  double energy = 0.0;
+  for (int mx = -kmax; mx <= kmax; ++mx) {
+    for (int my = -kmax; my <= kmax; ++my) {
+      for (int mz = -kmax; mz <= kmax; ++mz) {
+        if (mx == 0 && my == 0 && mz == 0) continue;
+        Vec3 k{two_pi * mx / box.edges().x, two_pi * my / box.edges().y,
+               two_pi * mz / box.edges().z};
+        double k2 = norm2(k);
+        double green =
+            4.0 * M_PI * units::kCoulomb / k2 * std::exp(-alpha * k2);
+        double re = 0.0, im = 0.0;  // S(k)
+        for (size_t i = 0; i < n; ++i) {
+          double phase = dot(k, pos[i]);
+          re += charges[i] * std::cos(phase);
+          im += charges[i] * std::sin(phase);
+        }
+        energy += 0.5 / volume * green * (re * re + im * im);
+        for (size_t i = 0; i < n; ++i) {
+          double phase = dot(k, pos[i]);
+          double c = std::cos(phase), s = std::sin(phase);
+          // f_i = -(1/V) G q_i k (c·Im S - s·Re S)
+          double coeff =
+              -green / volume * charges[i] * (c * im - s * re);
+          out.forces.add(i, coeff * k);
+        }
+      }
+    }
+  }
+  out.energy.coulomb_kspace.add(energy);
+
+  GseParams p;
+  p.beta = beta;
+  GseSolver solver(box, p);
+  solver.corrections(pos, charges, excluded_pairs, box, out);
+}
+
+}  // namespace antmd

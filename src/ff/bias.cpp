@@ -1,0 +1,58 @@
+#include "ff/bias.hpp"
+
+#include <cmath>
+
+namespace antmd::ff {
+
+void compute_pair_biases(std::span<const PairBias> biases,
+                         std::span<const Vec3> pos, const Box& box,
+                         ForceResult& out) {
+  for (const PairBias& b : biases) {
+    Vec3 d = box.min_image(pos[b.i], pos[b.j]);
+    double r = norm(d);
+    if (r < 1e-9) continue;
+    auto [energy, dudr] = b.potential(r);
+    Vec3 f = (-dudr / r) * d;  // force on i
+    out.forces.add_pair(b.i, b.j, f);
+    out.energy.restraint.add(energy);
+    out.virial += outer(d, f);
+  }
+}
+
+void compute_dihedral_biases(std::span<const DihedralBias> biases,
+                             std::span<const Vec3> pos, const Box& box,
+                             ForceResult& out) {
+  for (const DihedralBias& bias : biases) {
+    Vec3 b1 = box.min_image(pos[bias.j], pos[bias.i]);
+    Vec3 b2 = box.min_image(pos[bias.k], pos[bias.j]);
+    Vec3 b3 = box.min_image(pos[bias.l], pos[bias.k]);
+    Vec3 n1 = cross(b1, b2);
+    Vec3 n2 = cross(b2, b3);
+    double n1sq = norm2(n1);
+    double n2sq = norm2(n2);
+    double lb2 = norm(b2);
+    if (n1sq < 1e-12 || n2sq < 1e-12) continue;
+    Vec3 m1 = cross(n1, b2 / lb2);
+    double phi = std::atan2(dot(m1, n2), dot(n1, n2));
+
+    auto [energy, du_dphi] = bias.potential(phi);
+
+    Vec3 fi = -du_dphi * (lb2 / n1sq) * n1;
+    Vec3 fl = du_dphi * (lb2 / n2sq) * n2;
+    double c1 = dot(b1, b2) / (lb2 * lb2);
+    double c2 = dot(b3, b2) / (lb2 * lb2);
+    Vec3 fj = -(1.0 + c1) * fi + c2 * fl;
+    Vec3 fk = -(fi + fj + fl);
+
+    out.forces.add(bias.i, fi);
+    out.forces.add(bias.j, fj);
+    out.forces.add(bias.k, fk);
+    out.forces.add(bias.l, fl);
+    out.energy.restraint.add(energy);
+    out.virial += outer(-b1, fi);
+    out.virial += outer(b2, fk);
+    out.virial += outer(b2 + b3, fl);
+  }
+}
+
+}  // namespace antmd::ff

@@ -1,0 +1,45 @@
+// Generic pair-distance bias potentials.
+//
+// Enhanced-sampling methods (metadynamics, TAMD) need a time-varying,
+// arbitrary-shape potential on a collective variable.  On Anton these run
+// as small programs on the geometry cores; here they are closures evaluated
+// on the CPU.  The closure returns {energy, dU/dr} at the current pair
+// distance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ff/energy.hpp"
+#include "math/pbc.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd::ff {
+
+struct PairBias {
+  uint32_t i = 0;
+  uint32_t j = 0;
+  /// r -> {U(r), dU/dr}
+  std::function<std::pair<double, double>(double)> potential;
+};
+
+void compute_pair_biases(std::span<const PairBias> biases,
+                         std::span<const Vec3> pos, const Box& box,
+                         ForceResult& out);
+
+/// Bias on a torsion collective variable (alanine-dipeptide-style
+/// metadynamics).  The closure maps phi (radians, in (-pi, pi]) to
+/// {U(phi), dU/dphi}; it must itself be 2π-periodic.
+struct DihedralBias {
+  uint32_t i = 0, j = 0, k = 0, l = 0;
+  std::function<std::pair<double, double>(double)> potential;
+};
+
+void compute_dihedral_biases(std::span<const DihedralBias> biases,
+                             std::span<const Vec3> pos, const Box& box,
+                             ForceResult& out);
+
+}  // namespace antmd::ff

@@ -1,0 +1,210 @@
+#include "ff/bonded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace antmd::ff {
+namespace {
+
+/// Adds r⊗f to the virial for a pair separated by d with force f on atom i.
+void add_virial(Mat3& virial, const Vec3& d, const Vec3& f) {
+  virial += outer(d, f);
+}
+
+}  // namespace
+
+void compute_bonds(std::span<const Bond> bonds, std::span<const Vec3> pos,
+                   const Box& box, ForceResult& out) {
+  for (const Bond& b : bonds) {
+    Vec3 d = box.min_image(pos[b.i], pos[b.j]);
+    double r = norm(d);
+    double dr = r - b.r0;
+    // U = k (r - r0)^2 ; dU/dr = 2 k (r - r0)
+    double f_over_r = -2.0 * b.k * dr / r;
+    Vec3 f = f_over_r * d;  // force on i
+    out.forces.add_pair(b.i, b.j, f);
+    out.energy.bond.add(b.k * dr * dr);
+    add_virial(out.virial, d, f);
+  }
+}
+
+void compute_angles(std::span<const Angle> angles, std::span<const Vec3> pos,
+                    const Box& box, ForceResult& out) {
+  for (const Angle& a : angles) {
+    // rij: apex->i, rkj: apex->k
+    Vec3 rij = box.min_image(pos[a.i], pos[a.j]);
+    Vec3 rkj = box.min_image(pos[a.k_atom], pos[a.j]);
+    double lij = norm(rij);
+    double lkj = norm(rkj);
+    double cosang = dot(rij, rkj) / (lij * lkj);
+    cosang = std::clamp(cosang, -1.0, 1.0);
+    double theta = std::acos(cosang);
+    double dtheta = theta - a.theta0;
+    // F_i = -dU/dθ ∂θ/∂r_i = (2 k Δθ / sinθ) ∂cosθ/∂r_i.
+    double sin_theta = std::sqrt(std::max(1.0 - cosang * cosang, 1e-12));
+    double coeff = 2.0 * a.k * dtheta / sin_theta;
+
+    Vec3 fi = (coeff / lij) * ((1.0 / lkj) * rkj - (cosang / lij) * rij);
+    Vec3 fk = (coeff / lkj) * ((1.0 / lij) * rij - (cosang / lkj) * rkj);
+    Vec3 fj = -(fi + fk);
+
+    out.forces.add(a.i, fi);
+    out.forces.add(a.j, fj);
+    out.forces.add(a.k_atom, fk);
+    out.energy.angle.add(a.k * dtheta * dtheta);
+    add_virial(out.virial, rij, fi);
+    add_virial(out.virial, rkj, fk);
+  }
+}
+
+double dihedral_angle(const Vec3& ri, const Vec3& rj, const Vec3& rk,
+                      const Vec3& rl, const Box& box) {
+  Vec3 b1 = box.min_image(rj, ri);
+  Vec3 b2 = box.min_image(rk, rj);
+  Vec3 b3 = box.min_image(rl, rk);
+  Vec3 n1 = cross(b1, b2);
+  Vec3 n2 = cross(b2, b3);
+  Vec3 m1 = cross(n1, normalized(b2));
+  double x = dot(n1, n2);
+  double y = dot(m1, n2);
+  return std::atan2(y, x);
+}
+
+void compute_dihedrals(std::span<const Dihedral> dihedrals,
+                       std::span<const Vec3> pos, const Box& box,
+                       ForceResult& out) {
+  for (const Dihedral& d : dihedrals) {
+    Vec3 b1 = box.min_image(pos[d.j], pos[d.i]);
+    Vec3 b2 = box.min_image(pos[d.k_atom], pos[d.j]);
+    Vec3 b3 = box.min_image(pos[d.l], pos[d.k_atom]);
+
+    Vec3 n1 = cross(b1, b2);
+    Vec3 n2 = cross(b2, b3);
+    double n1sq = norm2(n1);
+    double n2sq = norm2(n2);
+    double lb2 = norm(b2);
+    if (n1sq < 1e-12 || n2sq < 1e-12) continue;  // collinear; zero torque
+
+    Vec3 m1 = cross(n1, b2 / lb2);
+    double x = dot(n1, n2);
+    double y = dot(m1, n2);
+    double phi = std::atan2(y, x);
+
+    // U = k (1 + cos(n phi - phi0)); dU/dphi = -k n sin(n phi - phi0)
+    double du_dphi = -d.k * d.n * std::sin(d.n * phi - d.phi0);
+
+    // Analytic gradient (Blondel–Karplus form, signs fixed by the atan2
+    // convention used in dihedral_angle and verified against finite
+    // differences in ff_test):
+    //   ∂φ/∂r_i = +(|b2|/|n1|²) n1,  ∂φ/∂r_l = -(|b2|/|n2|²) n2
+    Vec3 fi = -du_dphi * (lb2 / n1sq) * n1;
+    Vec3 fl = du_dphi * (lb2 / n2sq) * n2;
+    double c1 = dot(b1, b2) / (lb2 * lb2);
+    double c2 = dot(b3, b2) / (lb2 * lb2);
+    Vec3 fj = -(1.0 + c1) * fi + c2 * fl;
+    Vec3 fk = -(fi + fj + fl);
+
+    out.forces.add(d.i, fi);
+    out.forces.add(d.j, fj);
+    out.forces.add(d.k_atom, fk);
+    out.forces.add(d.l, fl);
+    out.energy.dihedral.add(d.k * (1.0 + std::cos(d.n * phi - d.phi0)));
+    // Virial from atom positions relative to a common origin (atom j).
+    out.virial += outer(-b1, fi);
+    out.virial += outer(b2, fk);
+    out.virial += outer(b2 + b3, fl);
+  }
+}
+
+void compute_morse_bonds(std::span<const MorseBond> bonds,
+                         std::span<const Vec3> pos, const Box& box,
+                         ForceResult& out) {
+  for (const MorseBond& b : bonds) {
+    Vec3 d = box.min_image(pos[b.i], pos[b.j]);
+    double r = norm(d);
+    double ex = std::exp(-b.a * (r - b.r0));
+    double one_minus = 1.0 - ex;
+    // U = D (1 - e^{-a(r-r0)})²; dU/dr = 2 D a (1 - e^-..) e^-..
+    double du_dr = 2.0 * b.depth * b.a * one_minus * ex;
+    Vec3 f = (-du_dr / r) * d;
+    out.forces.add_pair(b.i, b.j, f);
+    out.energy.bond.add(b.depth * one_minus * one_minus);
+    out.virial += outer(d, f);
+  }
+}
+
+void compute_urey_bradleys(std::span<const UreyBradley> terms,
+                           std::span<const Vec3> pos, const Box& box,
+                           ForceResult& out) {
+  for (const UreyBradley& u : terms) {
+    Vec3 d = box.min_image(pos[u.i], pos[u.k]);
+    double r = norm(d);
+    double dr = r - u.s0;
+    double f_over_r = -2.0 * u.kub * dr / r;
+    Vec3 f = f_over_r * d;
+    out.forces.add_pair(u.i, u.k, f);
+    out.energy.angle.add(u.kub * dr * dr);
+    out.virial += outer(d, f);
+  }
+}
+
+void compute_impropers(std::span<const Improper> impropers,
+                       std::span<const Vec3> pos, const Box& box,
+                       ForceResult& out) {
+  for (const Improper& d : impropers) {
+    Vec3 b1 = box.min_image(pos[d.j], pos[d.i]);
+    Vec3 b2 = box.min_image(pos[d.k_atom], pos[d.j]);
+    Vec3 b3 = box.min_image(pos[d.l], pos[d.k_atom]);
+
+    Vec3 n1 = cross(b1, b2);
+    Vec3 n2 = cross(b2, b3);
+    double n1sq = norm2(n1);
+    double n2sq = norm2(n2);
+    double lb2 = norm(b2);
+    if (n1sq < 1e-12 || n2sq < 1e-12) continue;
+
+    Vec3 m1 = cross(n1, b2 / lb2);
+    double phi = std::atan2(dot(m1, n2), dot(n1, n2));
+    // Wrap (phi - phi0) into (-pi, pi] so the restraint is continuous.
+    double dphi = phi - d.phi0;
+    while (dphi > M_PI) dphi -= 2.0 * M_PI;
+    while (dphi <= -M_PI) dphi += 2.0 * M_PI;
+    double du_dphi = 2.0 * d.k * dphi;
+
+    Vec3 fi = -du_dphi * (lb2 / n1sq) * n1;
+    Vec3 fl = du_dphi * (lb2 / n2sq) * n2;
+    double c1 = dot(b1, b2) / (lb2 * lb2);
+    double c2 = dot(b3, b2) / (lb2 * lb2);
+    Vec3 fj = -(1.0 + c1) * fi + c2 * fl;
+    Vec3 fk = -(fi + fj + fl);
+
+    out.forces.add(d.i, fi);
+    out.forces.add(d.j, fj);
+    out.forces.add(d.k_atom, fk);
+    out.forces.add(d.l, fl);
+    out.energy.dihedral.add(d.k * dphi * dphi);
+    out.virial += outer(-b1, fi);
+    out.virial += outer(b2, fk);
+    out.virial += outer(b2 + b3, fl);
+  }
+}
+
+void compute_go_contacts(std::span<const GoContact> contacts,
+                         std::span<const Vec3> pos, const Box& box,
+                         ForceResult& out) {
+  for (const GoContact& g : contacts) {
+    Vec3 d = box.min_image(pos[g.i], pos[g.j]);
+    double r = norm(d);
+    double q = g.r_native / r;
+    double q10 = std::pow(q, 10);
+    double q12 = q10 * q * q;
+    // U = ε (5 q¹² - 6 q¹⁰); dU/dr = (60 ε / r)(q¹⁰ - q¹²)
+    double du_dr = 60.0 * g.epsilon / r * (q10 - q12);
+    Vec3 f = (-du_dr / r) * d;
+    out.forces.add_pair(g.i, g.j, f);
+    out.energy.vdw.add(g.epsilon * (5.0 * q12 - 6.0 * q10));
+    out.virial += outer(d, f);
+  }
+}
+
+}  // namespace antmd::ff

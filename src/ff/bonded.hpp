@@ -1,0 +1,53 @@
+// Bonded force kernels: bonds, angles, dihedrals.
+//
+// On Anton these run on the programmable geometry cores (they involve
+// square roots, trig, and irregular indexing that the hardwired pairwise
+// pipelines cannot express); the machine model charges them to the flexible
+// subsystem accordingly.  Kernels take spans so the distributed runtime can
+// evaluate per-node slices with bit-identical results.
+#pragma once
+
+#include <span>
+
+#include "ff/energy.hpp"
+#include "math/pbc.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd::ff {
+
+void compute_bonds(std::span<const Bond> bonds, std::span<const Vec3> pos,
+                   const Box& box, ForceResult& out);
+
+void compute_angles(std::span<const Angle> angles, std::span<const Vec3> pos,
+                    const Box& box, ForceResult& out);
+
+void compute_dihedrals(std::span<const Dihedral> dihedrals,
+                       std::span<const Vec3> pos, const Box& box,
+                       ForceResult& out);
+
+void compute_morse_bonds(std::span<const MorseBond> bonds,
+                         std::span<const Vec3> pos, const Box& box,
+                         ForceResult& out);
+
+void compute_urey_bradleys(std::span<const UreyBradley> terms,
+                           std::span<const Vec3> pos, const Box& box,
+                           ForceResult& out);
+
+/// Harmonic impropers U = k (phi - phi0)², phi taken in (-pi, pi] relative
+/// to phi0 (the difference is wrapped so planarity restraints are smooth).
+void compute_impropers(std::span<const Improper> impropers,
+                       std::span<const Vec3> pos, const Box& box,
+                       ForceResult& out);
+
+/// Gō 12-10 native contacts: U = ε [5 (rn/r)^12 - 6 (rn/r)^10], minimum
+/// -ε exactly at r = rn.
+void compute_go_contacts(std::span<const GoContact> contacts,
+                         std::span<const Vec3> pos, const Box& box,
+                         ForceResult& out);
+
+/// Signed dihedral angle (radians) for atoms i-j-k-l under minimum image.
+[[nodiscard]] double dihedral_angle(const Vec3& ri, const Vec3& rj,
+                                    const Vec3& rk, const Vec3& rl,
+                                    const Box& box);
+
+}  // namespace antmd::ff

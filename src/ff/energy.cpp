@@ -1,0 +1,19 @@
+#include "ff/energy.hpp"
+
+#include <sstream>
+
+namespace antmd {
+
+std::string EnergyBreakdown::summary() const {
+  std::ostringstream os;
+  os << "total=" << total() << " bond=" << bond.value()
+     << " angle=" << angle.value() << " dihedral=" << dihedral.value()
+     << " vdw=" << vdw.value() << " coul_real=" << coulomb_real.value()
+     << " coul_k=" << coulomb_kspace.value()
+     << " coul_self=" << coulomb_self.value() << " 1-4=" << pair14.value()
+     << " restraint=" << restraint.value()
+     << " external=" << external.value();
+  return os.str();
+}
+
+}  // namespace antmd

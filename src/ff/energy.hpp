@@ -1,0 +1,70 @@
+// Energy bookkeeping shared by all force kernels.
+#pragma once
+
+#include <string>
+
+#include "math/fixed.hpp"
+#include "math/vec.hpp"
+
+namespace antmd {
+
+/// Per-term potential energy, accumulated in order-independent fixed point
+/// so distributed and single-node evaluation agree bitwise.
+struct EnergyBreakdown {
+  FixedScalar bond;
+  FixedScalar angle;
+  FixedScalar dihedral;
+  FixedScalar vdw;            ///< LJ / custom tabulated pair terms
+  FixedScalar coulomb_real;   ///< real-space (erfc-screened) Coulomb
+  FixedScalar coulomb_kspace; ///< reciprocal-space Ewald
+  FixedScalar coulomb_self;   ///< Ewald self + excluded-pair corrections
+  FixedScalar pair14;         ///< scaled 1-4 interactions
+  FixedScalar restraint;      ///< position/distance/steering restraints
+  FixedScalar external;       ///< external fields
+
+  [[nodiscard]] double total() const {
+    return bond.value() + angle.value() + dihedral.value() + vdw.value() +
+           coulomb_real.value() + coulomb_kspace.value() +
+           coulomb_self.value() + pair14.value() + restraint.value() +
+           external.value();
+  }
+
+  void merge(const EnergyBreakdown& o) {
+    bond.merge(o.bond);
+    angle.merge(o.angle);
+    dihedral.merge(o.dihedral);
+    vdw.merge(o.vdw);
+    coulomb_real.merge(o.coulomb_real);
+    coulomb_kspace.merge(o.coulomb_kspace);
+    coulomb_self.merge(o.coulomb_self);
+    pair14.merge(o.pair14);
+    restraint.merge(o.restraint);
+    external.merge(o.external);
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Full result of a force evaluation.
+struct ForceResult {
+  FixedForceArray forces;
+  EnergyBreakdown energy;
+  Mat3 virial;  ///< sum over interactions of r⊗f (double precision; barostat
+                ///< input only, not part of the determinism contract)
+
+  explicit ForceResult(size_t n_atoms = 0) : forces(n_atoms) {}
+
+  void reset(size_t n_atoms) {
+    forces.resize(n_atoms);
+    energy = EnergyBreakdown{};
+    virial = Mat3{};
+  }
+
+  void merge(const ForceResult& o) {
+    forces.merge(o.forces);
+    energy.merge(o.energy);
+    virial += o.virial;
+  }
+};
+
+}  // namespace antmd

@@ -1,0 +1,124 @@
+// ForceField: the user-facing force engine.
+//
+// Owns the tabulated pair interactions, bonded terms, restraints, virtual
+// sites and the GSE long-range solver, and exposes the split evaluation
+// (bonded / real-space pairs / k-space) that both the single-host simulator
+// (md::Simulation) and the machine-mapped runtime call.  The split mirrors
+// the hardware mapping: pair tables → HTIS pipelines, everything else →
+// geometry cores, k-space → spread/FFT/interpolate pipeline.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ewald/gse.hpp"
+#include "ff/bias.hpp"
+#include "ff/bonded.hpp"
+#include "ff/energy.hpp"
+#include "ff/nonbonded.hpp"
+#include "ff/restraints.hpp"
+#include "ff/vsites.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd {
+
+class ForceField {
+ public:
+  /// Builds tables for the topology under the given nonbonded model.
+  /// The topology must outlive the force field.
+  ForceField(const Topology& topo, ff::NonbondedModel model,
+             GseParams gse = GseParams{});
+
+  // --- generality extensions -------------------------------------------------
+  /// Installs a custom tabulated pair potential for a type pair.
+  void set_custom_pair_table(uint32_t type_a, uint32_t type_b,
+                             RadialTable table);
+  void add_position_restraint(ff::PositionRestraint r);
+  /// Installs (or replaces) a mutable pair-distance bias; returns its index.
+  size_t add_pair_bias(ff::PairBias bias);
+  size_t add_dihedral_bias(ff::DihedralBias bias);
+  void clear_pair_biases();
+  void add_distance_restraint(ff::DistanceRestraint r);
+  /// Returns the index of the added spring (for reading extensions back).
+  size_t add_steered_spring(ff::SteeredSpring s);
+  void set_external_field(Vec3 field);
+  /// Global Hamiltonian scalings (H-REMD / FEP windows).
+  void set_vdw_scale(double s) { vdw_scale_ = s; }
+  void set_charge_product_scale(double s) { charge_scale_ = s; }
+  [[nodiscard]] double vdw_scale() const { return vdw_scale_; }
+  [[nodiscard]] double charge_product_scale() const { return charge_scale_; }
+
+  // --- evaluation -------------------------------------------------------------
+  /// Bonded terms + restraints + 1-4 pairs + external field.
+  /// `time` is elapsed simulation time (internal units) for steered springs.
+  void compute_bonded(std::span<const Vec3> pos, const Box& box, double time,
+                      ForceResult& out) const;
+
+  /// Real-space nonbonded terms over an externally built pair list.
+  void compute_nonbonded(std::span<const ff::PairEntry> pairs,
+                         std::span<const Vec3> pos, const Box& box,
+                         ForceResult& out) const;
+
+  /// Reciprocal-space electrostatics (no-op unless the model is kEwaldReal).
+  void compute_kspace(std::span<const Vec3> pos, const Box& box,
+                      ForceResult& out) const;
+
+  /// All of the above plus virtual-site construction/spreading.
+  /// `pos` is mutable because virtual-site positions are (re)constructed.
+  void compute_all(std::span<Vec3> pos, const Box& box, double time,
+                   std::span<const ff::PairEntry> pairs,
+                   ForceResult& out) const;
+
+  /// Rebuilds box-dependent machinery after a box change (barostat).
+  void on_box_changed(const Box& box);
+
+  // --- access ------------------------------------------------------------------
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const ff::PairTableSet& tables() const { return tables_; }
+  [[nodiscard]] const ff::NonbondedModel& model() const { return tables_.model(); }
+  [[nodiscard]] bool has_kspace() const { return gse_ != nullptr; }
+  [[nodiscard]] const GseSolver* gse() const { return gse_.get(); }
+  [[nodiscard]] const std::vector<ff::SteeredSpring>& steered_springs() const {
+    return steered_;
+  }
+  [[nodiscard]] const std::vector<ff::PairBias>& pair_biases() const {
+    return biases_;
+  }
+  [[nodiscard]] const std::vector<ff::DihedralBias>& dihedral_biases() const {
+    return dihedral_biases_;
+  }
+  [[nodiscard]] const std::vector<ff::PositionRestraint>&
+  position_restraints() const {
+    return pos_restraints_;
+  }
+  [[nodiscard]] const std::vector<ff::DistanceRestraint>&
+  distance_restraints() const {
+    return dist_restraints_;
+  }
+  [[nodiscard]] const std::optional<ff::ExternalField>& external_field()
+      const {
+    return field_;
+  }
+  [[nodiscard]] const std::vector<std::pair<uint32_t, uint32_t>>&
+  excluded_pairs() const {
+    return excluded_pairs_;
+  }
+
+ private:
+  const Topology* topo_;
+  ff::PairTableSet tables_;
+  std::unique_ptr<GseSolver> gse_;
+  std::vector<std::pair<uint32_t, uint32_t>> excluded_pairs_;
+  std::vector<ff::PositionRestraint> pos_restraints_;
+  std::vector<ff::DistanceRestraint> dist_restraints_;
+  std::vector<ff::SteeredSpring> steered_;
+  std::vector<ff::PairBias> biases_;
+  std::vector<ff::DihedralBias> dihedral_biases_;
+  std::optional<ff::ExternalField> field_;
+  double vdw_scale_ = 1.0;
+  double charge_scale_ = 1.0;
+};
+
+}  // namespace antmd

@@ -1,0 +1,201 @@
+#include "ff/nonbonded.hpp"
+
+#include <cmath>
+
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::ff {
+namespace {
+
+RadialTable make_elec_table(const NonbondedModel& model) {
+  const double rc = model.cutoff;
+  switch (model.electrostatics) {
+    case Electrostatics::kEwaldReal: {
+      const double beta = model.ewald_beta;
+      auto energy = [beta](double r) {
+        return units::kCoulomb * std::erfc(beta * r) / r;
+      };
+      auto denergy = [beta](double r) {
+        double erfc_term = std::erfc(beta * r);
+        double gauss = 2.0 * beta / std::sqrt(M_PI) *
+                       std::exp(-beta * beta * r * r);
+        return -units::kCoulomb * (erfc_term / (r * r) + gauss / r);
+      };
+      // No shift: erfc makes the kernel smoothly tiny at a well-chosen rc.
+      return RadialTable::from_potential(energy, denergy, model.table_inner,
+                                         rc, model.table_bins,
+                                         /*shift_to_zero=*/false);
+    }
+    case Electrostatics::kReactionCutoff: {
+      auto energy = [rc](double r) {
+        return units::kCoulomb * (1.0 / r - 1.0 / rc);
+      };
+      auto denergy = [](double r) { return -units::kCoulomb / (r * r); };
+      return RadialTable::from_potential(energy, denergy, model.table_inner,
+                                         rc, model.table_bins, false);
+    }
+    case Electrostatics::kNone:
+      break;
+  }
+  ANTMD_REQUIRE(false, "no electrostatic table for this model");
+  // Unreachable.
+  return RadialTable::from_potential([](double) { return 0.0; },
+                                     [](double) { return 0.0; }, 0.5, 1.0, 8);
+}
+
+}  // namespace
+
+RadialTable make_lj_table(double sigma, double epsilon,
+                          const NonbondedModel& model) {
+  if (epsilon == 0.0 || sigma == 0.0) {
+    // A genuinely zero interaction: flat zero table.
+    return RadialTable::from_potential([](double) { return 0.0; },
+                                       [](double) { return 0.0; },
+                                       model.table_inner, model.cutoff, 8,
+                                       false);
+  }
+  auto energy = [sigma, epsilon](double r) {
+    double s6 = std::pow(sigma / r, 6);
+    return 4.0 * epsilon * (s6 * s6 - s6);
+  };
+  auto denergy = [sigma, epsilon](double r) {
+    double s6 = std::pow(sigma / r, 6);
+    return 4.0 * epsilon * (-12.0 * s6 * s6 + 6.0 * s6) / r;
+  };
+  return RadialTable::from_potential(energy, denergy, model.table_inner,
+                                     model.cutoff, model.table_bins, true);
+}
+
+RadialTable make_softcore_lj_table(double sigma, double epsilon, double lambda,
+                                   double alpha, const NonbondedModel& model) {
+  ANTMD_REQUIRE(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0, 1]");
+  ANTMD_REQUIRE(sigma > 0.0, "soft-core needs a positive sigma");
+  const double gap = alpha * (1.0 - lambda);
+  auto energy = [=](double r) {
+    double s = std::pow(r / sigma, 6);
+    double d = gap + s;
+    return 4.0 * epsilon * lambda * (1.0 / (d * d) - 1.0 / d);
+  };
+  auto denergy = [=](double r) {
+    double s = std::pow(r / sigma, 6);
+    double d = gap + s;
+    double du_ds = 4.0 * epsilon * lambda * (-2.0 / (d * d * d) +
+                                             1.0 / (d * d));
+    double ds_dr = 6.0 * s / r;
+    return du_ds * ds_dr;
+  };
+  return RadialTable::from_potential(energy, denergy, model.table_inner,
+                                     model.cutoff, model.table_bins, true);
+}
+
+PairTableSet::PairTableSet(const Topology& topo, const NonbondedModel& model)
+    : model_(model), n_types_(topo.type_count()) {
+  ANTMD_REQUIRE(n_types_ > 0, "topology has no atom types");
+  const size_t n_pairs = n_types_ * (n_types_ + 1) / 2;
+  vdw_tables_.reserve(n_pairs);
+  custom_.assign(n_pairs, false);
+  for (uint32_t a = 0; a < n_types_; ++a) {
+    for (uint32_t b = a; b < n_types_; ++b) {
+      // Lorentz–Berthelot combination.
+      const LjType& ta = topo.types()[a];
+      const LjType& tb = topo.types()[b];
+      double sigma = 0.5 * (ta.sigma + tb.sigma);
+      double epsilon = std::sqrt(ta.epsilon * tb.epsilon);
+      vdw_tables_.push_back(make_lj_table(sigma, epsilon, model));
+    }
+  }
+  if (model.electrostatics != Electrostatics::kNone) {
+    elec_table_ = make_elec_table(model);
+  }
+}
+
+size_t PairTableSet::index(uint32_t a, uint32_t b) const {
+  ANTMD_REQUIRE(a < n_types_ && b < n_types_, "type id out of range");
+  if (a > b) std::swap(a, b);
+  // Triangular index for a <= b.
+  return a * n_types_ - a * (a + 1) / 2 + b;
+}
+
+void PairTableSet::set_custom_table(uint32_t type_a, uint32_t type_b,
+                                    RadialTable table) {
+  size_t idx = index(type_a, type_b);
+  vdw_tables_[idx] = std::move(table);
+  custom_[idx] = true;
+}
+
+bool PairTableSet::is_custom(uint32_t type_a, uint32_t type_b) const {
+  return custom_[index(type_a, type_b)];
+}
+
+const RadialTable& PairTableSet::vdw_table(uint32_t type_a,
+                                           uint32_t type_b) const {
+  return vdw_tables_[index(type_a, type_b)];
+}
+
+void compute_pairs(std::span<const PairEntry> pairs,
+                   const PairTableSet& tables,
+                   std::span<const uint32_t> type_ids,
+                   std::span<const double> charges, std::span<const Vec3> pos,
+                   const Box& box, ForceResult& out, double vdw_scale,
+                   double charge_product_scale) {
+  const double cutoff2 = tables.model().cutoff * tables.model().cutoff;
+  const bool has_elec = tables.elec_table().has_value();
+  for (const PairEntry& p : pairs) {
+    Vec3 d = box.min_image(pos[p.i], pos[p.j]);
+    double r2 = norm2(d);
+    if (r2 >= cutoff2) continue;
+
+    RadialEval vdw = tables.vdw_table(type_ids[p.i], type_ids[p.j])
+                         .evaluate(r2);
+    double f_over_r = vdw.force_over_r * vdw_scale;
+    double e_vdw = vdw.energy * vdw_scale;
+    double e_elec = 0.0;
+    if (has_elec) {
+      double qq = charges[p.i] * charges[p.j] * charge_product_scale;
+      if (qq != 0.0) {
+        RadialEval elec = tables.elec_table()->evaluate(r2);
+        f_over_r += qq * elec.force_over_r;
+        e_elec = qq * elec.energy;
+      }
+    }
+    Vec3 f = f_over_r * d;
+    out.forces.add_pair(p.i, p.j, f);
+    out.energy.vdw.add(e_vdw);
+    out.energy.coulomb_real.add(e_elec);
+    out.virial += outer(d, f);
+  }
+}
+
+void compute_pairs14(std::span<const Pair14> pairs, const PairTableSet& tables,
+                     std::span<const uint32_t> type_ids,
+                     std::span<const double> charges,
+                     std::span<const Vec3> pos, const Box& box,
+                     ForceResult& out) {
+  for (const Pair14& p : pairs) {
+    Vec3 d = box.min_image(pos[p.i], pos[p.j]);
+    double r2 = norm2(d);
+    double r = std::sqrt(r2);
+
+    RadialEval vdw = tables.vdw_table(type_ids[p.i], type_ids[p.j])
+                         .evaluate(r2);
+    double f_over_r = vdw.force_over_r * p.lj_scale;
+    double energy = vdw.energy * p.lj_scale;
+
+    // Plain (full) Coulomb for the 1-4 pair, scaled. The Ewald machinery
+    // never sees excluded pairs (the exclusion correction removes its
+    // reciprocal-space contribution), so the bare kernel is correct here.
+    double qq = charges[p.i] * charges[p.j] * p.coulomb_scale;
+    if (qq != 0.0) {
+      energy += units::kCoulomb * qq / r;
+      f_over_r += units::kCoulomb * qq / (r2 * r);
+    }
+
+    Vec3 f = f_over_r * d;
+    out.forces.add_pair(p.i, p.j, f);
+    out.energy.pair14.add(energy);
+    out.virial += outer(d, f);
+  }
+}
+
+}  // namespace antmd::ff

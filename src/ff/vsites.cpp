@@ -1,0 +1,74 @@
+#include "ff/vsites.hpp"
+
+#include <cmath>
+
+namespace antmd::ff {
+namespace {
+
+/// Scales an integer force triple by a real coefficient, rounding each
+/// component; used so the redistribution below can conserve total momentum
+/// exactly by giving one parent the integer residual.
+std::array<int64_t, 3> scale_quanta(const std::array<int64_t, 3>& q,
+                                    double c) {
+  return {std::llround(c * static_cast<double>(q[0])),
+          std::llround(c * static_cast<double>(q[1])),
+          std::llround(c * static_cast<double>(q[2]))};
+}
+
+std::array<int64_t, 3> sub(const std::array<int64_t, 3>& a,
+                           const std::array<int64_t, 3>& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+}  // namespace
+
+void construct_virtual_sites(std::span<const VirtualSite> sites,
+                             std::span<Vec3> pos, const Box& box) {
+  for (const VirtualSite& v : sites) {
+    const Vec3& p0 = pos[v.parents[0]];
+    switch (v.kind) {
+      case VirtualSite::Kind::kLinear2: {
+        Vec3 d = box.min_image(pos[v.parents[1]], p0);
+        pos[v.site] = p0 + v.a * d;
+        break;
+      }
+      case VirtualSite::Kind::kPlanar3: {
+        Vec3 d1 = box.min_image(pos[v.parents[1]], p0);
+        Vec3 d2 = box.min_image(pos[v.parents[2]], p0);
+        pos[v.site] = p0 + v.a * d1 + v.b * d2;
+        break;
+      }
+    }
+  }
+}
+
+void spread_virtual_site_forces(std::span<const VirtualSite> sites,
+                                std::span<const Vec3> /*pos*/,
+                                const Box& /*box*/, FixedForceArray& forces) {
+  for (const VirtualSite& v : sites) {
+    std::array<int64_t, 3> q = forces.quanta(v.site);
+    if (q[0] == 0 && q[1] == 0 && q[2] == 0) continue;
+    forces.set_quanta(v.site, {0, 0, 0});
+    // The site position is a *linear* function of its parents, so the chain
+    // rule gives constant weights; parent 0 takes the integer residual so
+    // that the redistributed quanta sum exactly to the original force.
+    switch (v.kind) {
+      case VirtualSite::Kind::kLinear2: {
+        auto q1 = scale_quanta(q, v.a);
+        forces.add_quanta(v.parents[1], q1);
+        forces.add_quanta(v.parents[0], sub(q, q1));
+        break;
+      }
+      case VirtualSite::Kind::kPlanar3: {
+        auto q1 = scale_quanta(q, v.a);
+        auto q2 = scale_quanta(q, v.b);
+        forces.add_quanta(v.parents[1], q1);
+        forces.add_quanta(v.parents[2], q2);
+        forces.add_quanta(v.parents[0], sub(sub(q, q1), q2));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace antmd::ff

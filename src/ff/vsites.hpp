@@ -1,0 +1,29 @@
+// Virtual interaction sites (e.g. the TIP4P M site).
+//
+// A virtual site has no mass: its position is constructed from its parent
+// atoms before each force evaluation, and the force it accumulates is
+// redistributed onto the parents afterwards so that momentum and the virial
+// are preserved.  Supporting these on Anton was one of the generality
+// extensions (4-site and 5-site water models).
+#pragma once
+
+#include <span>
+
+#include "math/fixed.hpp"
+#include "math/pbc.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd::ff {
+
+/// Writes the constructed positions of all virtual sites into `pos`.
+void construct_virtual_sites(std::span<const VirtualSite> sites,
+                             std::span<Vec3> pos, const Box& box);
+
+/// Moves each virtual site's accumulated force onto its parents (in fixed
+/// point, preserving the order-independence contract) and zeroes the site's
+/// own force.
+void spread_virtual_site_forces(std::span<const VirtualSite> sites,
+                                std::span<const Vec3> pos, const Box& box,
+                                FixedForceArray& forces);
+
+}  // namespace antmd::ff

@@ -1,0 +1,51 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd {
+namespace {
+
+// Iterative radix-2 Cooley–Tukey with bit-reversal permutation.
+void fft_core(std::vector<Complex>& a, bool inverse) {
+  const size_t n = a.size();
+  ANTMD_REQUIRE(is_pow2(n), "FFT size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * M_PI / static_cast<double>(len) *
+                   (inverse ? 1.0 : -1.0);
+    Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        Complex u = a[i + k];
+        Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_forward(std::vector<Complex>& data) { fft_core(data, false); }
+void fft_inverse(std::vector<Complex>& data) { fft_core(data, true); }
+
+}  // namespace antmd

@@ -1,0 +1,27 @@
+// From-scratch complex FFT (iterative radix-2 Cooley–Tukey).
+//
+// The Gaussian-split-Ewald k-space solve runs on power-of-two grids, which is
+// also what Anton's hardware FFT supported; we therefore only implement the
+// power-of-two case and validate sizes at the API boundary.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace antmd {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT; n must be a power of two.
+void fft_forward(std::vector<Complex>& data);
+
+/// In-place inverse FFT (includes the 1/n normalization).
+void fft_inverse(std::vector<Complex>& data);
+
+/// Returns true if n is a nonzero power of two.
+[[nodiscard]] constexpr bool is_pow2(size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace antmd

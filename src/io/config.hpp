@@ -1,0 +1,40 @@
+// Minimal run-configuration file format: `key = value` lines, `#` comments,
+// blank lines ignored.  Used by the antmd_run driver so a simulation can be
+// described in a text file instead of code.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace antmd::io {
+
+class RunConfig {
+ public:
+  /// Parses a config file; throws ConfigError on I/O or syntax errors.
+  static RunConfig from_file(const std::string& path);
+  /// Parses config text directly (testing convenience).
+  static RunConfig from_string(const std::string& text);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; typed getters throw ConfigError when the
+  /// stored text does not parse.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Required variants: throw when the key is absent.
+  [[nodiscard]] std::string require_string(const std::string& key) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace antmd::io

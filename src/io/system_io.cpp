@@ -1,0 +1,253 @@
+#include "io/system_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace antmd::io {
+namespace {
+
+constexpr const char* kMagic = "antmd-system v1";
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  in >> token;
+  ANTMD_REQUIRE(in.good() && token == expected,
+                "system file: expected '" + expected + "', got '" + token +
+                    "'");
+}
+
+size_t read_count(std::istream& in, const std::string& section) {
+  expect_token(in, section);
+  size_t n = 0;
+  in >> n;
+  ANTMD_REQUIRE(!in.fail(), "system file: bad count for " + section);
+  return n;
+}
+
+}  // namespace
+
+std::string system_to_string(const SystemSpec& spec) {
+  const Topology& t = spec.topology;
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << kMagic << '\n';
+  os << "name " << (spec.name.empty() ? "unnamed" : spec.name) << '\n';
+  os << "box " << spec.box.edges().x << ' ' << spec.box.edges().y << ' '
+     << spec.box.edges().z << '\n';
+
+  os << "types " << t.types().size() << '\n';
+  for (const auto& ty : t.types()) {
+    os << ty.name << ' ' << ty.sigma << ' ' << ty.epsilon << '\n';
+  }
+  os << "atoms " << t.atom_count() << '\n';
+  for (size_t i = 0; i < t.atom_count(); ++i) {
+    const Vec3& p = spec.positions[i];
+    os << t.type_ids()[i] << ' ' << t.masses()[i] << ' ' << t.charges()[i]
+       << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  os << "bonds " << t.bonds().size() << '\n';
+  for (const auto& b : t.bonds()) {
+    os << b.i << ' ' << b.j << ' ' << b.k << ' ' << b.r0 << '\n';
+  }
+  os << "angles " << t.angles().size() << '\n';
+  for (const auto& a : t.angles()) {
+    os << a.i << ' ' << a.j << ' ' << a.k_atom << ' ' << a.k << ' '
+       << a.theta0 << '\n';
+  }
+  os << "dihedrals " << t.dihedrals().size() << '\n';
+  for (const auto& d : t.dihedrals()) {
+    os << d.i << ' ' << d.j << ' ' << d.k_atom << ' ' << d.l << ' ' << d.k
+       << ' ' << d.n << ' ' << d.phi0 << '\n';
+  }
+  os << "morse " << t.morse_bonds().size() << '\n';
+  for (const auto& b : t.morse_bonds()) {
+    os << b.i << ' ' << b.j << ' ' << b.depth << ' ' << b.a << ' ' << b.r0
+       << '\n';
+  }
+  os << "ureybradley " << t.urey_bradleys().size() << '\n';
+  for (const auto& u : t.urey_bradleys()) {
+    os << u.i << ' ' << u.k << ' ' << u.kub << ' ' << u.s0 << '\n';
+  }
+  os << "impropers " << t.impropers().size() << '\n';
+  for (const auto& d : t.impropers()) {
+    os << d.i << ' ' << d.j << ' ' << d.k_atom << ' ' << d.l << ' ' << d.k
+       << ' ' << d.phi0 << '\n';
+  }
+  os << "gocontacts " << t.go_contacts().size() << '\n';
+  for (const auto& g : t.go_contacts()) {
+    os << g.i << ' ' << g.j << ' ' << g.epsilon << ' ' << g.r_native << '\n';
+  }
+  os << "constraints " << t.constraints().size() << '\n';
+  for (const auto& c : t.constraints()) {
+    os << c.i << ' ' << c.j << ' ' << c.r0 << '\n';
+  }
+  os << "vsites " << t.virtual_sites().size() << '\n';
+  for (const auto& v : t.virtual_sites()) {
+    os << v.site << ' '
+       << (v.kind == VirtualSite::Kind::kLinear2 ? "linear2" : "planar3")
+       << ' ' << v.parents[0] << ' ' << v.parents[1] << ' ' << v.parents[2]
+       << ' ' << v.a << ' ' << v.b << '\n';
+  }
+  os << "molecules " << t.molecules().size() << '\n';
+  for (const auto& m : t.molecules()) {
+    os << m.first << ' ' << m.count << ' '
+       << (m.name.empty() ? "MOL" : m.name) << '\n';
+  }
+  os << "tagged " << spec.tagged.size() << '\n';
+  for (uint32_t a : spec.tagged) os << a << '\n';
+  os << "reference " << spec.reference.size() << '\n';
+  for (const Vec3& p : spec.reference) {
+    os << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  return os.str();
+}
+
+SystemSpec system_from_string(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic_a, magic_b;
+  in >> magic_a >> magic_b;
+  ANTMD_REQUIRE(magic_a + " " + magic_b == kMagic,
+                "not an antmd system file");
+
+  SystemSpec spec;
+  expect_token(in, "name");
+  in >> spec.name;
+  expect_token(in, "box");
+  double lx, ly, lz;
+  in >> lx >> ly >> lz;
+  ANTMD_REQUIRE(!in.fail(), "system file: bad box");
+  spec.box = Box(lx, ly, lz);
+
+  Topology& t = spec.topology;
+  size_t n_types = read_count(in, "types");
+  for (size_t k = 0; k < n_types; ++k) {
+    std::string name;
+    double sigma, epsilon;
+    in >> name >> sigma >> epsilon;
+    ANTMD_REQUIRE(!in.fail(), "system file: bad type record");
+    t.add_type(name, sigma, epsilon);
+  }
+  size_t n_atoms = read_count(in, "atoms");
+  spec.positions.reserve(n_atoms);
+  for (size_t k = 0; k < n_atoms; ++k) {
+    uint32_t type;
+    double mass, charge, x, y, z;
+    in >> type >> mass >> charge >> x >> y >> z;
+    ANTMD_REQUIRE(!in.fail(), "system file: bad atom record");
+    t.add_atom(type, mass, charge);
+    spec.positions.push_back({x, y, z});
+  }
+  size_t n = read_count(in, "bonds");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i, j;
+    double kk, r0;
+    in >> i >> j >> kk >> r0;
+    t.add_bond(i, j, kk, r0);
+  }
+  n = read_count(in, "angles");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i, j, a3;
+    double kk, theta0;
+    in >> i >> j >> a3 >> kk >> theta0;
+    t.add_angle(i, j, a3, kk, theta0);
+  }
+  n = read_count(in, "dihedrals");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i, j, a3, l;
+    double kk, phi0;
+    int mult;
+    in >> i >> j >> a3 >> l >> kk >> mult >> phi0;
+    t.add_dihedral(i, j, a3, l, kk, mult, phi0);
+  }
+  n = read_count(in, "morse");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i, j;
+    double depth, a, r0;
+    in >> i >> j >> depth >> a >> r0;
+    t.add_morse_bond(i, j, depth, a, r0);
+  }
+  n = read_count(in, "ureybradley");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i, j;
+    double kub, s0;
+    in >> i >> j >> kub >> s0;
+    t.add_urey_bradley(i, j, kub, s0);
+  }
+  n = read_count(in, "impropers");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i, j, a3, l;
+    double kk, phi0;
+    in >> i >> j >> a3 >> l >> kk >> phi0;
+    t.add_improper(i, j, a3, l, kk, phi0);
+  }
+  n = read_count(in, "gocontacts");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i, j;
+    double eps, rn;
+    in >> i >> j >> eps >> rn;
+    t.add_go_contact(i, j, eps, rn);
+  }
+  n = read_count(in, "constraints");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i, j;
+    double r0;
+    in >> i >> j >> r0;
+    t.add_constraint(i, j, r0);
+  }
+  n = read_count(in, "vsites");
+  for (size_t k = 0; k < n; ++k) {
+    VirtualSite v;
+    std::string kind;
+    in >> v.site >> kind >> v.parents[0] >> v.parents[1] >> v.parents[2] >>
+        v.a >> v.b;
+    ANTMD_REQUIRE(kind == "linear2" || kind == "planar3",
+                  "system file: unknown vsite kind " + kind);
+    v.kind = kind == "linear2" ? VirtualSite::Kind::kLinear2
+                               : VirtualSite::Kind::kPlanar3;
+    t.add_virtual_site(v);
+  }
+  n = read_count(in, "molecules");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t first, count;
+    std::string name;
+    in >> first >> count >> name;
+    t.add_molecule(first, count, name);
+  }
+  n = read_count(in, "tagged");
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t a;
+    in >> a;
+    spec.tagged.push_back(a);
+  }
+  n = read_count(in, "reference");
+  for (size_t k = 0; k < n; ++k) {
+    double x, y, z;
+    in >> x >> y >> z;
+    spec.reference.push_back({x, y, z});
+  }
+  ANTMD_REQUIRE(!in.fail(), "system file: truncated");
+
+  t.build_exclusions_from_bonds();
+  t.validate();
+  return spec;
+}
+
+void save_system(const SystemSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  ANTMD_REQUIRE(out.good(), "cannot open system file: " + path);
+  out << system_to_string(spec);
+  ANTMD_REQUIRE(out.good(), "system file write failed: " + path);
+}
+
+SystemSpec load_system(const std::string& path) {
+  std::ifstream in(path);
+  ANTMD_REQUIRE(in.good(), "cannot open system file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return system_from_string(os.str());
+}
+
+}  // namespace antmd::io

@@ -1,0 +1,24 @@
+// Text serialization of built systems (SystemSpec): lets users persist a
+// builder's output, edit it, and reload it — the "bring your own system"
+// path a downstream adopter needs.
+//
+// Format: line-oriented `antmd-system v1`; sections are `<name> <count>`
+// headers followed by that many records.  Exclusions and 1-4 pairs are
+// regenerated from connectivity on load (custom exclusions added by hand
+// after building are not round-tripped; everything else is).
+#pragma once
+
+#include <string>
+
+#include "topo/builders.hpp"
+
+namespace antmd::io {
+
+void save_system(const SystemSpec& spec, const std::string& path);
+[[nodiscard]] SystemSpec load_system(const std::string& path);
+
+/// String-based variants (testing and embedding).
+[[nodiscard]] std::string system_to_string(const SystemSpec& spec);
+[[nodiscard]] SystemSpec system_from_string(const std::string& text);
+
+}  // namespace antmd::io

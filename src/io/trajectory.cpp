@@ -1,0 +1,106 @@
+#include "io/trajectory.hpp"
+
+#include <iomanip>
+
+#include "util/error.hpp"
+
+namespace antmd::io {
+
+XyzWriter::XyzWriter(const std::string& path, const Topology& topo)
+    : out_(path), topo_(&topo) {
+  ANTMD_REQUIRE(out_.good(), "cannot open trajectory file: " + path);
+}
+
+void XyzWriter::write_frame(const State& state) {
+  ANTMD_REQUIRE(state.positions.size() == topo_->atom_count(),
+                "state size mismatch");
+  out_ << topo_->atom_count() << '\n';
+  out_ << "step=" << state.step << " time_internal=" << state.time
+       << " box=" << state.box.edges().x << ',' << state.box.edges().y << ','
+       << state.box.edges().z << '\n';
+  out_ << std::setprecision(8);
+  for (size_t i = 0; i < topo_->atom_count(); ++i) {
+    const auto& name = topo_->types()[topo_->type_ids()[i]].name;
+    const Vec3& p = state.positions[i];
+    out_ << name << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  ++frames_;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns)
+    : out_(path), columns_(columns.size()) {
+  ANTMD_REQUIRE(out_.good(), "cannot open CSV file: " + path);
+  ANTMD_REQUIRE(!columns.empty(), "CSV needs at least one column");
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out_ << columns[c] << (c + 1 < columns.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::write_row(std::span<const double> values) {
+  ANTMD_REQUIRE(values.size() == columns_, "CSV row width mismatch");
+  out_ << std::setprecision(12);
+  for (size_t c = 0; c < values.size(); ++c) {
+    out_ << values[c] << (c + 1 < values.size() ? "," : "\n");
+  }
+  ++rows_;
+}
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x414E544D44435031ull;  // "ANTMDCP1"
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const State& state) {
+  std::ofstream out(path, std::ios::binary);
+  ANTMD_REQUIRE(out.good(), "cannot open checkpoint file: " + path);
+  write_pod(out, kCheckpointMagic);
+  uint64_t n = state.positions.size();
+  write_pod(out, n);
+  write_pod(out, state.time);
+  write_pod(out, state.step);
+  Vec3 edges = state.box.edges();
+  write_pod(out, edges);
+  out.write(reinterpret_cast<const char*>(state.positions.data()),
+            static_cast<std::streamsize>(n * sizeof(Vec3)));
+  out.write(reinterpret_cast<const char*>(state.velocities.data()),
+            static_cast<std::streamsize>(n * sizeof(Vec3)));
+  ANTMD_REQUIRE(out.good(), "checkpoint write failed: " + path);
+}
+
+State load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ANTMD_REQUIRE(in.good(), "cannot open checkpoint file: " + path);
+  uint64_t magic = 0;
+  read_pod(in, magic);
+  ANTMD_REQUIRE(magic == kCheckpointMagic, "not an antmd checkpoint");
+  uint64_t n = 0;
+  read_pod(in, n);
+  State state;
+  read_pod(in, state.time);
+  read_pod(in, state.step);
+  Vec3 edges;
+  read_pod(in, edges);
+  state.box = Box(edges.x, edges.y, edges.z);
+  state.positions.resize(n);
+  state.velocities.resize(n);
+  in.read(reinterpret_cast<char*>(state.positions.data()),
+          static_cast<std::streamsize>(n * sizeof(Vec3)));
+  in.read(reinterpret_cast<char*>(state.velocities.data()),
+          static_cast<std::streamsize>(n * sizeof(Vec3)));
+  ANTMD_REQUIRE(in.good(), "checkpoint truncated: " + path);
+  return state;
+}
+
+}  // namespace antmd::io

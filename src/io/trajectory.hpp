@@ -1,0 +1,47 @@
+// Trajectory and table output: XYZ frames for visualization, CSV series for
+// analysis, and binary checkpoints for exact restarts.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "md/state.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd::io {
+
+/// Writes frames in extended XYZ format (element = atom type name).
+class XyzWriter {
+ public:
+  XyzWriter(const std::string& path, const Topology& topo);
+
+  void write_frame(const State& state);
+  [[nodiscard]] size_t frames_written() const { return frames_; }
+
+ private:
+  std::ofstream out_;
+  const Topology* topo_;
+  size_t frames_ = 0;
+};
+
+/// Simple CSV writer with a fixed header.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  void write_row(std::span<const double> values);
+  [[nodiscard]] size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  size_t columns_;
+  size_t rows_ = 0;
+};
+
+/// Binary checkpoint of the dynamic state (positions, velocities, box,
+/// clock). Restart is bit-exact.
+void save_checkpoint(const std::string& path, const State& state);
+[[nodiscard]] State load_checkpoint(const std::string& path);
+
+}  // namespace antmd::io

@@ -1,0 +1,21 @@
+#include "machine/config.hpp"
+
+namespace antmd::machine {
+
+MachineConfig anton_full() {
+  MachineConfig cfg;
+  cfg.name = "anton-512";
+  cfg.torus = {8, 8, 8};
+  cfg.validate();
+  return cfg;
+}
+
+MachineConfig anton_with_torus(int nx, int ny, int nz) {
+  MachineConfig cfg;
+  cfg.torus = {nx, ny, nz};
+  cfg.name = "anton-" + std::to_string(cfg.node_count());
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace antmd::machine

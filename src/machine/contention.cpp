@@ -1,0 +1,116 @@
+#include "machine/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::machine {
+namespace {
+
+/// Halo volume split: 6 faces carry most of the import shell, 12 edges
+/// less, 8 corners least (cutoff-shell geometry).
+constexpr double kFaceShare = 0.70 / 6.0;
+constexpr double kEdgeShare = 0.25 / 12.0;
+constexpr double kCornerShare = 0.05 / 8.0;
+
+}  // namespace
+
+LinkContentionModel::LinkContentionModel(const MachineConfig& config)
+    : config_(config), torus_(config) {
+  config_.validate();
+}
+
+size_t LinkContentionModel::link_id(size_t from, int axis, int sign) const {
+  // 6 directed links per node: axis (0..2) × direction (0 = +, 1 = -).
+  return from * 6 + static_cast<size_t>(axis) * 2 + (sign > 0 ? 0 : 1);
+}
+
+ContentionResult LinkContentionModel::multicast_time(
+    const std::vector<NodeWork>& nodes) const {
+  ANTMD_REQUIRE(nodes.size() == torus_.node_count(),
+                "node work must cover the whole torus");
+  const auto& dims = torus_.dims();
+
+  std::vector<double> link_bytes(torus_.node_count() * 6, 0.0);
+
+  struct Message {
+    std::vector<size_t> links;  ///< directed links along its route
+    double bytes = 0.0;
+    int hops = 0;
+  };
+  std::vector<Message> messages;
+
+  auto wrap = [&](int c, int n) {
+    int m = c % n;
+    return m < 0 ? m + n : m;
+  };
+
+  // Route src -> dst dimension-ordered, one hop per unit offset.
+  auto route = [&](size_t src, const std::array<int, 3>& offset,
+                   double bytes) {
+    if (bytes <= 0.0) return;
+    Message msg;
+    msg.bytes = bytes;
+    NodeCoord at = torus_.coord_of(src);
+    for (int axis = 0; axis < 3; ++axis) {
+      int steps = offset[axis];
+      int sign = steps >= 0 ? 1 : -1;
+      for (int s = 0; s < std::abs(steps); ++s) {
+        size_t from = torus_.id_of(at);
+        msg.links.push_back(link_id(from, axis, sign));
+        at[axis] = wrap(at[axis] + sign, dims[axis]);
+        ++msg.hops;
+      }
+    }
+    for (size_t l : msg.links) link_bytes[l] += msg.bytes;
+    messages.push_back(std::move(msg));
+  };
+
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    double halo = nodes[n].import_bytes;
+    if (halo <= 0.0) continue;
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          int nonzero = (dx != 0) + (dy != 0) + (dz != 0);
+          double share = nonzero == 1 ? kFaceShare
+                         : nonzero == 2 ? kEdgeShare
+                                        : kCornerShare;
+          route(n, {dx, dy, dz}, halo * share);
+        }
+      }
+    }
+  }
+
+  ContentionResult out;
+  if (messages.empty()) return out;
+
+  for (double b : link_bytes) {
+    if (b > 0.0) {
+      out.max_link_bytes = std::max(out.max_link_bytes, b);
+      out.mean_link_bytes += b;
+      ++out.links_used;
+    }
+  }
+  if (out.links_used) {
+    out.mean_link_bytes /= static_cast<double>(out.links_used);
+  }
+
+  // Each message completes no earlier than its bottleneck link drains,
+  // plus per-hop latency and injection overhead.
+  for (const Message& m : messages) {
+    double bottleneck = 0.0;
+    for (size_t l : m.links) {
+      bottleneck = std::max(bottleneck,
+                            link_bytes[l] / config_.link_bandwidth_Bps);
+    }
+    double t = bottleneck + m.hops * config_.hop_latency_s +
+               config_.message_overhead_s;
+    out.phase_time_s = std::max(out.phase_time_s, t);
+  }
+  return out;
+}
+
+}  // namespace antmd::machine

@@ -1,0 +1,106 @@
+#include "machine/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::machine {
+
+TimingModel::TimingModel(MachineConfig config, GcCosts costs)
+    : config_(std::move(config)), costs_(costs), torus_(config_) {
+  config_.validate();
+}
+
+StepBreakdown TimingModel::step_time(const StepWork& work) const {
+  ANTMD_REQUIRE(!work.nodes.empty(), "step work must cover at least 1 node");
+  StepBreakdown out;
+
+  const double pair_rate =
+      config_.ppims * config_.pairs_per_cycle * config_.htis_clock_hz;
+  const double gc_rate = config_.node_gc_rate();
+  // Injection bandwidth: a node drives half its links outbound on average.
+  const double inject_bw =
+      config_.link_bandwidth_Bps * std::max(1, config_.links_per_node / 2);
+  const double mean_hop_lat = torus_.mean_hops() * config_.hop_latency_s;
+
+  double worst_multicast = 0, worst_pair = 0, worst_gcf = 0, worst_reduce = 0,
+         worst_update = 0;
+  for (const NodeWork& n : work.nodes) {
+    double t_mc = n.import_bytes / inject_bw +
+                  static_cast<double>(n.messages) *
+                      config_.message_overhead_s +
+                  (n.import_bytes > 0 ? mean_hop_lat : 0.0);
+    double examined = static_cast<double>(
+        n.pairs_examined ? n.pairs_examined : n.pairs);
+    double t_pair =
+        std::max(static_cast<double>(n.pairs) / pair_rate,
+                 examined / (pair_rate * config_.match_rate_multiple));
+    double t_gcf = n.gc_force_flops / gc_rate;
+    double t_red = n.export_bytes / inject_bw +
+                   (n.export_bytes > 0 ? mean_hop_lat : 0.0);
+    double t_upd = n.gc_update_flops / gc_rate;
+    worst_multicast = std::max(worst_multicast, t_mc);
+    worst_pair = std::max(worst_pair, t_pair);
+    worst_gcf = std::max(worst_gcf, t_gcf);
+    worst_reduce = std::max(worst_reduce, t_red);
+    worst_update = std::max(worst_update, t_upd);
+  }
+  out.multicast = worst_multicast;
+  out.pair_phase = worst_pair;
+  out.gc_force_phase = worst_gcf;
+  out.interaction = std::max(worst_pair, worst_gcf);
+  out.reduce = worst_reduce;
+  out.update = worst_update;
+
+  if (work.kspace.active) {
+    const size_t nodes = work.nodes.size();
+    const double n_nodes = static_cast<double>(nodes);
+    double spread_flops = static_cast<double>(work.kspace.charges) *
+                          work.kspace.stencil_points *
+                          costs_.kspace_spread_point;
+    double interp_flops = static_cast<double>(work.kspace.charges) *
+                          work.kspace.stencil_points *
+                          costs_.kspace_interp_point;
+    double convolve_flops = static_cast<double>(work.kspace.grid_points) *
+                            costs_.kspace_convolve_cell;
+    out.kspace_spread = spread_flops / n_nodes / gc_rate;
+    out.kspace_interp = interp_flops / n_nodes / gc_rate;
+    out.kspace_convolve = convolve_flops / n_nodes / gc_rate;
+    out.kspace_fft_compute =
+        work.kspace.fft_flops / n_nodes / (gc_rate * config_.fft_accel);
+
+    if (nodes > 1) {
+      // Two all-to-all transposes per direction (4 total for fwd+inv); the
+      // grid crosses the bisection each time, 8 B per (fixed-point complex)
+      // grid point.
+      double transpose_bytes =
+          4.0 * static_cast<double>(work.kspace.grid_points) * 8.0;
+      double bisection = torus_.bisection_bandwidth_Bps(config_);
+      // Each node talks to the nodes sharing its pencil plane.
+      double msgs = 4.0 * std::cbrt(n_nodes) * std::cbrt(n_nodes);
+      out.kspace_fft_comm = transpose_bytes / bisection +
+                            msgs * config_.message_overhead_s +
+                            4.0 * mean_hop_lat;
+    }
+  }
+
+  if (work.tempering_decisions > 0) {
+    out.tempering = static_cast<double>(work.tempering_decisions) *
+                    costs_.tempering_decision / gc_rate;
+  }
+
+  out.sync = config_.barrier_latency_s;
+
+  out.total = out.multicast + out.interaction + out.reduce + out.update +
+              out.kspace_total() + out.tempering + out.sync;
+  return out;
+}
+
+double ns_per_day(double dt_fs, double step_time_s) {
+  ANTMD_REQUIRE(dt_fs > 0 && step_time_s > 0, "need positive step time");
+  double steps_per_day = 86400.0 / step_time_s;
+  return steps_per_day * dt_fs * 1e-6;  // fs -> ns
+}
+
+}  // namespace antmd::machine

@@ -1,0 +1,111 @@
+// Timing model: converts per-step workload counts (from the functional
+// simulation) into modeled step time on the configured machine.
+//
+// The step is modeled as the phase sequence Anton executes:
+//   1. position multicast (fixed-point positions to importing nodes)
+//   2. interaction phase — HTIS pair pipelines and geometry-core force work
+//      (bonded terms, restraints, generality extensions) run CONCURRENTLY
+//   3. force reduction (returns to home nodes)
+//   4. update phase on geometry cores (integration, constraints, vsites,
+//      thermostat) — serial after forces
+//   5. k-space phase when due: spread → distributed FFT (compute + two
+//      all-to-all transposes) → convolve → inverse FFT → interpolate
+//   6. global barrier
+// Step time is the max over nodes within each phase (bulk-synchronous).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "machine/torus.hpp"
+
+namespace antmd::machine {
+
+/// Per-node workload for one MD step (functional counts, no time units).
+struct NodeWork {
+  size_t pairs = 0;              ///< tabulated pair evaluations (HTIS)
+  size_t pairs_examined = 0;     ///< match-unit candidates (0 = same as pairs)
+  double gc_force_flops = 0.0;   ///< bonded/restraints/etc — overlaps HTIS
+  double gc_update_flops = 0.0;  ///< integration/constraints — post-reduce
+  double import_bytes = 0.0;     ///< position data this node receives
+  double export_bytes = 0.0;     ///< force data this node sends back
+  size_t messages = 0;           ///< point-to-point messages this node sends
+};
+
+/// Global (machine-wide) k-space workload for one step; inactive when the
+/// step reuses cached reciprocal forces (RESPA).
+struct KspaceWork {
+  bool active = false;
+  size_t grid_points = 0;
+  size_t charges = 0;
+  size_t stencil_points = 0;  ///< spreading stencil size per charge
+  double fft_flops = 0.0;     ///< forward+inverse total
+};
+
+struct StepWork {
+  std::vector<NodeWork> nodes;
+  KspaceWork kspace;
+  size_t tempering_decisions = 0;  ///< exchange attempts this step
+};
+
+/// Modeled wall-clock phases of one step (seconds).
+struct StepBreakdown {
+  double multicast = 0.0;
+  double pair_phase = 0.0;      ///< HTIS time (max over nodes)
+  double gc_force_phase = 0.0;  ///< concurrent GC force work (max over nodes)
+  double interaction = 0.0;     ///< max(pair_phase, gc_force_phase)
+  double reduce = 0.0;
+  double update = 0.0;
+  double kspace_spread = 0.0;
+  double kspace_fft_compute = 0.0;
+  double kspace_fft_comm = 0.0;
+  double kspace_convolve = 0.0;
+  double kspace_interp = 0.0;
+  double tempering = 0.0;
+  double sync = 0.0;
+  double total = 0.0;
+
+  [[nodiscard]] double kspace_total() const {
+    return kspace_spread + kspace_fft_compute + kspace_fft_comm +
+           kspace_convolve + kspace_interp;
+  }
+  /// Fraction of the step the HTIS pipelines are busy.
+  [[nodiscard]] double htis_utilization() const {
+    return total > 0 ? pair_phase / total : 0.0;
+  }
+  /// Fraction of the step the geometry cores are busy.
+  [[nodiscard]] double gc_utilization() const {
+    return total > 0
+               ? (gc_force_phase + update + kspace_spread + kspace_interp +
+                  kspace_convolve + kspace_fft_compute) /
+                     total
+               : 0.0;
+  }
+  /// Fraction of the step spent on the network (non-overlapped).
+  [[nodiscard]] double network_fraction() const {
+    return total > 0 ? (multicast + reduce + kspace_fft_comm + sync) / total
+                     : 0.0;
+  }
+};
+
+class TimingModel {
+ public:
+  TimingModel(MachineConfig config, GcCosts costs = GcCosts{});
+
+  [[nodiscard]] StepBreakdown step_time(const StepWork& work) const;
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+  [[nodiscard]] const GcCosts& costs() const { return costs_; }
+
+ private:
+  MachineConfig config_;
+  GcCosts costs_;
+  TorusTopology torus_;
+};
+
+/// Simulated nanoseconds per wall-clock day for a given outer timestep and
+/// modeled average step time.
+[[nodiscard]] double ns_per_day(double dt_fs, double step_time_s);
+
+}  // namespace antmd::machine

@@ -1,0 +1,65 @@
+#include "machine/torus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace antmd::machine {
+namespace {
+
+int axis_hops(int a, int b, int n) {
+  int d = std::abs(a - b);
+  return std::min(d, n - d);
+}
+
+}  // namespace
+
+TorusTopology::TorusTopology(const MachineConfig& config)
+    : dims_(config.torus), count_(config.node_count()) {}
+
+size_t TorusTopology::id_of(const NodeCoord& c) const {
+  return static_cast<size_t>(c[0]) +
+         static_cast<size_t>(dims_[0]) *
+             (static_cast<size_t>(c[1]) +
+              static_cast<size_t>(dims_[1]) * static_cast<size_t>(c[2]));
+}
+
+NodeCoord TorusTopology::coord_of(size_t id) const {
+  int x = static_cast<int>(id % dims_[0]);
+  int y = static_cast<int>((id / dims_[0]) % dims_[1]);
+  int z = static_cast<int>(id / (static_cast<size_t>(dims_[0]) * dims_[1]));
+  return {x, y, z};
+}
+
+int TorusTopology::hops(size_t a, size_t b) const {
+  NodeCoord ca = coord_of(a);
+  NodeCoord cb = coord_of(b);
+  return axis_hops(ca[0], cb[0], dims_[0]) +
+         axis_hops(ca[1], cb[1], dims_[1]) +
+         axis_hops(ca[2], cb[2], dims_[2]);
+}
+
+int TorusTopology::diameter() const {
+  return dims_[0] / 2 + dims_[1] / 2 + dims_[2] / 2;
+}
+
+double TorusTopology::mean_hops() const {
+  // Mean per axis for a ring of n: (sum over d of min(d, n-d)) / n.
+  auto axis_mean = [](int n) {
+    double sum = 0.0;
+    for (int d = 0; d < n; ++d) sum += std::min(d, n - d);
+    return sum / n;
+  };
+  return axis_mean(dims_[0]) + axis_mean(dims_[1]) + axis_mean(dims_[2]);
+}
+
+double TorusTopology::bisection_bandwidth_Bps(const MachineConfig& c) const {
+  // Cut the torus across its largest dimension: 2 * (product of the other
+  // two dims) links cross the cut (wrap-around doubles it), each direction.
+  int largest = std::max({dims_[0], dims_[1], dims_[2]});
+  size_t cross_section = count_ / static_cast<size_t>(largest);
+  double links = 2.0 * static_cast<double>(cross_section) *
+                 (largest > 1 ? 2.0 : 0.0);
+  return links * c.link_bandwidth_Bps;
+}
+
+}  // namespace antmd::machine

@@ -1,0 +1,43 @@
+// 3D torus interconnect topology: node coordinates, shortest-path hop
+// counts, and aggregate bandwidth figures used by the timing model.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "machine/config.hpp"
+
+namespace antmd::machine {
+
+using NodeCoord = std::array<int, 3>;
+
+class TorusTopology {
+ public:
+  explicit TorusTopology(const MachineConfig& config);
+
+  [[nodiscard]] size_t node_count() const { return count_; }
+  [[nodiscard]] const std::array<int, 3>& dims() const { return dims_; }
+
+  /// Linear id <-> coordinates (x fastest).
+  [[nodiscard]] size_t id_of(const NodeCoord& c) const;
+  [[nodiscard]] NodeCoord coord_of(size_t id) const;
+
+  /// Minimum hop count between two nodes (per-axis wrap-around shortest).
+  [[nodiscard]] int hops(size_t a, size_t b) const;
+
+  /// Maximum hop count between any two nodes (network diameter).
+  [[nodiscard]] int diameter() const;
+
+  /// Mean hop count over all ordered pairs (uniform traffic).
+  [[nodiscard]] double mean_hops() const;
+
+  /// Bisection bandwidth in bytes/s (links crossing the worst mid-plane,
+  /// both directions).
+  [[nodiscard]] double bisection_bandwidth_Bps(const MachineConfig& c) const;
+
+ private:
+  std::array<int, 3> dims_;
+  size_t count_;
+};
+
+}  // namespace antmd::machine

@@ -1,0 +1,136 @@
+#include "machine/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fft/fft3d.hpp"
+#include "util/error.hpp"
+
+namespace antmd::machine {
+namespace {
+
+constexpr double kWaterDensityMol = 0.0334;  // molecules/Å³
+
+size_t next_pow2(double x) {
+  size_t n = 1;
+  while (static_cast<double>(n) < x) n <<= 1;
+  return n;
+}
+
+}  // namespace
+
+SystemStats SystemStats::water(size_t n_molecules, bool rigid,
+                               bool four_site) {
+  SystemStats s;
+  const size_t sites = four_site ? 4 : 3;
+  s.atoms = n_molecules * sites;
+  const double volume = static_cast<double>(n_molecules) / kWaterDensityMol;
+  s.box_edge = std::cbrt(volume);
+  s.number_density = static_cast<double>(s.atoms) / volume;
+  if (rigid) {
+    s.constraints = 3 * n_molecules;
+  } else {
+    s.bonds = 2 * n_molecules;
+    s.angles = n_molecules;
+  }
+  s.virtual_sites = four_site ? n_molecules : 0;
+  s.charged_atoms = s.atoms;  // all water sites carry charge (O or M + H)
+  if (four_site) s.charged_atoms = 3 * n_molecules;  // O is neutral
+  return s;
+}
+
+SystemStats SystemStats::lj_fluid(size_t n_atoms, double density) {
+  SystemStats s;
+  s.atoms = n_atoms;
+  s.number_density = density;
+  s.box_edge = std::cbrt(static_cast<double>(n_atoms) / density);
+  return s;
+}
+
+double SystemStats::pairs_per_atom(double cutoff) const {
+  // Half of the neighbours within the cutoff sphere; subtract a small
+  // allowance for intramolecular exclusions (bonded neighbours are inside
+  // the sphere and excluded).
+  double neighbours =
+      number_density * 4.0 / 3.0 * M_PI * cutoff * cutoff * cutoff;
+  double excluded_per_atom =
+      atoms > 0 ? 2.0 * static_cast<double>(bonds + angles + constraints) /
+                      static_cast<double>(atoms)
+                : 0.0;
+  return std::max(0.0, (neighbours - excluded_per_atom)) / 2.0;
+}
+
+StepWork estimate_step_work(const SystemStats& stats, size_t nodes,
+                            const WorkloadParams& params) {
+  ANTMD_REQUIRE(nodes >= 1, "need at least one node");
+  ANTMD_REQUIRE(stats.atoms > 0 && stats.number_density > 0,
+                "empty system stats");
+
+  GcCosts costs;
+  StepWork work;
+  work.nodes.resize(nodes);
+
+  const double atoms_per_node =
+      static_cast<double>(stats.atoms) / static_cast<double>(nodes);
+  const double pairs_per_node =
+      static_cast<double>(stats.atoms) * stats.pairs_per_atom(params.cutoff) /
+      static_cast<double>(nodes);
+
+  // Home boxes: cube-root decomposition of the (cubic) box.
+  const double nodes_per_edge = std::cbrt(static_cast<double>(nodes));
+  const double home_edge = stats.box_edge / nodes_per_edge;
+  // Import region: half-shell of thickness rc dilating the home box.
+  const double dilated = home_edge + params.cutoff;
+  const double import_volume =
+      std::max(0.0, (dilated * dilated * dilated -
+                     home_edge * home_edge * home_edge)) /
+      2.0;
+  // The import cannot exceed the rest of the system.
+  const double import_atoms =
+      std::min(stats.number_density * import_volume,
+               static_cast<double>(stats.atoms) - atoms_per_node);
+  const size_t neighbours_contacted = nodes > 1 ? 13 : 0;  // half shell of 26
+
+  const double per_node_scale = 1.0 / static_cast<double>(nodes);
+  const double gc_force =
+      (stats.bonds * costs.bond + stats.angles * costs.angle +
+       stats.dihedrals * costs.dihedral + stats.pairs14 * costs.pair14 +
+       stats.restraints * costs.restraint +
+       stats.virtual_sites * costs.vsite_construct) *
+      per_node_scale;
+  const double gc_update =
+      (static_cast<double>(stats.atoms) *
+           (costs.integrate_atom + costs.thermostat_atom) +
+       stats.constraints * 3.0 * costs.constraint_iteration +
+       stats.virtual_sites * costs.vsite_spread) *
+      per_node_scale;
+
+  for (size_t n = 0; n < nodes; ++n) {
+    NodeWork& nw = work.nodes[n];
+    // The busiest node gets the imbalance factor; the rest the mean (the
+    // timing model takes the max, so only the busiest matters).
+    double f = (n == 0) ? params.imbalance : 1.0;
+    nw.pairs = static_cast<size_t>(pairs_per_node * f);
+    nw.pairs_examined =
+        static_cast<size_t>(pairs_per_node * f * params.candidate_ratio);
+    nw.gc_force_flops = gc_force * f;
+    nw.gc_update_flops = gc_update * f;
+    nw.import_bytes = (nodes > 1) ? import_atoms * 12.0 * f : 0.0;
+    nw.export_bytes = (nodes > 1) ? import_atoms * 12.0 * f : 0.0;
+    nw.messages = neighbours_contacted;
+  }
+
+  if (params.kspace_active && stats.charged_atoms > 0) {
+    size_t grid_edge = next_pow2(stats.box_edge / params.grid_spacing);
+    work.kspace.active = true;
+    work.kspace.grid_points = grid_edge * grid_edge * grid_edge;
+    work.kspace.charges = stats.charged_atoms;
+    work.kspace.stencil_points = params.spread_stencil;
+    work.kspace.fft_flops =
+        2.0 * estimate_fft_cost(grid_edge, grid_edge, grid_edge, 1).flops;
+  }
+  work.tempering_decisions = params.tempering_decisions;
+  return work;
+}
+
+}  // namespace antmd::machine

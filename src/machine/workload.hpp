@@ -1,0 +1,64 @@
+// Analytic workload estimation for systems too large to run functionally
+// on the simulation host.
+//
+// The functional DistributedEngine produces exact workload counts for
+// systems it can afford to evaluate; for the paper-scale benchmarks
+// (up to ~185k atoms × 512 nodes) the counts are estimated from system
+// statistics instead: pair counts from the density and cutoff, import
+// volumes from home-box surface shells, k-space work from the grid.  The
+// estimator is validated against the functional engine's counts in
+// machine_test.
+#pragma once
+
+#include <cstddef>
+
+#include "machine/timing.hpp"
+
+namespace antmd::machine {
+
+/// Density/connectivity statistics of a molecular system.
+struct SystemStats {
+  size_t atoms = 0;
+  double number_density = 0.0;  ///< atoms/Å³
+  double box_edge = 0.0;        ///< cubic box edge (Å)
+  size_t bonds = 0;
+  size_t angles = 0;
+  size_t dihedrals = 0;
+  size_t pairs14 = 0;
+  size_t constraints = 0;
+  size_t virtual_sites = 0;
+  size_t charged_atoms = 0;
+  size_t restraints = 0;        ///< restraint-like extension terms
+
+  /// Water-box statistics for n_molecules of 3-site water.
+  static SystemStats water(size_t n_molecules, bool rigid = true,
+                           bool four_site = false);
+  /// Monatomic LJ fluid.
+  static SystemStats lj_fluid(size_t n_atoms, double density = 0.021);
+
+  /// Mean nonbonded pairs per atom within the cutoff (minus a typical
+  /// exclusion allowance).
+  [[nodiscard]] double pairs_per_atom(double cutoff) const;
+};
+
+struct WorkloadParams {
+  double cutoff = 10.0;
+  /// Load imbalance: the busiest node carries `imbalance` × the mean.
+  double imbalance = 1.10;
+  /// Ratio of match-unit candidates to in-range pairs (search volume vs
+  /// cutoff sphere; ~((rc+skin)/rc)³ for Verlet-style candidate sets).
+  double candidate_ratio = 1.4;
+  bool kspace_active = true;
+  double grid_spacing = 1.0;       ///< GSE grid target spacing
+  size_t spread_stencil = 125;     ///< 5³ compact GSE stencil
+  size_t tempering_decisions = 0;
+};
+
+/// Builds the per-step workload of `stats` decomposed over `nodes` cubes
+/// (nodes must be a cube for the home-box surface estimate; non-cubes use
+/// the nearest cube root).
+[[nodiscard]] StepWork estimate_step_work(const SystemStats& stats,
+                                          size_t nodes,
+                                          const WorkloadParams& params);
+
+}  // namespace antmd::machine

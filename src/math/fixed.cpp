@@ -1,0 +1,23 @@
+#include "math/fixed.hpp"
+
+#include "util/error.hpp"
+
+namespace antmd {
+
+void FixedForceArray::merge(const FixedForceArray& other) {
+  ANTMD_REQUIRE(other.data_.size() == data_.size(),
+                "merging force arrays of different sizes");
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i][0] += other.data_[i][0];
+    data_[i][1] += other.data_[i][1];
+    data_[i][2] += other.data_[i][2];
+  }
+}
+
+std::vector<Vec3> FixedForceArray::to_vectors() const {
+  std::vector<Vec3> out(data_.size());
+  for (size_t i = 0; i < data_.size(); ++i) out[i] = force(i);
+  return out;
+}
+
+}  // namespace antmd

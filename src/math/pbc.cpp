@@ -1,0 +1,37 @@
+#include "math/pbc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace antmd {
+
+Box::Box(double lx, double ly, double lz) : edges_{lx, ly, lz} {
+  ANTMD_REQUIRE(lx > 0 && ly > 0 && lz > 0, "box edges must be positive");
+}
+
+double Box::min_edge() const {
+  return std::min({edges_.x, edges_.y, edges_.z});
+}
+
+Vec3 Box::wrap(const Vec3& r) const {
+  Vec3 w = r;
+  for (int d = 0; d < 3; ++d) {
+    double l = edges_[d];
+    w[d] -= std::floor(w[d] / l) * l;
+    // floor() can return exactly l for inputs like -1e-18; clamp.
+    if (w[d] >= l) w[d] -= l;
+  }
+  return w;
+}
+
+Vec3 Box::min_image(const Vec3& a, const Vec3& b) const {
+  Vec3 d = a - b;
+  for (int i = 0; i < 3; ++i) {
+    double l = edges_[i];
+    d[i] -= std::nearbyint(d[i] / l) * l;
+  }
+  return d;
+}
+
+}  // namespace antmd

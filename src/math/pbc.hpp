@@ -1,0 +1,48 @@
+// Orthorhombic periodic box: wrapping, minimum-image displacement, volume.
+#pragma once
+
+#include <cmath>
+
+#include "math/vec.hpp"
+
+namespace antmd {
+
+/// Orthorhombic periodic simulation box with edges (lx, ly, lz) in Å.
+/// The primary cell is [0, lx) x [0, ly) x [0, lz).
+class Box {
+ public:
+  Box() : edges_{0, 0, 0} {}
+  Box(double lx, double ly, double lz);
+  static Box cubic(double edge) { return Box(edge, edge, edge); }
+
+  [[nodiscard]] const Vec3& edges() const { return edges_; }
+  [[nodiscard]] double volume() const {
+    return edges_.x * edges_.y * edges_.z;
+  }
+  [[nodiscard]] double min_edge() const;
+
+  /// Maps a point into the primary cell.
+  [[nodiscard]] Vec3 wrap(const Vec3& r) const;
+
+  /// Minimum-image displacement a - b.
+  [[nodiscard]] Vec3 min_image(const Vec3& a, const Vec3& b) const;
+
+  /// Minimum-image squared distance.
+  [[nodiscard]] double distance2(const Vec3& a, const Vec3& b) const {
+    return norm2(min_image(a, b));
+  }
+
+  /// Returns a box scaled isotropically by factor s on each edge.
+  [[nodiscard]] Box scaled(double s) const {
+    return Box(edges_.x * s, edges_.y * s, edges_.z * s);
+  }
+  /// Returns a box scaled anisotropically (per-axis factors).
+  [[nodiscard]] Box scaled(double sx, double sy, double sz) const {
+    return Box(edges_.x * sx, edges_.y * sy, edges_.z * sz);
+  }
+
+ private:
+  Vec3 edges_;
+};
+
+}  // namespace antmd

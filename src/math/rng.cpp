@@ -1,0 +1,149 @@
+#include "math/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd {
+namespace {
+
+constexpr uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr uint32_t kPhiloxW0 = 0x9E3779B9u;  // golden ratio
+constexpr uint32_t kPhiloxW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void philox_round(std::array<uint32_t, 4>& ctr,
+                         std::array<uint32_t, 2>& key) {
+  uint64_t p0 = static_cast<uint64_t>(kPhiloxM0) * ctr[0];
+  uint64_t p1 = static_cast<uint64_t>(kPhiloxM1) * ctr[2];
+  uint32_t hi0 = static_cast<uint32_t>(p0 >> 32);
+  uint32_t lo0 = static_cast<uint32_t>(p0);
+  uint32_t hi1 = static_cast<uint32_t>(p1 >> 32);
+  uint32_t lo1 = static_cast<uint32_t>(p1);
+  ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+  key[0] += kPhiloxW0;
+  key[1] += kPhiloxW1;
+}
+
+constexpr double kInv2Pow32 = 1.0 / 4294967296.0;
+
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::array<uint32_t, 4> philox4x32(const std::array<uint32_t, 4>& counter,
+                                   const std::array<uint32_t, 2>& key) {
+  std::array<uint32_t, 4> ctr = counter;
+  std::array<uint32_t, 2> k = key;
+  for (int round = 0; round < 10; ++round) philox_round(ctr, k);
+  return ctr;
+}
+
+CounterRng::CounterRng(uint64_t seed, uint64_t stream) : stream_(stream) {
+  key_ = {static_cast<uint32_t>(seed), static_cast<uint32_t>(seed >> 32)};
+}
+
+std::array<uint32_t, 4> CounterRng::block(uint64_t index, uint64_t step,
+                                          uint32_t draw) const {
+  // Fold the stream into the counter's fourth word and the draw number so
+  // distinct (stream, index, step, draw) tuples never collide.
+  std::array<uint32_t, 4> counter = {
+      static_cast<uint32_t>(index), static_cast<uint32_t>(index >> 32),
+      static_cast<uint32_t>(step),
+      static_cast<uint32_t>(step >> 32) ^
+          static_cast<uint32_t>(stream_ * 0x85EBCA6Bu) ^ (draw << 24)};
+  std::array<uint32_t, 2> key = {key_[0] ^ static_cast<uint32_t>(stream_),
+                                 key_[1] ^ static_cast<uint32_t>(stream_ >> 32) ^
+                                     draw};
+  return philox4x32(counter, key);
+}
+
+double CounterRng::uniform(uint64_t index, uint64_t step,
+                           uint32_t draw) const {
+  auto r = block(index, step, draw);
+  // 0.5 offset keeps the value strictly inside (0, 1) so log() is safe.
+  return (static_cast<double>(r[0]) + 0.5) * kInv2Pow32;
+}
+
+double CounterRng::gaussian(uint64_t index, uint64_t step,
+                            uint32_t draw) const {
+  auto r = block(index, step, draw);
+  double u1 = (static_cast<double>(r[0]) + 0.5) * kInv2Pow32;
+  double u2 = (static_cast<double>(r[1]) + 0.5) * kInv2Pow32;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::array<double, 3> CounterRng::gaussian3(uint64_t index,
+                                            uint64_t step) const {
+  auto r = block(index, step, 0);
+  double u1 = (static_cast<double>(r[0]) + 0.5) * kInv2Pow32;
+  double u2 = (static_cast<double>(r[1]) + 0.5) * kInv2Pow32;
+  double u3 = (static_cast<double>(r[2]) + 0.5) * kInv2Pow32;
+  double u4 = (static_cast<double>(r[3]) + 0.5) * kInv2Pow32;
+  double m1 = std::sqrt(-2.0 * std::log(u1));
+  double m2 = std::sqrt(-2.0 * std::log(u3));
+  return {m1 * std::cos(2.0 * M_PI * u2), m1 * std::sin(2.0 * M_PI * u2),
+          m2 * std::cos(2.0 * M_PI * u4)};
+}
+
+uint64_t CounterRng::uniform_int(uint64_t index, uint64_t step, uint64_t bound,
+                                 uint32_t draw) const {
+  ANTMD_REQUIRE(bound > 0, "uniform_int bound must be positive");
+  auto r = block(index, step, draw);
+  uint64_t wide = (static_cast<uint64_t>(r[0]) << 32) | r[1];
+  return wide % bound;
+}
+
+SequentialRng::SequentialRng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+uint64_t SequentialRng::next_u64() {
+  // xoshiro256**
+  uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double SequentialRng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double SequentialRng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double SequentialRng::gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  double u2 = uniform();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  have_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t SequentialRng::uniform_int(uint64_t bound) {
+  ANTMD_REQUIRE(bound > 0, "uniform_int bound must be positive");
+  return next_u64() % bound;
+}
+
+}  // namespace antmd

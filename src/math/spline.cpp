@@ -1,0 +1,136 @@
+#include "math/spline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd {
+
+CubicSpline::CubicSpline(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  ANTMD_REQUIRE(x_.size() == y_.size(), "x/y size mismatch");
+  ANTMD_REQUIRE(x_.size() >= 3, "spline needs at least 3 points");
+  ANTMD_REQUIRE(std::is_sorted(x_.begin(), x_.end()) &&
+                    std::adjacent_find(x_.begin(), x_.end()) == x_.end(),
+                "x must be strictly increasing");
+
+  // Tridiagonal solve for natural spline second derivatives.
+  const size_t n = x_.size();
+  y2_.assign(n, 0.0);
+  std::vector<double> u(n, 0.0);
+  for (size_t i = 1; i + 1 < n; ++i) {
+    double sig = (x_[i] - x_[i - 1]) / (x_[i + 1] - x_[i - 1]);
+    double p = sig * y2_[i - 1] + 2.0;
+    y2_[i] = (sig - 1.0) / p;
+    double d = (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]) -
+               (y_[i] - y_[i - 1]) / (x_[i] - x_[i - 1]);
+    u[i] = (6.0 * d / (x_[i + 1] - x_[i - 1]) - sig * u[i - 1]) / p;
+  }
+  for (size_t k = n - 1; k-- > 0;) {
+    y2_[k] = y2_[k] * y2_[k + 1] + u[k];
+  }
+}
+
+size_t CubicSpline::interval(double x) const {
+  auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  if (it == x_.begin()) return 0;
+  size_t i = static_cast<size_t>(it - x_.begin()) - 1;
+  return std::min(i, x_.size() - 2);
+}
+
+double CubicSpline::value(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  size_t i = interval(x);
+  double h = x_[i + 1] - x_[i];
+  double a = (x_[i + 1] - x) / h;
+  double b = (x - x_[i]) / h;
+  return a * y_[i] + b * y_[i + 1] +
+         ((a * a * a - a) * y2_[i] + (b * b * b - b) * y2_[i + 1]) * h * h /
+             6.0;
+}
+
+double CubicSpline::derivative(double x) const {
+  if (x <= x_.front() || x >= x_.back()) return 0.0;
+  size_t i = interval(x);
+  double h = x_[i + 1] - x_[i];
+  double a = (x_[i + 1] - x) / h;
+  double b = (x - x_[i]) / h;
+  return (y_[i + 1] - y_[i]) / h -
+         (3.0 * a * a - 1.0) / 6.0 * h * y2_[i] +
+         (3.0 * b * b - 1.0) / 6.0 * h * y2_[i + 1];
+}
+
+RadialTable RadialTable::from_potential(
+    const std::function<double(double)>& energy,
+    const std::function<double(double)>& denergy_dr, double r_min,
+    double r_cut, size_t bins, bool shift_to_zero) {
+  ANTMD_REQUIRE(r_cut > r_min && r_min > 0.0, "need 0 < r_min < r_cut");
+  ANTMD_REQUIRE(bins >= 8, "table needs at least 8 bins");
+
+  RadialTable t;
+  t.s_min_ = r_min * r_min;
+  t.s_max_ = r_cut * r_cut;
+  t.r_cut_ = r_cut;
+  const size_t knots = bins + 1;
+  const double ds = (t.s_max_ - t.s_min_) / static_cast<double>(bins);
+  t.inv_ds_ = 1.0 / ds;
+
+  const double shift = shift_to_zero ? energy(r_cut) : 0.0;
+
+  t.value_.resize(knots);
+  t.dvalue_.resize(knots);
+  t.gvalue_.resize(knots);
+  t.dgvalue_.resize(knots);
+
+  for (size_t k = 0; k < knots; ++k) {
+    double s = t.s_min_ + ds * static_cast<double>(k);
+    double r = std::sqrt(s);
+    double du = denergy_dr(r);
+    t.value_[k] = energy(r) - shift;
+    // dU/ds = dU/dr * dr/ds = dU/dr / (2 r)
+    t.dvalue_[k] = du / (2.0 * r);
+    // G(s) = -(1/r) dU/dr
+    t.gvalue_[k] = -du / r;
+  }
+  // dG/ds by centered finite differences on the knots (ends one-sided).
+  for (size_t k = 0; k < knots; ++k) {
+    if (k == 0) {
+      t.dgvalue_[k] = (t.gvalue_[1] - t.gvalue_[0]) * t.inv_ds_;
+    } else if (k == knots - 1) {
+      t.dgvalue_[k] = (t.gvalue_[k] - t.gvalue_[k - 1]) * t.inv_ds_;
+    } else {
+      t.dgvalue_[k] = (t.gvalue_[k + 1] - t.gvalue_[k - 1]) * 0.5 * t.inv_ds_;
+    }
+  }
+  return t;
+}
+
+RadialEval RadialTable::evaluate(double r2) const {
+  if (r2 >= s_max_) return {};
+  double s = std::max(r2, s_min_);
+  double u = (s - s_min_) * inv_ds_;
+  auto bin = static_cast<size_t>(u);
+  const size_t last = value_.size() - 2;
+  if (bin > last) bin = last;
+  double tloc = u - static_cast<double>(bin);
+  double ds = 1.0 / inv_ds_;
+
+  // Cubic Hermite basis.
+  double t2 = tloc * tloc;
+  double t3 = t2 * tloc;
+  double h00 = 2 * t3 - 3 * t2 + 1;
+  double h10 = t3 - 2 * t2 + tloc;
+  double h01 = -2 * t3 + 3 * t2;
+  double h11 = t3 - t2;
+
+  RadialEval out;
+  out.energy = h00 * value_[bin] + h10 * ds * dvalue_[bin] +
+               h01 * value_[bin + 1] + h11 * ds * dvalue_[bin + 1];
+  out.force_over_r = h00 * gvalue_[bin] + h10 * ds * dgvalue_[bin] +
+                     h01 * gvalue_[bin + 1] + h11 * ds * dgvalue_[bin + 1];
+  return out;
+}
+
+}  // namespace antmd

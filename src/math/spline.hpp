@@ -1,0 +1,77 @@
+// Tabulated function machinery.
+//
+// Anton's pairwise point interaction modules (PPIMs) evaluate *all* radial
+// nonbonded functional forms — Lennard-Jones, real-space Ewald, and any
+// user-supplied potential — through the same hardware table-interpolation
+// path, indexed by squared distance to avoid a sqrt in the pipeline.  The
+// RadialTable below models that path in software and is shared by the
+// standard and "generality extension" potentials alike.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace antmd {
+
+/// Natural cubic spline over a strictly increasing x grid.
+class CubicSpline {
+ public:
+  CubicSpline(std::vector<double> x, std::vector<double> y);
+
+  /// Interpolated value; clamps to end values outside the grid.
+  [[nodiscard]] double value(double x) const;
+  /// Interpolated derivative; zero outside the grid.
+  [[nodiscard]] double derivative(double x) const;
+
+  [[nodiscard]] double x_min() const { return x_.front(); }
+  [[nodiscard]] double x_max() const { return x_.back(); }
+
+ private:
+  [[nodiscard]] size_t interval(double x) const;
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> y2_;  // second derivatives at knots
+};
+
+/// Result of a radial-table lookup.
+struct RadialEval {
+  double energy = 0.0;        ///< U(r) in kcal/mol
+  double force_over_r = 0.0;  ///< -(1/r) dU/dr; force vector = this * r_ij
+};
+
+/// Radial interaction table sampled uniformly in s = r², evaluated with
+/// cubic Hermite interpolation (value and d/ds at each knot), mirroring the
+/// hardware evaluator.  Below s_min the table clamps to the first knot (a
+/// pipeline would saturate similarly); above s_max it returns exactly zero.
+class RadialTable {
+ public:
+  /// Builds a table from U(r) and dU/dr over r in [r_min, r_cut].
+  /// If shift_to_zero is true, U is shifted so U(r_cut) == 0 (energy
+  /// conservation with truncated potentials).
+  static RadialTable from_potential(
+      const std::function<double(double)>& energy,
+      const std::function<double(double)>& denergy_dr, double r_min,
+      double r_cut, size_t bins, bool shift_to_zero = true);
+
+  [[nodiscard]] RadialEval evaluate(double r2) const;
+
+  [[nodiscard]] size_t bins() const { return value_.empty() ? 0
+                                                            : value_.size() - 1; }
+  [[nodiscard]] double r_cut() const { return r_cut_; }
+
+ private:
+  RadialTable() = default;
+
+  double s_min_ = 0.0;
+  double s_max_ = 0.0;
+  double inv_ds_ = 0.0;
+  double r_cut_ = 0.0;
+  // Knot arrays for U(s) and G(s) = -(1/r) dU/dr as functions of s = r².
+  std::vector<double> value_;    // U at knots
+  std::vector<double> dvalue_;   // dU/ds at knots
+  std::vector<double> gvalue_;   // G at knots
+  std::vector<double> dgvalue_;  // dG/ds at knots
+};
+
+}  // namespace antmd

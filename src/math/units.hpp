@@ -1,0 +1,42 @@
+// Unit system and physical constants.
+//
+// antmd uses the AKMA-style unit system common in biomolecular MD codes:
+//   length  : Angstrom (Å)
+//   energy  : kcal/mol
+//   mass    : atomic mass unit (amu)
+//   charge  : elementary charge (e)
+//   time    : internal unit = sqrt(amu Å² / (kcal/mol)) ≈ 48.8882 fs
+// User-facing APIs take femtoseconds and convert at the boundary.
+#pragma once
+
+namespace antmd::units {
+
+/// Boltzmann constant in kcal/(mol K).
+inline constexpr double kBoltzmann = 0.001987204259;
+
+/// Coulomb constant e²→kcal Å/mol: q1 q2 kCoulomb / r.
+inline constexpr double kCoulomb = 332.06371;
+
+/// Femtoseconds per internal time unit.
+inline constexpr double kFsPerInternalTime = 48.88821;
+
+/// Converts a timestep given in fs to internal time units.
+inline constexpr double fs_to_internal(double fs) {
+  return fs / kFsPerInternalTime;
+}
+
+/// Converts internal time units to fs.
+inline constexpr double internal_to_fs(double t) {
+  return t * kFsPerInternalTime;
+}
+
+/// Converts internal time units to ns.
+inline constexpr double internal_to_ns(double t) {
+  return internal_to_fs(t) * 1e-6;
+}
+
+/// Atmospheres per internal pressure unit (kcal/mol/Å³).
+/// 1 kcal/mol/Å³ = 68568.4 atm.
+inline constexpr double kAtmPerInternalPressure = 68568.4;
+
+}  // namespace antmd::units

@@ -1,0 +1,111 @@
+// 3-vector and 3x3 matrix types used throughout antmd.
+//
+// Everything is double precision; the fixed-point representation used by the
+// machine model lives in math/fixed.hpp and converts to/from these.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+namespace antmd {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+inline Vec3 normalized(const Vec3& a) { return a / norm(a); }
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Row-major 3x3 matrix; only the handful of operations MD needs.
+struct Mat3 {
+  std::array<double, 9> m{};  // rows
+
+  static constexpr Mat3 identity() {
+    Mat3 r;
+    r.m = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    return r;
+  }
+  static constexpr Mat3 diagonal(double a, double b, double c) {
+    Mat3 r;
+    r.m = {a, 0, 0, 0, b, 0, 0, 0, c};
+    return r;
+  }
+
+  constexpr double operator()(int r, int c) const { return m[3 * r + c]; }
+  constexpr double& operator()(int r, int c) { return m[3 * r + c]; }
+
+  constexpr Mat3& operator+=(const Mat3& o) {
+    for (int i = 0; i < 9; ++i) m[i] += o.m[i];
+    return *this;
+  }
+  constexpr Mat3& operator*=(double s) {
+    for (auto& v : m) v *= s;
+    return *this;
+  }
+};
+
+constexpr Vec3 operator*(const Mat3& a, const Vec3& v) {
+  return {a(0, 0) * v.x + a(0, 1) * v.y + a(0, 2) * v.z,
+          a(1, 0) * v.x + a(1, 1) * v.y + a(1, 2) * v.z,
+          a(2, 0) * v.x + a(2, 1) * v.y + a(2, 2) * v.z};
+}
+
+/// Outer product a b^T (used for virial accumulation).
+constexpr Mat3 outer(const Vec3& a, const Vec3& b) {
+  Mat3 r;
+  r.m = {a.x * b.x, a.x * b.y, a.x * b.z, a.y * b.x, a.y * b.y,
+         a.y * b.z, a.z * b.x, a.z * b.y, a.z * b.z};
+  return r;
+}
+
+constexpr double trace(const Mat3& a) { return a(0, 0) + a(1, 1) + a(2, 2); }
+
+}  // namespace antmd

@@ -1,0 +1,150 @@
+#include "md/barostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::md {
+
+void scale_box_and_molecules(const Topology& topo, double factor,
+                             State& state) {
+  scale_box_and_molecules(topo, Vec3{factor, factor, factor}, state);
+}
+
+void scale_box_and_molecules(const Topology& topo, const Vec3& factors,
+                             State& state) {
+  Box new_box = state.box.scaled(factors.x, factors.y, factors.z);
+  for (const Molecule& mol : topo.molecules()) {
+    // Molecule centre of mass (using unwrapped relative geometry).
+    Vec3 ref = state.positions[mol.first];
+    Vec3 com{};
+    double mass = 0.0;
+    for (uint32_t a = mol.first; a < mol.first + mol.count; ++a) {
+      Vec3 rel = state.box.min_image(state.positions[a], ref);
+      double m = std::max(topo.masses()[a], 1e-9);
+      com += m * (ref + rel);
+      mass += m;
+    }
+    com /= mass;
+    Vec3 shift{(factors.x - 1.0) * com.x, (factors.y - 1.0) * com.y,
+               (factors.z - 1.0) * com.z};
+    for (uint32_t a = mol.first; a < mol.first + mol.count; ++a) {
+      state.positions[a] += shift;
+    }
+  }
+  state.box = new_box;
+}
+
+Barostat::Barostat(const Topology& topo, BarostatConfig config,
+                   PotentialFn potential_energy)
+    : topo_(&topo),
+      config_(config),
+      potential_(std::move(potential_energy)),
+      rng_(config.seed) {
+  if (config_.kind == BarostatKind::kMonteCarlo) {
+    ANTMD_REQUIRE(potential_ != nullptr,
+                  "MC barostat needs a potential-energy callback");
+  }
+}
+
+bool Barostat::maybe_apply(State& state, double virial_trace) {
+  if (config_.kind == BarostatKind::kNone) return false;
+  if (config_.interval > 1 &&
+      state.step % static_cast<uint64_t>(config_.interval) != 0) {
+    return false;
+  }
+  switch (config_.kind) {
+    case BarostatKind::kBerendsen: return apply_berendsen(state, virial_trace);
+    case BarostatKind::kMonteCarlo: return apply_monte_carlo(state);
+    case BarostatKind::kBerendsenSemiIso:
+      ANTMD_REQUIRE(false,
+                    "semi-isotropic barostat needs maybe_apply_tensor");
+    case BarostatKind::kNone: break;
+  }
+  return false;
+}
+
+bool Barostat::maybe_apply_tensor(State& state, const Mat3& virial) {
+  if (config_.kind != BarostatKind::kBerendsenSemiIso) {
+    return maybe_apply(state, trace(virial));
+  }
+  if (config_.interval > 1 &&
+      state.step % static_cast<uint64_t>(config_.interval) != 0) {
+    return false;
+  }
+  return apply_berendsen_semi_iso(state, virial);
+}
+
+bool Barostat::apply_berendsen_semi_iso(State& state, const Mat3& virial) {
+  // Per-axis instantaneous pressures from the kinetic tensor approximated
+  // isotropically (adequate for weak coupling) plus the virial diagonal.
+  double ke = kinetic_energy(*topo_, state);
+  double volume = state.box.volume();
+  auto p_axis = [&](int a) {
+    double p_internal = (2.0 * ke / 3.0 + virial(a, a)) / volume;
+    return p_internal * units::kAtmPerInternalPressure;
+  };
+  double p_xy = 0.5 * (p_axis(0) + p_axis(1));
+  double p_z = p_axis(2);
+
+  double tau = units::fs_to_internal(config_.tau_fs);
+  double dt_eff = tau / 100.0 * config_.interval;
+  auto mu_for = [&](double p) {
+    double mu3 = 1.0 - dt_eff / tau * config_.compressibility *
+                           (config_.pressure_atm - p);
+    return std::cbrt(std::clamp(mu3, 0.98, 1.02));
+  };
+  double mu_xy = mu_for(p_xy);
+  double mu_z = mu_for(p_z);
+  if (mu_xy == 1.0 && mu_z == 1.0) return false;
+  scale_box_and_molecules(*topo_, Vec3{mu_xy, mu_xy, mu_z}, state);
+  return true;
+}
+
+bool Barostat::apply_berendsen(State& state, double virial_trace) {
+  double p = pressure_atm(*topo_, state, virial_trace);
+  double tau = units::fs_to_internal(config_.tau_fs);
+  // Effective dt is interval steps; callers tick every step.
+  double dt_eff = tau / 100.0 * config_.interval;  // conservative smoothing
+  double mu3 = 1.0 - dt_eff / tau * config_.compressibility *
+                         (config_.pressure_atm - p);
+  double mu = std::cbrt(std::clamp(mu3, 0.98, 1.02));
+  if (mu == 1.0) return false;
+  scale_box_and_molecules(*topo_, mu, state);
+  return true;
+}
+
+bool Barostat::apply_monte_carlo(State& state) {
+  ++mc_attempts_;
+  const double kt = units::kBoltzmann * config_.temperature_k;
+  const double v_old = state.box.volume();
+  const double u_old = potential_(state.positions, state.box);
+
+  double dv = (2.0 * rng_.uniform() - 1.0) * config_.mc_max_dv_fraction *
+              v_old;
+  double v_new = v_old + dv;
+  double factor = std::cbrt(v_new / v_old);
+
+  State trial = state;
+  scale_box_and_molecules(*topo_, factor, trial);
+  double u_new = potential_(trial.positions, trial.box);
+
+  // NPT acceptance: ΔU + P ΔV - N_mol kT ln(V'/V)
+  const double p_internal =
+      config_.pressure_atm / units::kAtmPerInternalPressure;
+  const double n_mol = static_cast<double>(topo_->molecules().size());
+  double arg = (u_new - u_old) + p_internal * dv -
+               n_mol * kt * std::log(v_new / v_old);
+  bool accept = arg <= 0.0 || rng_.uniform() < std::exp(-arg / kt);
+  if (accept) {
+    state.positions = std::move(trial.positions);
+    state.box = trial.box;
+    ++mc_accepts_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace antmd::md

@@ -1,0 +1,153 @@
+#include "md/neighbor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::md {
+
+CellList::CellList(const Box& box, double cell_size) {
+  ANTMD_REQUIRE(cell_size > 0, "cell size must be positive");
+  nx_ = std::max(1, static_cast<int>(box.edges().x / cell_size));
+  ny_ = std::max(1, static_cast<int>(box.edges().y / cell_size));
+  nz_ = std::max(1, static_cast<int>(box.edges().z / cell_size));
+  cells_.resize(cell_count());
+}
+
+size_t CellList::index(int cx, int cy, int cz) const {
+  auto wrap = [](int c, int n) {
+    int m = c % n;
+    return m < 0 ? m + n : m;
+  };
+  return static_cast<size_t>(wrap(cx, nx_)) +
+         static_cast<size_t>(nx_) *
+             (static_cast<size_t>(wrap(cy, ny_)) +
+              static_cast<size_t>(ny_) * static_cast<size_t>(wrap(cz, nz_)));
+}
+
+void CellList::assign(std::span<const Vec3> positions, const Box& box) {
+  for (auto& c : cells_) c.clear();
+  atom_cells_.resize(positions.size());
+  for (uint32_t i = 0; i < positions.size(); ++i) {
+    Vec3 w = box.wrap(positions[i]);
+    int cx = std::min(nx_ - 1,
+                      static_cast<int>(w.x / box.edges().x * nx_));
+    int cy = std::min(ny_ - 1,
+                      static_cast<int>(w.y / box.edges().y * ny_));
+    int cz = std::min(nz_ - 1,
+                      static_cast<int>(w.z / box.edges().z * nz_));
+    atom_cells_[i] = {cx, cy, cz};
+    cells_[index(cx, cy, cz)].push_back(i);
+  }
+}
+
+const std::vector<uint32_t>& CellList::cell(int cx, int cy, int cz) const {
+  return cells_[index(cx, cy, cz)];
+}
+
+std::array<int, 3> CellList::cell_of(uint32_t atom) const {
+  return atom_cells_[atom];
+}
+
+NeighborList::NeighborList(const Topology& topo, double cutoff, double skin)
+    : topo_(&topo), cutoff_(cutoff), skin_(skin) {
+  ANTMD_REQUIRE(cutoff > 0 && skin >= 0, "bad neighbor-list parameters");
+}
+
+void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
+  const double reach = cutoff_ + skin_;
+  ANTMD_REQUIRE(2.0 * reach <= box.min_edge(),
+                "cutoff+skin exceeds half the smallest box edge");
+  CellList cells(box, reach);
+  cells.assign(positions, box);
+  const double reach2 = reach * reach;
+
+  pairs_.clear();
+  // Half-stencil enumeration so each unordered pair is visited once when
+  // the cell grid is at least 3 cells wide on each axis; fall back to the
+  // full stencil with i<j filtering for small grids.
+  const bool small_grid =
+      cells.nx() < 3 || cells.ny() < 3 || cells.nz() < 3;
+
+  for (int cz = 0; cz < cells.nz(); ++cz) {
+    for (int cy = 0; cy < cells.ny(); ++cy) {
+      for (int cx = 0; cx < cells.nx(); ++cx) {
+        const auto& home = cells.cell(cx, cy, cz);
+        // Pairs within the home cell.
+        for (size_t a = 0; a < home.size(); ++a) {
+          for (size_t b = a + 1; b < home.size(); ++b) {
+            uint32_t i = std::min(home[a], home[b]);
+            uint32_t j = std::max(home[a], home[b]);
+            if (box.distance2(positions[i], positions[j]) >= reach2) continue;
+            if (topo_->is_excluded(i, j)) continue;
+            pairs_.push_back({i, j});
+          }
+        }
+        // Pairs with neighbouring cells.
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              // Half stencil: take only the lexicographically positive
+              // offsets so each cell pair is visited once.
+              if (!small_grid) {
+                if (dz < 0) continue;
+                if (dz == 0 && dy < 0) continue;
+                if (dz == 0 && dy == 0 && dx < 0) continue;
+              }
+              const auto& other = cells.cell(cx + dx, cy + dy, cz + dz);
+              for (uint32_t ai : home) {
+                for (uint32_t bj : other) {
+                  if (small_grid && ai >= bj) continue;
+                  uint32_t i = std::min(ai, bj);
+                  uint32_t j = std::max(ai, bj);
+                  if (box.distance2(positions[i], positions[j]) >= reach2) {
+                    continue;
+                  }
+                  if (topo_->is_excluded(i, j)) continue;
+                  pairs_.push_back({i, j});
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const ff::PairEntry& a, const ff::PairEntry& b) {
+              return a.i != b.i ? a.i < b.i : a.j < b.j;
+            });
+  // With a small grid the same cell pair can be visited through two
+  // different wrap-around offsets; dedupe to keep the contract exact.
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end(),
+                           [](const ff::PairEntry& a, const ff::PairEntry& b) {
+                             return a.i == b.i && a.j == b.j;
+                           }),
+               pairs_.end());
+
+  reference_positions_.assign(positions.begin(), positions.end());
+  ++build_count_;
+}
+
+bool NeighborList::needs_rebuild(std::span<const Vec3> positions,
+                                 const Box& box) const {
+  if (reference_positions_.size() != positions.size()) return true;
+  const double limit2 = 0.25 * skin_ * skin_;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (box.distance2(positions[i], reference_positions_[i]) > limit2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NeighborList::update(std::span<const Vec3> positions, const Box& box) {
+  if (!needs_rebuild(positions, box)) return false;
+  build(positions, box);
+  return true;
+}
+
+}  // namespace antmd::md

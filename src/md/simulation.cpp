@@ -1,0 +1,286 @@
+#include "md/simulation.hpp"
+
+#include <cmath>
+
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::md {
+
+Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
+                       SimulationConfig config)
+    : ff_(&ff),
+      config_(config),
+      dt_(units::fs_to_internal(config.dt_fs)),
+      nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin),
+      constraints_(ff.topology(), 1e-8, 500,
+                   config.constraint_algorithm),
+      thermostat_(ff.topology(), config.thermostat),
+      current_(positions.size()),
+      kspace_cache_(positions.size()) {
+  const Topology& topo = ff.topology();
+  ANTMD_REQUIRE(positions.size() == topo.atom_count(),
+                "positions/topology size mismatch");
+  ANTMD_REQUIRE(config.dt_fs > 0, "timestep must be positive");
+  ANTMD_REQUIRE(config.kspace_interval >= 1, "kspace interval must be >= 1");
+  ANTMD_REQUIRE(config.respa_inner >= 1, "respa_inner must be >= 1");
+
+  state_.positions = std::move(positions);
+  state_.box = box;
+  state_.velocities.assign(topo.atom_count(), Vec3{});
+  if (config.init_temperature_k >= 0) {
+    init_velocities(topo, config.init_temperature_k, config.velocity_seed,
+                    state_);
+  }
+
+  ff_->on_box_changed(state_.box);
+  if (config.barostat.kind != BarostatKind::kNone) {
+    barostat_.emplace(topo, config.barostat,
+                      [this](std::span<const Vec3> pos, const Box& b) {
+                        return evaluate_potential(pos, b);
+                      });
+  }
+
+  ff::construct_virtual_sites(topo.virtual_sites(), state_.positions,
+                              state_.box);
+  nlist_.build(state_.positions, state_.box);
+  compute_forces(/*kspace_due=*/true);
+}
+
+void Simulation::compute_forces(bool kspace_due) {
+  const Topology& topo = ff_->topology();
+  const size_t n = topo.atom_count();
+
+  ff::construct_virtual_sites(topo.virtual_sites(), state_.positions,
+                              state_.box);
+  current_.reset(n);
+  ff_->compute_bonded(state_.positions, state_.box, state_.time, current_);
+  ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box,
+                         current_);
+  if (kspace_due && ff_->has_kspace()) {
+    kspace_cache_.reset(n);
+    ff_->compute_kspace(state_.positions, state_.box, kspace_cache_);
+  }
+  current_.merge(kspace_cache_);
+  ff::spread_virtual_site_forces(topo.virtual_sites(), state_.positions,
+                                 state_.box, current_.forces);
+}
+
+void Simulation::compute_fast_forces() {
+  const Topology& topo = ff_->topology();
+  ff::construct_virtual_sites(topo.virtual_sites(), state_.positions,
+                              state_.box);
+  fast_.reset(topo.atom_count());
+  ff_->compute_bonded(state_.positions, state_.box, state_.time, fast_);
+  ff::spread_virtual_site_forces(topo.virtual_sites(), state_.positions,
+                                 state_.box, fast_.forces);
+}
+
+void Simulation::compute_slow_forces(bool kspace_due) {
+  const Topology& topo = ff_->topology();
+  ff::construct_virtual_sites(topo.virtual_sites(), state_.positions,
+                              state_.box);
+  slow_.reset(topo.atom_count());
+  ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box,
+                         slow_);
+  if (kspace_due && ff_->has_kspace()) {
+    kspace_cache_.reset(topo.atom_count());
+    ff_->compute_kspace(state_.positions, state_.box, kspace_cache_);
+  }
+  slow_.merge(kspace_cache_);
+  ff::spread_virtual_site_forces(topo.virtual_sites(), state_.positions,
+                                 state_.box, slow_.forces);
+}
+
+void Simulation::step_respa() {
+  const Topology& topo = ff_->topology();
+  const size_t n = topo.atom_count();
+  const auto& masses = topo.masses();
+  const int n_inner = config_.respa_inner;
+  const double dtf = dt_ / static_cast<double>(n_inner);
+
+  // Slow and fast forces at the current positions (slow_ is maintained
+  // across steps; fast_ is refreshed by the inner loop's last iteration).
+  // Outer half kick with the slow forces.
+  for (size_t i = 0; i < n; ++i) {
+    if (masses[i] == 0.0) continue;
+    state_.velocities[i] += (dt_ / (2.0 * masses[i])) * slow_.forces.force(i);
+  }
+
+  // Inner velocity-Verlet loop with the fast (bonded) forces.
+  for (int k = 0; k < n_inner; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.velocities[i] +=
+          (dtf / (2.0 * masses[i])) * fast_.forces.force(i);
+    }
+    scratch_before_ = state_.positions;
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.positions[i] += dtf * state_.velocities[i];
+    }
+    if (!constraints_.empty()) {
+      constraints_.apply_positions(scratch_before_, state_.positions,
+                                   state_.velocities, dtf, state_.box);
+    }
+    compute_fast_forces();
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.velocities[i] +=
+          (dtf / (2.0 * masses[i])) * fast_.forces.force(i);
+    }
+    if (!constraints_.empty()) {
+      constraints_.apply_velocities(state_.positions, state_.velocities,
+                                    state_.box);
+    }
+  }
+
+  // Slow forces at the new positions; outer half kick.
+  nlist_.update(state_.positions, state_.box);
+  const bool kspace_due =
+      (state_.step + 1) % static_cast<uint64_t>(config_.kspace_interval) == 0;
+  compute_slow_forces(kspace_due);
+  for (size_t i = 0; i < n; ++i) {
+    if (masses[i] == 0.0) continue;
+    state_.velocities[i] += (dt_ / (2.0 * masses[i])) * slow_.forces.force(i);
+  }
+  if (!constraints_.empty()) {
+    constraints_.apply_velocities(state_.positions, state_.velocities,
+                                  state_.box);
+  }
+
+  // Combined result for observers.
+  current_.reset(n);
+  current_.merge(fast_);
+  current_.merge(slow_);
+
+  state_.step += 1;
+  state_.time += dt_;
+  thermostat_.apply(state_, dt_);
+  if (config_.com_removal_interval > 0 &&
+      state_.step % static_cast<uint64_t>(config_.com_removal_interval) ==
+          0) {
+    remove_com_momentum(topo, state_);
+  }
+}
+
+void Simulation::step() {
+  if (config_.respa_inner > 1) {
+    // Lazily seed the split caches on first use.
+    if (fast_.forces.size() != ff_->topology().atom_count()) {
+      compute_fast_forces();
+      compute_slow_forces(true);
+    }
+    step_respa();
+    return;
+  }
+  const Topology& topo = ff_->topology();
+  const size_t n = topo.atom_count();
+  const auto& masses = topo.masses();
+
+  // Half kick.
+  for (size_t i = 0; i < n; ++i) {
+    double m = masses[i];
+    if (m == 0.0) continue;
+    state_.velocities[i] += (dt_ / (2.0 * m)) * current_.forces.force(i);
+  }
+
+  // Drift.
+  scratch_before_ = state_.positions;
+  for (size_t i = 0; i < n; ++i) {
+    if (masses[i] == 0.0) continue;
+    state_.positions[i] += dt_ * state_.velocities[i];
+  }
+
+  // Constrain positions (and fold the impulse into velocities).
+  if (!constraints_.empty()) {
+    constraints_.apply_positions(scratch_before_, state_.positions,
+                                 state_.velocities, dt_, state_.box);
+  }
+
+  // Neighbor list & forces at the new positions.
+  nlist_.update(state_.positions, state_.box);
+  const bool kspace_due =
+      (state_.step + 1) % static_cast<uint64_t>(config_.kspace_interval) == 0;
+  compute_forces(kspace_due);
+
+  // Second half kick.
+  for (size_t i = 0; i < n; ++i) {
+    double m = masses[i];
+    if (m == 0.0) continue;
+    state_.velocities[i] += (dt_ / (2.0 * m)) * current_.forces.force(i);
+  }
+  if (!constraints_.empty()) {
+    constraints_.apply_velocities(state_.positions, state_.velocities,
+                                  state_.box);
+  }
+
+  state_.step += 1;
+  state_.time += dt_;
+
+  thermostat_.apply(state_, dt_);
+
+  if (barostat_) {
+    if (barostat_->maybe_apply_tensor(state_, current_.virial)) {
+      ff_->on_box_changed(state_.box);
+      nlist_.build(state_.positions, state_.box);
+      compute_forces(/*kspace_due=*/true);
+    }
+  }
+
+  if (config_.com_removal_interval > 0 &&
+      state_.step % static_cast<uint64_t>(config_.com_removal_interval) ==
+          0) {
+    remove_com_momentum(topo, state_);
+  }
+}
+
+void Simulation::run(size_t n) {
+  for (size_t i = 0; i < n; ++i) step();
+}
+
+double Simulation::conserved_quantity() const {
+  return potential_energy() + kinetic_energy() +
+         thermostat_.reservoir_energy();
+}
+
+double Simulation::pressure_atm() const {
+  return md::pressure_atm(ff_->topology(), state_, trace(current_.virial));
+}
+
+double Simulation::evaluate_potential(std::span<const Vec3> positions,
+                                      const Box& box) const {
+  const Topology& topo = ff_->topology();
+  std::vector<Vec3> pos(positions.begin(), positions.end());
+  ff::construct_virtual_sites(topo.virtual_sites(), pos, box);
+
+  NeighborList list(topo, ff_->model().cutoff, 0.0);
+  list.build(pos, box);
+
+  ForceResult res(topo.atom_count());
+  ff_->compute_bonded(pos, box, state_.time, res);
+  ff_->compute_nonbonded(list.pairs(), pos, box, res);
+  if (ff_->has_kspace()) {
+    // A changed box needs a re-gridded solver; keep `this` logically const
+    // by evaluating through a temporary solver when the box differs.
+    if (box.edges() == state_.box.edges()) {
+      ff_->compute_kspace(pos, box, res);
+    } else {
+      GseSolver solver(box, ff_->gse()->params());
+      solver.compute(pos, topo.charges(), topo.excluded_pairs(), box, res);
+    }
+  }
+  return res.energy.total();
+}
+
+void Simulation::rescale_velocities(double factor) {
+  for (auto& v : state_.velocities) v *= factor;
+}
+
+void Simulation::invalidate_forces() {
+  ff_->on_box_changed(state_.box);
+  nlist_.build(state_.positions, state_.box);
+  compute_forces(/*kspace_due=*/true);
+}
+
+}  // namespace antmd::md

@@ -1,0 +1,111 @@
+// Single-host MD driver: velocity Verlet with RESPA-style k-space reuse,
+// constraints, thermostats, barostats and virtual sites.
+//
+// This is the *functional* engine.  The machine-mapped runtime
+// (runtime::DistributedEngine) evaluates the same kernels partitioned across
+// modeled nodes and must produce bit-identical trajectories; md::Simulation
+// is both the reference implementation and the workhorse for the sampling
+// methods in sampling/.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "ff/forcefield.hpp"
+#include "md/barostat.hpp"
+#include "md/constraints.hpp"
+#include "md/neighbor.hpp"
+#include "md/state.hpp"
+#include "md/thermostat.hpp"
+
+namespace antmd::md {
+
+struct SimulationConfig {
+  double dt_fs = 2.0;
+  /// Recompute reciprocal-space forces every N steps and reuse between
+  /// (RESPA-style slow-force caching; 1 = every step).
+  int kspace_interval = 1;
+  /// Impulse-RESPA inner substeps: bonded (fast) forces are integrated at
+  /// dt/respa_inner while nonbonded/k-space kicks bracket the outer step.
+  /// 1 = plain velocity Verlet.
+  int respa_inner = 1;
+  double neighbor_skin = 2.0;  ///< Å
+  int com_removal_interval = 200;
+  ConstraintAlgorithm constraint_algorithm = ConstraintAlgorithm::kShake;
+  ThermostatConfig thermostat;
+  BarostatConfig barostat;
+  /// If >= 0, draw Maxwell–Boltzmann velocities at this temperature.
+  double init_temperature_k = 300.0;
+  uint64_t velocity_seed = 1234;
+};
+
+class Simulation {
+ public:
+  /// The force field (and the topology it references) must outlive the
+  /// simulation. Initial positions/box come from the caller.
+  Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
+             SimulationConfig config);
+
+  /// Advances one outer timestep.
+  void step();
+  /// Advances n steps.
+  void run(size_t n);
+
+  // --- observation -----------------------------------------------------------
+  [[nodiscard]] const State& state() const { return state_; }
+  [[nodiscard]] State& mutable_state() { return state_; }
+  [[nodiscard]] const ForceResult& forces() const { return current_; }
+  [[nodiscard]] double potential_energy() const {
+    return current_.energy.total();
+  }
+  [[nodiscard]] double kinetic_energy() const {
+    return md::kinetic_energy(ff_->topology(), state_);
+  }
+  [[nodiscard]] double temperature() const {
+    return md::temperature(ff_->topology(), state_);
+  }
+  /// Potential + kinetic + thermostat reservoir (drift diagnostic).
+  [[nodiscard]] double conserved_quantity() const;
+  [[nodiscard]] double pressure_atm() const;
+  [[nodiscard]] const NeighborList& neighbor_list() const { return nlist_; }
+  [[nodiscard]] ForceField& force_field() { return *ff_; }
+  [[nodiscard]] const ForceField& force_field() const { return *ff_; }
+  [[nodiscard]] Thermostat& thermostat() { return thermostat_; }
+  [[nodiscard]] double dt_internal() const { return dt_; }
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+
+  /// Full potential energy for arbitrary (positions, box): used by the MC
+  /// barostat and by sampling methods evaluating trial states.
+  [[nodiscard]] double evaluate_potential(std::span<const Vec3> positions,
+                                          const Box& box) const;
+
+  /// Reseeds stochastic elements (used by replica-exchange drivers).
+  void rescale_velocities(double factor);
+
+  /// Forces an immediate full force recomputation (after external state
+  /// surgery, e.g. replica exchange or λ switching).
+  void invalidate_forces();
+
+ private:
+  void compute_forces(bool kspace_due);
+  void step_respa();
+  void compute_fast_forces();
+  void compute_slow_forces(bool kspace_due);
+
+  ForceField* ff_;
+  SimulationConfig config_;
+  State state_;
+  double dt_;
+  NeighborList nlist_;
+  ConstraintSolver constraints_;
+  Thermostat thermostat_;
+  std::optional<Barostat> barostat_;
+  ForceResult current_;        ///< latest total forces/energy
+  ForceResult kspace_cache_;   ///< latest reciprocal-space contribution
+  ForceResult fast_;           ///< bonded forces (RESPA inner loop)
+  ForceResult slow_;           ///< nonbonded + k-space (RESPA outer kicks)
+  std::vector<Vec3> scratch_before_;
+};
+
+}  // namespace antmd::md

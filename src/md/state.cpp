@@ -1,0 +1,68 @@
+#include "md/state.hpp"
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::md {
+
+void init_velocities(const Topology& topo, double temperature_k,
+                     uint64_t seed, State& state) {
+  const size_t n = topo.atom_count();
+  ANTMD_REQUIRE(state.positions.size() == n, "state/topology size mismatch");
+  state.velocities.assign(n, Vec3{});
+  CounterRng rng(seed, /*stream=*/0xBEEFull);
+  for (size_t i = 0; i < n; ++i) {
+    double m = topo.masses()[i];
+    if (m == 0.0) continue;  // virtual site
+    double sigma = std::sqrt(units::kBoltzmann * temperature_k / m);
+    auto g = rng.gaussian3(i, 0);
+    state.velocities[i] = Vec3{sigma * g[0], sigma * g[1], sigma * g[2]};
+  }
+  remove_com_momentum(topo, state);
+  // Exact rescale to the target temperature.
+  double t = temperature(topo, state);
+  if (t > 0.0) {
+    double s = std::sqrt(temperature_k / t);
+    for (auto& v : state.velocities) v *= s;
+  }
+}
+
+double kinetic_energy(const Topology& topo, const State& state) {
+  double ke = 0.0;
+  for (size_t i = 0; i < topo.atom_count(); ++i) {
+    ke += 0.5 * topo.masses()[i] * norm2(state.velocities[i]);
+  }
+  return ke;
+}
+
+double temperature(const Topology& topo, const State& state) {
+  const double dof = static_cast<double>(topo.degrees_of_freedom());
+  if (dof <= 0.0) return 0.0;
+  return 2.0 * kinetic_energy(topo, state) / (dof * units::kBoltzmann);
+}
+
+void remove_com_momentum(const Topology& topo, State& state) {
+  Vec3 p{};
+  double mass = 0.0;
+  for (size_t i = 0; i < topo.atom_count(); ++i) {
+    p += topo.masses()[i] * state.velocities[i];
+    mass += topo.masses()[i];
+  }
+  if (mass == 0.0) return;
+  Vec3 v_com = p / mass;
+  for (size_t i = 0; i < topo.atom_count(); ++i) {
+    if (topo.masses()[i] > 0.0) state.velocities[i] -= v_com;
+  }
+}
+
+double pressure_atm(const Topology& topo, const State& state,
+                    double virial_trace) {
+  double ke = kinetic_energy(topo, state);
+  double p_internal = (2.0 * ke + virial_trace) / (3.0 * state.box.volume());
+  return p_internal * units::kAtmPerInternalPressure;
+}
+
+}  // namespace antmd::md

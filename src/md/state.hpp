@@ -1,0 +1,47 @@
+// Dynamic simulation state and kinetic-energy helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/pbc.hpp"
+#include "math/vec.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd {
+
+/// Positions, velocities, box and clock. Positions are unwrapped only
+/// transiently; callers should treat them as residing near the primary cell.
+struct State {
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+  Box box;
+  double time = 0.0;  ///< internal time units
+  uint64_t step = 0;
+};
+
+namespace md {
+
+/// Draws Maxwell–Boltzmann velocities at temperature_k using the
+/// decomposition-independent counter RNG (stream = seed, index = atom,
+/// step = 0), zeroes virtual-site velocities, removes COM drift, and
+/// rescales to exactly the target temperature.
+void init_velocities(const Topology& topo, double temperature_k,
+                     uint64_t seed, State& state);
+
+/// Sum of m v²/2 (kcal/mol). Virtual sites (massless) contribute zero.
+[[nodiscard]] double kinetic_energy(const Topology& topo, const State& state);
+
+/// Instantaneous temperature from equipartition over the topology's DoF.
+[[nodiscard]] double temperature(const Topology& topo, const State& state);
+
+/// Removes centre-of-mass momentum.
+void remove_com_momentum(const Topology& topo, State& state);
+
+/// Instantaneous pressure (atm) from kinetic energy and the virial trace.
+[[nodiscard]] double pressure_atm(const Topology& topo, const State& state,
+                                  double virial_trace);
+
+}  // namespace md
+}  // namespace antmd

@@ -1,0 +1,108 @@
+#include "md/thermostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::md {
+
+Thermostat::Thermostat(const Topology& topo, ThermostatConfig config)
+    : topo_(&topo), config_(config), rng_(config.seed, /*stream=*/0x7E49ull) {
+  ANTMD_REQUIRE(config_.temperature_k > 0, "temperature must be positive");
+  ANTMD_REQUIRE(config_.tau_fs > 0, "tau must be positive");
+  ANTMD_REQUIRE(config_.gamma_per_ps >= 0, "gamma must be non-negative");
+}
+
+void Thermostat::apply(State& state, double dt) {
+  switch (config_.kind) {
+    case ThermostatKind::kNone: return;
+    case ThermostatKind::kBerendsen: return apply_berendsen(state, dt);
+    case ThermostatKind::kLangevin: return apply_langevin(state, dt);
+    case ThermostatKind::kNoseHoover: return apply_nose_hoover(state, dt);
+  }
+}
+
+void Thermostat::apply_berendsen(State& state, double dt) {
+  double t = temperature(*topo_, state);
+  if (t <= 0.0) return;
+  double tau = units::fs_to_internal(config_.tau_fs);
+  double lambda2 = 1.0 + dt / tau * (config_.temperature_k / t - 1.0);
+  double lambda = std::sqrt(std::max(lambda2, 0.0));
+  // Cap the rescale per step, as production codes do, to stay stable when
+  // far from equilibrium.
+  lambda = std::clamp(lambda, 0.8, 1.25);
+  for (auto& v : state.velocities) v *= lambda;
+}
+
+void Thermostat::apply_langevin(State& state, double dt) {
+  // Ornstein–Uhlenbeck velocity update (the "O" piece of BAOAB):
+  //   v <- c v + sqrt(1 - c²) sqrt(kT/m) ξ,   c = exp(-γ dt)
+  // Noise is addressed by (atom, step) so the kick sequence is independent
+  // of how atoms are distributed across nodes.
+  const double gamma =
+      config_.gamma_per_ps / (1000.0 / units::kFsPerInternalTime);
+  const double c = std::exp(-gamma * dt);
+  const double s = std::sqrt(1.0 - c * c);
+  const double kt = units::kBoltzmann * config_.temperature_k;
+  for (size_t i = 0; i < topo_->atom_count(); ++i) {
+    double m = topo_->masses()[i];
+    if (m == 0.0) continue;
+    auto g = rng_.gaussian3(i, state.step);
+    double sigma = std::sqrt(kt / m);
+    Vec3& v = state.velocities[i];
+    v = c * v + (s * sigma) * Vec3{g[0], g[1], g[2]};
+  }
+}
+
+void Thermostat::apply_nose_hoover(State& state, double dt) {
+  // Two-thermostat chain, velocity-scaling formulation (Martyna et al.).
+  const double kt = units::kBoltzmann * config_.temperature_k;
+  const double dof = static_cast<double>(topo_->degrees_of_freedom());
+  const double tau = units::fs_to_internal(config_.tau_fs);
+  const double q1 = dof * kt * tau * tau;
+  const double q2 = kt * tau * tau;
+
+  double ke2 = 2.0 * kinetic_energy(*topo_, state);
+  const double dt2 = dt / 2.0;
+  const double dt4 = dt / 4.0;
+
+  // Half update of the chain, scale velocities, half update again.
+  auto chain_half = [&](double& scale) {
+    double g2 = (q1 * xi1_ * xi1_ - kt) / q2;
+    xi2_ += g2 * dt4;
+    xi1_ *= std::exp(-xi2_ * dt2 / 4.0);
+    double g1 = (ke2 - dof * kt) / q1;
+    xi1_ += g1 * dt4;
+    xi1_ *= std::exp(-xi2_ * dt2 / 4.0);
+    eta1_ += xi1_ * dt2;
+    eta2_ += xi2_ * dt2;
+    double s = std::exp(-xi1_ * dt2);
+    scale *= s;
+    ke2 *= s * s;
+    g1 = (ke2 - dof * kt) / q1;
+    xi1_ *= std::exp(-xi2_ * dt2 / 4.0);
+    xi1_ += g1 * dt4;
+    xi1_ *= std::exp(-xi2_ * dt2 / 4.0);
+    g2 = (q1 * xi1_ * xi1_ - kt) / q2;
+    xi2_ += g2 * dt4;
+  };
+
+  double scale = 1.0;
+  chain_half(scale);
+  for (auto& v : state.velocities) v *= scale;
+}
+
+double Thermostat::reservoir_energy() const {
+  if (config_.kind != ThermostatKind::kNoseHoover) return 0.0;
+  const double kt = units::kBoltzmann * config_.temperature_k;
+  const double dof = static_cast<double>(topo_->degrees_of_freedom());
+  const double tau = units::fs_to_internal(config_.tau_fs);
+  const double q1 = dof * kt * tau * tau;
+  const double q2 = kt * tau * tau;
+  return 0.5 * q1 * xi1_ * xi1_ + 0.5 * q2 * xi2_ * xi2_ +
+         dof * kt * eta1_ + kt * eta2_;
+}
+
+}  // namespace antmd::md

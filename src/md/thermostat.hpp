@@ -1,0 +1,60 @@
+// Thermostats: Berendsen (weak coupling), Langevin (stochastic, using the
+// decomposition-independent counter RNG), and a Nosé–Hoover chain.
+//
+// Supporting several temperature-control schemes — and in particular the
+// per-step velocity manipulations tempering methods need — was one of the
+// generality extensions; all of these run on the programmable cores in the
+// machine model.
+#pragma once
+
+#include <cstdint>
+
+#include "math/rng.hpp"
+#include "md/state.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd::md {
+
+enum class ThermostatKind { kNone, kBerendsen, kLangevin, kNoseHoover };
+
+struct ThermostatConfig {
+  ThermostatKind kind = ThermostatKind::kNone;
+  double temperature_k = 300.0;
+  double tau_fs = 500.0;     ///< coupling time (Berendsen/Nosé–Hoover)
+  double gamma_per_ps = 1.0; ///< friction (Langevin)
+  uint64_t seed = 2027;      ///< Langevin noise stream
+};
+
+/// Stateful thermostat applied once per outer MD step.
+class Thermostat {
+ public:
+  Thermostat(const Topology& topo, ThermostatConfig config);
+
+  /// Applies the thermostat over timestep dt (internal units).
+  void apply(State& state, double dt);
+
+  /// Allows tempering methods to retarget the bath temperature mid-run.
+  void set_temperature(double temperature_k) {
+    config_.temperature_k = temperature_k;
+  }
+  [[nodiscard]] double temperature_k() const { return config_.temperature_k; }
+  [[nodiscard]] ThermostatKind kind() const { return config_.kind; }
+
+  /// Energy of the extended (Nosé–Hoover) variables, for conserved-quantity
+  /// diagnostics. Zero for other kinds.
+  [[nodiscard]] double reservoir_energy() const;
+
+ private:
+  void apply_berendsen(State& state, double dt);
+  void apply_langevin(State& state, double dt);
+  void apply_nose_hoover(State& state, double dt);
+
+  const Topology* topo_;
+  ThermostatConfig config_;
+  CounterRng rng_;
+  // Nosé–Hoover chain (length 2) state.
+  double xi1_ = 0.0, xi2_ = 0.0;    ///< thermostat "velocities"
+  double eta1_ = 0.0, eta2_ = 0.0;  ///< thermostat "positions"
+};
+
+}  // namespace antmd::md

@@ -1,0 +1,62 @@
+#include "runtime/decomposition.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::runtime {
+
+SpatialDecomposition::SpatialDecomposition(
+    const machine::TorusTopology& torus, const Box& /*box*/)
+    : torus_(&torus) {}
+
+uint32_t SpatialDecomposition::node_at(const Vec3& p, const Box& box) const {
+  Vec3 w = box.wrap(p);
+  const auto& dims = torus_->dims();
+  auto cell = [&](double x, double l, int n) {
+    int c = static_cast<int>(x / l * n);
+    return std::min(c, n - 1);
+  };
+  machine::NodeCoord coord = {cell(w.x, box.edges().x, dims[0]),
+                              cell(w.y, box.edges().y, dims[1]),
+                              cell(w.z, box.edges().z, dims[2])};
+  return static_cast<uint32_t>(torus_->id_of(coord));
+}
+
+void SpatialDecomposition::assign_atoms(std::span<const Vec3> positions,
+                                        const Box& box) {
+  owner_.resize(positions.size());
+  for (uint32_t i = 0; i < positions.size(); ++i) {
+    owner_[i] = node_at(positions[i], box);
+  }
+}
+
+std::vector<size_t> SpatialDecomposition::atoms_per_node() const {
+  std::vector<size_t> counts(node_count(), 0);
+  for (uint32_t o : owner_) ++counts[o];
+  return counts;
+}
+
+std::vector<uint32_t> SpatialDecomposition::assign_pairs(
+    std::span<const ff::PairEntry> pairs, std::span<const Vec3> positions,
+    const Box& box, PairAssignment rule) const {
+  ANTMD_REQUIRE(!owner_.empty(), "assign_atoms must be called first");
+  std::vector<uint32_t> out(pairs.size());
+  switch (rule) {
+    case PairAssignment::kHomeOfFirst:
+      for (size_t k = 0; k < pairs.size(); ++k) {
+        out[k] = owner_[pairs[k].i];
+      }
+      break;
+    case PairAssignment::kMidpoint:
+      for (size_t k = 0; k < pairs.size(); ++k) {
+        const Vec3& a = positions[pairs[k].i];
+        Vec3 d = box.min_image(positions[pairs[k].j], a);
+        out[k] = node_at(a + 0.5 * d, box);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace antmd::runtime

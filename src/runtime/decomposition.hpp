@@ -1,0 +1,56 @@
+// Spatial decomposition of atoms and work onto the machine's torus.
+//
+// Each node owns a rectangular "home box" of space; atoms are assigned by
+// position, pair interactions by an assignment rule (half-shell or an
+// NT-method-style midpoint rule), and bonded/update work by the owner of
+// the first atom.  The decomposition also counts the communication volume
+// each node incurs (position import, force return), which feeds the timing
+// model.  Functional results never depend on the decomposition — that is
+// the determinism contract tested in runtime_test / experiment T5.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ff/nonbonded.hpp"
+#include "machine/torus.hpp"
+#include "math/pbc.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd::runtime {
+
+/// How pair interactions are assigned to nodes.
+enum class PairAssignment {
+  kHomeOfFirst,  ///< half-shell: the owner of the lower-indexed atom
+  kMidpoint,     ///< NT-style: the node whose home box contains the pair
+                 ///< midpoint — halves import asymmetry for large cutoffs
+};
+
+class SpatialDecomposition {
+ public:
+  SpatialDecomposition(const machine::TorusTopology& torus, const Box& box);
+
+  /// (Re)assigns atoms to home nodes from current positions.
+  void assign_atoms(std::span<const Vec3> positions, const Box& box);
+
+  [[nodiscard]] size_t node_count() const { return torus_->node_count(); }
+  [[nodiscard]] uint32_t owner(uint32_t atom) const { return owner_[atom]; }
+  [[nodiscard]] const std::vector<uint32_t>& owners() const { return owner_; }
+  /// Number of atoms each node owns.
+  [[nodiscard]] std::vector<size_t> atoms_per_node() const;
+
+  /// Node that owns spatial point p (wrapped into the box).
+  [[nodiscard]] uint32_t node_at(const Vec3& p, const Box& box) const;
+
+  /// Assigns each pair to a node under the given rule.
+  [[nodiscard]] std::vector<uint32_t> assign_pairs(
+      std::span<const ff::PairEntry> pairs, std::span<const Vec3> positions,
+      const Box& box, PairAssignment rule) const;
+
+ private:
+  const machine::TorusTopology* torus_;
+  std::vector<uint32_t> owner_;
+};
+
+}  // namespace antmd::runtime

@@ -1,0 +1,244 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace antmd::runtime {
+
+DistributedEngine::DistributedEngine(ForceField& ff,
+                                     const machine::MachineConfig& config,
+                                     EngineOptions options)
+    : ff_(&ff), torus_(config), options_(options), decomp_(torus_, Box()) {}
+
+void DistributedEngine::redistribute(std::span<const Vec3> positions,
+                                     const Box& box,
+                                     std::span<const ff::PairEntry> pairs) {
+  const Topology& topo = ff_->topology();
+  decomp_.assign_atoms(positions, box);
+
+  parts_.assign(torus_.node_count(), NodePartition{});
+  const auto& owner = decomp_.owners();
+
+  auto pair_nodes = decomp_.assign_pairs(pairs, positions, box,
+                                         options_.pair_rule);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    parts_[pair_nodes[k]].pairs.push_back(pairs[k]);
+  }
+  for (const Bond& b : topo.bonds()) parts_[owner[b.i]].bonds.push_back(b);
+  for (const Angle& a : topo.angles()) {
+    parts_[owner[a.j]].angles.push_back(a);
+  }
+  for (const Dihedral& d : topo.dihedrals()) {
+    parts_[owner[d.j]].dihedrals.push_back(d);
+  }
+  for (const MorseBond& b : topo.morse_bonds()) {
+    parts_[owner[b.i]].morse_bonds.push_back(b);
+  }
+  for (const UreyBradley& u : topo.urey_bradleys()) {
+    parts_[owner[u.i]].urey_bradleys.push_back(u);
+  }
+  for (const Improper& d : topo.impropers()) {
+    parts_[owner[d.j]].impropers.push_back(d);
+  }
+  for (const GoContact& g : topo.go_contacts()) {
+    parts_[owner[g.i]].go_contacts.push_back(g);
+  }
+  for (const Pair14& p : topo.pairs14()) {
+    parts_[owner[p.i]].pairs14.push_back(p);
+  }
+  for (const auto& r : ff_->position_restraints()) {
+    parts_[owner[r.atom]].pos_restraints.push_back(r);
+  }
+  for (const auto& r : ff_->distance_restraints()) {
+    parts_[owner[r.i]].dist_restraints.push_back(r);
+  }
+  for (const auto& s : ff_->steered_springs()) {
+    parts_[owner[s.i]].springs.push_back(s);
+  }
+  for (const auto& b : ff_->pair_biases()) {
+    parts_[owner[b.i]].biases.push_back(b);
+  }
+  for (const auto& b : ff_->dihedral_biases()) {
+    parts_[owner[b.j]].dihedral_biases.push_back(b);
+  }
+  for (const auto& v : topo.virtual_sites()) {
+    parts_[owner[v.parents[0]]].vsites.push_back(v);
+  }
+  for (const auto& c : topo.constraints()) {
+    ++parts_[owner[c.i]].constraint_count;
+  }
+  for (uint32_t i = 0; i < topo.atom_count(); ++i) {
+    parts_[owner[i]].owned_atoms.push_back(i);
+  }
+
+  fill_comm_counts(positions, box);
+}
+
+void DistributedEngine::fill_comm_counts(std::span<const Vec3> /*positions*/,
+                                         const Box& /*box*/) {
+  const auto& owner = decomp_.owners();
+  constexpr double kPosBytes = 12.0;    // 3 × int32 fixed-point position
+  constexpr double kForceBytes = 12.0;  // 3 × int32 force quanta
+
+  for (size_t n = 0; n < parts_.size(); ++n) {
+    NodePartition& part = parts_[n];
+    std::unordered_set<uint32_t> imported;
+    std::unordered_set<uint32_t> sources;
+    auto need = [&](uint32_t atom) {
+      if (owner[atom] != n && imported.insert(atom).second) {
+        sources.insert(owner[atom]);
+      }
+    };
+    for (const auto& p : part.pairs) { need(p.i); need(p.j); }
+    for (const auto& b : part.bonds) { need(b.i); need(b.j); }
+    for (const auto& a : part.angles) { need(a.i); need(a.j); need(a.k_atom); }
+    for (const auto& d : part.dihedrals) {
+      need(d.i); need(d.j); need(d.k_atom); need(d.l);
+    }
+    for (const auto& b : part.morse_bonds) { need(b.i); need(b.j); }
+    for (const auto& g : part.go_contacts) { need(g.i); need(g.j); }
+    for (const auto& u : part.urey_bradleys) { need(u.i); need(u.k); }
+    for (const auto& d : part.impropers) {
+      need(d.i); need(d.j); need(d.k_atom); need(d.l);
+    }
+    for (const auto& b : part.dihedral_biases) {
+      need(b.i); need(b.j); need(b.k); need(b.l);
+    }
+    for (const auto& p : part.pairs14) { need(p.i); need(p.j); }
+    for (const auto& s : part.springs) { need(s.i); need(s.j); }
+    for (const auto& b : part.biases) { need(b.i); need(b.j); }
+    for (const auto& r : part.dist_restraints) { need(r.i); need(r.j); }
+    for (const auto& v : part.vsites) {
+      need(v.site); need(v.parents[0]); need(v.parents[1]);
+      if (v.kind == VirtualSite::Kind::kPlanar3) need(v.parents[2]);
+    }
+    part.import_bytes = static_cast<double>(imported.size()) * kPosBytes;
+    // Forces computed here for non-owned atoms travel back.
+    part.export_bytes = static_cast<double>(imported.size()) * kForceBytes;
+    part.messages = sources.size();
+  }
+}
+
+machine::StepWork DistributedEngine::evaluate(
+    std::span<Vec3> positions, const Box& box, double time,
+    std::span<const ff::PairEntry> pairs, bool kspace_due, ForceResult& out,
+    ForceResult& kspace_cache) const {
+  ANTMD_REQUIRE(!parts_.empty(), "redistribute() must run before evaluate()");
+  static_cast<void>(pairs);  // partitioned copies are authoritative
+  const Topology& topo = ff_->topology();
+  const size_t n_atoms = topo.atom_count();
+  const auto& tables = ff_->tables();
+
+  // Position multicast: every consumer sees the fixed-point wire format.
+  if (options_.quantize_positions) {
+    for (auto& p : positions) p = snap_position(p);
+  }
+
+  ff::construct_virtual_sites(topo.virtual_sites(), positions, box);
+
+  out.reset(n_atoms);
+  machine::StepWork work;
+  work.nodes.resize(parts_.size());
+
+  for (size_t n = 0; n < parts_.size(); ++n) {
+    const NodePartition& part = parts_[n];
+    ForceResult partial(n_atoms);
+
+    ff::compute_bonds(part.bonds, positions, box, partial);
+    ff::compute_angles(part.angles, positions, box, partial);
+    ff::compute_dihedrals(part.dihedrals, positions, box, partial);
+    ff::compute_morse_bonds(part.morse_bonds, positions, box, partial);
+    ff::compute_urey_bradleys(part.urey_bradleys, positions, box, partial);
+    ff::compute_impropers(part.impropers, positions, box, partial);
+    ff::compute_go_contacts(part.go_contacts, positions, box, partial);
+    ff::compute_pairs14(part.pairs14, tables, topo.type_ids(),
+                        topo.charges(), positions, box, partial);
+    ff::compute_position_restraints(part.pos_restraints, positions, box,
+                                    partial);
+    ff::compute_distance_restraints(part.dist_restraints, positions, box,
+                                    partial);
+    if (!part.springs.empty()) {
+      ff::compute_steered_springs(part.springs, positions, box, time,
+                                  partial);
+    }
+    if (!part.biases.empty()) {
+      ff::compute_pair_biases(part.biases, positions, box, partial);
+    }
+    if (!part.dihedral_biases.empty()) {
+      ff::compute_dihedral_biases(part.dihedral_biases, positions, box,
+                                  partial);
+    }
+    if (ff_->external_field()) {
+      // Field force on owned atoms only (a strictly per-atom term).
+      for (uint32_t atom : part.owned_atoms) {
+        double q = topo.charges()[atom];
+        if (q == 0.0) continue;
+        partial.forces.add(atom, q * ff_->external_field()->field);
+        partial.energy.external.add(
+            -q * dot(ff_->external_field()->field, positions[atom]));
+      }
+    }
+    ff::compute_pairs(part.pairs, tables, topo.type_ids(), topo.charges(),
+                      positions, box, partial, ff_->vdw_scale(),
+                      ff_->charge_product_scale());
+
+    out.merge(partial);  // the modeled force reduction
+
+    // --- workload accounting -----------------------------------------------
+    machine::NodeWork& nw = work.nodes[n];
+    nw.pairs = part.pairs.size();
+    nw.pairs_examined = part.pairs.size();
+    nw.gc_force_flops =
+        part.bonds.size() * costs_.bond + part.angles.size() * costs_.angle +
+        part.dihedrals.size() * costs_.dihedral +
+        part.morse_bonds.size() * costs_.bond +
+        part.urey_bradleys.size() * costs_.bond +
+        part.impropers.size() * costs_.dihedral +
+        part.go_contacts.size() * costs_.pair14 +
+        part.dihedral_biases.size() * costs_.dihedral +
+        part.pairs14.size() * costs_.pair14 +
+        part.pos_restraints.size() * costs_.restraint +
+        part.dist_restraints.size() * costs_.restraint +
+        part.springs.size() * costs_.steered_spring +
+        part.biases.size() * costs_.steered_spring +
+        (ff_->external_field()
+             ? part.owned_atoms.size() * costs_.external_field_atom
+             : 0.0) +
+        part.vsites.size() * costs_.vsite_construct;
+    // Update phase: integration + thermostat + constraints + vsite spread.
+    nw.gc_update_flops =
+        part.owned_atoms.size() *
+            (costs_.integrate_atom + costs_.thermostat_atom) +
+        part.constraint_count * 3.0 * costs_.constraint_iteration +
+        part.vsites.size() * costs_.vsite_spread;
+    nw.import_bytes = part.import_bytes;
+    nw.export_bytes = part.export_bytes;
+    nw.messages = part.messages;
+  }
+
+  if (ff_->has_kspace()) {
+    if (kspace_due) {
+      kspace_cache.reset(n_atoms);
+      ff_->compute_kspace(positions, box, kspace_cache);
+      size_t charged = 0;
+      for (double q : topo.charges()) {
+        if (q != 0.0) ++charged;
+      }
+      auto gw = ff_->gse()->workload(charged);
+      work.kspace.active = true;
+      work.kspace.grid_points = gw.grid_points;
+      work.kspace.charges = gw.charges;
+      work.kspace.stencil_points = gw.spread_stencil_points;
+      work.kspace.fft_flops = gw.fft_flops;
+    }
+    out.merge(kspace_cache);
+  }
+
+  ff::spread_virtual_site_forces(topo.virtual_sites(), positions, box,
+                                 out.forces);
+  return work;
+}
+
+}  // namespace antmd::runtime

@@ -1,0 +1,92 @@
+// DistributedEngine: evaluates forces exactly as the single-host ForceField
+// does, but partitioned across the modeled machine's nodes, producing (a) a
+// bit-identical ForceResult regardless of node count — the determinism the
+// real machine's fixed-point arithmetic guarantees — and (b) per-node
+// workload counts for the timing model.
+//
+// Kernel → hardware-unit mapping (the paper's central design point):
+//   tabulated pair interactions  → HTIS pairwise pipelines
+//   bonded terms, 1-4 pairs, restraints, steered springs, external fields,
+//   constraints, virtual sites, integration, tempering decisions
+//                                → programmable geometry cores
+//   k-space (spread/FFT/convolve/interpolate)
+//                                → geometry cores + all-to-all transposes
+#pragma once
+
+#include <vector>
+
+#include "ff/forcefield.hpp"
+#include "machine/timing.hpp"
+#include "runtime/decomposition.hpp"
+
+namespace antmd::runtime {
+
+struct EngineOptions {
+  PairAssignment pair_rule = PairAssignment::kHomeOfFirst;
+  /// Snap positions through the 32-bit fixed-point wire format before force
+  /// evaluation (what the position multicast does on the real machine).
+  bool quantize_positions = true;
+};
+
+class DistributedEngine {
+ public:
+  DistributedEngine(ForceField& ff, const machine::MachineConfig& config,
+                    EngineOptions options = {});
+
+  /// Reassigns atoms and work to nodes; call whenever the global neighbor
+  /// list was rebuilt (atom migration happens at list rebuilds on Anton
+  /// too).
+  void redistribute(std::span<const Vec3> positions, const Box& box,
+                    std::span<const ff::PairEntry> pairs);
+
+  /// Evaluates all forces.  `kspace_cache` is reused when !kspace_due.
+  /// Returns the machine-wide workload of this step for the timing model.
+  machine::StepWork evaluate(std::span<Vec3> positions, const Box& box,
+                             double time,
+                             std::span<const ff::PairEntry> pairs,
+                             bool kspace_due, ForceResult& out,
+                             ForceResult& kspace_cache) const;
+
+  [[nodiscard]] const SpatialDecomposition& decomposition() const {
+    return decomp_;
+  }
+  [[nodiscard]] size_t node_count() const { return torus_.node_count(); }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] const machine::TorusTopology& torus() const { return torus_; }
+
+ private:
+  struct NodePartition {
+    std::vector<ff::PairEntry> pairs;
+    std::vector<Bond> bonds;
+    std::vector<Angle> angles;
+    std::vector<Dihedral> dihedrals;
+    std::vector<MorseBond> morse_bonds;
+    std::vector<UreyBradley> urey_bradleys;
+    std::vector<Improper> impropers;
+    std::vector<GoContact> go_contacts;
+    std::vector<Pair14> pairs14;
+    std::vector<ff::PositionRestraint> pos_restraints;
+    std::vector<ff::DistanceRestraint> dist_restraints;
+    std::vector<ff::SteeredSpring> springs;
+    std::vector<ff::PairBias> biases;
+    std::vector<ff::DihedralBias> dihedral_biases;
+    std::vector<uint32_t> owned_atoms;
+    std::vector<VirtualSite> vsites;
+    size_t constraint_count = 0;
+    // Communication accounting (bytes per step, fixed-point wire format).
+    double import_bytes = 0.0;
+    double export_bytes = 0.0;
+    size_t messages = 0;
+  };
+
+  void fill_comm_counts(std::span<const Vec3> positions, const Box& box);
+
+  ForceField* ff_;
+  machine::TorusTopology torus_;
+  EngineOptions options_;
+  SpatialDecomposition decomp_;
+  std::vector<NodePartition> parts_;
+  machine::GcCosts costs_;
+};
+
+}  // namespace antmd::runtime

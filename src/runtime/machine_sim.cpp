@@ -1,0 +1,132 @@
+#include "runtime/machine_sim.hpp"
+
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::runtime {
+namespace {
+
+void accumulate(machine::StepBreakdown& acc,
+                const machine::StepBreakdown& step) {
+  acc.multicast += step.multicast;
+  acc.pair_phase += step.pair_phase;
+  acc.gc_force_phase += step.gc_force_phase;
+  acc.interaction += step.interaction;
+  acc.reduce += step.reduce;
+  acc.update += step.update;
+  acc.kspace_spread += step.kspace_spread;
+  acc.kspace_fft_compute += step.kspace_fft_compute;
+  acc.kspace_fft_comm += step.kspace_fft_comm;
+  acc.kspace_convolve += step.kspace_convolve;
+  acc.kspace_interp += step.kspace_interp;
+  acc.tempering += step.tempering;
+  acc.sync += step.sync;
+  acc.total += step.total;
+}
+
+}  // namespace
+
+MachineSimulation::MachineSimulation(ForceField& ff,
+                                     machine::MachineConfig machine_cfg,
+                                     std::vector<Vec3> positions, Box box,
+                                     MachineSimConfig config)
+    : ff_(&ff),
+      config_(config),
+      timing_(machine_cfg),
+      engine_(ff, machine_cfg, config.engine),
+      dt_(units::fs_to_internal(config.dt_fs)),
+      nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin),
+      constraints_(ff.topology(), 1e-8, 500,
+                   config.constraint_algorithm),
+      thermostat_(ff.topology(), config.thermostat),
+      current_(positions.size()),
+      kspace_cache_(positions.size()) {
+  const Topology& topo = ff.topology();
+  ANTMD_REQUIRE(positions.size() == topo.atom_count(),
+                "positions/topology size mismatch");
+  ANTMD_REQUIRE(config.kspace_interval >= 1, "kspace interval must be >= 1");
+
+  state_.positions = std::move(positions);
+  state_.box = box;
+  state_.velocities.assign(topo.atom_count(), Vec3{});
+  if (config.init_temperature_k >= 0) {
+    md::init_velocities(topo, config.init_temperature_k,
+                        config.velocity_seed, state_);
+  }
+  ff_->on_box_changed(state_.box);
+  nlist_.build(state_.positions, state_.box);
+  engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
+  evaluate_forces(/*kspace_due=*/true);
+}
+
+void MachineSimulation::evaluate_forces(bool kspace_due) {
+  machine::StepWork work =
+      engine_.evaluate(state_.positions, state_.box, state_.time,
+                       nlist_.pairs(), kspace_due, current_, kspace_cache_);
+  work.tempering_decisions = pending_tempering_decisions_;
+  pending_tempering_decisions_ = 0;
+  last_breakdown_ = timing_.step_time(work);
+  accumulate(accumulated_, last_breakdown_);
+  modeled_time_s_ += last_breakdown_.total;
+  ++steps_timed_;
+}
+
+void MachineSimulation::step() {
+  const Topology& topo = ff_->topology();
+  const size_t n = topo.atom_count();
+  const auto& masses = topo.masses();
+
+  for (size_t i = 0; i < n; ++i) {
+    if (masses[i] == 0.0) continue;
+    state_.velocities[i] += (dt_ / (2.0 * masses[i])) *
+                            current_.forces.force(i);
+  }
+  scratch_before_ = state_.positions;
+  for (size_t i = 0; i < n; ++i) {
+    if (masses[i] == 0.0) continue;
+    state_.positions[i] += dt_ * state_.velocities[i];
+  }
+  if (!constraints_.empty()) {
+    constraints_.apply_positions(scratch_before_, state_.positions,
+                                 state_.velocities, dt_, state_.box);
+  }
+
+  if (nlist_.update(state_.positions, state_.box)) {
+    engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
+  }
+  const bool kspace_due =
+      (state_.step + 1) % static_cast<uint64_t>(config_.kspace_interval) == 0;
+  evaluate_forces(kspace_due);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (masses[i] == 0.0) continue;
+    state_.velocities[i] += (dt_ / (2.0 * masses[i])) *
+                            current_.forces.force(i);
+  }
+  if (!constraints_.empty()) {
+    constraints_.apply_velocities(state_.positions, state_.velocities,
+                                  state_.box);
+  }
+
+  state_.step += 1;
+  state_.time += dt_;
+  thermostat_.apply(state_, dt_);
+
+  if (config_.com_removal_interval > 0 &&
+      state_.step % static_cast<uint64_t>(config_.com_removal_interval) ==
+          0) {
+    md::remove_com_momentum(topo, state_);
+  }
+}
+
+void MachineSimulation::run(size_t n) {
+  for (size_t i = 0; i < n; ++i) step();
+}
+
+double MachineSimulation::ns_per_day() const {
+  double mean = mean_step_time_s();
+  if (mean <= 0) return 0.0;
+  return machine::ns_per_day(config_.dt_fs, mean);
+}
+
+}  // namespace antmd::runtime

@@ -1,0 +1,104 @@
+// MachineSimulation: MD on the modeled Anton-class machine.
+//
+// Functionally it advances the same velocity-Verlet + constraints +
+// thermostat sequence as md::Simulation, but forces come from the
+// DistributedEngine (partitioned across modeled nodes, fixed-point wire
+// format) and every step also produces a modeled StepBreakdown from the
+// timing model.  Trajectories are bit-identical for any machine size — the
+// determinism experiment (T5) — and the accumulated modeled time drives the
+// performance experiments (T1, F1, T2, F2, F5, F7).
+#pragma once
+
+#include <vector>
+
+#include "machine/timing.hpp"
+#include "md/constraints.hpp"
+#include "md/neighbor.hpp"
+#include "md/state.hpp"
+#include "md/thermostat.hpp"
+#include "runtime/engine.hpp"
+
+namespace antmd::runtime {
+
+struct MachineSimConfig {
+  double dt_fs = 2.5;
+  int kspace_interval = 2;  ///< RESPA: reciprocal forces every N steps
+  double neighbor_skin = 2.0;
+  md::ThermostatConfig thermostat;
+  md::ConstraintAlgorithm constraint_algorithm =
+      md::ConstraintAlgorithm::kShake;
+  double init_temperature_k = 300.0;
+  uint64_t velocity_seed = 1234;
+  int com_removal_interval = 0;
+  EngineOptions engine;
+};
+
+class MachineSimulation {
+ public:
+  MachineSimulation(ForceField& ff, machine::MachineConfig machine,
+                    std::vector<Vec3> positions, Box box,
+                    MachineSimConfig config);
+
+  void step();
+  void run(size_t n);
+
+  [[nodiscard]] const State& state() const { return state_; }
+  [[nodiscard]] const ForceResult& forces() const { return current_; }
+  [[nodiscard]] double potential_energy() const {
+    return current_.energy.total();
+  }
+  [[nodiscard]] double kinetic_energy() const {
+    return md::kinetic_energy(ff_->topology(), state_);
+  }
+  [[nodiscard]] double temperature() const {
+    return md::temperature(ff_->topology(), state_);
+  }
+
+  // --- modeled performance -----------------------------------------------------
+  [[nodiscard]] const machine::StepBreakdown& last_breakdown() const {
+    return last_breakdown_;
+  }
+  /// Sum of modeled step times since construction (seconds).
+  [[nodiscard]] double modeled_time_s() const { return modeled_time_s_; }
+  [[nodiscard]] double mean_step_time_s() const {
+    return steps_timed_ ? modeled_time_s_ / static_cast<double>(steps_timed_)
+                        : 0.0;
+  }
+  /// Phase sums over all steps so far.
+  [[nodiscard]] const machine::StepBreakdown& accumulated() const {
+    return accumulated_;
+  }
+  /// Modeled simulation rate in ns/day at the configured timestep.
+  [[nodiscard]] double ns_per_day() const;
+
+  [[nodiscard]] const DistributedEngine& engine() const { return engine_; }
+  [[nodiscard]] ForceField& force_field() { return *ff_; }
+  [[nodiscard]] md::Thermostat& thermostat() { return thermostat_; }
+
+  /// Marks a tempering/exchange decision in the next step's workload
+  /// (cost accounting for sampling methods driven on top of this engine).
+  void note_tempering_decision() { ++pending_tempering_decisions_; }
+
+ private:
+  void evaluate_forces(bool kspace_due);
+
+  ForceField* ff_;
+  MachineSimConfig config_;
+  machine::TimingModel timing_;
+  DistributedEngine engine_;
+  State state_;
+  double dt_;
+  md::NeighborList nlist_;
+  md::ConstraintSolver constraints_;
+  md::Thermostat thermostat_;
+  ForceResult current_;
+  ForceResult kspace_cache_;
+  std::vector<Vec3> scratch_before_;
+  machine::StepBreakdown last_breakdown_;
+  machine::StepBreakdown accumulated_;
+  double modeled_time_s_ = 0.0;
+  uint64_t steps_timed_ = 0;
+  size_t pending_tempering_decisions_ = 0;
+};
+
+}  // namespace antmd::runtime

@@ -1,0 +1,77 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::runtime {
+namespace {
+
+/// Largest cube count <= n (partitions are cubic sub-tori).
+size_t cube_floor(size_t n) {
+  auto side = static_cast<size_t>(std::cbrt(static_cast<double>(n)));
+  while ((side + 1) * (side + 1) * (side + 1) <= n) ++side;
+  return std::max<size_t>(side * side * side, 1);
+}
+
+}  // namespace
+
+ReplicaScheduler::ReplicaScheduler(machine::MachineConfig machine,
+                                   machine::SystemStats stats,
+                                   machine::WorkloadParams params)
+    : machine_(std::move(machine)), stats_(stats), params_(params) {
+  machine_.validate();
+}
+
+ReplicaScheduleResult ReplicaScheduler::evaluate(ReplicaPlacement placement,
+                                                 size_t replicas) const {
+  ANTMD_REQUIRE(replicas >= 1, "need at least one replica");
+  const size_t total_nodes = machine_.node_count();
+  ReplicaScheduleResult out;
+  out.placement = placement;
+  out.replicas = replicas;
+
+  machine::TimingModel timing(machine_);
+
+  switch (placement) {
+    case ReplicaPlacement::kPartitioned: {
+      size_t share = cube_floor(std::max<size_t>(total_nodes / replicas, 1));
+      out.nodes_per_replica = share;
+      auto work = machine::estimate_step_work(stats_, share, params_);
+      out.step_time_s = timing.step_time(work).total;
+      // All replicas run concurrently.
+      out.replica_steps_per_s =
+          static_cast<double>(replicas) / out.step_time_s;
+      break;
+    }
+    case ReplicaPlacement::kTimeMultiplexed: {
+      out.nodes_per_replica = total_nodes;
+      auto work = machine::estimate_step_work(stats_, total_nodes, params_);
+      out.step_time_s = timing.step_time(work).total;
+      // Swapping a replica in/out: full dynamic state (positions +
+      // velocities, 24 B each as fixed point) over the injection links,
+      // plus a barrier.
+      double state_bytes = static_cast<double>(stats_.atoms) * 24.0 * 2.0;
+      double inject_bw = machine_.link_bandwidth_Bps *
+                         std::max(1, machine_.links_per_node / 2) *
+                         static_cast<double>(total_nodes);
+      out.swap_overhead_s =
+          state_bytes / inject_bw + machine_.barrier_latency_s;
+      // Round-robin: each wall second advances the ensemble by
+      // 1/(t_step + t_swap) steps distributed over all replicas.
+      out.replica_steps_per_s =
+          1.0 / (out.step_time_s + out.swap_overhead_s);
+      break;
+    }
+  }
+  return out;
+}
+
+ReplicaScheduleResult ReplicaScheduler::best(size_t replicas) const {
+  auto a = evaluate(ReplicaPlacement::kPartitioned, replicas);
+  auto b = evaluate(ReplicaPlacement::kTimeMultiplexed, replicas);
+  return a.replica_steps_per_s >= b.replica_steps_per_s ? a : b;
+}
+
+}  // namespace antmd::runtime

@@ -1,0 +1,54 @@
+// ReplicaScheduler: models how a replica ensemble (T-REMD, H-REMD,
+// multiple independent trajectories) maps onto the machine.
+//
+// Two strategies the software stack can choose between:
+//   * kPartitioned — carve the torus into R sub-machines, one replica
+//     each; replicas step concurrently but each on fewer nodes.
+//   * kTimeMultiplexed — the full machine runs replicas round-robin;
+//     each step is fastest-possible but replica state must be swapped in
+//     and out of the nodes between turns.
+// The right answer depends on system size and replica count (small systems
+// stop scaling, so partitions win; huge systems want the whole machine) —
+// an ablation the bench_a1_replica harness sweeps.
+#pragma once
+
+#include <cstddef>
+
+#include "machine/config.hpp"
+#include "machine/timing.hpp"
+#include "machine/workload.hpp"
+
+namespace antmd::runtime {
+
+enum class ReplicaPlacement { kPartitioned, kTimeMultiplexed };
+
+struct ReplicaScheduleResult {
+  ReplicaPlacement placement{};
+  size_t replicas = 0;
+  size_t nodes_per_replica = 0;   ///< partitioned: torus share per replica
+  double step_time_s = 0.0;       ///< modeled MD step on its node share
+  double swap_overhead_s = 0.0;   ///< time-multiplexed: state in/out
+  /// Aggregate ensemble progress: replica-steps per wall second.
+  double replica_steps_per_s = 0.0;
+};
+
+class ReplicaScheduler {
+ public:
+  ReplicaScheduler(machine::MachineConfig machine,
+                   machine::SystemStats stats,
+                   machine::WorkloadParams params);
+
+  /// Evaluates one placement strategy for `replicas` replicas.
+  [[nodiscard]] ReplicaScheduleResult evaluate(ReplicaPlacement placement,
+                                               size_t replicas) const;
+
+  /// Picks the faster of the two placements.
+  [[nodiscard]] ReplicaScheduleResult best(size_t replicas) const;
+
+ private:
+  machine::MachineConfig machine_;
+  machine::SystemStats stats_;
+  machine::WorkloadParams params_;
+};
+
+}  // namespace antmd::runtime

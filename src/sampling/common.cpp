@@ -1,0 +1,34 @@
+#include "sampling/common.hpp"
+
+#include "md/neighbor.hpp"
+
+namespace antmd::sampling {
+
+double potential_energy(const ForceField& ff,
+                        std::span<const Vec3> positions, const Box& box,
+                        double time) {
+  const Topology& topo = ff.topology();
+  std::vector<Vec3> pos(positions.begin(), positions.end());
+  ff::construct_virtual_sites(topo.virtual_sites(), pos, box);
+
+  md::NeighborList list(topo, ff.model().cutoff, 0.0);
+  list.build(pos, box);
+
+  ForceResult res(topo.atom_count());
+  ff.compute_bonded(pos, box, time, res);
+  ff.compute_nonbonded(list.pairs(), pos, box, res);
+  if (ff.has_kspace()) {
+    GseSolver solver(box, ff.gse()->params());
+    if (ff.charge_product_scale() == 1.0) {
+      solver.compute(pos, topo.charges(), ff.excluded_pairs(), box, res);
+    } else {
+      std::vector<double> scaled(topo.charges());
+      double f = std::sqrt(ff.charge_product_scale());
+      for (double& q : scaled) q *= f;
+      solver.compute(pos, scaled, ff.excluded_pairs(), box, res);
+    }
+  }
+  return res.energy.total();
+}
+
+}  // namespace antmd::sampling

@@ -1,0 +1,18 @@
+// Shared helpers for the sampling methods.
+#pragma once
+
+#include <span>
+
+#include "ff/forcefield.hpp"
+#include "math/pbc.hpp"
+
+namespace antmd::sampling {
+
+/// Full potential energy of `positions` under `ff` (fresh neighbor list,
+/// virtual sites constructed, k-space included when configured).  Used for
+/// cross-Hamiltonian evaluations in H-REMD and FEP.
+[[nodiscard]] double potential_energy(const ForceField& ff,
+                                      std::span<const Vec3> positions,
+                                      const Box& box, double time = 0.0);
+
+}  // namespace antmd::sampling

@@ -1,0 +1,93 @@
+#include "sampling/metadynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::sampling {
+
+Metadynamics::Metadynamics(md::Simulation& sim, uint32_t i, uint32_t j,
+                           MetadynamicsConfig config)
+    : sim_(&sim), i_(i), j_(j), config_(config) {
+  ANTMD_REQUIRE(config_.bias_factor > 1.0, "bias factor must exceed 1");
+  ANTMD_REQUIRE(config_.sigma > 0 && config_.initial_height > 0,
+                "bad hill parameters");
+  ff::PairBias bias;
+  bias.i = i;
+  bias.j = j;
+  // The closure reads this object's hill list; deposits between MD steps
+  // mutate it (never concurrently with force evaluation).
+  bias.potential = [this](double r) -> std::pair<double, double> {
+    double u = 0.0, dudr = 0.0;
+    const double inv2s2 = 1.0 / (2.0 * config_.sigma * config_.sigma);
+    for (size_t h = 0; h < centers_.size(); ++h) {
+      double d = r - centers_[h];
+      double g = heights_[h] * std::exp(-d * d * inv2s2);
+      u += g;
+      dudr += -d * 2.0 * inv2s2 * g;
+    }
+    return {u, dudr};
+  };
+  sim_->force_field().add_pair_bias(std::move(bias));
+}
+
+double Metadynamics::current_cv() const {
+  const State& s = sim_->state();
+  return norm(s.box.min_image(s.positions[i_], s.positions[j_]));
+}
+
+void Metadynamics::run(size_t steps) {
+  for (size_t s = 0; s < steps; ++s) {
+    sim_->step();
+    if (sim_->state().step %
+            static_cast<uint64_t>(config_.deposit_interval) ==
+        0) {
+      deposit();
+    }
+  }
+}
+
+void Metadynamics::deposit() {
+  double cv = current_cv();
+  if (cv < config_.cv_min || cv > config_.cv_max) return;
+  // Well-tempered height decay: h = h0 exp(-V(cv) / ((γ-1) kT_eff)); we use
+  // the simulation's thermostat temperature.
+  double kt = 0.001987204259 * sim_->thermostat().temperature_k();
+  double v = bias(cv);
+  double h = config_.initial_height *
+             std::exp(-v / ((config_.bias_factor - 1.0) * kt));
+  centers_.push_back(cv);
+  heights_.push_back(h);
+}
+
+double Metadynamics::bias(double r) const {
+  double u = 0.0;
+  const double inv2s2 = 1.0 / (2.0 * config_.sigma * config_.sigma);
+  for (size_t h = 0; h < centers_.size(); ++h) {
+    double d = r - centers_[h];
+    u += heights_[h] * std::exp(-d * d * inv2s2);
+  }
+  return u;
+}
+
+std::vector<std::pair<double, double>> Metadynamics::free_energy(
+    size_t bins) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(bins);
+  const double gamma = config_.bias_factor;
+  const double scale = -gamma / (gamma - 1.0);
+  double fmin = 1e300;
+  for (size_t b = 0; b < bins; ++b) {
+    double xi = config_.cv_min + (config_.cv_max - config_.cv_min) *
+                                     (static_cast<double>(b) + 0.5) /
+                                     static_cast<double>(bins);
+    double f = scale * bias(xi);
+    out.emplace_back(xi, f);
+    fmin = std::min(fmin, f);
+  }
+  for (auto& [xi, f] : out) f -= fmin;
+  return out;
+}
+
+}  // namespace antmd::sampling

@@ -1,0 +1,39 @@
+#include "sampling/smd.hpp"
+
+#include "util/error.hpp"
+
+namespace antmd::sampling {
+
+SteeredPull::SteeredPull(md::Simulation& sim, size_t spring_index)
+    : sim_(&sim) {
+  const auto& springs = sim.force_field().steered_springs();
+  ANTMD_REQUIRE(spring_index < springs.size(), "no such steered spring");
+  spring_ = springs[spring_index];
+}
+
+double SteeredPull::current_distance() const {
+  const State& s = sim_->state();
+  return norm(s.box.min_image(s.positions[spring_.i],
+                              s.positions[spring_.j]));
+}
+
+void SteeredPull::run(size_t steps, int record_interval) {
+  const double dt = sim_->dt_internal();
+  for (size_t s = 0; s < steps; ++s) {
+    sim_->step();
+    double t = sim_->state().time;
+    double target = spring_.r_start + spring_.velocity * t;
+    double dev = current_distance() - target;
+    // dW = ∂U/∂t dt with U = k (r - target(t))²:
+    work_ += -2.0 * spring_.k * dev * spring_.velocity * dt;
+    if (record_interval > 0 &&
+        sim_->state().step % static_cast<uint64_t>(record_interval) == 0) {
+      times_.push_back(t);
+      targets_.push_back(target);
+      distances_.push_back(current_distance());
+      work_trace_.push_back(work_);
+    }
+  }
+}
+
+}  // namespace antmd::sampling

@@ -1,0 +1,45 @@
+// Steered MD with work accounting (Jarzynski-style pulling).
+//
+// Wraps a Simulation whose force field carries a moving-anchor spring and
+// integrates the external work dW = ∂U/∂t dt = -2k (r - target) v dt as the
+// anchor moves, giving pulling work traces.
+#pragma once
+
+#include <vector>
+
+#include "md/simulation.hpp"
+
+namespace antmd::sampling {
+
+class SteeredPull {
+ public:
+  /// `spring_index` is the value returned by ForceField::add_steered_spring.
+  SteeredPull(md::Simulation& sim, size_t spring_index);
+
+  /// Runs `steps`, recording extension and accumulated work every
+  /// `record_interval` steps.
+  void run(size_t steps, int record_interval = 10);
+
+  [[nodiscard]] double total_work() const { return work_; }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& targets() const { return targets_; }
+  [[nodiscard]] const std::vector<double>& distances() const {
+    return distances_;
+  }
+  [[nodiscard]] const std::vector<double>& work_trace() const {
+    return work_trace_;
+  }
+
+ private:
+  [[nodiscard]] double current_distance() const;
+
+  md::Simulation* sim_;
+  ff::SteeredSpring spring_;
+  double work_ = 0.0;
+  std::vector<double> times_;
+  std::vector<double> targets_;
+  std::vector<double> distances_;
+  std::vector<double> work_trace_;
+};
+
+}  // namespace antmd::sampling

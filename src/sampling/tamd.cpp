@@ -1,0 +1,58 @@
+#include "sampling/tamd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::sampling {
+
+Tamd::Tamd(md::Simulation& sim, uint32_t i, uint32_t j, TamdConfig config)
+    : sim_(&sim), i_(i), j_(j), config_(config),
+      rng_(config.seed, /*stream=*/0x7A3Dull) {
+  ANTMD_REQUIRE(config_.spring_k > 0, "spring must be positive");
+  ANTMD_REQUIRE(config_.z_max > config_.z_min, "bad z bounds");
+  z_ = current_cv();
+  z_ = std::clamp(z_, config_.z_min, config_.z_max);
+
+  ff::PairBias bias;
+  bias.i = i;
+  bias.j = j;
+  bias.potential = [this](double r) -> std::pair<double, double> {
+    double d = r - z_;
+    return {config_.spring_k * d * d, 2.0 * config_.spring_k * d};
+  };
+  sim_->force_field().add_pair_bias(std::move(bias));
+}
+
+double Tamd::current_cv() const {
+  const State& s = sim_->state();
+  return norm(s.box.min_image(s.positions[i_], s.positions[j_]));
+}
+
+double Tamd::instantaneous_force_on_z() const {
+  return 2.0 * config_.spring_k * (current_cv() - z_);
+}
+
+void Tamd::run(size_t steps) {
+  const double dt = sim_->dt_internal();
+  const double kt_z = units::kBoltzmann * config_.z_temperature_k;
+  const double mobility = 1.0 / config_.z_friction;  // overdamped: ż = μ F
+  const double noise = std::sqrt(2.0 * kt_z * mobility * dt);
+
+  for (size_t s = 0; s < steps; ++s) {
+    sim_->step();
+    // Overdamped Langevin update of z, using the decomposition-independent
+    // counter RNG addressed by the MD step.
+    double f = instantaneous_force_on_z();
+    double xi = rng_.gaussian(z_steps_++, sim_->state().step);
+    z_ += mobility * f * dt + noise * xi;
+    // Reflecting walls.
+    if (z_ < config_.z_min) z_ = 2.0 * config_.z_min - z_;
+    if (z_ > config_.z_max) z_ = 2.0 * config_.z_max - z_;
+    z_ = std::clamp(z_, config_.z_min, config_.z_max);
+  }
+}
+
+}  // namespace antmd::sampling

@@ -1,0 +1,81 @@
+#include "sampling/tempering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/units.hpp"
+#include "util/error.hpp"
+
+namespace antmd::sampling {
+
+SimulatedTempering::SimulatedTempering(md::Simulation& sim,
+                                       TemperingConfig config)
+    : sim_(&sim),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      weights_(config_.ladder.size(), 0.0),
+      occupancy_(config_.ladder.size(), 0),
+      wl_delta_(config_.wl_increment) {
+  ANTMD_REQUIRE(config_.ladder.size() >= 2, "ladder needs >= 2 levels");
+  ANTMD_REQUIRE(std::is_sorted(config_.ladder.begin(), config_.ladder.end()),
+                "ladder must be ascending");
+  ANTMD_REQUIRE(config_.attempt_interval >= 1, "attempt interval must be >=1");
+  ANTMD_REQUIRE(sim_->thermostat().kind() != md::ThermostatKind::kNone,
+                "simulated tempering needs a thermostat");
+  sim_->thermostat().set_temperature(config_.ladder[0]);
+}
+
+void SimulatedTempering::run(size_t steps) {
+  for (size_t s = 0; s < steps; ++s) {
+    sim_->step();
+    if (sim_->state().step %
+            static_cast<uint64_t>(config_.attempt_interval) ==
+        0) {
+      attempt_move();
+    }
+  }
+}
+
+void SimulatedTempering::attempt_move() {
+  ++attempts_;
+  ++occupancy_[level_];
+
+  // Wang–Landau adaptation on the visited level.
+  if (wl_delta_ > config_.wl_floor) {
+    weights_[level_] -= wl_delta_;
+    if (*std::min_element(occupancy_.begin(), occupancy_.end()) > 0 &&
+        attempts_ % (10 * occupancy_.size()) == 0) {
+      wl_delta_ *= 0.5;
+    }
+  }
+
+  // Propose a neighbouring level.
+  size_t proposal;
+  if (level_ == 0) {
+    proposal = 1;
+  } else if (level_ + 1 == config_.ladder.size()) {
+    proposal = level_ - 1;
+  } else {
+    proposal = rng_.uniform() < 0.5 ? level_ - 1 : level_ + 1;
+  }
+
+  const double u = sim_->potential_energy();
+  const double beta_cur =
+      1.0 / (units::kBoltzmann * config_.ladder[level_]);
+  const double beta_new =
+      1.0 / (units::kBoltzmann * config_.ladder[proposal]);
+  // Acceptance for simulated tempering with log-weights w:
+  //   min(1, exp(-(β' - β) U + w' - w))
+  double log_acc =
+      -(beta_new - beta_cur) * u + weights_[proposal] - weights_[level_];
+  if (log_acc >= 0.0 || rng_.uniform() < std::exp(log_acc)) {
+    double t_old = config_.ladder[level_];
+    double t_new = config_.ladder[proposal];
+    level_ = proposal;
+    sim_->thermostat().set_temperature(t_new);
+    sim_->rescale_velocities(std::sqrt(t_new / t_old));
+    ++accepts_;
+  }
+}
+
+}  // namespace antmd::sampling

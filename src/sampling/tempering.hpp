@@ -1,0 +1,60 @@
+// Simulated tempering: a single trajectory performs a random walk in a
+// temperature ladder, escaping kinetic traps at high T and collecting
+// canonical statistics at the target T.  One of the methods the generality
+// extensions brought to the machine — the exchange decision is a few
+// scalar operations on a geometry core between force steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "md/simulation.hpp"
+
+namespace antmd::sampling {
+
+struct TemperingConfig {
+  std::vector<double> ladder;   ///< temperatures (K), ascending
+  int attempt_interval = 100;   ///< MD steps between level-change attempts
+  uint64_t seed = 99;
+  /// Wang–Landau-style weight adaptation: subtract `wl_increment` (in kT
+  /// units of the bottom rung) from the visited level's weight after each
+  /// attempt, halving the increment each time all levels were visited.
+  double wl_increment = 1.0;
+  double wl_floor = 1e-4;       ///< stop adapting below this increment
+};
+
+class SimulatedTempering {
+ public:
+  SimulatedTempering(md::Simulation& sim, TemperingConfig config);
+
+  /// Runs `steps` MD steps with tempering moves interleaved.
+  void run(size_t steps);
+
+  [[nodiscard]] size_t current_level() const { return level_; }
+  [[nodiscard]] double current_temperature() const {
+    return config_.ladder[level_];
+  }
+  [[nodiscard]] uint64_t attempts() const { return attempts_; }
+  [[nodiscard]] uint64_t accepts() const { return accepts_; }
+  /// Visits per ladder level (diagnostic: flat ⇒ weights converged).
+  [[nodiscard]] const std::vector<uint64_t>& occupancy() const {
+    return occupancy_;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  void attempt_move();
+
+  md::Simulation* sim_;
+  TemperingConfig config_;
+  SequentialRng rng_;
+  size_t level_ = 0;
+  std::vector<double> weights_;     ///< dimensionless log-weights
+  std::vector<uint64_t> occupancy_;
+  double wl_delta_;
+  uint64_t attempts_ = 0;
+  uint64_t accepts_ = 0;
+};
+
+}  // namespace antmd::sampling

@@ -1,0 +1,94 @@
+#include "sampling/torsion_meta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ff/bonded.hpp"
+#include "util/error.hpp"
+
+namespace antmd::sampling {
+
+TorsionMetadynamics::TorsionMetadynamics(md::Simulation& sim, uint32_t i,
+                                         uint32_t j, uint32_t k, uint32_t l,
+                                         TorsionMetaConfig config)
+    : sim_(&sim), i_(i), j_(j), k_(k), l_(l), config_(config) {
+  ANTMD_REQUIRE(config_.bias_factor > 1.0, "bias factor must exceed 1");
+  ff::DihedralBias bias;
+  bias.i = i;
+  bias.j = j;
+  bias.k = k;
+  bias.l = l;
+  bias.potential = [this](double phi) -> std::pair<double, double> {
+    double u = 0.0, du = 0.0;
+    const double inv2s2 = 1.0 / (2.0 * config_.sigma * config_.sigma);
+    for (size_t h = 0; h < centers_.size(); ++h) {
+      double d = wrap_angle(phi - centers_[h]);
+      double g = heights_[h] * std::exp(-d * d * inv2s2);
+      u += g;
+      du += -d * 2.0 * inv2s2 * g;
+    }
+    return {u, du};
+  };
+  sim_->force_field().add_dihedral_bias(std::move(bias));
+}
+
+double TorsionMetadynamics::wrap_angle(double d) {
+  while (d > M_PI) d -= 2.0 * M_PI;
+  while (d <= -M_PI) d += 2.0 * M_PI;
+  return d;
+}
+
+double TorsionMetadynamics::current_cv() const {
+  const State& s = sim_->state();
+  return ff::dihedral_angle(s.positions[i_], s.positions[j_],
+                            s.positions[k_], s.positions[l_], s.box);
+}
+
+void TorsionMetadynamics::run(size_t steps) {
+  for (size_t s = 0; s < steps; ++s) {
+    sim_->step();
+    if (sim_->state().step %
+            static_cast<uint64_t>(config_.deposit_interval) ==
+        0) {
+      deposit();
+    }
+  }
+}
+
+void TorsionMetadynamics::deposit() {
+  double phi = current_cv();
+  double kt = 0.001987204259 * sim_->thermostat().temperature_k();
+  double h = config_.initial_height *
+             std::exp(-bias(phi) / ((config_.bias_factor - 1.0) * kt));
+  centers_.push_back(phi);
+  heights_.push_back(h);
+}
+
+double TorsionMetadynamics::bias(double phi) const {
+  double u = 0.0;
+  const double inv2s2 = 1.0 / (2.0 * config_.sigma * config_.sigma);
+  for (size_t h = 0; h < centers_.size(); ++h) {
+    double d = wrap_angle(phi - centers_[h]);
+    u += heights_[h] * std::exp(-d * d * inv2s2);
+  }
+  return u;
+}
+
+std::vector<std::pair<double, double>> TorsionMetadynamics::free_energy(
+    size_t bins) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(bins);
+  const double scale = -config_.bias_factor / (config_.bias_factor - 1.0);
+  double fmin = 1e300;
+  for (size_t b = 0; b < bins; ++b) {
+    double phi = -M_PI + 2.0 * M_PI * (static_cast<double>(b) + 0.5) /
+                             static_cast<double>(bins);
+    double f = scale * bias(phi);
+    out.emplace_back(phi, f);
+    fmin = std::min(fmin, f);
+  }
+  for (auto& [phi, f] : out) f -= fmin;
+  return out;
+}
+
+}  // namespace antmd::sampling

@@ -1,0 +1,47 @@
+// Well-tempered metadynamics on a torsion collective variable — the
+// classic alanine-dipeptide-style workload.  Hills are periodic Gaussians
+// on the circle (differences wrapped into (-π, π]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/simulation.hpp"
+
+namespace antmd::sampling {
+
+struct TorsionMetaConfig {
+  double initial_height = 0.2;  ///< kcal/mol
+  double sigma = 0.3;           ///< radians
+  double bias_factor = 8.0;
+  int deposit_interval = 50;
+};
+
+class TorsionMetadynamics {
+ public:
+  /// Installs the bias on the (i, j, k, l) torsion of `sim`'s force field.
+  TorsionMetadynamics(md::Simulation& sim, uint32_t i, uint32_t j,
+                      uint32_t k, uint32_t l, TorsionMetaConfig config);
+
+  void run(size_t steps);
+
+  [[nodiscard]] double bias(double phi) const;
+  [[nodiscard]] double current_cv() const;
+  [[nodiscard]] size_t hill_count() const { return centers_.size(); }
+  /// F(phi) ≈ -(γ/(γ-1)) V(phi), min-shifted, on a uniform grid over
+  /// (-π, π].
+  [[nodiscard]] std::vector<std::pair<double, double>> free_energy(
+      size_t bins) const;
+
+ private:
+  void deposit();
+  [[nodiscard]] static double wrap_angle(double d);
+
+  md::Simulation* sim_;
+  uint32_t i_, j_, k_, l_;
+  TorsionMetaConfig config_;
+  std::vector<double> centers_;
+  std::vector<double> heights_;
+};
+
+}  // namespace antmd::sampling

@@ -1,0 +1,47 @@
+#include "sampling/umbrella.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::sampling {
+
+std::vector<analysis::UmbrellaWindow> run_umbrella(
+    const SystemSpec& spec, const ff::NonbondedModel& model, uint32_t atom_i,
+    uint32_t atom_j, const UmbrellaConfig& config,
+    const std::function<void(ForceField&)>& customize) {
+  ANTMD_REQUIRE(!config.centers.empty(), "need at least one window");
+
+  std::vector<analysis::UmbrellaWindow> windows;
+  windows.reserve(config.centers.size());
+  std::vector<Vec3> positions = spec.positions;
+
+  for (double center : config.centers) {
+    ForceField field(spec.topology, model);
+    if (customize) customize(field);
+    field.add_distance_restraint({atom_i, atom_j, config.k, center, 0.0});
+
+    md::Simulation sim(field, positions, spec.box, config.md);
+    sim.run(config.equil_steps);
+
+    analysis::UmbrellaWindow window;
+    window.center = center;
+    window.k = config.k;
+    for (size_t s = 0; s < config.prod_steps; ++s) {
+      sim.step();
+      if (sim.state().step %
+              static_cast<uint64_t>(config.sample_interval) ==
+          0) {
+        const State& st = sim.state();
+        window.samples.push_back(
+            norm(st.box.min_image(st.positions[atom_i],
+                                  st.positions[atom_j])));
+      }
+    }
+    windows.push_back(std::move(window));
+    positions = sim.state().positions;
+  }
+  return windows;
+}
+
+}  // namespace antmd::sampling

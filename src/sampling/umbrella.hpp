@@ -1,0 +1,33 @@
+// Umbrella sampling along a pair-distance reaction coordinate: one window
+// per harmonic-restraint center; the samples feed analysis::wham.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/free_energy.hpp"
+#include "ff/forcefield.hpp"
+#include "md/simulation.hpp"
+#include "topo/builders.hpp"
+
+namespace antmd::sampling {
+
+struct UmbrellaConfig {
+  std::vector<double> centers;  ///< window centers (Å)
+  double k = 10.0;              ///< restraint constant (U = k Δ²)
+  size_t equil_steps = 200;
+  size_t prod_steps = 1000;
+  int sample_interval = 5;
+  md::SimulationConfig md;
+};
+
+/// Runs all windows sequentially (each from the previous window's final
+/// configuration) and returns per-window CV samples.  `customize` (may be
+/// null) is applied to each freshly built ForceField before the restraint
+/// is added — e.g. to install a custom dimer pair table.
+[[nodiscard]] std::vector<analysis::UmbrellaWindow> run_umbrella(
+    const SystemSpec& spec, const ff::NonbondedModel& model, uint32_t atom_i,
+    uint32_t atom_j, const UmbrellaConfig& config,
+    const std::function<void(ForceField&)>& customize = nullptr);
+
+}  // namespace antmd::sampling

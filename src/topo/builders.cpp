@@ -1,0 +1,501 @@
+#include "topo/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "util/error.hpp"
+
+namespace antmd {
+namespace {
+
+// SPC/E-like 3-site water parameters.
+constexpr double kWaterOH = 1.0;                  // Å
+constexpr double kWaterAngle = 109.47 * M_PI / 180.0;
+constexpr double kWaterQO = -0.8476;
+constexpr double kWaterQH = 0.4238;
+constexpr double kWaterSigmaO = 3.166;
+constexpr double kWaterEpsO = 0.1553;
+constexpr double kWaterMassO = 15.9994;
+constexpr double kWaterMassH = 1.008;
+constexpr double kWaterBondK = 450.0;    // kcal/mol/Å² (U = k dx²)
+constexpr double kWaterAngleK = 55.0;    // kcal/mol/rad²
+constexpr double kWaterDensity = 0.0334; // molecules/Å³
+
+// TIP4P-style M-site placement coefficient: r_M = r_O + a (r_H1 - r_O)
+// + a (r_H2 - r_O) with a chosen to put M 0.15 Å from O along the bisector.
+constexpr double kMSiteA = 0.1280;
+
+/// Largest n with n³ <= count.
+size_t cube_side(size_t count) {
+  auto side = static_cast<size_t>(std::cbrt(static_cast<double>(count)));
+  while ((side + 1) * (side + 1) * (side + 1) <= count) ++side;
+  while (side > 0 && side * side * side > count) --side;
+  return side;
+}
+
+/// Three water-site offsets (O at origin, H's in the xz plane), randomly
+/// rotated about z per molecule so the lattice is not perfectly ordered.
+void water_geometry(SequentialRng& rng, Vec3 center, Vec3& o, Vec3& h1,
+                    Vec3& h2) {
+  double phi = rng.uniform(0.0, 2.0 * M_PI);
+  double half = kWaterAngle / 2.0;
+  Vec3 d1{std::sin(half), 0.0, std::cos(half)};
+  Vec3 d2{-std::sin(half), 0.0, std::cos(half)};
+  auto rot = [&](const Vec3& v) {
+    return Vec3{v.x * std::cos(phi) - v.y * std::sin(phi),
+                v.x * std::sin(phi) + v.y * std::cos(phi), v.z};
+  };
+  o = center;
+  h1 = center + kWaterOH * rot(d1);
+  h2 = center + kWaterOH * rot(d2);
+}
+
+}  // namespace
+
+SystemSpec build_water_box(size_t n_molecules, WaterModel model,
+                           uint64_t seed) {
+  ANTMD_REQUIRE(n_molecules >= 8, "need at least 8 water molecules");
+  const size_t side = cube_side(n_molecules);
+  const size_t n = side * side * side;
+  const double volume = static_cast<double>(n) / kWaterDensity;
+  const double edge = std::cbrt(volume);
+  const double spacing = edge / static_cast<double>(side);
+
+  SystemSpec spec;
+  spec.name = "water-" + std::to_string(n);
+  spec.box = Box::cubic(edge);
+
+  Topology& topo = spec.topology;
+  const uint32_t type_o = topo.add_type("OW", kWaterSigmaO, kWaterEpsO);
+  const uint32_t type_h = topo.add_type("HW", 0.0, 0.0);
+  const uint32_t type_m =
+      model == WaterModel::kRigid4Site ? topo.add_type("MW", 0.0, 0.0) : 0;
+
+  SequentialRng rng(seed);
+  const double hh = 2.0 * kWaterOH * std::sin(kWaterAngle / 2.0);
+
+  for (size_t ix = 0; ix < side; ++ix) {
+    for (size_t iy = 0; iy < side; ++iy) {
+      for (size_t iz = 0; iz < side; ++iz) {
+        Vec3 center{(static_cast<double>(ix) + 0.5) * spacing,
+                    (static_cast<double>(iy) + 0.5) * spacing,
+                    (static_cast<double>(iz) + 0.5) * spacing};
+        // Small jitter so the lattice melts quickly but never overlaps.
+        center += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+                       rng.uniform(-0.3, 0.3)};
+        Vec3 o, h1, h2;
+        water_geometry(rng, center, o, h1, h2);
+
+        const bool four_site = model == WaterModel::kRigid4Site;
+        // In 4-site water the O carries no charge; the M site does.
+        const double qo = four_site ? 0.0 : kWaterQO;
+        uint32_t ao = topo.add_atom(type_o, kWaterMassO, qo);
+        uint32_t ah1 = topo.add_atom(type_h, kWaterMassH, kWaterQH);
+        uint32_t ah2 = topo.add_atom(type_h, kWaterMassH, kWaterQH);
+        spec.positions.push_back(o);
+        spec.positions.push_back(h1);
+        spec.positions.push_back(h2);
+
+        uint32_t count = 3;
+        if (model == WaterModel::kFlexible3Site) {
+          topo.add_bond(ao, ah1, kWaterBondK, kWaterOH);
+          topo.add_bond(ao, ah2, kWaterBondK, kWaterOH);
+          topo.add_angle(ah1, ao, ah2, kWaterAngleK, kWaterAngle);
+        } else {
+          topo.add_constraint(ao, ah1, kWaterOH);
+          topo.add_constraint(ao, ah2, kWaterOH);
+          topo.add_constraint(ah1, ah2, hh);
+        }
+        if (four_site) {
+          uint32_t am = topo.add_atom(type_m, 0.0, kWaterQO);
+          Vec3 m = o + kMSiteA * (h1 - o) + kMSiteA * (h2 - o);
+          spec.positions.push_back(m);
+          VirtualSite v;
+          v.site = am;
+          v.parents[0] = ao;
+          v.parents[1] = ah1;
+          v.parents[2] = ah2;
+          v.kind = VirtualSite::Kind::kPlanar3;
+          v.a = kMSiteA;
+          v.b = kMSiteA;
+          topo.add_virtual_site(v);
+          count = 4;
+        }
+        topo.add_molecule(ao, count, "HOH");
+      }
+    }
+  }
+  topo.build_exclusions_from_bonds();
+  topo.validate();
+  return spec;
+}
+
+SystemSpec build_lj_fluid(size_t n_atoms, double density, uint64_t seed) {
+  ANTMD_REQUIRE(n_atoms >= 8, "need at least 8 atoms");
+  ANTMD_REQUIRE(density > 0.0, "density must be positive");
+  const size_t side = cube_side(n_atoms);
+  const size_t n = side * side * side;
+  const double edge = std::cbrt(static_cast<double>(n) / density);
+  const double spacing = edge / static_cast<double>(side);
+
+  SystemSpec spec;
+  spec.name = "ljfluid-" + std::to_string(n);
+  spec.box = Box::cubic(edge);
+
+  Topology& topo = spec.topology;
+  const uint32_t type_ar = topo.add_type("AR", 3.4, 0.238);
+  SequentialRng rng(seed);
+
+  for (size_t ix = 0; ix < side; ++ix) {
+    for (size_t iy = 0; iy < side; ++iy) {
+      for (size_t iz = 0; iz < side; ++iz) {
+        uint32_t a = topo.add_atom(type_ar, 39.948, 0.0);
+        Vec3 p{(static_cast<double>(ix) + 0.5) * spacing,
+               (static_cast<double>(iy) + 0.5) * spacing,
+               (static_cast<double>(iz) + 0.5) * spacing};
+        p += Vec3{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                  rng.uniform(-0.2, 0.2)};
+        spec.positions.push_back(p);
+        topo.add_molecule(a, 1, "AR");
+      }
+    }
+  }
+  topo.build_exclusions_from_bonds();
+  topo.validate();
+  return spec;
+}
+
+SystemSpec build_polymer_in_solvent(size_t chain_length, size_t n_solvent,
+                                    uint64_t seed) {
+  ANTMD_REQUIRE(chain_length >= 4, "chain needs at least 4 beads");
+  // Start from a LJ bath and carve a cavity: solvent sites overlapping the
+  // inserted chain are dropped (steric clashes at lattice spacing would
+  // otherwise blow up the first few steps).
+  SystemSpec bath = build_lj_fluid(n_solvent, 0.018, seed);
+  constexpr double kCavity = 3.4;  // Å exclusion radius around solute sites
+
+  SystemSpec spec;
+  spec.name = "polymer" + std::to_string(chain_length) + "-solv" +
+              std::to_string(bath.topology.atom_count());
+  spec.box = bath.box;
+
+  Topology& topo = spec.topology;
+  const uint32_t type_bead = topo.add_type("CB", 4.5, 0.40);
+  const uint32_t type_sol = topo.add_type("SOL", 3.4, 0.18);
+
+  // Chain beads first, laid out as a loose helix in the box centre.
+  const double bond_r0 = 3.8;
+  const Vec3 center = 0.5 * spec.box.edges();
+  std::vector<uint32_t> beads;
+  for (size_t b = 0; b < chain_length; ++b) {
+    uint32_t a = topo.add_atom(type_bead, 50.0, 0.0);
+    beads.push_back(a);
+    double t = static_cast<double>(b);
+    spec.positions.push_back(center + Vec3{4.0 * std::cos(0.7 * t),
+                                           4.0 * std::sin(0.7 * t),
+                                           (t - chain_length / 2.0) * 2.9});
+  }
+  topo.add_molecule(beads.front(), static_cast<uint32_t>(chain_length),
+                    "CHAIN");
+  for (size_t b = 0; b + 1 < chain_length; ++b) {
+    topo.add_bond(beads[b], beads[b + 1], 100.0, bond_r0);
+  }
+  for (size_t b = 0; b + 2 < chain_length; ++b) {
+    topo.add_angle(beads[b], beads[b + 1], beads[b + 2], 10.0,
+                   110.0 * M_PI / 180.0);
+  }
+  for (size_t b = 0; b + 3 < chain_length; ++b) {
+    topo.add_dihedral(beads[b], beads[b + 1], beads[b + 2], beads[b + 3], 1.2,
+                      3, 0.0);
+  }
+
+  // Solvent from the bath (re-typed), skipping the chain's cavity.
+  for (size_t i = 0; i < bath.topology.atom_count(); ++i) {
+    bool clashes = false;
+    for (size_t b = 0; b < chain_length && !clashes; ++b) {
+      clashes = spec.box.distance2(bath.positions[i], spec.positions[b]) <
+                kCavity * kCavity;
+    }
+    if (clashes) continue;
+    uint32_t a = topo.add_atom(type_sol, 39.948, 0.0);
+    spec.positions.push_back(bath.positions[i]);
+    topo.add_molecule(a, 1, "SOL");
+  }
+
+  topo.build_exclusions_from_bonds();
+  topo.validate();
+  spec.tagged = {beads.front(), beads.back()};
+  return spec;
+}
+
+SystemSpec build_ionic_solution(size_t n_water, size_t n_ion_pairs,
+                                uint64_t seed) {
+  SystemSpec spec = build_water_box(n_water, WaterModel::kRigid3Site, seed);
+  ANTMD_REQUIRE(spec.topology.molecules().size() >= 2 * n_ion_pairs,
+                "not enough waters to replace with ions");
+  // Replace the first 2*n_ion_pairs water molecules' oxygens with ions by
+  // rebuilding: simpler and safer than in-place surgery.
+  const size_t n_keep = spec.topology.molecules().size() - 2 * n_ion_pairs;
+
+  SystemSpec out;
+  out.name = "ions" + std::to_string(n_ion_pairs) + "-water" +
+             std::to_string(n_keep);
+  out.box = spec.box;
+  Topology& topo = out.topology;
+  const uint32_t type_o = topo.add_type("OW", kWaterSigmaO, kWaterEpsO);
+  const uint32_t type_h = topo.add_type("HW", 0.0, 0.0);
+  const uint32_t type_na = topo.add_type("NA", 2.35, 0.13);
+  const uint32_t type_cl = topo.add_type("CL", 4.40, 0.10);
+  const double hh = 2.0 * kWaterOH * std::sin(kWaterAngle / 2.0);
+
+  const auto& mols = spec.topology.molecules();
+  for (size_t m = 0; m < mols.size(); ++m) {
+    const Vec3& o_pos = spec.positions[mols[m].first];
+    if (m < n_ion_pairs) {
+      uint32_t a = topo.add_atom(type_na, 22.99, +1.0);
+      out.positions.push_back(o_pos);
+      topo.add_molecule(a, 1, "NA");
+      out.tagged.push_back(a);
+    } else if (m < 2 * n_ion_pairs) {
+      uint32_t a = topo.add_atom(type_cl, 35.45, -1.0);
+      out.positions.push_back(o_pos);
+      topo.add_molecule(a, 1, "CL");
+      out.tagged.push_back(a);
+    } else {
+      uint32_t ao = topo.add_atom(type_o, kWaterMassO, kWaterQO);
+      uint32_t ah1 = topo.add_atom(type_h, kWaterMassH, kWaterQH);
+      uint32_t ah2 = topo.add_atom(type_h, kWaterMassH, kWaterQH);
+      out.positions.push_back(o_pos);
+      out.positions.push_back(spec.positions[mols[m].first + 1]);
+      out.positions.push_back(spec.positions[mols[m].first + 2]);
+      topo.add_constraint(ao, ah1, kWaterOH);
+      topo.add_constraint(ao, ah2, kWaterOH);
+      topo.add_constraint(ah1, ah2, hh);
+      topo.add_molecule(ao, 3, "HOH");
+    }
+  }
+  topo.build_exclusions_from_bonds();
+  topo.validate();
+  return out;
+}
+
+
+
+SystemSpec build_go_protein(size_t n_beads, double contact_epsilon,
+                            uint64_t seed) {
+  ANTMD_REQUIRE(n_beads >= 8, "Go protein needs at least 8 beads");
+  static_cast<void>(seed);  // construction is fully deterministic
+
+  // Native structure: an alpha-helix-like curve (CA geometry: 1.5 Å rise,
+  // 100° turn, 2.3 Å radius -> 3.8 Å consecutive distance).
+  std::vector<Vec3> native(n_beads);
+  const double rise = 1.5, radius = 2.3, turn = 100.0 * M_PI / 180.0;
+  for (size_t b = 0; b < n_beads; ++b) {
+    double t = static_cast<double>(b);
+    native[b] = Vec3{radius * std::cos(turn * t),
+                     radius * std::sin(turn * t), rise * t};
+  }
+
+  // Box: fits the extended chain with generous margin (vacuum run).
+  const double bond_len = norm(native[1] - native[0]);
+  const double edge = bond_len * static_cast<double>(n_beads) + 24.0;
+  SystemSpec spec;
+  spec.name = "go-protein-" + std::to_string(n_beads);
+  spec.box = Box::cubic(edge);
+
+  Topology& topo = spec.topology;
+  // Nearly pure repulsion between non-native pairs (tiny epsilon).
+  const uint32_t type_bead = topo.add_type("GO", 4.0, 0.01);
+  const Vec3 center = 0.5 * spec.box.edges();
+
+  std::vector<uint32_t> beads;
+  for (size_t b = 0; b < n_beads; ++b) {
+    beads.push_back(topo.add_atom(type_bead, 40.0, 0.0));
+    // Extended (unfolded) start: straight line through the box centre.
+    double offset = (static_cast<double>(b) -
+                     static_cast<double>(n_beads) / 2.0) * bond_len;
+    spec.positions.push_back(center + Vec3{offset, 0.0, 0.0});
+  }
+  topo.add_molecule(beads.front(), static_cast<uint32_t>(n_beads), "GOP");
+
+  // Backbone terms from the native geometry.
+  for (size_t b = 0; b + 1 < n_beads; ++b) {
+    topo.add_bond(beads[b], beads[b + 1], 100.0,
+                  norm(native[b + 1] - native[b]));
+  }
+  for (size_t b = 0; b + 2 < n_beads; ++b) {
+    Vec3 r1 = native[b] - native[b + 1];
+    Vec3 r2 = native[b + 2] - native[b + 1];
+    double theta = std::acos(std::clamp(
+        dot(r1, r2) / (norm(r1) * norm(r2)), -1.0, 1.0));
+    topo.add_angle(beads[b], beads[b + 1], beads[b + 2], 15.0, theta);
+  }
+
+  // Native contacts: |i-j| >= 3 within 8 Å in the native structure.
+  for (size_t i = 0; i < n_beads; ++i) {
+    for (size_t j = i + 3; j < n_beads; ++j) {
+      double r = norm(native[j] - native[i]);
+      if (r < 8.0) {
+        topo.add_go_contact(beads[i], beads[j], contact_epsilon, r);
+      }
+    }
+  }
+
+  topo.build_exclusions_from_bonds();
+  topo.validate();
+  spec.tagged = {beads.front(), beads.back()};
+  spec.reference.resize(n_beads);
+  for (size_t b = 0; b < n_beads; ++b) spec.reference[b] = center + native[b];
+  return spec;
+}
+
+SystemSpec build_lipid_bilayer(size_t lipids_per_leaflet_side,
+                               size_t water_layers, uint64_t seed) {
+  ANTMD_REQUIRE(lipids_per_leaflet_side >= 2, "need at least a 2x2 leaflet");
+  const size_t side = lipids_per_leaflet_side;
+  const double spacing = 8.0;        // Å between lipids (area ~64 Å²/lipid)
+  const double bead_z = 3.6;         // Å between beads along the chain
+  const size_t beads_per_lipid = 4;  // 1 head + 3 tail
+  const double lx = static_cast<double>(side) * spacing;
+
+  // z layout: water slab / heads / tails | tails / heads / water slab.
+  const double half_leaflet = static_cast<double>(beads_per_lipid) * bead_z;
+  // Water layers are 3.1 Å thick and filled at liquid density.
+  const size_t waters_per_layer =
+      static_cast<size_t>(lx * lx * 3.1 * kWaterDensity);
+  const size_t n_water = 2 * water_layers * waters_per_layer;
+  const double slab_thickness =
+      static_cast<double>(water_layers) * 3.1;
+  const double lz = 2.0 * (half_leaflet + slab_thickness) + 2.0;
+
+  SystemSpec spec;
+  spec.name = "bilayer-" + std::to_string(2 * side * side) + "lipids";
+  spec.box = Box(lx, lx, lz);
+
+  Topology& topo = spec.topology;
+  const uint32_t type_head = topo.add_type("LH", 5.0, 0.30);
+  const uint32_t type_tail = topo.add_type("LT", 4.5, 0.40);
+  const uint32_t type_o = topo.add_type("OW", kWaterSigmaO, kWaterEpsO);
+  const uint32_t type_h = topo.add_type("HW", 0.0, 0.0);
+
+  SequentialRng rng(seed);
+  const double z_mid = lz / 2.0;
+
+  auto add_lipid = [&](double x, double y, int leaflet_sign) {
+    std::vector<uint32_t> beads;
+    for (size_t b = 0; b < beads_per_lipid; ++b) {
+      bool is_head = b == 0;
+      uint32_t a = topo.add_atom(is_head ? type_head : type_tail, 72.0, 0.0);
+      beads.push_back(a);
+      // Head farthest from the midplane; tails point inward.
+      double z = z_mid +
+                 leaflet_sign * (half_leaflet -
+                                 (static_cast<double>(b) + 0.5) * bead_z);
+      spec.positions.push_back(Vec3{x + rng.uniform(-0.4, 0.4),
+                                    y + rng.uniform(-0.4, 0.4), z});
+    }
+    topo.add_molecule(beads.front(),
+                      static_cast<uint32_t>(beads_per_lipid), "LIP");
+    for (size_t b = 0; b + 1 < beads_per_lipid; ++b) {
+      topo.add_bond(beads[b], beads[b + 1], 50.0, bead_z);
+    }
+    for (size_t b = 0; b + 2 < beads_per_lipid; ++b) {
+      topo.add_angle(beads[b], beads[b + 1], beads[b + 2], 8.0, M_PI);
+    }
+    return beads.front();
+  };
+
+  // Two leaflets.
+  for (int leaflet : {+1, -1}) {
+    for (size_t ix = 0; ix < side; ++ix) {
+      for (size_t iy = 0; iy < side; ++iy) {
+        double x = (static_cast<double>(ix) + 0.5) * spacing;
+        double y = (static_cast<double>(iy) + 0.5) * spacing;
+        uint32_t head = add_lipid(x, y, leaflet);
+        if (ix == 0 && iy == 0) spec.tagged.push_back(head);
+      }
+    }
+  }
+
+  // Water slabs above and below the bilayer.
+  const double hh = 2.0 * kWaterOH * std::sin(kWaterAngle / 2.0);
+  size_t placed = 0;
+  const auto per_side = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(waters_per_layer))));
+  const double wspace = lx / static_cast<double>(per_side);
+  for (int slab : {+1, -1}) {
+    for (size_t layer = 0; layer < water_layers; ++layer) {
+      double z = z_mid + slab * (half_leaflet + 1.5 +
+                                 (static_cast<double>(layer) + 0.25) * 3.1);
+      for (size_t ix = 0; ix < per_side; ++ix) {
+        for (size_t iy = 0; iy < per_side && placed < n_water; ++iy) {
+          Vec3 center{(static_cast<double>(ix) + 0.5) * wspace,
+                      (static_cast<double>(iy) + 0.5) * wspace, z};
+          center += Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+                         rng.uniform(-0.3, 0.3)};
+          Vec3 o, h1, h2;
+          water_geometry(rng, center, o, h1, h2);
+          uint32_t ao = topo.add_atom(type_o, kWaterMassO, kWaterQO);
+          uint32_t ah1 = topo.add_atom(type_h, kWaterMassH, kWaterQH);
+          uint32_t ah2 = topo.add_atom(type_h, kWaterMassH, kWaterQH);
+          spec.positions.push_back(o);
+          spec.positions.push_back(h1);
+          spec.positions.push_back(h2);
+          topo.add_constraint(ao, ah1, kWaterOH);
+          topo.add_constraint(ao, ah2, kWaterOH);
+          topo.add_constraint(ah1, ah2, hh);
+          topo.add_molecule(ao, 3, "HOH");
+          ++placed;
+        }
+      }
+    }
+  }
+
+  topo.build_exclusions_from_bonds();
+  topo.validate();
+  return spec;
+}
+
+SystemSpec build_dimer_in_solvent(size_t n_solvent, double initial_separation,
+                                  uint64_t seed) {
+  SystemSpec bath = build_lj_fluid(n_solvent, 0.018, seed);
+  ANTMD_REQUIRE(initial_separation > 0 &&
+                    initial_separation < 0.4 * bath.box.min_edge(),
+                "dimer separation must fit inside the box");
+
+  SystemSpec spec;
+  spec.name = "dimer-solv" + std::to_string(bath.topology.atom_count());
+  spec.box = bath.box;
+  Topology& topo = spec.topology;
+  const uint32_t type_dimer = topo.add_type("DM", 3.8, 0.25);
+  const uint32_t type_sol = topo.add_type("SOL", 3.4, 0.18);
+
+  const Vec3 center = 0.5 * spec.box.edges();
+  const Vec3 half{initial_separation / 2.0, 0.0, 0.0};
+  uint32_t a = topo.add_atom(type_dimer, 40.0, 0.0);
+  uint32_t b = topo.add_atom(type_dimer, 40.0, 0.0);
+  spec.positions.push_back(center - half);
+  spec.positions.push_back(center + half);
+  topo.add_molecule(a, 1, "DMA");
+  topo.add_molecule(b, 1, "DMB");
+
+  constexpr double kCavity = 3.4;  // Å exclusion radius around the dimer
+  for (size_t i = 0; i < bath.topology.atom_count(); ++i) {
+    if (spec.box.distance2(bath.positions[i], spec.positions[a]) <
+            kCavity * kCavity ||
+        spec.box.distance2(bath.positions[i], spec.positions[b]) <
+            kCavity * kCavity) {
+      continue;
+    }
+    uint32_t s = topo.add_atom(type_sol, 39.948, 0.0);
+    spec.positions.push_back(bath.positions[i]);
+    topo.add_molecule(s, 1, "SOL");
+  }
+  topo.build_exclusions_from_bonds();
+  topo.validate();
+  spec.tagged = {a, b};
+  return spec;
+}
+
+}  // namespace antmd

@@ -1,0 +1,86 @@
+// Synthetic system builders.
+//
+// The paper's benchmarks ran production biomolecular systems; we substitute
+// synthetic systems whose performance-relevant statistics (density, pairs
+// within cutoff, bonded terms per atom, charge structure) match, as recorded
+// in DESIGN.md.  All builders are deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/pbc.hpp"
+#include "math/vec.hpp"
+#include "topo/topology.hpp"
+
+namespace antmd {
+
+/// A built system: static topology plus initial coordinates and box.
+struct SystemSpec {
+  std::string name;
+  Topology topology;
+  std::vector<Vec3> positions;
+  Box box;
+  /// Builder-specific tagged atoms (e.g. the dimer pair, ligand index).
+  std::vector<uint32_t> tagged;
+  /// Reference (native) coordinates where a builder defines them
+  /// (Gō-model proteins); empty otherwise.
+  std::vector<Vec3> reference;
+};
+
+/// Water models for build_water_box.
+enum class WaterModel {
+  kFlexible3Site,  ///< SPC/E charges with harmonic bonds/angle
+  kRigid3Site,     ///< SPC/E geometry enforced by distance constraints
+  kRigid4Site,     ///< TIP4P-style: rigid 3-site + massless M virtual site
+};
+
+/// Cubic water box with approximately n_molecules waters at liquid density
+/// (0.0334 molecules/Å³). Actual count is the largest perfect-cube lattice
+/// that fits; query spec.topology.molecules().size().
+SystemSpec build_water_box(size_t n_molecules, WaterModel model,
+                           uint64_t seed = 1);
+
+/// Monatomic Lennard-Jones fluid (argon-like) at the given number density
+/// (atoms/Å³); n is rounded down to a perfect cube lattice.
+SystemSpec build_lj_fluid(size_t n_atoms, double density = 0.021,
+                          uint64_t seed = 1);
+
+/// A bead-spring polymer ("mini-protein") of chain_length beads solvated in
+/// a LJ bath.  The chain has bonds, angles and a 3-fold dihedral; bead-bead
+/// LJ attraction drives collapse at low temperature (tempering benchmark).
+/// tagged = {first bead, last bead}.
+SystemSpec build_polymer_in_solvent(size_t chain_length, size_t n_solvent,
+                                    uint64_t seed = 1);
+
+/// Water box with dissolved ion pairs (+1/-1), for electrostatics tests.
+SystemSpec build_ionic_solution(size_t n_water, size_t n_ion_pairs,
+                                uint64_t seed = 1);
+
+/// Gō-model mini-protein in vacuum (implicit solvent): an α-helix-like
+/// native structure defines 12-10 native-contact attractions; all other
+/// bead pairs are (nearly) purely repulsive.  The returned positions are an
+/// extended (unfolded) conformation; spec.reference holds the native one.
+/// Fold it with a Langevin bath ± tempering and score progress with
+/// analysis::native_contact_fraction over topology.go_contacts().
+/// tagged = {first bead, last bead}.
+SystemSpec build_go_protein(size_t n_beads, double contact_epsilon = 1.0,
+                            uint64_t seed = 1);
+
+/// Coarse-grained lipid bilayer in water: each lipid is a 4-bead chain
+/// (1 charged head + 3 apolar tail beads, harmonic bonds + angle) arranged
+/// as two leaflets in the xy plane, solvated above and below by rigid
+/// 3-site water.  Exercises the membrane workloads (semi-isotropic
+/// pressure coupling, anisotropic boxes) behind Anton's GPCR studies.
+/// tagged = {first head bead of each leaflet}.
+SystemSpec build_lipid_bilayer(size_t lipids_per_leaflet_side,
+                               size_t water_layers = 3, uint64_t seed = 1);
+
+/// LJ bath containing two tagged "dimer" atoms intended to interact through
+/// a user-supplied tabulated pair potential (the generality-extension demo
+/// used by the PMF and steered-MD experiments). tagged = {a, b}.
+SystemSpec build_dimer_in_solvent(size_t n_solvent, double initial_separation,
+                                  uint64_t seed = 1);
+
+}  // namespace antmd

@@ -1,0 +1,127 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace antmd {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  ANTMD_REQUIRE(!flags_.count(name), "duplicate flag --" + name);
+  flags_[name] = Flag{help, default_value, default_value};
+  order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         double default_value) {
+  std::ostringstream os;
+  os << default_value;
+  add_flag(name, help, os.str());
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         int default_value) {
+  add_flag(name, help, std::to_string(default_value));
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         bool default_value) {
+  add_flag(name, help, std::string(default_value ? "true" : "false"));
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw ConfigError("unexpected positional argument: " + arg);
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) throw ConfigError("unknown flag --" + name);
+      // Bare boolean flag means "true"; otherwise consume the next token.
+      if (it->second.default_value == "true" ||
+          it->second.default_value == "false") {
+        value = "true";
+      } else {
+        ANTMD_REQUIRE(i + 1 < argc, "flag --" + name + " needs a value");
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) throw ConfigError("unknown flag --" + name);
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  ANTMD_REQUIRE(it != flags_.end(), "flag --" + name + " was never declared");
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  return find(name).value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    size_t pos = 0;
+    double d = std::stod(v, &pos);
+    ANTMD_REQUIRE(pos == v.size(), "trailing characters");
+    return d;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+int CliParser::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  try {
+    size_t pos = 0;
+    int i = std::stoi(v, &pos);
+    ANTMD_REQUIRE(pos == v.size(), "trailing characters");
+    return i;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects an integer, got '" + v +
+                      "'");
+  }
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string& v = find(name).value;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw ConfigError("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << "  " << f.help << " (default: " << f.default_value
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace antmd

@@ -1,0 +1,57 @@
+// Tiny command-line flag parser used by examples and bench harnesses.
+//
+//   CliParser cli("quickstart", "Run a short water-box simulation");
+//   cli.add_flag("steps", "number of MD steps", 1000);
+//   cli.add_flag("box", "box edge in Angstrom", 24.0);
+//   cli.parse(argc, argv);
+//   int steps = cli.get_int("steps");
+//
+// Accepts --name=value and --name value forms, plus --help.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace antmd {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+  void add_flag(const std::string& name, const std::string& help,
+                double default_value);
+  void add_flag(const std::string& name, const std::string& help,
+                int default_value);
+  void add_flag(const std::string& name, const std::string& help,
+                bool default_value);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws ConfigError on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;  // current (default or parsed) textual value
+    std::string default_value;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace antmd

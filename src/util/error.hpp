@@ -1,0 +1,46 @@
+// Error handling primitives for antmd.
+//
+// All recoverable failures are reported with antmd::Error (derived from
+// std::runtime_error); precondition violations use ANTMD_REQUIRE which
+// throws with file/line context so tests can assert on failure behaviour.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace antmd {
+
+/// Base class for all antmd exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-supplied configuration is invalid.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or produces
+/// out-of-range values (e.g. SHAKE non-convergence, particle blow-up).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* expr, const char* file,
+                                        int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace antmd
+
+/// Precondition check: throws antmd::Error with context when `expr` is false.
+#define ANTMD_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::antmd::detail::throw_require_failure(#expr, __FILE__, __LINE__,   \
+                                             (msg));                      \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,42 @@
+// Minimal leveled logger. Output goes to stderr; the level is a process-wide
+// setting so examples/benches can silence progress chatter.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace antmd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: ANTMD_LOG(kInfo) << "step " << n;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace antmd
+
+#define ANTMD_LOG(level) \
+  ::antmd::LogLine(::antmd::LogLevel::level)

@@ -1,0 +1,29 @@
+// ASCII table printer used by the bench harnesses to emit paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace antmd {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+  static std::string sci(double value, int precision = 2);
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace antmd

@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace antmd {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared work-stealing context; tasks hold it by shared_ptr so stale queue
+/// entries that run after parallel_for has returned are harmless no-ops.
+struct ForContext {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t count = 0;
+  std::function<void(size_t)> fn;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  void drain() {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == count) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(size_t count,
+                              const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  auto ctx = std::make_shared<ForContext>();
+  ctx->count = count;
+  ctx->fn = fn;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t t = 0; t < workers_.size(); ++t) {
+      tasks_.push([ctx] { ctx->drain(); });
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread participates so a single-core host still progresses.
+  ctx->drain();
+
+  {
+    std::unique_lock<std::mutex> lock(ctx->done_mutex);
+    ctx->done_cv.wait(lock, [&] { return ctx->done.load() >= count; });
+  }
+  if (ctx->first_error) std::rethrow_exception(ctx->first_error);
+}
+
+}  // namespace antmd

@@ -1,0 +1,43 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The machine model is a *simulation*, so most work is single-threaded and
+// deterministic; the pool is used only for embarrassingly parallel sweeps in
+// benches (independent replicas) where result ordering is preserved by index.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace antmd {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until done.
+  /// Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace antmd

@@ -1,0 +1,76 @@
+// Tests for the link-level contention model of the torus multicast.
+#include <gtest/gtest.h>
+
+#include "machine/contention.hpp"
+#include "machine/workload.hpp"
+#include "util/error.hpp"
+
+namespace antmd::machine {
+namespace {
+
+std::vector<NodeWork> uniform_halo(size_t nodes, double bytes) {
+  std::vector<NodeWork> out(nodes);
+  for (auto& n : out) n.import_bytes = bytes;
+  return out;
+}
+
+TEST(Contention, NoTrafficNoTime) {
+  MachineConfig cfg = anton_with_torus(2, 2, 2);
+  LinkContentionModel model(cfg);
+  auto result = model.multicast_time(uniform_halo(8, 0.0));
+  EXPECT_EQ(result.phase_time_s, 0.0);
+  EXPECT_EQ(result.links_used, 0u);
+}
+
+TEST(Contention, UniformTrafficLoadsLinksEvenly) {
+  MachineConfig cfg = anton_with_torus(4, 4, 4);
+  LinkContentionModel model(cfg);
+  auto result = model.multicast_time(uniform_halo(64, 12000.0));
+  EXPECT_GT(result.phase_time_s, 0.0);
+  EXPECT_GT(result.links_used, 0u);
+  // Symmetric pattern: the hottest link is close to the mean.
+  EXPECT_LT(result.max_link_bytes, 1.5 * result.mean_link_bytes);
+}
+
+TEST(Contention, HotNodeCreatesHotLinks) {
+  MachineConfig cfg = anton_with_torus(4, 4, 4);
+  LinkContentionModel model(cfg);
+  auto uniform = uniform_halo(64, 12000.0);
+  auto skewed = uniform;
+  skewed[0].import_bytes = 12000.0 * 20.0;  // one overloaded node
+  auto r_uniform = model.multicast_time(uniform);
+  auto r_skewed = model.multicast_time(skewed);
+  EXPECT_GT(r_skewed.max_link_bytes, 3.0 * r_uniform.max_link_bytes);
+  EXPECT_GT(r_skewed.phase_time_s, r_uniform.phase_time_s);
+}
+
+TEST(Contention, TimeScalesWithVolume) {
+  MachineConfig cfg = anton_with_torus(4, 4, 4);
+  LinkContentionModel model(cfg);
+  auto small = model.multicast_time(uniform_halo(64, 5000.0));
+  auto big = model.multicast_time(uniform_halo(64, 50000.0));
+  EXPECT_GT(big.phase_time_s, 5.0 * small.phase_time_s);
+}
+
+TEST(Contention, RejectsWrongNodeCount) {
+  MachineConfig cfg = anton_with_torus(2, 2, 2);
+  LinkContentionModel model(cfg);
+  EXPECT_THROW(static_cast<void>(model.multicast_time(uniform_halo(7, 1.0))),
+               Error);
+}
+
+TEST(Contention, ComparableToInjectionModelWhenUniform) {
+  // For uniform neighbour exchange the contention phase time should be in
+  // the same ballpark as the simple injection-bandwidth estimate.
+  MachineConfig cfg = anton_with_torus(4, 4, 4);
+  LinkContentionModel model(cfg);
+  const double halo = 24000.0;
+  auto result = model.multicast_time(uniform_halo(64, halo));
+  double inject_estimate =
+      halo / (cfg.link_bandwidth_Bps * (cfg.links_per_node / 2));
+  EXPECT_GT(result.phase_time_s, 0.3 * inject_estimate);
+  EXPECT_LT(result.phase_time_s, 10.0 * inject_estimate);
+}
+
+}  // namespace
+}  // namespace antmd::machine

@@ -1,0 +1,129 @@
+// Tests for the Gō-model substrate: builder geometry, the 12-10 contact
+// kernel, exclusion bookkeeping, and an actual folding run (collapse from
+// the extended state toward the native helix).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/structure.hpp"
+#include "ff/bonded.hpp"
+#include "ff/forcefield.hpp"
+#include "md/simulation.hpp"
+#include "sampling/tempering.hpp"
+#include "topo/builders.hpp"
+#include "util/error.hpp"
+
+namespace antmd {
+namespace {
+
+TEST(GoKernel, MinimumExactlyAtNativeDistance) {
+  Box box = Box::cubic(100);
+  std::vector<GoContact> contacts = {{0, 1, 2.0, 5.5}};
+  std::vector<Vec3> pos = {{0, 0, 0}, {5.5, 0, 0}};
+  ForceResult out(2);
+  ff::compute_go_contacts(contacts, pos, box, out);
+  EXPECT_NEAR(out.energy.vdw.value(), -2.0, 1e-9);  // U(rn) = -ε
+  EXPECT_NEAR(norm(out.forces.force(0)), 0.0, 1e-6);
+}
+
+TEST(GoKernel, ForceMatchesFiniteDifference) {
+  Box box = Box::cubic(100);
+  std::vector<GoContact> contacts = {{0, 1, 1.5, 6.0}};
+  std::vector<Vec3> pos = {{1, 2, 3}, {5.5, 4.0, 2.1}};
+  ForceResult out(2);
+  ff::compute_go_contacts(contacts, pos, box, out);
+  auto energy = [&](const std::vector<Vec3>& p) {
+    ForceResult r(2);
+    ff::compute_go_contacts(contacts, p, box, r);
+    return r.energy.vdw.value();
+  };
+  const double h = 1e-5;
+  for (size_t a = 0; a < 2; ++a) {
+    for (int d = 0; d < 3; ++d) {
+      auto p = pos;
+      p[a][d] += h;
+      double ep = energy(p);
+      p[a][d] -= 2 * h;
+      double em = energy(p);
+      double fd = -(ep - em) / (2 * h);
+      EXPECT_NEAR(out.forces.force(a)[d], fd, 1e-4);
+    }
+  }
+}
+
+TEST(GoBuilder, NativeGeometryAndContacts) {
+  auto spec = build_go_protein(24, 1.0);
+  const Topology& t = spec.topology;
+  EXPECT_EQ(t.atom_count(), 24u);
+  EXPECT_EQ(t.bonds().size(), 23u);
+  EXPECT_EQ(t.angles().size(), 22u);
+  EXPECT_FALSE(t.go_contacts().empty());
+  EXPECT_EQ(spec.reference.size(), 24u);
+
+  // Consecutive native distances ≈ 3.8 Å (helix CA geometry).
+  for (size_t b = 0; b + 1 < 24; ++b) {
+    EXPECT_NEAR(norm(spec.reference[b + 1] - spec.reference[b]), 3.8, 0.1);
+  }
+  // Contacts are |i-j| >= 3 and within 8 Å natively; each is excluded from
+  // the generic pair loop.
+  for (const auto& g : t.go_contacts()) {
+    EXPECT_GE(static_cast<int>(g.j) - static_cast<int>(g.i), 3);
+    EXPECT_LT(g.r_native, 8.0);
+    EXPECT_TRUE(t.is_excluded(g.i, g.j));
+  }
+  // The native structure scores ~1.0 on its own contact map.
+  std::vector<analysis::Contact> contacts;
+  for (const auto& g : t.go_contacts()) {
+    contacts.push_back({g.i, g.j, g.r_native});
+  }
+  EXPECT_NEAR(analysis::native_contact_fraction(spec.reference, contacts,
+                                                spec.box, 1.1),
+              1.0, 1e-9);
+  // The extended start scores low.
+  EXPECT_LT(analysis::native_contact_fraction(spec.positions, contacts,
+                                              spec.box, 1.2),
+            0.3);
+}
+
+TEST(GoFolding, ChainCollapsesTowardNative) {
+  auto spec = build_go_protein(16, 1.5);
+  ff::NonbondedModel model;
+  model.cutoff = 10.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ForceField field(spec.topology, model);
+
+  md::SimulationConfig cfg;
+  cfg.dt_fs = 6.0;
+  cfg.neighbor_skin = 2.0;
+  cfg.init_temperature_k = 140.0;
+  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  cfg.thermostat.temperature_k = 140.0;
+  cfg.thermostat.gamma_per_ps = 2.0;
+  md::Simulation sim(field, spec.positions, spec.box, cfg);
+
+  std::vector<analysis::Contact> contacts;
+  for (const auto& g : spec.topology.go_contacts()) {
+    contacts.push_back({g.i, g.j, g.r_native});
+  }
+  std::vector<uint32_t> chain(16);
+  for (uint32_t b = 0; b < 16; ++b) chain[b] = b;
+
+  double q0 = analysis::native_contact_fraction(sim.state().positions,
+                                                contacts, sim.state().box);
+  double rg0 = analysis::chain_radius_of_gyration(sim.state().positions,
+                                                  chain, sim.state().box);
+  sim.run(4000);
+  double q1 = analysis::native_contact_fraction(sim.state().positions,
+                                                contacts, sim.state().box);
+  double rg1 = analysis::chain_radius_of_gyration(sim.state().positions,
+                                                  chain, sim.state().box);
+  EXPECT_GT(q1, q0 + 0.2) << "chain did not gain native contacts";
+  EXPECT_LT(rg1, rg0) << "chain did not compact";
+}
+
+TEST(GoBuilder, RejectsTinyChains) {
+  EXPECT_THROW(build_go_protein(4), Error);
+}
+
+}  // namespace
+}  // namespace antmd

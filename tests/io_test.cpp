@@ -1,0 +1,115 @@
+// Tests for trajectory/CSV output and bit-exact checkpoint round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/trajectory.hpp"
+#include "math/rng.hpp"
+#include "topo/builders.hpp"
+#include "util/error.hpp"
+
+namespace antmd::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string("/tmp/antmd_io_test_") + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Xyz, WritesFramesWithHeaders) {
+  auto spec = build_lj_fluid(27, 0.021, 1);
+  State state;
+  state.positions = spec.positions;
+  state.velocities.assign(27, Vec3{});
+  state.box = spec.box;
+  state.step = 42;
+
+  std::string path = temp_path("frame.xyz");
+  {
+    XyzWriter writer(path, spec.topology);
+    writer.write_frame(state);
+    state.step = 43;
+    writer.write_frame(state);
+    EXPECT_EQ(writer.frames_written(), 2u);
+  }
+  std::string content = slurp(path);
+  EXPECT_NE(content.find("27\n"), std::string::npos);
+  EXPECT_NE(content.find("step=42"), std::string::npos);
+  EXPECT_NE(content.find("step=43"), std::string::npos);
+  EXPECT_NE(content.find("AR "), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, HeaderAndRows) {
+  std::string path = temp_path("data.csv");
+  {
+    CsvWriter writer(path, {"step", "energy", "temp"});
+    writer.write_row(std::vector<double>{1, -503.25, 298.7});
+    writer.write_row(std::vector<double>{2, -504.75, 301.2});
+  }
+  std::string content = slurp(path);
+  EXPECT_NE(content.find("step,energy,temp"), std::string::npos);
+  EXPECT_NE(content.find("-503.25"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthEnforced) {
+  std::string path = temp_path("bad.csv");
+  CsvWriter writer(path, {"a", "b"});
+  EXPECT_THROW(writer.write_row(std::vector<double>{1.0}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BitExactRoundTrip) {
+  SequentialRng rng(3);
+  State state;
+  state.box = Box(12.5, 17.25, 9.75);
+  state.time = 123.456789;
+  state.step = 987654321;
+  for (int i = 0; i < 100; ++i) {
+    state.positions.push_back(Vec3{rng.uniform(-50, 50),
+                                   rng.uniform(-50, 50),
+                                   rng.uniform(-50, 50)});
+    state.velocities.push_back(Vec3{rng.gaussian(), rng.gaussian(),
+                                    rng.gaussian()});
+  }
+
+  std::string path = temp_path("ckpt.bin");
+  save_checkpoint(path, state);
+  State loaded = load_checkpoint(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.step, state.step);
+  EXPECT_EQ(loaded.time, state.time);
+  EXPECT_EQ(loaded.box.edges(), state.box.edges());
+  ASSERT_EQ(loaded.positions.size(), state.positions.size());
+  for (size_t i = 0; i < state.positions.size(); ++i) {
+    EXPECT_EQ(loaded.positions[i], state.positions[i]);
+    EXPECT_EQ(loaded.velocities[i], state.velocities[i]);
+  }
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  std::string path = temp_path("garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  EXPECT_THROW(load_checkpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/path/x.bin"), Error);
+}
+
+}  // namespace
+}  // namespace antmd::io

@@ -1,0 +1,217 @@
+// Tests for topology construction, exclusions, validation, and the
+// synthetic system builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "topo/builders.hpp"
+#include "topo/topology.hpp"
+#include "util/error.hpp"
+
+namespace antmd {
+namespace {
+
+Topology make_butane_like() {
+  // 4 beads in a chain: exercises 1-2/1-3/1-4 derivation.
+  Topology t;
+  uint32_t c = t.add_type("C", 3.5, 0.1);
+  for (int i = 0; i < 4; ++i) t.add_atom(c, 12.0, 0.0);
+  t.add_bond(0, 1, 100, 1.5);
+  t.add_bond(1, 2, 100, 1.5);
+  t.add_bond(2, 3, 100, 1.5);
+  t.add_molecule(0, 4, "BUT");
+  return t;
+}
+
+TEST(Topology, ExclusionDerivation) {
+  Topology t = make_butane_like();
+  t.build_exclusions_from_bonds();
+  // 1-2 and 1-3 excluded.
+  EXPECT_TRUE(t.is_excluded(0, 1));
+  EXPECT_TRUE(t.is_excluded(1, 2));
+  EXPECT_TRUE(t.is_excluded(0, 2));
+  EXPECT_TRUE(t.is_excluded(1, 3));
+  // 1-4 is also excluded from the main loop but listed as a scaled pair.
+  EXPECT_TRUE(t.is_excluded(0, 3));
+  ASSERT_EQ(t.pairs14().size(), 1u);
+  EXPECT_EQ(t.pairs14()[0].i, 0u);
+  EXPECT_EQ(t.pairs14()[0].j, 3u);
+}
+
+TEST(Topology, ExclusionBuildIsIdempotent) {
+  Topology t = make_butane_like();
+  t.build_exclusions_from_bonds();
+  size_t n14 = t.pairs14().size();
+  t.build_exclusions_from_bonds();
+  EXPECT_EQ(t.pairs14().size(), n14);
+}
+
+TEST(Topology, ExcludedPairsSortedUnique) {
+  Topology t = make_butane_like();
+  t.build_exclusions_from_bonds();
+  auto pairs = t.excluded_pairs();
+  std::set<std::pair<uint32_t, uint32_t>> set(pairs.begin(), pairs.end());
+  EXPECT_EQ(set.size(), pairs.size());
+  for (const auto& [i, j] : pairs) EXPECT_LT(i, j);
+}
+
+TEST(Topology, ValidateCatchesBadIndices) {
+  Topology t;
+  uint32_t c = t.add_type("C", 3.5, 0.1);
+  t.add_atom(c, 12.0, 0.0);
+  t.add_bond(0, 5, 100, 1.5);  // atom 5 does not exist
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Topology, ValidateCatchesMasslessNonVsite) {
+  Topology t;
+  uint32_t c = t.add_type("C", 3.5, 0.1);
+  t.add_atom(c, 0.0, 0.0);  // massless, no virtual site entry
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Topology, ValidateCatchesConstrainedVsite) {
+  Topology t;
+  uint32_t c = t.add_type("C", 3.5, 0.1);
+  t.add_atom(c, 12.0, 0.0);
+  t.add_atom(c, 12.0, 0.0);
+  t.add_atom(c, 0.0, 0.0);
+  VirtualSite v;
+  v.site = 2;
+  v.parents[0] = 0;
+  v.parents[1] = 1;
+  v.kind = VirtualSite::Kind::kLinear2;
+  v.a = 0.5;
+  t.add_virtual_site(v);
+  t.add_constraint(0, 2, 1.0);  // constraining a virtual site is invalid
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Topology, DegreesOfFreedom) {
+  Topology t = make_butane_like();
+  // 4 atoms * 3 - 0 constraints - 3 COM = 9
+  EXPECT_EQ(t.degrees_of_freedom(), 9u);
+  t.add_constraint(0, 1, 1.5);
+  EXPECT_EQ(t.degrees_of_freedom(), 8u);
+}
+
+TEST(Topology, TotalCharge) {
+  Topology t;
+  uint32_t c = t.add_type("Q", 1.0, 0.0);
+  t.add_atom(c, 1.0, 0.5);
+  t.add_atom(c, 1.0, -0.2);
+  EXPECT_NEAR(t.total_charge(), 0.3, 1e-12);
+}
+
+TEST(Builders, WaterBoxFlexibleCounts) {
+  auto spec = build_water_box(64, WaterModel::kFlexible3Site);
+  const Topology& t = spec.topology;
+  EXPECT_EQ(t.molecules().size(), 64u);
+  EXPECT_EQ(t.atom_count(), 192u);
+  EXPECT_EQ(t.bonds().size(), 128u);
+  EXPECT_EQ(t.angles().size(), 64u);
+  EXPECT_EQ(t.constraints().size(), 0u);
+  EXPECT_NEAR(t.total_charge(), 0.0, 1e-9);
+  EXPECT_EQ(spec.positions.size(), t.atom_count());
+}
+
+TEST(Builders, WaterBoxRigidUsesConstraints) {
+  auto spec = build_water_box(27, WaterModel::kRigid3Site);
+  const Topology& t = spec.topology;
+  EXPECT_EQ(t.bonds().size(), 0u);
+  EXPECT_EQ(t.constraints().size(), 27u * 3);
+  // DoF: 3*81 - 81 constraints - 3 = 159
+  EXPECT_EQ(t.degrees_of_freedom(), 159u);
+}
+
+TEST(Builders, WaterBox4SiteHasVirtualSites) {
+  auto spec = build_water_box(27, WaterModel::kRigid4Site);
+  const Topology& t = spec.topology;
+  EXPECT_EQ(t.atom_count(), 27u * 4);
+  EXPECT_EQ(t.virtual_sites().size(), 27u);
+  EXPECT_NEAR(t.total_charge(), 0.0, 1e-9);
+  // O carries no charge in the 4-site model; M carries it.
+  EXPECT_EQ(t.charges()[0], 0.0);
+  EXPECT_NE(t.charges()[3], 0.0);
+  // M site should be ~0.15 Å from O initially.
+  double d = norm(spec.positions[3] - spec.positions[0]);
+  EXPECT_NEAR(d, 0.15, 0.05);
+}
+
+TEST(Builders, WaterDensityIsLiquidLike) {
+  auto spec = build_water_box(216, WaterModel::kRigid3Site);
+  double density = static_cast<double>(spec.topology.molecules().size()) /
+                   spec.box.volume();
+  EXPECT_NEAR(density, 0.0334, 0.001);
+}
+
+TEST(Builders, WaterGeometryIsCorrect) {
+  auto spec = build_water_box(27, WaterModel::kRigid3Site);
+  for (size_t m = 0; m < 27; ++m) {
+    size_t o = 3 * m;
+    double d1 = norm(spec.positions[o + 1] - spec.positions[o]);
+    double d2 = norm(spec.positions[o + 2] - spec.positions[o]);
+    EXPECT_NEAR(d1, 1.0, 1e-9);
+    EXPECT_NEAR(d2, 1.0, 1e-9);
+    double cosang = dot(normalized(spec.positions[o + 1] - spec.positions[o]),
+                        normalized(spec.positions[o + 2] - spec.positions[o]));
+    EXPECT_NEAR(std::acos(cosang) * 180.0 / M_PI, 109.47, 0.01);
+  }
+}
+
+TEST(Builders, LjFluidDensity) {
+  auto spec = build_lj_fluid(512, 0.021);
+  EXPECT_EQ(spec.topology.atom_count(), 512u);
+  double density = 512.0 / spec.box.volume();
+  EXPECT_NEAR(density, 0.021, 1e-6);
+}
+
+TEST(Builders, LjFluidNoOverlaps) {
+  auto spec = build_lj_fluid(343, 0.021);
+  double min_d2 = 1e18;
+  for (size_t i = 0; i < 343; ++i) {
+    for (size_t j = i + 1; j < 343; ++j) {
+      min_d2 = std::min(min_d2,
+                        spec.box.distance2(spec.positions[i],
+                                           spec.positions[j]));
+    }
+  }
+  EXPECT_GT(std::sqrt(min_d2), 2.0);  // jitter is bounded by ±0.2 Å
+}
+
+TEST(Builders, PolymerConnectivity) {
+  auto spec = build_polymer_in_solvent(12, 216);
+  const Topology& t = spec.topology;
+  EXPECT_EQ(t.bonds().size(), 11u);
+  EXPECT_EQ(t.angles().size(), 10u);
+  EXPECT_EQ(t.dihedrals().size(), 9u);
+  ASSERT_EQ(spec.tagged.size(), 2u);
+  EXPECT_EQ(spec.tagged[0], 0u);
+  EXPECT_EQ(spec.tagged[1], 11u);
+  // Chain has excluded 1-2 neighbours.
+  EXPECT_TRUE(t.is_excluded(0, 1));
+  EXPECT_FALSE(t.is_excluded(0, 5));
+}
+
+TEST(Builders, IonicSolutionIsNeutralAndTagged) {
+  auto spec = build_ionic_solution(125, 4);
+  EXPECT_NEAR(spec.topology.total_charge(), 0.0, 1e-9);
+  EXPECT_EQ(spec.tagged.size(), 8u);  // 4 Na + 4 Cl
+  EXPECT_EQ(spec.topology.molecules().size(), 125u);  // 8 ions + 117 waters
+}
+
+TEST(Builders, DimerTaggedPairSeparation) {
+  auto spec = build_dimer_in_solvent(216, 6.0);
+  ASSERT_EQ(spec.tagged.size(), 2u);
+  double d = norm(spec.positions[spec.tagged[0]] -
+                  spec.positions[spec.tagged[1]]);
+  EXPECT_NEAR(d, 6.0, 1e-9);
+}
+
+TEST(Builders, DimerRejectsOversizedSeparation) {
+  EXPECT_THROW(build_dimer_in_solvent(64, 1000.0), Error);
+}
+
+}  // namespace
+}  // namespace antmd

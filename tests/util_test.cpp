@@ -1,0 +1,132 @@
+// Unit tests for src/util: errors, CLI parsing, tables, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace antmd {
+namespace {
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    ANTMD_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(ANTMD_REQUIRE(true, "never shown"));
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  CliParser cli("prog", "test");
+  cli.add_flag("steps", "n steps", 100);
+  cli.add_flag("dt", "timestep", 2.5);
+  const char* argv[] = {"prog", "--steps=42", "--dt=1.0"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("steps"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("dt"), 1.0);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  CliParser cli("prog", "test");
+  cli.add_flag("name", "a name", std::string("default"));
+  const char* argv[] = {"prog", "--name", "water"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_string("name"), "water");
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", "chatty", false);
+  cli.add_flag("steps", "n", 7);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_FALSE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("steps"), 7);
+}
+
+TEST(Cli, BareBooleanFlagMeansTrue) {
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", "chatty", false);
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, argv), ConfigError);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("steps", "n", 1);
+  const char* argv[] = {"prog", "--steps=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(static_cast<void>(cli.get_int("steps")), ConfigError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"system", "atoms", "ns/day"});
+  t.add_row({"water-11k", "11250", Table::num(123.456, 1)});
+  t.add_row({"dhfr-like", "23558", Table::num(87.1, 1)});
+  std::string out = t.render();
+  EXPECT_NE(out.find("water-11k"), std::string::npos);
+  EXPECT_NE(out.find("123.5"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumAndSciFormat) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(ThreadPool, RunsAllIndices) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   10,
+                   [](size_t i) {
+                     if (i == 5) throw Error("boom");
+                   }),
+               Error);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(1);
+  EXPECT_NO_THROW(pool.parallel_for(0, [](size_t) { FAIL(); }));
+}
+
+}  // namespace
+}  // namespace antmd

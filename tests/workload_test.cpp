@@ -1,0 +1,160 @@
+// Tests for the analytic workload estimator and its interaction with the
+// timing model (match unit, imbalance, k-space workload).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "machine/timing.hpp"
+#include "machine/workload.hpp"
+#include "md/neighbor.hpp"
+#include "topo/builders.hpp"
+#include "util/error.hpp"
+
+namespace antmd::machine {
+namespace {
+
+TEST(SystemStats, WaterCountsMatchBuilder) {
+  auto stats = SystemStats::water(216, /*rigid=*/true);
+  auto spec = build_water_box(216, WaterModel::kRigid3Site);
+  EXPECT_EQ(stats.atoms, spec.topology.atom_count());
+  EXPECT_EQ(stats.constraints, spec.topology.constraints().size());
+  EXPECT_NEAR(stats.box_edge, spec.box.edges().x, 0.01);
+  EXPECT_NEAR(stats.number_density,
+              static_cast<double>(spec.topology.atom_count()) /
+                  spec.box.volume(),
+              1e-6);
+}
+
+TEST(SystemStats, FlexibleWaterHasBondsNotConstraints) {
+  auto stats = SystemStats::water(100, /*rigid=*/false);
+  EXPECT_EQ(stats.bonds, 200u);
+  EXPECT_EQ(stats.angles, 100u);
+  EXPECT_EQ(stats.constraints, 0u);
+}
+
+TEST(SystemStats, FourSiteWaterHasVirtualSites) {
+  auto stats = SystemStats::water(50, true, /*four_site=*/true);
+  EXPECT_EQ(stats.atoms, 200u);
+  EXPECT_EQ(stats.virtual_sites, 50u);
+  EXPECT_EQ(stats.charged_atoms, 150u);  // O is neutral in 4-site
+}
+
+TEST(SystemStats, PairsPerAtomMatchesRealNeighborList) {
+  // Compare the analytic pair density against a real Verlet list (skin 0).
+  auto spec = build_lj_fluid(1000, 0.021, 5);
+  auto stats = SystemStats::lj_fluid(1000, 0.021);
+  const double cutoff = 8.0;
+  md::NeighborList list(spec.topology, cutoff, 0.0);
+  list.build(spec.positions, spec.box);
+  double measured =
+      static_cast<double>(list.pairs().size()) / 1000.0;
+  // The estimator assumes an ideal-gas g(r); the jittered lattice is
+  // slightly structured, so allow a generous (but still same-ballpark)
+  // tolerance.
+  EXPECT_NEAR(stats.pairs_per_atom(cutoff), measured, 0.25 * measured);
+}
+
+TEST(Estimator, TotalsScaleInverselyWithNodes) {
+  auto stats = SystemStats::water(7849);
+  WorkloadParams params;
+  auto w8 = estimate_step_work(stats, 8, params);
+  auto w64 = estimate_step_work(stats, 64, params);
+  // Mean per-node pairs drop by ~8x.
+  double p8 = static_cast<double>(w8.nodes[1].pairs);
+  double p64 = static_cast<double>(w64.nodes[1].pairs);
+  EXPECT_NEAR(p8 / p64, 8.0, 0.2);
+}
+
+TEST(Estimator, ImbalanceOnlyOnBusiestNode) {
+  auto stats = SystemStats::lj_fluid(4096);
+  WorkloadParams params;
+  params.imbalance = 1.25;
+  auto w = estimate_step_work(stats, 8, params);
+  EXPECT_NEAR(static_cast<double>(w.nodes[0].pairs) /
+                  static_cast<double>(w.nodes[1].pairs),
+              1.25, 0.01);
+  for (size_t n = 2; n < 8; ++n) {
+    EXPECT_EQ(w.nodes[n].pairs, w.nodes[1].pairs);
+  }
+}
+
+TEST(Estimator, SingleNodeHasNoComm) {
+  auto stats = SystemStats::lj_fluid(1000);
+  WorkloadParams params;
+  auto w = estimate_step_work(stats, 1, params);
+  EXPECT_EQ(w.nodes[0].import_bytes, 0.0);
+  EXPECT_EQ(w.nodes[0].messages, 0u);
+}
+
+TEST(Estimator, ImportBoundedBySystemSize) {
+  // Tiny system, many nodes: the import cannot exceed what exists.
+  auto stats = SystemStats::lj_fluid(216);
+  WorkloadParams params;
+  params.cutoff = 8.0;
+  auto w = estimate_step_work(stats, 512, params);
+  double atoms_per_node = 216.0 / 512.0;
+  EXPECT_LE(w.nodes[1].import_bytes / 12.0,
+            216.0 - atoms_per_node + 1.0);
+}
+
+TEST(Estimator, KspaceGridIsPow2AndSized) {
+  auto stats = SystemStats::water(7849);  // box ~61.7 A
+  WorkloadParams params;
+  params.grid_spacing = 1.0;
+  auto w = estimate_step_work(stats, 64, params);
+  ASSERT_TRUE(w.kspace.active);
+  EXPECT_EQ(w.kspace.grid_points, 64u * 64 * 64);
+  EXPECT_EQ(w.kspace.charges, stats.charged_atoms);
+}
+
+TEST(Estimator, UnchargedSystemSkipsKspace) {
+  auto stats = SystemStats::lj_fluid(1000);
+  WorkloadParams params;
+  auto w = estimate_step_work(stats, 8, params);
+  EXPECT_FALSE(w.kspace.active);
+}
+
+TEST(MatchUnit, BindsWhenCandidatesDominante) {
+  MachineConfig cfg = anton_with_torus(1, 1, 1);
+  TimingModel model(cfg);
+  StepWork w;
+  w.nodes.resize(1);
+  w.nodes[0].pairs = 1000;
+  // 100x more candidates than matches: the 8x match rate becomes the
+  // bottleneck (100000/8 > 1000/1).
+  w.nodes[0].pairs_examined = 100000;
+  auto bd = model.step_time(w);
+  double pair_rate = cfg.ppims * cfg.pairs_per_cycle * cfg.htis_clock_hz;
+  EXPECT_NEAR(bd.pair_phase, 100000.0 / (8.0 * pair_rate), 1e-12);
+}
+
+TEST(MatchUnit, IrrelevantWhenCandidatesModest) {
+  MachineConfig cfg = anton_with_torus(1, 1, 1);
+  TimingModel model(cfg);
+  StepWork w;
+  w.nodes.resize(1);
+  w.nodes[0].pairs = 10000;
+  w.nodes[0].pairs_examined = 14000;  // 1.4x candidates, under the 8x rate
+  auto bd = model.step_time(w);
+  double pair_rate = cfg.ppims * cfg.pairs_per_cycle * cfg.htis_clock_hz;
+  EXPECT_NEAR(bd.pair_phase, 10000.0 / pair_rate, 1e-12);
+}
+
+TEST(Estimator, CandidateRatioFlowsThrough) {
+  auto stats = SystemStats::lj_fluid(4096);
+  WorkloadParams params;
+  params.candidate_ratio = 2.0;
+  auto w = estimate_step_work(stats, 8, params);
+  EXPECT_NEAR(static_cast<double>(w.nodes[1].pairs_examined) /
+                  static_cast<double>(w.nodes[1].pairs),
+              2.0, 0.01);
+}
+
+TEST(Estimator, RejectsEmptySystems) {
+  SystemStats empty;
+  WorkloadParams params;
+  EXPECT_THROW(estimate_step_work(empty, 8, params), Error);
+}
+
+}  // namespace
+}  // namespace antmd::machine
