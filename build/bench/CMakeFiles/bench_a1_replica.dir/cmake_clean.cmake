@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_replica.dir/bench_a1_replica.cpp.o"
+  "CMakeFiles/bench_a1_replica.dir/bench_a1_replica.cpp.o.d"
+  "bench_a1_replica"
+  "bench_a1_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

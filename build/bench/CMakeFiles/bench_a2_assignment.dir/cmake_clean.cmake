@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_assignment.dir/bench_a2_assignment.cpp.o"
+  "CMakeFiles/bench_a2_assignment.dir/bench_a2_assignment.cpp.o.d"
+  "bench_a2_assignment"
+  "bench_a2_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

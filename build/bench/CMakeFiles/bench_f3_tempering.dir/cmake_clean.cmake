@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_tempering.dir/bench_f3_tempering.cpp.o"
+  "CMakeFiles/bench_f3_tempering.dir/bench_f3_tempering.cpp.o.d"
+  "bench_f3_tempering"
+  "bench_f3_tempering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_tempering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_fep.dir/bench_f4_fep.cpp.o"
+  "CMakeFiles/bench_f4_fep.dir/bench_f4_fep.cpp.o.d"
+  "bench_f4_fep"
+  "bench_f4_fep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_fep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

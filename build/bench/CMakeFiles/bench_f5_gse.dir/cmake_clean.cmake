@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_gse.dir/bench_f5_gse.cpp.o"
+  "CMakeFiles/bench_f5_gse.dir/bench_f5_gse.cpp.o.d"
+  "bench_f5_gse"
+  "bench_f5_gse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_gse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_pmf.dir/bench_f6_pmf.cpp.o"
+  "CMakeFiles/bench_f6_pmf.dir/bench_f6_pmf.cpp.o.d"
+  "bench_f6_pmf"
+  "bench_f6_pmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

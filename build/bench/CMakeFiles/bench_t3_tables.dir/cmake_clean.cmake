@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_tables.dir/bench_t3_tables.cpp.o"
+  "CMakeFiles/bench_t3_tables.dir/bench_t3_tables.cpp.o.d"
+  "bench_t3_tables"
+  "bench_t3_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_determinism.dir/bench_t5_determinism.cpp.o"
+  "CMakeFiles/bench_t5_determinism.dir/bench_t5_determinism.cpp.o.d"
+  "bench_t5_determinism"
+  "bench_t5_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

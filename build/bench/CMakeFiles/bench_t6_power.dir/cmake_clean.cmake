@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_power.dir/bench_t6_power.cpp.o"
+  "CMakeFiles/bench_t6_power.dir/bench_t6_power.cpp.o.d"
+  "bench_t6_power"
+  "bench_t6_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_run.dir/antmd_run.cpp.o"
+  "CMakeFiles/antmd_run.dir/antmd_run.cpp.o.d"
+  "antmd_run"
+  "antmd_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fep_decoupling.dir/fep_decoupling.cpp.o"
+  "CMakeFiles/fep_decoupling.dir/fep_decoupling.cpp.o.d"
+  "fep_decoupling"
+  "fep_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fep_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

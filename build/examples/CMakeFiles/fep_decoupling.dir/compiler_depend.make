@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fep_decoupling.
+# This may be replaced when dependencies are built.

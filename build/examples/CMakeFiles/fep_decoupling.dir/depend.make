@@ -1,0 +1,2 @@
+# Empty dependencies file for fep_decoupling.
+# This may be replaced when dependencies are built.

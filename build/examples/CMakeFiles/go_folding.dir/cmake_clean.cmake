@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/go_folding.dir/go_folding.cpp.o"
+  "CMakeFiles/go_folding.dir/go_folding.cpp.o.d"
+  "go_folding"
+  "go_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/go_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ligand_pulling.dir/ligand_pulling.cpp.o"
+  "CMakeFiles/ligand_pulling.dir/ligand_pulling.cpp.o.d"
+  "ligand_pulling"
+  "ligand_pulling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ligand_pulling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

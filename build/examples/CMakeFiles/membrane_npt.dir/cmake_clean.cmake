@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membrane_npt.dir/membrane_npt.cpp.o"
+  "CMakeFiles/membrane_npt.dir/membrane_npt.cpp.o.d"
+  "membrane_npt"
+  "membrane_npt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membrane_npt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for membrane_npt.
+# This may be replaced when dependencies are built.

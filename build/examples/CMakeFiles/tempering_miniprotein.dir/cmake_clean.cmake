@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempering_miniprotein.dir/tempering_miniprotein.cpp.o"
+  "CMakeFiles/tempering_miniprotein.dir/tempering_miniprotein.cpp.o.d"
+  "tempering_miniprotein"
+  "tempering_miniprotein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempering_miniprotein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tempering_miniprotein.
+# This may be replaced when dependencies are built.

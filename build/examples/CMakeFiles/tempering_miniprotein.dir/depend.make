@@ -1,0 +1,2 @@
+# Empty dependencies file for tempering_miniprotein.
+# This may be replaced when dependencies are built.

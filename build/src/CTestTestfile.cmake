@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("math")
+subdirs("fft")
+subdirs("topo")
+subdirs("ff")
+subdirs("ewald")
+subdirs("md")
+subdirs("machine")
+subdirs("runtime")
+subdirs("sampling")
+subdirs("baseline")
+subdirs("analysis")
+subdirs("io")

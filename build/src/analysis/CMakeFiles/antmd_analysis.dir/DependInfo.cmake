@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/free_energy.cpp" "src/analysis/CMakeFiles/antmd_analysis.dir/free_energy.cpp.o" "gcc" "src/analysis/CMakeFiles/antmd_analysis.dir/free_energy.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/antmd_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/antmd_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/structure.cpp" "src/analysis/CMakeFiles/antmd_analysis.dir/structure.cpp.o" "gcc" "src/analysis/CMakeFiles/antmd_analysis.dir/structure.cpp.o.d"
+  "/root/repo/src/analysis/transport.cpp" "src/analysis/CMakeFiles/antmd_analysis.dir/transport.cpp.o" "gcc" "src/analysis/CMakeFiles/antmd_analysis.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/antmd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/antmd_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_analysis.dir/free_energy.cpp.o"
+  "CMakeFiles/antmd_analysis.dir/free_energy.cpp.o.d"
+  "CMakeFiles/antmd_analysis.dir/stats.cpp.o"
+  "CMakeFiles/antmd_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/antmd_analysis.dir/structure.cpp.o"
+  "CMakeFiles/antmd_analysis.dir/structure.cpp.o.d"
+  "CMakeFiles/antmd_analysis.dir/transport.cpp.o"
+  "CMakeFiles/antmd_analysis.dir/transport.cpp.o.d"
+  "libantmd_analysis.a"
+  "libantmd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_baseline.dir/cluster.cpp.o"
+  "CMakeFiles/antmd_baseline.dir/cluster.cpp.o.d"
+  "libantmd_baseline.a"
+  "libantmd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ewald/gse.cpp" "src/ewald/CMakeFiles/antmd_ewald.dir/gse.cpp.o" "gcc" "src/ewald/CMakeFiles/antmd_ewald.dir/gse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/antmd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/antmd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/antmd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/antmd_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

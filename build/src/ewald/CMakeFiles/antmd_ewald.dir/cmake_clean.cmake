@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_ewald.dir/gse.cpp.o"
+  "CMakeFiles/antmd_ewald.dir/gse.cpp.o.d"
+  "libantmd_ewald.a"
+  "libantmd_ewald.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_ewald.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

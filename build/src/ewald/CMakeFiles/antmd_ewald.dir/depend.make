@@ -1,0 +1,2 @@
+# Empty dependencies file for antmd_ewald.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ff/bias.cpp" "src/ff/CMakeFiles/antmd_ff.dir/bias.cpp.o" "gcc" "src/ff/CMakeFiles/antmd_ff.dir/bias.cpp.o.d"
+  "/root/repo/src/ff/bonded.cpp" "src/ff/CMakeFiles/antmd_ff.dir/bonded.cpp.o" "gcc" "src/ff/CMakeFiles/antmd_ff.dir/bonded.cpp.o.d"
+  "/root/repo/src/ff/energy.cpp" "src/ff/CMakeFiles/antmd_ff.dir/energy.cpp.o" "gcc" "src/ff/CMakeFiles/antmd_ff.dir/energy.cpp.o.d"
+  "/root/repo/src/ff/forcefield.cpp" "src/ff/CMakeFiles/antmd_ff.dir/forcefield.cpp.o" "gcc" "src/ff/CMakeFiles/antmd_ff.dir/forcefield.cpp.o.d"
+  "/root/repo/src/ff/nonbonded.cpp" "src/ff/CMakeFiles/antmd_ff.dir/nonbonded.cpp.o" "gcc" "src/ff/CMakeFiles/antmd_ff.dir/nonbonded.cpp.o.d"
+  "/root/repo/src/ff/restraints.cpp" "src/ff/CMakeFiles/antmd_ff.dir/restraints.cpp.o" "gcc" "src/ff/CMakeFiles/antmd_ff.dir/restraints.cpp.o.d"
+  "/root/repo/src/ff/vsites.cpp" "src/ff/CMakeFiles/antmd_ff.dir/vsites.cpp.o" "gcc" "src/ff/CMakeFiles/antmd_ff.dir/vsites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/antmd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/antmd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/antmd_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ewald/CMakeFiles/antmd_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/antmd_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

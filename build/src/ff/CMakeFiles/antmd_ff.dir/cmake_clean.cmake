@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_ff.dir/bias.cpp.o"
+  "CMakeFiles/antmd_ff.dir/bias.cpp.o.d"
+  "CMakeFiles/antmd_ff.dir/bonded.cpp.o"
+  "CMakeFiles/antmd_ff.dir/bonded.cpp.o.d"
+  "CMakeFiles/antmd_ff.dir/energy.cpp.o"
+  "CMakeFiles/antmd_ff.dir/energy.cpp.o.d"
+  "CMakeFiles/antmd_ff.dir/forcefield.cpp.o"
+  "CMakeFiles/antmd_ff.dir/forcefield.cpp.o.d"
+  "CMakeFiles/antmd_ff.dir/nonbonded.cpp.o"
+  "CMakeFiles/antmd_ff.dir/nonbonded.cpp.o.d"
+  "CMakeFiles/antmd_ff.dir/restraints.cpp.o"
+  "CMakeFiles/antmd_ff.dir/restraints.cpp.o.d"
+  "CMakeFiles/antmd_ff.dir/vsites.cpp.o"
+  "CMakeFiles/antmd_ff.dir/vsites.cpp.o.d"
+  "libantmd_ff.a"
+  "libantmd_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

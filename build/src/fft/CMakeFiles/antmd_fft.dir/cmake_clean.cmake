@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_fft.dir/distributed.cpp.o"
+  "CMakeFiles/antmd_fft.dir/distributed.cpp.o.d"
+  "CMakeFiles/antmd_fft.dir/fft.cpp.o"
+  "CMakeFiles/antmd_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/antmd_fft.dir/fft3d.cpp.o"
+  "CMakeFiles/antmd_fft.dir/fft3d.cpp.o.d"
+  "libantmd_fft.a"
+  "libantmd_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

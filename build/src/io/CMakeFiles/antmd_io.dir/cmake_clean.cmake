@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_io.dir/config.cpp.o"
+  "CMakeFiles/antmd_io.dir/config.cpp.o.d"
+  "CMakeFiles/antmd_io.dir/system_io.cpp.o"
+  "CMakeFiles/antmd_io.dir/system_io.cpp.o.d"
+  "CMakeFiles/antmd_io.dir/trajectory.cpp.o"
+  "CMakeFiles/antmd_io.dir/trajectory.cpp.o.d"
+  "libantmd_io.a"
+  "libantmd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_machine.dir/config.cpp.o"
+  "CMakeFiles/antmd_machine.dir/config.cpp.o.d"
+  "CMakeFiles/antmd_machine.dir/contention.cpp.o"
+  "CMakeFiles/antmd_machine.dir/contention.cpp.o.d"
+  "CMakeFiles/antmd_machine.dir/timing.cpp.o"
+  "CMakeFiles/antmd_machine.dir/timing.cpp.o.d"
+  "CMakeFiles/antmd_machine.dir/torus.cpp.o"
+  "CMakeFiles/antmd_machine.dir/torus.cpp.o.d"
+  "CMakeFiles/antmd_machine.dir/workload.cpp.o"
+  "CMakeFiles/antmd_machine.dir/workload.cpp.o.d"
+  "libantmd_machine.a"
+  "libantmd_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/fixed.cpp" "src/math/CMakeFiles/antmd_math.dir/fixed.cpp.o" "gcc" "src/math/CMakeFiles/antmd_math.dir/fixed.cpp.o.d"
+  "/root/repo/src/math/pbc.cpp" "src/math/CMakeFiles/antmd_math.dir/pbc.cpp.o" "gcc" "src/math/CMakeFiles/antmd_math.dir/pbc.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/antmd_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/antmd_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/spline.cpp" "src/math/CMakeFiles/antmd_math.dir/spline.cpp.o" "gcc" "src/math/CMakeFiles/antmd_math.dir/spline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/antmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

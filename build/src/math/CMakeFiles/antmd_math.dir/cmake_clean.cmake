@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_math.dir/fixed.cpp.o"
+  "CMakeFiles/antmd_math.dir/fixed.cpp.o.d"
+  "CMakeFiles/antmd_math.dir/pbc.cpp.o"
+  "CMakeFiles/antmd_math.dir/pbc.cpp.o.d"
+  "CMakeFiles/antmd_math.dir/rng.cpp.o"
+  "CMakeFiles/antmd_math.dir/rng.cpp.o.d"
+  "CMakeFiles/antmd_math.dir/spline.cpp.o"
+  "CMakeFiles/antmd_math.dir/spline.cpp.o.d"
+  "libantmd_math.a"
+  "libantmd_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/barostat.cpp" "src/md/CMakeFiles/antmd_md.dir/barostat.cpp.o" "gcc" "src/md/CMakeFiles/antmd_md.dir/barostat.cpp.o.d"
+  "/root/repo/src/md/constraints.cpp" "src/md/CMakeFiles/antmd_md.dir/constraints.cpp.o" "gcc" "src/md/CMakeFiles/antmd_md.dir/constraints.cpp.o.d"
+  "/root/repo/src/md/neighbor.cpp" "src/md/CMakeFiles/antmd_md.dir/neighbor.cpp.o" "gcc" "src/md/CMakeFiles/antmd_md.dir/neighbor.cpp.o.d"
+  "/root/repo/src/md/simulation.cpp" "src/md/CMakeFiles/antmd_md.dir/simulation.cpp.o" "gcc" "src/md/CMakeFiles/antmd_md.dir/simulation.cpp.o.d"
+  "/root/repo/src/md/state.cpp" "src/md/CMakeFiles/antmd_md.dir/state.cpp.o" "gcc" "src/md/CMakeFiles/antmd_md.dir/state.cpp.o.d"
+  "/root/repo/src/md/thermostat.cpp" "src/md/CMakeFiles/antmd_md.dir/thermostat.cpp.o" "gcc" "src/md/CMakeFiles/antmd_md.dir/thermostat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/antmd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/antmd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/antmd_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/antmd_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/ewald/CMakeFiles/antmd_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/antmd_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_md.dir/barostat.cpp.o"
+  "CMakeFiles/antmd_md.dir/barostat.cpp.o.d"
+  "CMakeFiles/antmd_md.dir/constraints.cpp.o"
+  "CMakeFiles/antmd_md.dir/constraints.cpp.o.d"
+  "CMakeFiles/antmd_md.dir/neighbor.cpp.o"
+  "CMakeFiles/antmd_md.dir/neighbor.cpp.o.d"
+  "CMakeFiles/antmd_md.dir/simulation.cpp.o"
+  "CMakeFiles/antmd_md.dir/simulation.cpp.o.d"
+  "CMakeFiles/antmd_md.dir/state.cpp.o"
+  "CMakeFiles/antmd_md.dir/state.cpp.o.d"
+  "CMakeFiles/antmd_md.dir/thermostat.cpp.o"
+  "CMakeFiles/antmd_md.dir/thermostat.cpp.o.d"
+  "libantmd_md.a"
+  "libantmd_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_runtime.dir/decomposition.cpp.o"
+  "CMakeFiles/antmd_runtime.dir/decomposition.cpp.o.d"
+  "CMakeFiles/antmd_runtime.dir/engine.cpp.o"
+  "CMakeFiles/antmd_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/antmd_runtime.dir/machine_sim.cpp.o"
+  "CMakeFiles/antmd_runtime.dir/machine_sim.cpp.o.d"
+  "CMakeFiles/antmd_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/antmd_runtime.dir/scheduler.cpp.o.d"
+  "libantmd_runtime.a"
+  "libantmd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

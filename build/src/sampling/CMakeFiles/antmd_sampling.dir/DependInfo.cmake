@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/common.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/common.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/common.cpp.o.d"
+  "/root/repo/src/sampling/fep.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/fep.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/fep.cpp.o.d"
+  "/root/repo/src/sampling/metadynamics.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/metadynamics.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/metadynamics.cpp.o.d"
+  "/root/repo/src/sampling/replica_exchange.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/replica_exchange.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/replica_exchange.cpp.o.d"
+  "/root/repo/src/sampling/smd.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/smd.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/smd.cpp.o.d"
+  "/root/repo/src/sampling/tamd.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/tamd.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/tamd.cpp.o.d"
+  "/root/repo/src/sampling/tempering.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/tempering.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/tempering.cpp.o.d"
+  "/root/repo/src/sampling/torsion_meta.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/torsion_meta.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/torsion_meta.cpp.o.d"
+  "/root/repo/src/sampling/umbrella.cpp" "src/sampling/CMakeFiles/antmd_sampling.dir/umbrella.cpp.o" "gcc" "src/sampling/CMakeFiles/antmd_sampling.dir/umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/antmd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/antmd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/antmd_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/antmd_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/antmd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/antmd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ewald/CMakeFiles/antmd_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/antmd_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

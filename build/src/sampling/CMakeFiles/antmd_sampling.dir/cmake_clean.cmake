@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_sampling.dir/common.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/common.cpp.o.d"
+  "CMakeFiles/antmd_sampling.dir/fep.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/fep.cpp.o.d"
+  "CMakeFiles/antmd_sampling.dir/metadynamics.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/metadynamics.cpp.o.d"
+  "CMakeFiles/antmd_sampling.dir/replica_exchange.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/replica_exchange.cpp.o.d"
+  "CMakeFiles/antmd_sampling.dir/smd.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/smd.cpp.o.d"
+  "CMakeFiles/antmd_sampling.dir/tamd.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/tamd.cpp.o.d"
+  "CMakeFiles/antmd_sampling.dir/tempering.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/tempering.cpp.o.d"
+  "CMakeFiles/antmd_sampling.dir/torsion_meta.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/torsion_meta.cpp.o.d"
+  "CMakeFiles/antmd_sampling.dir/umbrella.cpp.o"
+  "CMakeFiles/antmd_sampling.dir/umbrella.cpp.o.d"
+  "libantmd_sampling.a"
+  "libantmd_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

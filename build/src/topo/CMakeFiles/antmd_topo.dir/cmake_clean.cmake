@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_topo.dir/builders.cpp.o"
+  "CMakeFiles/antmd_topo.dir/builders.cpp.o.d"
+  "CMakeFiles/antmd_topo.dir/topology.cpp.o"
+  "CMakeFiles/antmd_topo.dir/topology.cpp.o.d"
+  "libantmd_topo.a"
+  "libantmd_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmd_util.dir/cli.cpp.o"
+  "CMakeFiles/antmd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/antmd_util.dir/error.cpp.o"
+  "CMakeFiles/antmd_util.dir/error.cpp.o.d"
+  "CMakeFiles/antmd_util.dir/log.cpp.o"
+  "CMakeFiles/antmd_util.dir/log.cpp.o.d"
+  "CMakeFiles/antmd_util.dir/table.cpp.o"
+  "CMakeFiles/antmd_util.dir/table.cpp.o.d"
+  "CMakeFiles/antmd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/antmd_util.dir/thread_pool.cpp.o.d"
+  "libantmd_util.a"
+  "libantmd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libantmd_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_test.dir/ff_test.cpp.o"
+  "CMakeFiles/ff_test.dir/ff_test.cpp.o.d"
+  "ff_test"
+  "ff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

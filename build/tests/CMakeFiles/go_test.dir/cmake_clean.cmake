@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/go_test.dir/go_test.cpp.o"
+  "CMakeFiles/go_test.dir/go_test.cpp.o.d"
+  "go_test"
+  "go_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/go_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshake_test.dir/mshake_test.cpp.o"
+  "CMakeFiles/mshake_test.dir/mshake_test.cpp.o.d"
+  "mshake_test"
+  "mshake_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_io_test.dir/system_io_test.cpp.o"
+  "CMakeFiles/system_io_test.dir/system_io_test.cpp.o.d"
+  "system_io_test"
+  "system_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
