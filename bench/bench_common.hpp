@@ -7,6 +7,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/cluster.hpp"
 #include "machine/config.hpp"
@@ -45,6 +47,28 @@ inline double amortized_step_s(const baseline::ClusterModel& model,
 inline void print_header(const std::string& experiment,
                          const std::string& caption) {
   std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), caption.c_str());
+}
+
+/// Machine-readable result dump: writes BENCH_<name>.json in the working
+/// directory.  Every report carries the host worker-thread count used so
+/// wall-clock numbers can be compared across configurations.
+inline void write_json_report(
+    const std::string& name, size_t threads,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %zu",
+               name.c_str(), threads);
+  for (const auto& [key, value] : metrics) {
+    std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace antmd::bench

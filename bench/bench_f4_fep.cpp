@@ -39,7 +39,8 @@ int main() {
   cfg.md.thermostat.gamma_per_ps = 5.0;
 
   sampling::FepDecoupling fep(spec, /*solute type=*/0, model, cfg);
-  auto result = fep.run();
+  fep.run(cfg.prod_steps);
+  const sampling::FepResult& result = fep.result();
 
   Table table({"window", "samples fwd/rev", "dF Zwanzig", "dF BAR"});
   for (size_t w = 0; w + 1 < result.windows.size(); ++w) {

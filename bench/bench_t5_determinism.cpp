@@ -20,7 +20,8 @@ namespace {
 
 std::vector<Vec3> run_machine(const SystemSpec& spec,
                               const ff::NonbondedModel& model, int n,
-                              size_t steps, double perturb = 0.0) {
+                              size_t steps, double perturb = 0.0,
+                              size_t threads = 1) {
   ForceField field(spec.topology, model);
   runtime::MachineSimConfig cfg;
   cfg.dt_fs = 2.0;
@@ -29,6 +30,7 @@ std::vector<Vec3> run_machine(const SystemSpec& spec,
   cfg.init_temperature_k = 250.0;
   cfg.thermostat.kind = md::ThermostatKind::kLangevin;
   cfg.thermostat.temperature_k = 250.0;
+  cfg.engine.execution.threads = threads;
   auto positions = spec.positions;
   if (perturb != 0.0) positions[0].x += perturb;
   runtime::MachineSimulation sim(field, machine::anton_with_torus(n, n, n),
@@ -70,6 +72,7 @@ int main() {
   const size_t steps = 40;
   auto reference = run_machine(spec, model, 1, steps);
 
+  std::vector<std::pair<std::string, double>> metrics;
   Table table({"machine", "nodes", "trajectory vs 1-node", "max |dr| (A)"});
   for (int n : {2, 4, 8}) {
     auto traj = run_machine(spec, model, n, steps);
@@ -78,8 +81,25 @@ int main() {
                    std::to_string(n * n * n),
                    same ? "BIT-IDENTICAL" : "DIVERGED",
                    Table::sci(max_deviation(reference, traj, spec.box), 2)});
+    metrics.emplace_back("identical_nodes_" + std::to_string(n * n * n),
+                         same ? 1.0 : 0.0);
   }
   std::fputs(table.render().c_str(), stdout);
+
+  // Thread-count invariance: the deterministic reduction must make worker
+  // threads invisible, exactly like node count.
+  std::printf("\nHost worker threads (64-node modeled machine):\n\n");
+  auto thread_ref = run_machine(spec, model, 4, steps);
+  Table tthreads({"threads", "trajectory vs 1-thread"});
+  for (size_t threads : {2u, 4u, 8u}) {
+    auto traj = run_machine(spec, model, 4, steps, 0.0, threads);
+    bool same = identical(thread_ref, traj);
+    tthreads.add_row({std::to_string(threads),
+                      same ? "BIT-IDENTICAL" : "DIVERGED"});
+    metrics.emplace_back("identical_threads_" + std::to_string(threads),
+                         same ? 1.0 : 0.0);
+  }
+  std::fputs(tthreads.render().c_str(), stdout);
 
   std::printf(
       "\nWhy it matters — chaos amplifies any arithmetic difference.\n"
@@ -93,8 +113,9 @@ int main() {
   }
   std::fputs(chaos.render().c_str(), stdout);
   std::printf(
-      "\nShape check: all machine sizes bit-identical; the 1-ulp "
-      "perturbation grows by orders of magnitude — floating-point "
-      "reductions would diverge exactly like that.\n");
+      "\nShape check: all machine sizes and thread counts bit-identical; "
+      "the 1-ulp perturbation grows by orders of magnitude — "
+      "floating-point reductions would diverge exactly like that.\n");
+  bench::write_json_report("t5_determinism", 8, metrics);
   return 0;
 }

@@ -122,7 +122,8 @@ bench/CMakeFiles/bench_t1_speedup.dir/bench_t1_speedup.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/baseline/cluster.hpp /root/repo/src/machine/timing.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/machine/config.hpp \
  /usr/include/c++/12/array /root/repo/src/util/error.hpp \

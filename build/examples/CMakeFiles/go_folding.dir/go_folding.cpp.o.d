@@ -244,9 +244,25 @@ examples/CMakeFiles/go_folding.dir/go_folding.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ff/bonded.hpp \
  /root/repo/src/ff/nonbonded.hpp /root/repo/src/math/spline.hpp \
  /root/repo/src/ff/restraints.hpp /root/repo/src/ff/vsites.hpp \
- /root/repo/src/md/simulation.hpp /root/repo/src/md/barostat.hpp \
- /root/repo/src/math/rng.hpp /root/repo/src/md/state.hpp \
- /root/repo/src/md/constraints.hpp /root/repo/src/md/neighbor.hpp \
+ /root/repo/src/md/builder.hpp /root/repo/src/md/simulation.hpp \
+ /root/repo/src/md/barostat.hpp /root/repo/src/math/rng.hpp \
+ /root/repo/src/md/state.hpp /root/repo/src/md/constraints.hpp \
+ /root/repo/src/md/neighbor.hpp /root/repo/src/util/execution.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/md/observer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/md/thermostat.hpp /root/repo/src/sampling/tempering.hpp \
  /root/repo/src/topo/builders.hpp /root/repo/src/util/cli.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \

@@ -195,20 +195,7 @@ src/runtime/CMakeFiles/antmd_runtime.dir/machine_sim.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_set.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/md/neighbor.hpp \
- /root/repo/src/ff/nonbonded.hpp /usr/include/c++/12/optional \
- /root/repo/src/ff/energy.hpp /root/repo/src/math/fixed.hpp \
- /root/repo/src/math/spline.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/md/state.hpp \
- /root/repo/src/md/thermostat.hpp /root/repo/src/math/rng.hpp \
- /root/repo/src/runtime/engine.hpp /root/repo/src/ff/forcefield.hpp \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -245,12 +232,40 @@ src/runtime/CMakeFiles/antmd_runtime.dir/machine_sim.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/ewald/gse.hpp \
- /root/repo/src/fft/fft3d.hpp /usr/include/c++/12/complex \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/ff/nonbonded.hpp /usr/include/c++/12/optional \
+ /root/repo/src/ff/energy.hpp /root/repo/src/math/fixed.hpp \
+ /root/repo/src/math/spline.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/util/execution.hpp /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/md/observer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/fft/fft.hpp \
- /root/repo/src/ff/bias.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/ff/bonded.hpp \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/md/state.hpp \
+ /root/repo/src/md/thermostat.hpp /root/repo/src/math/rng.hpp \
+ /root/repo/src/runtime/engine.hpp /root/repo/src/ff/forcefield.hpp \
+ /root/repo/src/ewald/gse.hpp /root/repo/src/fft/fft3d.hpp \
+ /usr/include/c++/12/complex /root/repo/src/fft/fft.hpp \
+ /root/repo/src/ff/bias.hpp /root/repo/src/ff/bonded.hpp \
  /root/repo/src/ff/restraints.hpp /root/repo/src/ff/vsites.hpp \
  /root/repo/src/runtime/decomposition.hpp /root/repo/src/math/units.hpp

@@ -194,12 +194,11 @@ src/sampling/CMakeFiles/antmd_sampling.dir/fep.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/ff/forcefield.hpp \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/ewald/gse.hpp \
  /root/repo/src/fft/fft3d.hpp /usr/include/c++/12/complex \
@@ -248,6 +247,21 @@ src/sampling/CMakeFiles/antmd_sampling.dir/fep.cpp.o: \
  /root/repo/src/md/simulation.hpp /root/repo/src/md/barostat.hpp \
  /root/repo/src/math/rng.hpp /root/repo/src/md/state.hpp \
  /root/repo/src/md/constraints.hpp /root/repo/src/md/neighbor.hpp \
+ /root/repo/src/util/execution.hpp /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/md/observer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/md/thermostat.hpp /root/repo/src/topo/builders.hpp \
- /root/repo/src/analysis/free_energy.hpp \
- /root/repo/src/sampling/common.hpp /root/repo/src/util/error.hpp
+ /root/repo/src/util/error.hpp /root/repo/src/analysis/free_energy.hpp \
+ /root/repo/src/sampling/common.hpp

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/antmd_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/antmd_util.dir/cli.cpp.o.d"
   "/root/repo/src/util/error.cpp" "src/util/CMakeFiles/antmd_util.dir/error.cpp.o" "gcc" "src/util/CMakeFiles/antmd_util.dir/error.cpp.o.d"
+  "/root/repo/src/util/execution.cpp" "src/util/CMakeFiles/antmd_util.dir/execution.cpp.o" "gcc" "src/util/CMakeFiles/antmd_util.dir/execution.cpp.o.d"
   "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/antmd_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/antmd_util.dir/log.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/antmd_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/antmd_util.dir/table.cpp.o.d"
   "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/antmd_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/antmd_util.dir/thread_pool.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/antmd_util.dir/cli.cpp.o.d"
   "CMakeFiles/antmd_util.dir/error.cpp.o"
   "CMakeFiles/antmd_util.dir/error.cpp.o.d"
+  "CMakeFiles/antmd_util.dir/execution.cpp.o"
+  "CMakeFiles/antmd_util.dir/execution.cpp.o.d"
   "CMakeFiles/antmd_util.dir/log.cpp.o"
   "CMakeFiles/antmd_util.dir/log.cpp.o.d"
   "CMakeFiles/antmd_util.dir/table.cpp.o"

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_determinism_test.cpp" "tests/CMakeFiles/parallel_determinism_test.dir/parallel_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_determinism_test.dir/parallel_determinism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/antmd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/antmd_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/antmd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/antmd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/antmd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/antmd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/antmd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/antmd_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/ewald/CMakeFiles/antmd_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/antmd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/antmd_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/antmd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/antmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

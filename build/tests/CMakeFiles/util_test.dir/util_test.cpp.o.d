@@ -293,8 +293,10 @@ tests/CMakeFiles/util_test.dir/util_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/util/cli.hpp /root/repo/src/util/error.hpp \
- /root/repo/src/util/table.hpp /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/util/cli.hpp \
+ /root/repo/src/util/error.hpp /root/repo/src/util/execution.hpp \
+ /root/repo/src/util/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
@@ -305,4 +307,5 @@ tests/CMakeFiles/util_test.dir/util_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/util/table.hpp

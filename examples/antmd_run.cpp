@@ -14,15 +14,23 @@
 //   thermostat   = langevin     # none | berendsen | langevin | nosehoover
 //   electrostatics = gse        # none | cutoff | gse
 //   cutoff       = 6.0
+//   threads      = 4            # host worker threads (1 = serial, 0 = auto)
+//   deterministic_reduction = true
 //   xyz          = out.xyz      # optional trajectory
 //
-//   ./antmd_run water.cfg
+//   ./antmd_run water.cfg [--threads N]
+//
+// --threads on the command line overrides the config file.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "ff/forcefield.hpp"
 #include "io/config.hpp"
 #include "io/trajectory.hpp"
+#include "md/builder.hpp"
 #include "md/simulation.hpp"
 #include "runtime/machine_sim.hpp"
 #include "topo/builders.hpp"
@@ -93,15 +101,53 @@ md::ThermostatConfig build_thermostat(const io::RunConfig& cfg) {
   return t;
 }
 
+/// Execution settings: config keys `threads` / `deterministic_reduction`,
+/// with an optional --threads command-line override.
+ExecutionConfig build_execution(const io::RunConfig& cfg, int cli_threads) {
+  ExecutionConfig exec;
+  exec.threads = static_cast<size_t>(cfg.get_int("threads", 1));
+  exec.deterministic_reduction =
+      cfg.get_bool("deterministic_reduction", true);
+  if (cli_threads >= 0) exec.threads = static_cast<size_t>(cli_threads);
+  return exec;
+}
+
+/// Strict non-negative integer parse; rejects "abc", "4x", "".
+int parse_threads(const char* text) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "antmd_run: --threads expects a non-negative "
+                         "integer, got '%s'\n", text);
+    std::exit(1);
+  }
+  return static_cast<int>(value);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: antmd_run <config-file>\n");
+  const char* config_path = nullptr;
+  int cli_threads = -1;  // -1 = not given
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg.rfind("--threads=", 0) == 0) {
+      cli_threads = parse_threads(arg.c_str() + std::strlen("--threads="));
+    } else if (arg == "--threads" && a + 1 < argc) {
+      cli_threads = parse_threads(argv[++a]);
+    } else if (!config_path) {
+      config_path = argv[a];
+    } else {
+      config_path = nullptr;
+      break;
+    }
+  }
+  if (!config_path) {
+    std::fprintf(stderr, "usage: antmd_run <config-file> [--threads N]\n");
     return 1;
   }
   try {
-    auto cfg = io::RunConfig::from_file(argv[1]);
+    auto cfg = io::RunConfig::from_file(config_path);
     auto spec = build_system(cfg);
     auto model = build_model(cfg);
     // GSE water without charges is meaningless; drop electrostatics when
@@ -124,6 +170,7 @@ int main(int argc, char** argv) {
     std::printf("system: %s — %zu atoms\n", spec.name.c_str(),
                 spec.topology.atom_count());
 
+    const ExecutionConfig exec = build_execution(cfg, cli_threads);
     std::string engine = cfg.get_string("engine", "host");
     if (engine == "machine") {
       runtime::MachineSimConfig mc;
@@ -132,55 +179,60 @@ int main(int argc, char** argv) {
       mc.neighbor_skin = cfg.get_double("skin", 1.0);
       mc.init_temperature_k = cfg.get_double("temperature", 300.0);
       mc.thermostat = build_thermostat(cfg);
+      mc.engine.execution = exec;
       int edge = cfg.get_int("nodes", 4);
       runtime::MachineSimulation sim(
           field, machine::anton_with_torus(edge, edge, edge), spec.positions,
           spec.box, mc);
       Table table({"step", "T (K)", "potential", "modeled ns/day"});
-      for (int s = 0; s < steps; ++s) {
-        sim.step();
-        if ((s + 1) % report == 0) {
-          table.add_row({std::to_string(s + 1),
-                         Table::num(sim.temperature(), 1),
-                         Table::num(sim.potential_energy(), 1),
-                         Table::num(sim.ns_per_day(), 0)});
-          if (xyz) xyz->write_frame(sim.state());
-        }
-      }
+      sim.add_observer(
+          [&](const md::StepInfo& info) {
+            table.add_row({std::to_string(info.step),
+                           Table::num(info.temperature, 1),
+                           Table::num(info.potential, 1),
+                           Table::num(sim.ns_per_day(), 0)});
+            if (xyz) xyz->write_frame(sim.state());
+          },
+          report);
+      sim.run(static_cast<size_t>(steps));
       std::fputs(table.render().c_str(), stdout);
       std::printf("modeled mean step: %.2f us on %zu nodes\n",
                   sim.mean_step_time_s() * 1e6, sim.engine().node_count());
     } else if (engine == "host") {
-      md::SimulationConfig hc;
-      hc.dt_fs = cfg.get_double("dt_fs", 2.0);
-      hc.kspace_interval = cfg.get_int("kspace_interval", 1);
-      hc.respa_inner = cfg.get_int("respa_inner", 1);
-      hc.neighbor_skin = cfg.get_double("skin", 1.0);
-      hc.init_temperature_k = cfg.get_double("temperature", 300.0);
-      hc.thermostat = build_thermostat(cfg);
       std::string barostat = cfg.get_string("barostat", "none");
+      md::BarostatConfig bc;
       if (barostat == "mc") {
-        hc.barostat.kind = md::BarostatKind::kMonteCarlo;
+        bc.kind = md::BarostatKind::kMonteCarlo;
       } else if (barostat == "berendsen") {
-        hc.barostat.kind = md::BarostatKind::kBerendsen;
+        bc.kind = md::BarostatKind::kBerendsen;
       } else if (barostat == "semiiso") {
-        hc.barostat.kind = md::BarostatKind::kBerendsenSemiIso;
+        bc.kind = md::BarostatKind::kBerendsenSemiIso;
       } else {
         ANTMD_REQUIRE(barostat == "none", "unknown barostat: " + barostat);
       }
-      hc.barostat.pressure_atm = cfg.get_double("pressure", 1.0);
-      md::Simulation sim(field, spec.positions, spec.box, hc);
+      bc.pressure_atm = cfg.get_double("pressure", 1.0);
+      md::Simulation sim =
+          md::SimulationBuilder()
+              .dt_fs(cfg.get_double("dt_fs", 2.0))
+              .kspace_interval(cfg.get_int("kspace_interval", 1))
+              .respa_inner(cfg.get_int("respa_inner", 1))
+              .neighbor_skin(cfg.get_double("skin", 1.0))
+              .init_temperature(cfg.get_double("temperature", 300.0))
+              .thermostat(build_thermostat(cfg))
+              .barostat(bc)
+              .execution(exec)
+              .build(field, spec.positions, spec.box);
       Table table({"step", "T (K)", "potential", "pressure (atm)"});
-      for (int s = 0; s < steps; ++s) {
-        sim.step();
-        if ((s + 1) % report == 0) {
-          table.add_row({std::to_string(s + 1),
-                         Table::num(sim.temperature(), 1),
-                         Table::num(sim.potential_energy(), 1),
-                         Table::num(sim.pressure_atm(), 1)});
-          if (xyz) xyz->write_frame(sim.state());
-        }
-      }
+      sim.add_observer(
+          [&](const md::StepInfo& info) {
+            table.add_row({std::to_string(info.step),
+                           Table::num(info.temperature, 1),
+                           Table::num(info.potential, 1),
+                           Table::num(sim.pressure_atm(), 1)});
+            if (xyz) xyz->write_frame(sim.state());
+          },
+          report);
+      sim.run(static_cast<size_t>(steps));
       std::fputs(table.render().c_str(), stdout);
     } else {
       throw ConfigError("unknown engine: " + engine);

@@ -48,7 +48,9 @@ int main(int argc, char** argv) {
   std::printf("decoupling solute type DM from %s over %d windows...\n",
               spec.name.c_str(), n_win);
   sampling::FepDecoupling fep(spec, 0, model, cfg);
-  auto result = fep.run();
+  // Unified driver shape: run(steps) then result().
+  fep.run(static_cast<size_t>(cli.get_int("prod")));
+  const auto& result = fep.result();
 
   Table table({"lambda window", "dF Zwanzig (kcal/mol)", "dF BAR"});
   for (size_t w = 0; w + 1 < result.windows.size(); ++w) {

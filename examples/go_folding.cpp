@@ -7,6 +7,7 @@
 
 #include "analysis/structure.hpp"
 #include "ff/forcefield.hpp"
+#include "md/builder.hpp"
 #include "md/simulation.hpp"
 #include "sampling/tempering.hpp"
 #include "topo/builders.hpp"
@@ -47,14 +48,11 @@ int main(int argc, char** argv) {
   ForceField field(spec.topology, model);
 
   const double cold = cli.get_double("fold_temp");
-  md::SimulationConfig cfg;
-  cfg.dt_fs = 6.0;
-  cfg.neighbor_skin = 2.0;
-  cfg.init_temperature_k = cold;
-  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
-  cfg.thermostat.temperature_k = cold;
-  cfg.thermostat.gamma_per_ps = 2.0;
-  md::Simulation sim(field, spec.positions, spec.box, cfg);
+  md::Simulation sim = md::SimulationBuilder()
+                           .dt_fs(6.0)
+                           .neighbor_skin(2.0)
+                           .langevin(cold, 2.0)
+                           .build(field, spec.positions, spec.box);
 
   std::unique_ptr<sampling::SimulatedTempering> st;
   if (cli.get_bool("tempering")) {
@@ -69,19 +67,19 @@ int main(int argc, char** argv) {
   Table table({"step", "T rung (K)", "native contacts", "potential"});
   double initial_q = analysis::native_contact_fraction(
       sim.state().positions, contacts, sim.state().box);
-  for (int s = 0; s < steps; ++s) {
-    if (st) st->run(1);
-    else sim.step();
-    if ((s + 1) % report == 0) {
-      double q = analysis::native_contact_fraction(sim.state().positions,
-                                                   contacts,
-                                                   sim.state().box);
-      table.add_row({std::to_string(s + 1),
-                     Table::num(st ? st->current_temperature() : cold, 0),
-                     Table::num(q, 2),
-                     Table::num(sim.potential_energy(), 1)});
-    }
-  }
+  sim.add_observer(
+      [&](const md::StepInfo& info) {
+        double q = analysis::native_contact_fraction(sim.state().positions,
+                                                     contacts,
+                                                     sim.state().box);
+        table.add_row({std::to_string(info.step),
+                       Table::num(st ? st->current_temperature() : cold, 0),
+                       Table::num(q, 2),
+                       Table::num(info.potential, 1)});
+      },
+      report);
+  if (st) st->run(static_cast<size_t>(steps));
+  else sim.run(static_cast<size_t>(steps));
   std::fputs(table.render().c_str(), stdout);
   double final_q = analysis::native_contact_fraction(
       sim.state().positions, contacts, sim.state().box);

@@ -8,6 +8,7 @@
 
 #include "ff/forcefield.hpp"
 #include "io/trajectory.hpp"
+#include "md/builder.hpp"
 #include "md/simulation.hpp"
 #include "sampling/smd.hpp"
 #include "topo/builders.hpp"
@@ -47,39 +48,38 @@ int main(int argc, char** argv) {
       {spec.tagged[0], spec.tagged[1], cli.get_double("spring"), 4.0,
        cli.get_double("velocity")});
 
-  md::SimulationConfig mdcfg;
-  mdcfg.dt_fs = 4.0;
-  mdcfg.neighbor_skin = 1.0;
-  mdcfg.init_temperature_k = 150.0;
-  mdcfg.thermostat.kind = md::ThermostatKind::kLangevin;
-  mdcfg.thermostat.temperature_k = 150.0;
-  md::Simulation sim(field, spec.positions, spec.box, mdcfg);
+  md::Simulation sim = md::SimulationBuilder()
+                           .dt_fs(4.0)
+                           .neighbor_skin(1.0)
+                           .langevin(150.0, 1.0)
+                           .build(field, spec.positions, spec.box);
 
   sampling::SteeredPull pull(sim, spring);
   pull.run(static_cast<size_t>(cli.get_int("steps")), 25);
+  const sampling::SmdResult& res = pull.result();
 
   Table table({"time (internal)", "anchor (A)", "distance (A)",
                "work (kcal/mol)"});
-  const auto& times = pull.times();
-  size_t stride = std::max<size_t>(1, times.size() / 12);
-  for (size_t k = 0; k < times.size(); k += stride) {
-    table.add_row({Table::num(times[k], 1), Table::num(pull.targets()[k], 2),
-                   Table::num(pull.distances()[k], 2),
-                   Table::num(pull.work_trace()[k], 2)});
+  size_t stride = std::max<size_t>(1, res.times.size() / 12);
+  for (size_t k = 0; k < res.times.size(); k += stride) {
+    table.add_row({Table::num(res.times[k], 1),
+                   Table::num(res.targets[k], 2),
+                   Table::num(res.distances[k], 2),
+                   Table::num(res.work_trace[k], 2)});
   }
   std::fputs(table.render().c_str(), stdout);
   std::printf("\ntotal pulling work: %.2f kcal/mol (well depth was 4.0)\n",
-              pull.total_work());
+              res.total_work);
 
   if (!cli.get_string("csv").empty()) {
     io::CsvWriter csv(cli.get_string("csv"),
                       {"time", "target", "distance", "work"});
-    for (size_t k = 0; k < times.size(); ++k) {
-      csv.write_row(std::vector<double>{times[k], pull.targets()[k],
-                                        pull.distances()[k],
-                                        pull.work_trace()[k]});
+    for (size_t k = 0; k < res.times.size(); ++k) {
+      csv.write_row(std::vector<double>{res.times[k], res.targets[k],
+                                        res.distances[k],
+                                        res.work_trace[k]});
     }
-    std::printf("wrote %zu rows to %s\n", times.size(),
+    std::printf("wrote %zu rows to %s\n", res.times.size(),
                 cli.get_string("csv").c_str());
   }
   return 0;

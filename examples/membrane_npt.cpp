@@ -7,6 +7,7 @@
 
 #include "analysis/structure.hpp"
 #include "ff/forcefield.hpp"
+#include "md/builder.hpp"
 #include "md/simulation.hpp"
 #include "topo/builders.hpp"
 #include "util/cli.hpp"
@@ -40,35 +41,34 @@ int main(int argc, char** argv) {
   model.ewald_beta = 0.4;
   ForceField field(spec.topology, model);
 
-  md::SimulationConfig cfg;
-  cfg.dt_fs = 2.0;
-  cfg.kspace_interval = 2;
-  cfg.neighbor_skin = 1.0;
-  cfg.init_temperature_k = cli.get_double("temperature");
-  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
-  cfg.thermostat.temperature_k = cli.get_double("temperature");
-  cfg.thermostat.gamma_per_ps = 10.0;
-  cfg.barostat.kind = md::BarostatKind::kBerendsenSemiIso;
-  cfg.barostat.pressure_atm = 1.0;
-  cfg.barostat.interval = 20;
-  md::Simulation sim(field, spec.positions, spec.box, cfg);
+  md::BarostatConfig bc;
+  bc.kind = md::BarostatKind::kBerendsenSemiIso;
+  bc.pressure_atm = 1.0;
+  bc.interval = 20;
+  md::Simulation sim = md::SimulationBuilder()
+                           .dt_fs(2.0)
+                           .kspace_interval(2)
+                           .neighbor_skin(1.0)
+                           .langevin(cli.get_double("temperature"), 10.0)
+                           .barostat(bc)
+                           .build(field, spec.positions, spec.box);
 
   const int steps = cli.get_int("steps");
   const int report = std::max(1, steps / 10);
   Table table({"step", "T (K)", "box xy (A)", "box z (A)",
                "bilayer thickness (A)"});
-  for (int s = 0; s < steps; ++s) {
-    sim.step();
-    if ((s + 1) % report == 0) {
-      table.add_row(
-          {std::to_string(s + 1), Table::num(sim.temperature(), 1),
-           Table::num(sim.state().box.edges().x, 2),
-           Table::num(sim.state().box.edges().z, 2),
-           Table::num(analysis::bilayer_thickness(sim.state().positions,
-                                                  heads, sim.state().box),
-                      2)});
-    }
-  }
+  sim.add_observer(
+      [&](const md::StepInfo& info) {
+        table.add_row(
+            {std::to_string(info.step), Table::num(info.temperature, 1),
+             Table::num(sim.state().box.edges().x, 2),
+             Table::num(sim.state().box.edges().z, 2),
+             Table::num(analysis::bilayer_thickness(sim.state().positions,
+                                                    heads, sim.state().box),
+                        2)});
+      },
+      report);
+  sim.run(static_cast<size_t>(steps));
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nSemi-isotropic coupling lets the xy (membrane-plane) and z axes "

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_flag("nodes", "torus edge (nodes = edge^3)", 4);
   cli.add_flag("temperature", "bath temperature (K)", 300.0);
   cli.add_flag("cutoff", "nonbonded cutoff (A)", 6.0);
+  cli.add_flag("threads", "host worker threads (1 = serial, 0 = auto)", 1);
   cli.add_flag("xyz", "trajectory output path (empty = none)",
                std::string(""));
   if (!cli.parse(argc, argv)) return 0;
@@ -52,6 +53,8 @@ int main(int argc, char** argv) {
   // The synthetic lattice releases several kcal/mol per molecule of
   // electrostatic cohesion as it melts; strong friction absorbs it.
   cfg.thermostat.gamma_per_ps = 10.0;
+  cfg.engine.execution.threads =
+      static_cast<size_t>(cli.get_int("threads"));
   runtime::MachineSimulation sim(field,
                                  machine::anton_with_torus(edge, edge, edge),
                                  spec.positions, spec.box, cfg);
@@ -62,22 +65,22 @@ int main(int argc, char** argv) {
                                           spec.topology);
   }
 
-  // 4. Run, reporting as we go.
+  // 4. Run, reporting from a step observer as we go.
   Table table({"step", "T (K)", "potential (kcal/mol)",
                "modeled step (us)", "modeled ns/day"});
   const int steps = cli.get_int("steps");
   const int report = std::max(1, steps / 10);
-  for (int s = 0; s < steps; ++s) {
-    sim.step();
-    if ((s + 1) % report == 0) {
-      table.add_row({std::to_string(s + 1),
-                     Table::num(sim.temperature(), 1),
-                     Table::num(sim.potential_energy(), 1),
-                     Table::num(sim.last_breakdown().total * 1e6, 2),
-                     Table::num(sim.ns_per_day(), 0)});
-      if (xyz) xyz->write_frame(sim.state());
-    }
-  }
+  sim.add_observer(
+      [&](const md::StepInfo& info) {
+        table.add_row({std::to_string(info.step),
+                       Table::num(info.temperature, 1),
+                       Table::num(info.potential, 1),
+                       Table::num(sim.last_breakdown().total * 1e6, 2),
+                       Table::num(sim.ns_per_day(), 0)});
+        if (xyz) xyz->write_frame(sim.state());
+      },
+      report);
+  sim.run(static_cast<size_t>(steps));
   std::fputs(table.render().c_str(), stdout);
 
   const auto& acc = sim.accumulated();

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "ff/forcefield.hpp"
+#include "md/builder.hpp"
 #include "md/simulation.hpp"
 #include "sampling/tempering.hpp"
 #include "topo/builders.hpp"
@@ -61,14 +62,11 @@ int main(int argc, char** argv) {
   ForceField field(spec.topology, model);
 
   const double cold = cli.get_double("cold");
-  md::SimulationConfig mdcfg;
-  mdcfg.dt_fs = 4.0;
-  mdcfg.neighbor_skin = 1.0;
-  mdcfg.init_temperature_k = cold;
-  mdcfg.thermostat.kind = md::ThermostatKind::kLangevin;
-  mdcfg.thermostat.temperature_k = cold;
-  mdcfg.thermostat.gamma_per_ps = 5.0;
-  md::Simulation sim(field, spec.positions, spec.box, mdcfg);
+  md::Simulation sim = md::SimulationBuilder()
+                           .dt_fs(4.0)
+                           .neighbor_skin(1.0)
+                           .langevin(cold, 5.0)
+                           .build(field, spec.positions, spec.box);
 
   // Small-system rung spacing: dT/T ~ sqrt(2/(3N)) keeps acceptance alive.
   sampling::TemperingConfig tc;
@@ -85,15 +83,15 @@ int main(int argc, char** argv) {
   const int steps = cli.get_int("steps");
   const int report = std::max(1, steps / 12);
   Table table({"step", "rung T (K)", "Rg (A)", "potential"});
-  for (int s = 0; s < steps; ++s) {
-    st.run(1);
-    if ((s + 1) % report == 0) {
-      table.add_row({std::to_string(s + 1),
-                     Table::num(st.current_temperature(), 0),
-                     Table::num(radius_of_gyration(sim, beads), 2),
-                     Table::num(sim.potential_energy(), 1)});
-    }
-  }
+  sim.add_observer(
+      [&](const md::StepInfo& info) {
+        table.add_row({std::to_string(info.step),
+                       Table::num(st.current_temperature(), 0),
+                       Table::num(radius_of_gyration(sim, beads), 2),
+                       Table::num(info.potential, 1)});
+      },
+      report);
+  st.run(static_cast<size_t>(steps));
   std::fputs(table.render().c_str(), stdout);
 
   std::printf("\nladder occupancy:");

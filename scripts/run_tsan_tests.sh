@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build the TSan-instrumented tree and run the tests that exercise the
+# parallel execution layer (worker-thread force fan-out, parallel neighbor
+# rebuild, concurrent replica chunks) under ThreadSanitizer.
+#
+# Usage: scripts/run_tsan_tests.sh [extra ctest -R regex]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+# The parallel layer lives in util (pool/context), md (neighbor list),
+# runtime (engine fan-out) and sampling (replica chunks).
+FILTER="${1:-util_test|md_test|runtime_test|sampling_test|parallel_determinism_test}"
+
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+  ctest --test-dir build-tsan -R "$FILTER" --output-on-failure

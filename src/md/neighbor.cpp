@@ -70,7 +70,7 @@ void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
   const bool small_grid =
       cells.nx() < 3 || cells.ny() < 3 || cells.nz() < 3;
 
-  for (int cz = 0; cz < cells.nz(); ++cz) {
+  auto enumerate_slice = [&](int cz, std::vector<ff::PairEntry>& out) {
     for (int cy = 0; cy < cells.ny(); ++cy) {
       for (int cx = 0; cx < cells.nx(); ++cx) {
         const auto& home = cells.cell(cx, cy, cz);
@@ -81,7 +81,7 @@ void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
             uint32_t j = std::max(home[a], home[b]);
             if (box.distance2(positions[i], positions[j]) >= reach2) continue;
             if (topo_->is_excluded(i, j)) continue;
-            pairs_.push_back({i, j});
+            out.push_back({i, j});
           }
         }
         // Pairs with neighbouring cells.
@@ -106,7 +106,7 @@ void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
                     continue;
                   }
                   if (topo_->is_excluded(i, j)) continue;
-                  pairs_.push_back({i, j});
+                  out.push_back({i, j});
                 }
               }
             }
@@ -114,6 +114,26 @@ void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
         }
       }
     }
+  };
+
+  if (exec_ && exec_->parallel() && cells.nz() > 1) {
+    // Each z-slice fills its own vector; concatenation in ascending slice
+    // order plus the final sort below leaves pairs_ independent of thread
+    // scheduling (the sort alone already guarantees that, the fixed order
+    // just keeps intermediate state reproducible too).
+    std::vector<std::vector<ff::PairEntry>> slices(
+        static_cast<size_t>(cells.nz()));
+    exec_->parallel_for(slices.size(), [&](size_t cz) {
+      enumerate_slice(static_cast<int>(cz), slices[cz]);
+    });
+    size_t total = 0;
+    for (const auto& s : slices) total += s.size();
+    pairs_.reserve(total);
+    for (const auto& s : slices) {
+      pairs_.insert(pairs_.end(), s.begin(), s.end());
+    }
+  } else {
+    for (int cz = 0; cz < cells.nz(); ++cz) enumerate_slice(cz, pairs_);
   }
 
   std::sort(pairs_.begin(), pairs_.end(),

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ff/nonbonded.hpp"
 #include "math/pbc.hpp"
 #include "topo/topology.hpp"
+#include "util/execution.hpp"
 
 namespace antmd::md {
 
@@ -64,6 +66,13 @@ class NeighborList {
   [[nodiscard]] double skin() const { return skin_; }
   [[nodiscard]] uint64_t build_count() const { return build_count_; }
 
+  /// Opts the list into threaded rebuilds.  Cell slices are enumerated
+  /// concurrently and concatenated in slice order; the final sort makes the
+  /// pair vector identical to the serial build regardless of thread count.
+  void set_execution(std::shared_ptr<ExecutionContext> exec) {
+    exec_ = std::move(exec);
+  }
+
  private:
   [[nodiscard]] bool needs_rebuild(std::span<const Vec3> positions,
                                    const Box& box) const;
@@ -74,6 +83,7 @@ class NeighborList {
   std::vector<ff::PairEntry> pairs_;
   std::vector<Vec3> reference_positions_;
   uint64_t build_count_ = 0;
+  std::shared_ptr<ExecutionContext> exec_;  ///< null = serial build
 };
 
 }  // namespace antmd::md

@@ -1,0 +1,81 @@
+// Step-observation callback API shared by md::Simulation and
+// runtime::MachineSimulation.
+//
+// Callers that previously polled `sim.state()` (or worse, mutable_state())
+// from hand-rolled loops register a StepObserver instead; the driver
+// invokes it after each completed step with a read-only summary, computing
+// the O(N) kinetic/temperature reductions only when at least one observer
+// is due.  Observers must outlive the simulation they are registered on
+// (or at least every step() call made while they are registered).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace antmd::md {
+
+/// Read-only summary of a completed MD step.
+struct StepInfo {
+  uint64_t step = 0;        ///< step index after the advance (1-based)
+  double time = 0.0;        ///< simulation time, internal units
+  double potential = 0.0;   ///< kcal/mol
+  double kinetic = 0.0;     ///< kcal/mol
+  double temperature = 0.0; ///< K
+  double wall_seconds = 0.0;///< wall-clock time since the driver was built
+};
+
+using StepObserver = std::function<void(const StepInfo&)>;
+
+/// Interval-filtered observer registry.
+class ObserverList {
+ public:
+  /// Invokes `obs` whenever step % interval == 0 (interval clamped to >=1).
+  void add(StepObserver obs, int interval = 1) {
+    entries_.push_back({interval < 1 ? uint64_t{1}
+                                     : static_cast<uint64_t>(interval),
+                        std::move(obs)});
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// True when at least one observer fires at this step (lets the caller
+  /// skip building a StepInfo — and its O(N) reductions — otherwise).
+  [[nodiscard]] bool due(uint64_t step) const {
+    for (const auto& e : entries_) {
+      if (step % e.interval == 0) return true;
+    }
+    return false;
+  }
+
+  void notify(const StepInfo& info) const {
+    for (const auto& e : entries_) {
+      if (info.step % e.interval == 0) e.fn(info);
+    }
+  }
+
+ private:
+  struct Entry {
+    uint64_t interval;
+    StepObserver fn;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Wall clock used for StepInfo::wall_seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace antmd::md

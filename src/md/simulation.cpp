@@ -17,7 +17,8 @@ Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
                    config.constraint_algorithm),
       thermostat_(ff.topology(), config.thermostat),
       current_(positions.size()),
-      kspace_cache_(positions.size()) {
+      kspace_cache_(positions.size()),
+      exec_(ExecutionContext::create(config.execution)) {
   const Topology& topo = ff.topology();
   ANTMD_REQUIRE(positions.size() == topo.atom_count(),
                 "positions/topology size mismatch");
@@ -43,8 +44,21 @@ Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
 
   ff::construct_virtual_sites(topo.virtual_sites(), state_.positions,
                               state_.box);
+  nlist_.set_execution(exec_);
   nlist_.build(state_.positions, state_.box);
   compute_forces(/*kspace_due=*/true);
+}
+
+void Simulation::notify_observers() {
+  if (observers_.empty() || !observers_.due(state_.step)) return;
+  StepInfo info;
+  info.step = state_.step;
+  info.time = state_.time;
+  info.potential = potential_energy();
+  info.kinetic = kinetic_energy();
+  info.temperature = temperature();
+  info.wall_seconds = wall_.seconds();
+  observers_.notify(info);
 }
 
 void Simulation::compute_forces(bool kspace_due) {
@@ -162,6 +176,7 @@ void Simulation::step_respa() {
           0) {
     remove_com_momentum(topo, state_);
   }
+  notify_observers();
 }
 
 void Simulation::step() {
@@ -233,6 +248,7 @@ void Simulation::step() {
           0) {
     remove_com_momentum(topo, state_);
   }
+  notify_observers();
 }
 
 void Simulation::run(size_t n) {

@@ -16,8 +16,10 @@
 #include "md/barostat.hpp"
 #include "md/constraints.hpp"
 #include "md/neighbor.hpp"
+#include "md/observer.hpp"
 #include "md/state.hpp"
 #include "md/thermostat.hpp"
+#include "util/execution.hpp"
 
 namespace antmd::md {
 
@@ -38,12 +40,17 @@ struct SimulationConfig {
   /// If >= 0, draw Maxwell–Boltzmann velocities at this temperature.
   double init_temperature_k = 300.0;
   uint64_t velocity_seed = 1234;
+  /// Host parallelism (neighbor-list rebuilds here; force partitions in the
+  /// machine runtime).  Defaults to fully serial.
+  ExecutionConfig execution;
 };
 
 class Simulation {
  public:
   /// The force field (and the topology it references) must outlive the
   /// simulation. Initial positions/box come from the caller.
+  /// Prefer SimulationBuilder (md/builder.hpp) in new code; this
+  /// constructor remains as the builder's target.
   Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
              SimulationConfig config);
 
@@ -87,11 +94,24 @@ class Simulation {
   /// surgery, e.g. replica exchange or λ switching).
   void invalidate_forces();
 
+  // --- step observation -------------------------------------------------------
+  /// Registers a callback fired after each completed step where
+  /// step % interval == 0.  The observer (and anything it captures) must
+  /// outlive every step() made while registered.
+  void add_observer(StepObserver obs, int interval = 1) {
+    observers_.add(std::move(obs), interval);
+  }
+
+  [[nodiscard]] const ExecutionConfig& execution() const {
+    return config_.execution;
+  }
+
  private:
   void compute_forces(bool kspace_due);
   void step_respa();
   void compute_fast_forces();
   void compute_slow_forces(bool kspace_due);
+  void notify_observers();
 
   ForceField* ff_;
   SimulationConfig config_;
@@ -106,6 +126,9 @@ class Simulation {
   ForceResult fast_;           ///< bonded forces (RESPA inner loop)
   ForceResult slow_;           ///< nonbonded + k-space (RESPA outer kicks)
   std::vector<Vec3> scratch_before_;
+  std::shared_ptr<ExecutionContext> exec_;
+  ObserverList observers_;
+  WallTimer wall_;
 };
 
 }  // namespace antmd::md

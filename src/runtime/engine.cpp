@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_set>
 
 #include "util/error.hpp"
@@ -10,7 +11,11 @@ namespace antmd::runtime {
 DistributedEngine::DistributedEngine(ForceField& ff,
                                      const machine::MachineConfig& config,
                                      EngineOptions options)
-    : ff_(&ff), torus_(config), options_(options), decomp_(torus_, Box()) {}
+    : ff_(&ff),
+      torus_(config),
+      options_(options),
+      decomp_(torus_, Box()),
+      exec_(ExecutionContext::create(options.execution)) {}
 
 void DistributedEngine::redistribute(std::span<const Vec3> positions,
                                      const Box& box,
@@ -121,6 +126,83 @@ void DistributedEngine::fill_comm_counts(std::span<const Vec3> /*positions*/,
   }
 }
 
+void DistributedEngine::evaluate_node(const NodePartition& part,
+                                      std::span<const Vec3> positions,
+                                      const Box& box, double time,
+                                      ForceResult& partial,
+                                      machine::NodeWork& nw) const {
+  const Topology& topo = ff_->topology();
+  const auto& tables = ff_->tables();
+
+  ff::compute_bonds(part.bonds, positions, box, partial);
+  ff::compute_angles(part.angles, positions, box, partial);
+  ff::compute_dihedrals(part.dihedrals, positions, box, partial);
+  ff::compute_morse_bonds(part.morse_bonds, positions, box, partial);
+  ff::compute_urey_bradleys(part.urey_bradleys, positions, box, partial);
+  ff::compute_impropers(part.impropers, positions, box, partial);
+  ff::compute_go_contacts(part.go_contacts, positions, box, partial);
+  ff::compute_pairs14(part.pairs14, tables, topo.type_ids(),
+                      topo.charges(), positions, box, partial);
+  ff::compute_position_restraints(part.pos_restraints, positions, box,
+                                  partial);
+  ff::compute_distance_restraints(part.dist_restraints, positions, box,
+                                  partial);
+  if (!part.springs.empty()) {
+    ff::compute_steered_springs(part.springs, positions, box, time,
+                                partial);
+  }
+  if (!part.biases.empty()) {
+    ff::compute_pair_biases(part.biases, positions, box, partial);
+  }
+  if (!part.dihedral_biases.empty()) {
+    ff::compute_dihedral_biases(part.dihedral_biases, positions, box,
+                                partial);
+  }
+  if (ff_->external_field()) {
+    // Field force on owned atoms only (a strictly per-atom term).
+    for (uint32_t atom : part.owned_atoms) {
+      double q = topo.charges()[atom];
+      if (q == 0.0) continue;
+      partial.forces.add(atom, q * ff_->external_field()->field);
+      partial.energy.external.add(
+          -q * dot(ff_->external_field()->field, positions[atom]));
+    }
+  }
+  ff::compute_pairs(part.pairs, tables, topo.type_ids(), topo.charges(),
+                    positions, box, partial, ff_->vdw_scale(),
+                    ff_->charge_product_scale());
+
+  // --- workload accounting -------------------------------------------------
+  nw.pairs = part.pairs.size();
+  nw.pairs_examined = part.pairs.size();
+  nw.gc_force_flops =
+      part.bonds.size() * costs_.bond + part.angles.size() * costs_.angle +
+      part.dihedrals.size() * costs_.dihedral +
+      part.morse_bonds.size() * costs_.bond +
+      part.urey_bradleys.size() * costs_.bond +
+      part.impropers.size() * costs_.dihedral +
+      part.go_contacts.size() * costs_.pair14 +
+      part.dihedral_biases.size() * costs_.dihedral +
+      part.pairs14.size() * costs_.pair14 +
+      part.pos_restraints.size() * costs_.restraint +
+      part.dist_restraints.size() * costs_.restraint +
+      part.springs.size() * costs_.steered_spring +
+      part.biases.size() * costs_.steered_spring +
+      (ff_->external_field()
+           ? part.owned_atoms.size() * costs_.external_field_atom
+           : 0.0) +
+      part.vsites.size() * costs_.vsite_construct;
+  // Update phase: integration + thermostat + constraints + vsite spread.
+  nw.gc_update_flops =
+      part.owned_atoms.size() *
+          (costs_.integrate_atom + costs_.thermostat_atom) +
+      part.constraint_count * 3.0 * costs_.constraint_iteration +
+      part.vsites.size() * costs_.vsite_spread;
+  nw.import_bytes = part.import_bytes;
+  nw.export_bytes = part.export_bytes;
+  nw.messages = part.messages;
+}
+
 machine::StepWork DistributedEngine::evaluate(
     std::span<Vec3> positions, const Box& box, double time,
     std::span<const ff::PairEntry> pairs, bool kspace_due, ForceResult& out,
@@ -129,7 +211,6 @@ machine::StepWork DistributedEngine::evaluate(
   static_cast<void>(pairs);  // partitioned copies are authoritative
   const Topology& topo = ff_->topology();
   const size_t n_atoms = topo.atom_count();
-  const auto& tables = ff_->tables();
 
   // Position multicast: every consumer sees the fixed-point wire format.
   if (options_.quantize_positions) {
@@ -142,80 +223,36 @@ machine::StepWork DistributedEngine::evaluate(
   machine::StepWork work;
   work.nodes.resize(parts_.size());
 
-  for (size_t n = 0; n < parts_.size(); ++n) {
-    const NodePartition& part = parts_[n];
-    ForceResult partial(n_atoms);
-
-    ff::compute_bonds(part.bonds, positions, box, partial);
-    ff::compute_angles(part.angles, positions, box, partial);
-    ff::compute_dihedrals(part.dihedrals, positions, box, partial);
-    ff::compute_morse_bonds(part.morse_bonds, positions, box, partial);
-    ff::compute_urey_bradleys(part.urey_bradleys, positions, box, partial);
-    ff::compute_impropers(part.impropers, positions, box, partial);
-    ff::compute_go_contacts(part.go_contacts, positions, box, partial);
-    ff::compute_pairs14(part.pairs14, tables, topo.type_ids(),
-                        topo.charges(), positions, box, partial);
-    ff::compute_position_restraints(part.pos_restraints, positions, box,
-                                    partial);
-    ff::compute_distance_restraints(part.dist_restraints, positions, box,
-                                    partial);
-    if (!part.springs.empty()) {
-      ff::compute_steered_springs(part.springs, positions, box, time,
-                                  partial);
-    }
-    if (!part.biases.empty()) {
-      ff::compute_pair_biases(part.biases, positions, box, partial);
-    }
-    if (!part.dihedral_biases.empty()) {
-      ff::compute_dihedral_biases(part.dihedral_biases, positions, box,
-                                  partial);
-    }
-    if (ff_->external_field()) {
-      // Field force on owned atoms only (a strictly per-atom term).
-      for (uint32_t atom : part.owned_atoms) {
-        double q = topo.charges()[atom];
-        if (q == 0.0) continue;
-        partial.forces.add(atom, q * ff_->external_field()->field);
-        partial.energy.external.add(
-            -q * dot(ff_->external_field()->field, positions[atom]));
+  if (exec_->parallel() && parts_.size() > 1) {
+    // Per-node kernels run concurrently, each into its own ForceResult.
+    partials_scratch_.resize(parts_.size());
+    exec_->parallel_for(parts_.size(), [&](size_t n) {
+      partials_scratch_[n].reset(n_atoms);
+      evaluate_node(parts_[n], positions, box, time, partials_scratch_[n],
+                    work.nodes[n]);
+    });
+    if (exec_->deterministic_reduction()) {
+      // Fixed ascending-node-index merge: identical to the serial loop
+      // bit-for-bit, including the double-precision virial (the fixed-point
+      // force/energy sums are order-independent anyway; the virial is not).
+      for (size_t n = 0; n < parts_.size(); ++n) {
+        out.merge(partials_scratch_[n]);
       }
+    } else {
+      // Completion-order merge (still deterministic in forces/energy thanks
+      // to fixed-point accumulation; virial may differ in the last ulp).
+      std::mutex merge_mutex;
+      exec_->parallel_for(parts_.size(), [&](size_t n) {
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        out.merge(partials_scratch_[n]);
+      });
     }
-    ff::compute_pairs(part.pairs, tables, topo.type_ids(), topo.charges(),
-                      positions, box, partial, ff_->vdw_scale(),
-                      ff_->charge_product_scale());
-
-    out.merge(partial);  // the modeled force reduction
-
-    // --- workload accounting -----------------------------------------------
-    machine::NodeWork& nw = work.nodes[n];
-    nw.pairs = part.pairs.size();
-    nw.pairs_examined = part.pairs.size();
-    nw.gc_force_flops =
-        part.bonds.size() * costs_.bond + part.angles.size() * costs_.angle +
-        part.dihedrals.size() * costs_.dihedral +
-        part.morse_bonds.size() * costs_.bond +
-        part.urey_bradleys.size() * costs_.bond +
-        part.impropers.size() * costs_.dihedral +
-        part.go_contacts.size() * costs_.pair14 +
-        part.dihedral_biases.size() * costs_.dihedral +
-        part.pairs14.size() * costs_.pair14 +
-        part.pos_restraints.size() * costs_.restraint +
-        part.dist_restraints.size() * costs_.restraint +
-        part.springs.size() * costs_.steered_spring +
-        part.biases.size() * costs_.steered_spring +
-        (ff_->external_field()
-             ? part.owned_atoms.size() * costs_.external_field_atom
-             : 0.0) +
-        part.vsites.size() * costs_.vsite_construct;
-    // Update phase: integration + thermostat + constraints + vsite spread.
-    nw.gc_update_flops =
-        part.owned_atoms.size() *
-            (costs_.integrate_atom + costs_.thermostat_atom) +
-        part.constraint_count * 3.0 * costs_.constraint_iteration +
-        part.vsites.size() * costs_.vsite_spread;
-    nw.import_bytes = part.import_bytes;
-    nw.export_bytes = part.export_bytes;
-    nw.messages = part.messages;
+  } else {
+    for (size_t n = 0; n < parts_.size(); ++n) {
+      ForceResult partial(n_atoms);
+      evaluate_node(parts_[n], positions, box, time, partial, work.nodes[n]);
+      out.merge(partial);  // the modeled force reduction
+    }
   }
 
   if (ff_->has_kspace()) {

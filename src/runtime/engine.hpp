@@ -13,11 +13,13 @@
 //                                → geometry cores + all-to-all transposes
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ff/forcefield.hpp"
 #include "machine/timing.hpp"
 #include "runtime/decomposition.hpp"
+#include "util/execution.hpp"
 
 namespace antmd::runtime {
 
@@ -26,6 +28,12 @@ struct EngineOptions {
   /// Snap positions through the 32-bit fixed-point wire format before force
   /// evaluation (what the position multicast does on the real machine).
   bool quantize_positions = true;
+  /// Host-thread parallelism for per-node partition evaluation.  With
+  /// deterministic_reduction (the default) per-node partials are merged in
+  /// ascending node index order, so the trajectory — including the
+  /// double-precision virial — is bit-identical to the serial path at any
+  /// thread count.
+  ExecutionConfig execution;
 };
 
 class DistributedEngine {
@@ -53,6 +61,11 @@ class DistributedEngine {
   [[nodiscard]] size_t node_count() const { return torus_.node_count(); }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
   [[nodiscard]] const machine::TorusTopology& torus() const { return torus_; }
+  /// Shared so the surrounding driver (MachineSimulation) can reuse the
+  /// same pool for neighbor-list rebuilds.
+  [[nodiscard]] const std::shared_ptr<ExecutionContext>& execution() const {
+    return exec_;
+  }
 
  private:
   struct NodePartition {
@@ -80,6 +93,9 @@ class DistributedEngine {
   };
 
   void fill_comm_counts(std::span<const Vec3> positions, const Box& box);
+  void evaluate_node(const NodePartition& part, std::span<const Vec3> positions,
+                     const Box& box, double time, ForceResult& partial,
+                     machine::NodeWork& nw) const;
 
   ForceField* ff_;
   machine::TorusTopology torus_;
@@ -87,6 +103,9 @@ class DistributedEngine {
   SpatialDecomposition decomp_;
   std::vector<NodePartition> parts_;
   machine::GcCosts costs_;
+  std::shared_ptr<ExecutionContext> exec_;
+  /// Per-node ForceResult scratch reused across steps (parallel path only).
+  mutable std::vector<ForceResult> partials_scratch_;
 };
 
 }  // namespace antmd::runtime

@@ -54,6 +54,7 @@ MachineSimulation::MachineSimulation(ForceField& ff,
                         config.velocity_seed, state_);
   }
   ff_->on_box_changed(state_.box);
+  nlist_.set_execution(engine_.execution());
   nlist_.build(state_.positions, state_.box);
   engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
   evaluate_forces(/*kspace_due=*/true);
@@ -117,6 +118,19 @@ void MachineSimulation::step() {
           0) {
     md::remove_com_momentum(topo, state_);
   }
+  notify_observers();
+}
+
+void MachineSimulation::notify_observers() {
+  if (observers_.empty() || !observers_.due(state_.step)) return;
+  md::StepInfo info;
+  info.step = state_.step;
+  info.time = state_.time;
+  info.potential = potential_energy();
+  info.kinetic = kinetic_energy();
+  info.temperature = temperature();
+  info.wall_seconds = wall_.seconds();
+  observers_.notify(info);
 }
 
 void MachineSimulation::run(size_t n) {

@@ -14,6 +14,7 @@
 #include "machine/timing.hpp"
 #include "md/constraints.hpp"
 #include "md/neighbor.hpp"
+#include "md/observer.hpp"
 #include "md/state.hpp"
 #include "md/thermostat.hpp"
 #include "runtime/engine.hpp"
@@ -79,8 +80,14 @@ class MachineSimulation {
   /// (cost accounting for sampling methods driven on top of this engine).
   void note_tempering_decision() { ++pending_tempering_decisions_; }
 
+  /// Same step-observation contract as md::Simulation::add_observer.
+  void add_observer(md::StepObserver obs, int interval = 1) {
+    observers_.add(std::move(obs), interval);
+  }
+
  private:
   void evaluate_forces(bool kspace_due);
+  void notify_observers();
 
   ForceField* ff_;
   MachineSimConfig config_;
@@ -99,6 +106,8 @@ class MachineSimulation {
   double modeled_time_s_ = 0.0;
   uint64_t steps_timed_ = 0;
   size_t pending_tempering_decisions_ = 0;
+  md::ObserverList observers_;
+  md::WallTimer wall_;
 };
 
 }  // namespace antmd::runtime

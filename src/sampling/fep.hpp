@@ -9,11 +9,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "ff/forcefield.hpp"
 #include "md/simulation.hpp"
 #include "topo/builders.hpp"
+#include "util/error.hpp"
 
 namespace antmd::sampling {
 
@@ -47,6 +49,18 @@ class FepDecoupling {
 
   [[nodiscard]] FepResult run();
 
+  /// Unified driver interface: runs `steps` production steps per window
+  /// (overriding config.prod_steps) and caches the estimate in result().
+  void run(size_t steps) {
+    config_.prod_steps = steps;
+    result_ = run();
+  }
+  /// Last estimate produced by run(size_t).
+  [[nodiscard]] const FepResult& result() const {
+    ANTMD_REQUIRE(result_.has_value(), "run(steps) has not been called");
+    return *result_;
+  }
+
   /// Force field with the solute soft-cored at λ (exposed for tests).
   [[nodiscard]] std::unique_ptr<ForceField> make_field(double lambda) const;
 
@@ -55,6 +69,7 @@ class FepDecoupling {
   uint32_t solute_type_;
   ff::NonbondedModel model_;
   FepConfig config_;
+  std::optional<FepResult> result_;
 };
 
 }  // namespace antmd::sampling

@@ -12,6 +12,14 @@
 
 namespace antmd::sampling {
 
+/// Deposited-bias summary (unified sampling-driver interface).
+struct MetadynamicsResult {
+  size_t hill_count = 0;
+  double final_cv = 0.0;
+  std::vector<double> centers;
+  std::vector<double> heights;
+};
+
 struct MetadynamicsConfig {
   double initial_height = 0.3;  ///< kcal/mol
   double sigma = 0.25;          ///< Gaussian width in CV units (Å)
@@ -28,6 +36,12 @@ class Metadynamics {
                MetadynamicsConfig config);
 
   void run(size_t steps);
+
+  /// Unified driver accessor (matches the other sampling methods).
+  [[nodiscard]] MetadynamicsResult result() const {
+    return MetadynamicsResult{centers_.size(), current_cv(), centers_,
+                              heights_};
+  }
 
   /// Current bias potential at CV value r.
   [[nodiscard]] double bias(double r) const;

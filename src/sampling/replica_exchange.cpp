@@ -33,11 +33,12 @@ void swap_configurations(md::Simulation& a, md::Simulation& b,
 
 TemperatureReplicaExchange::TemperatureReplicaExchange(
     std::vector<md::Simulation*> replicas, std::vector<double> temperatures,
-    int attempt_interval, uint64_t seed)
+    int attempt_interval, uint64_t seed, ExecutionConfig execution)
     : replicas_(std::move(replicas)),
       temperatures_(std::move(temperatures)),
       attempt_interval_(attempt_interval),
-      rng_(seed) {
+      rng_(seed),
+      exec_(ExecutionContext::create(execution)) {
   ANTMD_REQUIRE(replicas_.size() >= 2, "need >= 2 replicas");
   ANTMD_REQUIRE(replicas_.size() == temperatures_.size(),
                 "replica/temperature count mismatch");
@@ -56,7 +57,10 @@ void TemperatureReplicaExchange::run(size_t steps) {
   size_t done = 0;
   while (done < steps) {
     size_t chunk = std::min<size_t>(attempt_interval_, steps - done);
-    for (auto* r : replicas_) r->run(chunk);
+    // Replicas are independent between exchanges (separate ForceFields,
+    // counter-based RNGs), so the chunks may run concurrently.
+    exec_->parallel_for(replicas_.size(),
+                        [&](size_t r) { replicas_[r]->run(chunk); });
     done += chunk;
     if (chunk == static_cast<size_t>(attempt_interval_)) {
       attempt_exchanges(rounds_ % 2 == 0);
@@ -84,11 +88,12 @@ void TemperatureReplicaExchange::attempt_exchanges(bool even_pairs) {
 
 HamiltonianReplicaExchange::HamiltonianReplicaExchange(
     std::vector<md::Simulation*> replicas, double temperature_k,
-    int attempt_interval, uint64_t seed)
+    int attempt_interval, uint64_t seed, ExecutionConfig execution)
     : replicas_(std::move(replicas)),
       temperature_k_(temperature_k),
       attempt_interval_(attempt_interval),
-      rng_(seed) {
+      rng_(seed),
+      exec_(ExecutionContext::create(execution)) {
   ANTMD_REQUIRE(replicas_.size() >= 2, "need >= 2 replicas");
   stats_.attempts.assign(replicas_.size() - 1, 0);
   stats_.accepts.assign(replicas_.size() - 1, 0);
@@ -98,7 +103,8 @@ void HamiltonianReplicaExchange::run(size_t steps) {
   size_t done = 0;
   while (done < steps) {
     size_t chunk = std::min<size_t>(attempt_interval_, steps - done);
-    for (auto* r : replicas_) r->run(chunk);
+    exec_->parallel_for(replicas_.size(),
+                        [&](size_t r) { replicas_[r]->run(chunk); });
     done += chunk;
     if (chunk == static_cast<size_t>(attempt_interval_)) {
       attempt_exchanges(rounds_ % 2 == 0);

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "math/rng.hpp"
 #include "md/simulation.hpp"
+#include "util/execution.hpp"
 
 namespace antmd::sampling {
 
@@ -29,9 +31,13 @@ struct ExchangeStats {
 class TemperatureReplicaExchange {
  public:
   /// Each replica must have a thermostat set to the matching temperature.
+  /// With execution.threads > 1 the replicas advance their MD chunks
+  /// concurrently (each replica must own its ForceField); exchange
+  /// decisions stay serial, so results are identical at any thread count.
   TemperatureReplicaExchange(std::vector<md::Simulation*> replicas,
                              std::vector<double> temperatures,
-                             int attempt_interval, uint64_t seed = 7);
+                             int attempt_interval, uint64_t seed = 7,
+                             ExecutionConfig execution = {});
 
   /// Advances every replica by `steps` MD steps with exchanges interleaved.
   void run(size_t steps);
@@ -53,15 +59,18 @@ class TemperatureReplicaExchange {
   SequentialRng rng_;
   ExchangeStats stats_;
   uint64_t rounds_ = 0;
+  std::shared_ptr<ExecutionContext> exec_;
 };
 
 class HamiltonianReplicaExchange {
  public:
   /// Replica k runs with its force field's current vdw/charge scales; all
-  /// replicas share one temperature.
+  /// replicas share one temperature.  See TemperatureReplicaExchange for
+  /// the concurrency contract of `execution`.
   HamiltonianReplicaExchange(std::vector<md::Simulation*> replicas,
                              double temperature_k, int attempt_interval,
-                             uint64_t seed = 7);
+                             uint64_t seed = 7,
+                             ExecutionConfig execution = {});
 
   void run(size_t steps);
 
@@ -76,6 +85,7 @@ class HamiltonianReplicaExchange {
   SequentialRng rng_;
   ExchangeStats stats_;
   uint64_t rounds_ = 0;
+  std::shared_ptr<ExecutionContext> exec_;
 };
 
 }  // namespace antmd::sampling

@@ -25,13 +25,13 @@ void SteeredPull::run(size_t steps, int record_interval) {
     double target = spring_.r_start + spring_.velocity * t;
     double dev = current_distance() - target;
     // dW = ∂U/∂t dt with U = k (r - target(t))²:
-    work_ += -2.0 * spring_.k * dev * spring_.velocity * dt;
+    result_.total_work += -2.0 * spring_.k * dev * spring_.velocity * dt;
     if (record_interval > 0 &&
         sim_->state().step % static_cast<uint64_t>(record_interval) == 0) {
-      times_.push_back(t);
-      targets_.push_back(target);
-      distances_.push_back(current_distance());
-      work_trace_.push_back(work_);
+      result_.times.push_back(t);
+      result_.targets.push_back(target);
+      result_.distances.push_back(current_distance());
+      result_.work_trace.push_back(result_.total_work);
     }
   }
 }

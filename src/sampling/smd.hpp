@@ -11,6 +11,15 @@
 
 namespace antmd::sampling {
 
+/// Pulling trajectory record (unified sampling-driver interface).
+struct SmdResult {
+  double total_work = 0.0;  ///< kcal/mol
+  std::vector<double> times;
+  std::vector<double> targets;
+  std::vector<double> distances;
+  std::vector<double> work_trace;
+};
+
 class SteeredPull {
  public:
   /// `spring_index` is the value returned by ForceField::add_steered_spring.
@@ -20,14 +29,21 @@ class SteeredPull {
   /// `record_interval` steps.
   void run(size_t steps, int record_interval = 10);
 
-  [[nodiscard]] double total_work() const { return work_; }
-  [[nodiscard]] const std::vector<double>& times() const { return times_; }
-  [[nodiscard]] const std::vector<double>& targets() const { return targets_; }
+  /// Unified driver accessor (matches the other sampling methods).
+  [[nodiscard]] const SmdResult& result() const { return result_; }
+
+  [[nodiscard]] double total_work() const { return result_.total_work; }
+  [[nodiscard]] const std::vector<double>& times() const {
+    return result_.times;
+  }
+  [[nodiscard]] const std::vector<double>& targets() const {
+    return result_.targets;
+  }
   [[nodiscard]] const std::vector<double>& distances() const {
-    return distances_;
+    return result_.distances;
   }
   [[nodiscard]] const std::vector<double>& work_trace() const {
-    return work_trace_;
+    return result_.work_trace;
   }
 
  private:
@@ -35,11 +51,7 @@ class SteeredPull {
 
   md::Simulation* sim_;
   ff::SteeredSpring spring_;
-  double work_ = 0.0;
-  std::vector<double> times_;
-  std::vector<double> targets_;
-  std::vector<double> distances_;
-  std::vector<double> work_trace_;
+  SmdResult result_;
 };
 
 }  // namespace antmd::sampling

@@ -14,6 +14,13 @@
 
 namespace antmd::sampling {
 
+/// Snapshot of the auxiliary-variable state (unified driver interface).
+struct TamdResult {
+  double z = 0.0;
+  double cv = 0.0;
+  double force_on_z = 0.0;
+};
+
 struct TamdConfig {
   double spring_k = 50.0;        ///< kcal/mol/Å² (U = k (r - z)²)
   double z_temperature_k = 1200; ///< auxiliary-variable temperature
@@ -28,6 +35,11 @@ class Tamd {
   Tamd(md::Simulation& sim, uint32_t i, uint32_t j, TamdConfig config);
 
   void run(size_t steps);
+
+  /// Unified driver accessor (matches the other sampling methods).
+  [[nodiscard]] TamdResult result() const {
+    return TamdResult{z_, current_cv(), instantaneous_force_on_z()};
+  }
 
   [[nodiscard]] double z() const { return z_; }
   [[nodiscard]] double current_cv() const;

@@ -23,18 +23,13 @@ SimulatedTempering::SimulatedTempering(md::Simulation& sim,
   ANTMD_REQUIRE(sim_->thermostat().kind() != md::ThermostatKind::kNone,
                 "simulated tempering needs a thermostat");
   sim_->thermostat().set_temperature(config_.ladder[0]);
+  // Registered last so a throwing constructor never leaves a dangling
+  // callback on the simulation.
+  sim_->add_observer([this](const md::StepInfo&) { attempt_move(); },
+                     config_.attempt_interval);
 }
 
-void SimulatedTempering::run(size_t steps) {
-  for (size_t s = 0; s < steps; ++s) {
-    sim_->step();
-    if (sim_->state().step %
-            static_cast<uint64_t>(config_.attempt_interval) ==
-        0) {
-      attempt_move();
-    }
-  }
-}
+void SimulatedTempering::run(size_t steps) { sim_->run(steps); }
 
 void SimulatedTempering::attempt_move() {
   ++attempts_;

@@ -24,12 +24,31 @@ struct TemperingConfig {
   double wl_floor = 1e-4;       ///< stop adapting below this increment
 };
 
+/// Summary snapshot for the unified sampling-driver interface.
+struct TemperingResult {
+  uint64_t attempts = 0;
+  uint64_t accepts = 0;
+  size_t final_level = 0;
+  double final_temperature_k = 0.0;
+  std::vector<uint64_t> occupancy;
+  std::vector<double> weights;
+};
+
 class SimulatedTempering {
  public:
+  /// Registers a step observer on `sim` that makes the level-change
+  /// decision every attempt_interval steps; this object must therefore
+  /// outlive any stepping of `sim` after construction.
   SimulatedTempering(md::Simulation& sim, TemperingConfig config);
 
-  /// Runs `steps` MD steps with tempering moves interleaved.
+  /// Runs `steps` MD steps; tempering moves fire from the step observer.
   void run(size_t steps);
+
+  /// Unified driver accessor (matches the other sampling methods).
+  [[nodiscard]] TemperingResult result() const {
+    return TemperingResult{attempts_,     accepts_, level_,
+                           config_.ladder[level_], occupancy_, weights_};
+  }
 
   [[nodiscard]] size_t current_level() const { return level_; }
   [[nodiscard]] double current_temperature() const {

@@ -1,0 +1,31 @@
+#include "util/execution.hpp"
+
+#include <thread>
+
+namespace antmd {
+
+ExecutionContext::ExecutionContext(ExecutionConfig config) : config_(config) {
+  size_t n = config.threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  threads_ = n;
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+std::shared_ptr<ExecutionContext> ExecutionContext::create(
+    ExecutionConfig config) {
+  return std::make_shared<ExecutionContext>(config);
+}
+
+void ExecutionContext::parallel_for(size_t count,
+                                    const std::function<void(size_t)>& fn) {
+  if (!pool_) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool_->parallel_for(count, fn);
+}
+
+}  // namespace antmd

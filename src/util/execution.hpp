@@ -1,0 +1,61 @@
+// Deterministic parallel execution layer.
+//
+// ExecutionConfig describes how much host parallelism a simulation may use;
+// ExecutionContext owns the ThreadPool (if any) and exposes parallel_for
+// with a serial in-order fallback.  The contract every caller relies on:
+// with deterministic reduction enabled (the default), results are
+// bit-identical at any thread count, because all shared accumulations are
+// either order-independent fixed-point sums or are merged in a fixed index
+// order after the parallel region.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "util/thread_pool.hpp"
+
+namespace antmd {
+
+struct ExecutionConfig {
+  /// Worker threads for the hot loops (node-partition force evaluation,
+  /// neighbor-list rebuild, replica chunks).  1 = fully serial (no pool is
+  /// created); 0 = use hardware_concurrency.
+  size_t threads = 1;
+  /// Merge per-node partial forces in fixed node-index order so the virial
+  /// (double precision) matches the serial path bitwise too.  Disabling it
+  /// merges partials as they complete; fixed-point forces and energies stay
+  /// bit-identical either way, only the virial's fp summation order varies.
+  bool deterministic_reduction = true;
+};
+
+/// Shared parallel context.  One per Simulation/engine; cheap to share via
+/// shared_ptr between an engine and its neighbor list so they reuse one
+/// pool.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(ExecutionConfig config);
+
+  /// Never returns null: threads <= 1 yields a serial context.
+  static std::shared_ptr<ExecutionContext> create(ExecutionConfig config);
+
+  /// Effective worker count (>= 1).
+  [[nodiscard]] size_t threads() const { return threads_; }
+  [[nodiscard]] bool deterministic_reduction() const {
+    return config_.deterministic_reduction;
+  }
+  /// True when a pool exists and parallel_for actually fans out.
+  [[nodiscard]] bool parallel() const { return pool_ != nullptr; }
+
+  /// Runs fn(i) for i in [0, count).  Serial contexts run in index order on
+  /// the calling thread; parallel contexts make no ordering promise, so the
+  /// caller must keep per-index outputs disjoint and reduce afterwards.
+  void parallel_for(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  ExecutionConfig config_;
+  size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when threads_ == 1
+};
+
+}  // namespace antmd

@@ -1,0 +1,146 @@
+// Tier-1 contract for the parallel execution layer: worker threads must be
+// invisible in the results.  With deterministic reduction (the default) a
+// trajectory is bit-identical at any thread count, because forces and
+// energies accumulate in order-independent fixed point and the per-node
+// partials (including the double-precision virial) are merged in fixed
+// node-index order.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ff/forcefield.hpp"
+#include "machine/config.hpp"
+#include "md/builder.hpp"
+#include "md/neighbor.hpp"
+#include "md/simulation.hpp"
+#include "runtime/machine_sim.hpp"
+#include "sampling/replica_exchange.hpp"
+#include "topo/builders.hpp"
+#include "util/execution.hpp"
+
+namespace antmd {
+namespace {
+
+// Miniprotein workload: 20-bead polymer in a 125-atom solvent bath, long
+// enough (500 steps) that any scheduling-dependent arithmetic would be
+// amplified by Lyapunov growth into visible divergence.
+constexpr size_t kSteps = 500;
+
+ff::NonbondedModel polymer_model() {
+  ff::NonbondedModel m;
+  m.cutoff = 8.0;
+  m.electrostatics = ff::Electrostatics::kNone;
+  return m;
+}
+
+void expect_bitwise_equal(const std::vector<Vec3>& a,
+                          const std::vector<Vec3>& b, size_t threads) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i] == b[i])
+        << "atom " << i << " diverged at " << threads << " threads";
+  }
+}
+
+std::vector<Vec3> run_host(size_t threads) {
+  auto spec = build_polymer_in_solvent(20, 125);
+  ForceField field(spec.topology, polymer_model());
+  md::Simulation sim = md::SimulationBuilder()
+                           .dt_fs(4.0)
+                           .neighbor_skin(1.0)
+                           .langevin(150.0, 5.0)
+                           .threads(threads)
+                           .build(field, spec.positions, spec.box);
+  sim.run(kSteps);
+  return sim.state().positions;
+}
+
+std::vector<Vec3> run_machine(size_t threads) {
+  auto spec = build_polymer_in_solvent(20, 125);
+  ForceField field(spec.topology, polymer_model());
+  runtime::MachineSimConfig cfg;
+  cfg.dt_fs = 4.0;
+  cfg.neighbor_skin = 1.0;
+  cfg.init_temperature_k = 150.0;
+  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  cfg.thermostat.temperature_k = 150.0;
+  cfg.engine.execution.threads = threads;
+  runtime::MachineSimulation sim(field, machine::anton_with_torus(2, 2, 2),
+                                 spec.positions, spec.box, cfg);
+  sim.run(kSteps);
+  return sim.state().positions;
+}
+
+TEST(ParallelDeterminism, HostSimulationBitIdenticalAcrossThreadCounts) {
+  auto reference = run_host(1);
+  for (size_t threads : {2u, 4u, 8u}) {
+    expect_bitwise_equal(reference, run_host(threads), threads);
+  }
+}
+
+TEST(ParallelDeterminism, MachineEngineBitIdenticalAcrossThreadCounts) {
+  auto reference = run_machine(1);
+  for (size_t threads : {2u, 4u, 8u}) {
+    expect_bitwise_equal(reference, run_machine(threads), threads);
+  }
+}
+
+TEST(ParallelDeterminism, NeighborListPairsMatchSerialBuild) {
+  auto spec = build_polymer_in_solvent(20, 125);
+  md::NeighborList serial(spec.topology, 8.0, 1.0);
+  serial.build(spec.positions, spec.box);
+
+  md::NeighborList parallel(spec.topology, 8.0, 1.0);
+  parallel.set_execution(ExecutionContext::create({4, true}));
+  parallel.build(spec.positions, spec.box);
+
+  ASSERT_EQ(serial.pairs().size(), parallel.pairs().size());
+  for (size_t k = 0; k < serial.pairs().size(); ++k) {
+    EXPECT_EQ(serial.pairs()[k].i, parallel.pairs()[k].i);
+    EXPECT_EQ(serial.pairs()[k].j, parallel.pairs()[k].j);
+  }
+}
+
+TEST(ParallelDeterminism, ReplicaExchangeThreadCountInvariant) {
+  auto spec = build_polymer_in_solvent(12, 125);
+  const std::vector<double> temps = {140.0, 160.0, 180.0, 200.0};
+
+  auto run_remd = [&](size_t threads) {
+    std::vector<std::unique_ptr<ForceField>> fields;
+    std::vector<std::unique_ptr<md::Simulation>> sims;
+    std::vector<md::Simulation*> ptrs;
+    for (double t : temps) {
+      fields.push_back(
+          std::make_unique<ForceField>(spec.topology, polymer_model()));
+      md::SimulationConfig cfg;
+      cfg.dt_fs = 4.0;
+      cfg.neighbor_skin = 1.0;
+      cfg.init_temperature_k = t;
+      cfg.thermostat.kind = md::ThermostatKind::kLangevin;
+      cfg.thermostat.temperature_k = t;
+      cfg.thermostat.gamma_per_ps = 5.0;
+      sims.push_back(std::make_unique<md::Simulation>(
+          *fields.back(), spec.positions, spec.box, cfg));
+      ptrs.push_back(sims.back().get());
+    }
+    sampling::TemperatureReplicaExchange remd(ptrs, temps, 20, 11,
+                                              ExecutionConfig{threads, true});
+    remd.run(200);
+    std::vector<std::vector<Vec3>> out;
+    for (auto* sim : ptrs) out.push_back(sim->state().positions);
+    return out;
+  };
+
+  auto reference = run_remd(1);
+  for (size_t threads : {2u, 4u}) {
+    auto traj = run_remd(threads);
+    ASSERT_EQ(traj.size(), reference.size());
+    for (size_t r = 0; r < traj.size(); ++r) {
+      expect_bitwise_equal(reference[r], traj[r], threads);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace antmd

@@ -1,13 +1,16 @@
-// Unit tests for src/util: errors, CLI parsing, tables, thread pool.
+// Unit tests for src/util: errors, CLI parsing, tables, thread pool,
+// execution context.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <numeric>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/execution.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -126,6 +129,73 @@ TEST(ThreadPool, PropagatesExceptions) {
 TEST(ThreadPool, ZeroCountIsNoop) {
   ThreadPool pool(1);
   EXPECT_NO_THROW(pool.parallel_for(0, [](size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(64, [&](size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ThreadPool, MoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](size_t) { throw Error("first call"); }),
+      Error);
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ExecutionContext, SerialByDefault) {
+  auto ctx = ExecutionContext::create({});
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_FALSE(ctx->parallel());
+  EXPECT_EQ(ctx->threads(), 1u);
+  EXPECT_TRUE(ctx->deterministic_reduction());
+}
+
+TEST(ExecutionContext, SerialRunsInIndexOrder) {
+  auto ctx = ExecutionContext::create({1, true});
+  std::vector<size_t> order;
+  ctx->parallel_for(10, [&](size_t i) { order.push_back(i); });
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ExecutionContext, ParallelCoversAllIndices) {
+  auto ctx = ExecutionContext::create({4, true});
+  EXPECT_TRUE(ctx->parallel());
+  EXPECT_EQ(ctx->threads(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  ctx->parallel_for(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecutionContext, AutoThreadsPicksAtLeastOne) {
+  auto ctx = ExecutionContext::create({0, true});
+  EXPECT_GE(ctx->threads(), 1u);
+  std::atomic<int> count{0};
+  ctx->parallel_for(8, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ExecutionContext, CarriesReductionFlag) {
+  auto ctx = ExecutionContext::create({2, false});
+  EXPECT_FALSE(ctx->deterministic_reduction());
 }
 
 }  // namespace
