@@ -19,8 +19,21 @@
 //   xyz          = out.xyz      # optional trajectory
 //
 //   ./antmd_run water.cfg [--threads N]
+//       [--checkpoint PATH] [--checkpoint-interval N] [--resume]
+//
+// Robustness options (command line overrides the matching config keys
+// `checkpoint`, `checkpoint_interval`, `resume`, `health`):
+//   --checkpoint PATH      write an atomic, CRC-verified v2 checkpoint of
+//                          the simulation every checkpoint-interval steps
+//   --checkpoint-interval N  snapshot cadence in steps (default 200)
+//   --resume               restore from --checkpoint before running; the
+//                          run continues to the configured total `steps`
+//   health = off|rollback|throw   numerical health guard policy; rollback
+//                          restores the last good snapshot at a reduced
+//                          timestep, throw aborts on the first violation
 //
 // --threads on the command line overrides the config file.
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,10 +41,12 @@
 #include <string>
 
 #include "ff/forcefield.hpp"
+#include "io/checkpoint.hpp"
 #include "io/config.hpp"
 #include "io/trajectory.hpp"
 #include "md/builder.hpp"
 #include "md/simulation.hpp"
+#include "resilience/health.hpp"
 #include "runtime/machine_sim.hpp"
 #include "topo/builders.hpp"
 #include "util/error.hpp"
@@ -113,15 +128,67 @@ ExecutionConfig build_execution(const io::RunConfig& cfg, int cli_threads) {
 }
 
 /// Strict non-negative integer parse; rejects "abc", "4x", "".
-int parse_threads(const char* text) {
+int parse_int_arg(const char* flag, const char* text) {
   char* end = nullptr;
   long value = std::strtol(text, &end, 10);
   if (end == text || *end != '\0' || value < 0) {
-    std::fprintf(stderr, "antmd_run: --threads expects a non-negative "
-                         "integer, got '%s'\n", text);
+    std::fprintf(stderr, "antmd_run: %s expects a non-negative "
+                         "integer, got '%s'\n", flag, text);
     std::exit(1);
   }
   return static_cast<int>(value);
+}
+
+/// Checkpoint/health settings shared by the host and machine branches.
+struct RobustnessOptions {
+  std::string checkpoint;        ///< empty = no on-disk checkpointing
+  int checkpoint_interval = 200;
+  bool resume = false;
+  std::string health = "off";    ///< off | rollback | throw
+};
+
+/// Runs `sim` to the configured total step count, optionally resuming from
+/// and mirroring to a v2 checkpoint file, under the numerical health guard
+/// when requested.
+template <typename Sim>
+void run_simulation(Sim& sim, size_t steps, const RobustnessOptions& opt) {
+  size_t remaining = steps;
+  if (opt.resume) {
+    ANTMD_REQUIRE(!opt.checkpoint.empty(),
+                  "--resume needs a checkpoint path (--checkpoint)");
+    io::load_checkpoint_v2(opt.checkpoint, {{"sim", &sim}});
+    uint64_t done = sim.state().step;
+    remaining = done >= steps ? 0 : steps - static_cast<size_t>(done);
+    std::printf("resumed from %s at step %" PRIu64 " (%zu steps left)\n",
+                opt.checkpoint.c_str(), done, remaining);
+  }
+  if (opt.checkpoint.empty() && opt.health == "off") {
+    sim.run(remaining);
+    return;
+  }
+  resilience::HealthConfig hc;
+  if (opt.health == "throw") {
+    hc.policy = resilience::HealthPolicy::kThrow;
+  } else {
+    ANTMD_REQUIRE(opt.health == "off" || opt.health == "rollback",
+                  "unknown health policy: " + opt.health);
+    hc.policy = resilience::HealthPolicy::kRollback;
+  }
+  hc.checkpoint_interval = opt.checkpoint_interval;
+  hc.checkpoint_path = opt.checkpoint;
+  resilience::HealthGuard<Sim> guard(sim, hc);
+  resilience::HealthReport report = guard.run(remaining);
+  if (report.violations > 0) {
+    std::printf("health guard: %" PRIu64 " violation(s), %" PRIu64
+                " rollback(s), final dt %.3f fs (last: %s)\n",
+                report.violations, report.rollbacks, report.final_dt_fs,
+                report.last_violation.c_str());
+  }
+  if (!opt.checkpoint.empty()) {
+    std::printf("checkpoint: %s (every %d steps, policy %s)\n",
+                opt.checkpoint.c_str(), hc.checkpoint_interval,
+                resilience::policy_name(hc.policy));
+  }
 }
 
 }  // namespace
@@ -129,12 +196,29 @@ int parse_threads(const char* text) {
 int main(int argc, char** argv) {
   const char* config_path = nullptr;
   int cli_threads = -1;  // -1 = not given
+  int cli_checkpoint_interval = -1;
+  const char* cli_checkpoint = nullptr;
+  bool cli_resume = false;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg.rfind("--threads=", 0) == 0) {
-      cli_threads = parse_threads(arg.c_str() + std::strlen("--threads="));
+      cli_threads = parse_int_arg(
+          "--threads", arg.c_str() + std::strlen("--threads="));
     } else if (arg == "--threads" && a + 1 < argc) {
-      cli_threads = parse_threads(argv[++a]);
+      cli_threads = parse_int_arg("--threads", argv[++a]);
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      cli_checkpoint_interval = parse_int_arg(
+          "--checkpoint-interval",
+          arg.c_str() + std::strlen("--checkpoint-interval="));
+    } else if (arg == "--checkpoint-interval" && a + 1 < argc) {
+      cli_checkpoint_interval = parse_int_arg("--checkpoint-interval",
+                                              argv[++a]);
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      cli_checkpoint = argv[a] + std::strlen("--checkpoint=");
+    } else if (arg == "--checkpoint" && a + 1 < argc) {
+      cli_checkpoint = argv[++a];
+    } else if (arg == "--resume") {
+      cli_resume = true;
     } else if (!config_path) {
       config_path = argv[a];
     } else {
@@ -143,7 +227,10 @@ int main(int argc, char** argv) {
     }
   }
   if (!config_path) {
-    std::fprintf(stderr, "usage: antmd_run <config-file> [--threads N]\n");
+    std::fprintf(stderr,
+                 "usage: antmd_run <config-file> [--threads N] "
+                 "[--checkpoint PATH] [--checkpoint-interval N] "
+                 "[--resume]\n");
     return 1;
   }
   try {
@@ -171,6 +258,18 @@ int main(int argc, char** argv) {
                 spec.topology.atom_count());
 
     const ExecutionConfig exec = build_execution(cfg, cli_threads);
+
+    RobustnessOptions robust;
+    robust.checkpoint = cfg.get_string("checkpoint", "");
+    robust.checkpoint_interval = cfg.get_int("checkpoint_interval", 200);
+    robust.resume = cfg.get_bool("resume", false);
+    robust.health = cfg.get_string("health", "off");
+    if (cli_checkpoint) robust.checkpoint = cli_checkpoint;
+    if (cli_checkpoint_interval >= 0) {
+      robust.checkpoint_interval = cli_checkpoint_interval;
+    }
+    if (cli_resume) robust.resume = true;
+
     std::string engine = cfg.get_string("engine", "host");
     if (engine == "machine") {
       runtime::MachineSimConfig mc;
@@ -194,7 +293,7 @@ int main(int argc, char** argv) {
             if (xyz) xyz->write_frame(sim.state());
           },
           report);
-      sim.run(static_cast<size_t>(steps));
+      run_simulation(sim, static_cast<size_t>(steps), robust);
       std::fputs(table.render().c_str(), stdout);
       std::printf("modeled mean step: %.2f us on %zu nodes\n",
                   sim.mean_step_time_s() * 1e6, sim.engine().node_count());
@@ -232,7 +331,7 @@ int main(int argc, char** argv) {
             if (xyz) xyz->write_frame(sim.state());
           },
           report);
-      sim.run(static_cast<size_t>(steps));
+      run_simulation(sim, static_cast<size_t>(steps), robust);
       std::fputs(table.render().c_str(), stdout);
     } else {
       throw ConfigError("unknown engine: " + engine);

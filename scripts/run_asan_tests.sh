@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build the ASan-instrumented tree and run the tests that exercise memory
+# ownership across the checkpoint/restore, fault-injection and health-guard
+# paths (serialized buffers, rollback restores, node-failure remaps) under
+# AddressSanitizer.
+#
+# Usage: scripts/run_asan_tests.sh [extra ctest -R regex]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+
+# Checkpointing touches util (serialize), io (v2 container), md/runtime
+# (restore paths) and resilience (guard rollback); fault_test drives the
+# injected failures end to end.
+FILTER="${1:-util_test|io_test|md_test|runtime_test|sampling_test|checkpoint_test|fault_test}"
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}" \
+  ctest --test-dir build-asan -R "$FILTER" --output-on-failure

@@ -1,0 +1,128 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/fault.hpp"
+
+namespace antmd::io {
+
+std::string encode_checkpoint(const CheckpointSections& sections) {
+  util::BinaryWriter w;
+  w.write_u64(kCheckpointMagicV2);
+  w.write_u32(kCheckpointVersion);
+  w.write_u32(static_cast<uint32_t>(sections.size()));
+  for (const auto& [name, payload] : sections) {
+    w.write_string(name);
+    w.write_string(payload);
+  }
+  uint32_t crc = util::crc32(w.buffer().data(), w.buffer().size());
+  w.write_u32(crc);
+  return w.buffer();
+}
+
+CheckpointSections decode_checkpoint(std::string_view blob) {
+  constexpr size_t kHeaderBytes = 8 + 4 + 4;
+  if (blob.size() < kHeaderBytes + 4) {
+    throw IoError("checkpoint truncated: " +
+                        std::to_string(blob.size()) + " bytes");
+  }
+  util::BinaryReader header(blob);
+  if (header.read_u64() != kCheckpointMagicV2) {
+    throw IoError("not an antmd checkpoint (bad magic)");
+  }
+  uint32_t version = header.read_u32();
+  if (version != kCheckpointVersion) {
+    throw IoError("unsupported checkpoint version " +
+                        std::to_string(version));
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - 4, 4);
+  uint32_t actual_crc = util::crc32(blob.data(), blob.size() - 4);
+  if (stored_crc != actual_crc) {
+    throw IoError("checkpoint corrupt (CRC mismatch)");
+  }
+
+  uint32_t count = header.read_u32();
+  util::BinaryReader body(
+      blob.substr(header.position(), blob.size() - 4 - header.position()));
+  CheckpointSections sections;
+  sections.reserve(count);
+  for (uint32_t s = 0; s < count; ++s) {
+    std::string name = body.read_string();
+    std::string payload = body.read_string();
+    sections.emplace_back(std::move(name), std::move(payload));
+  }
+  return sections;
+}
+
+void write_file_atomic(const std::string& path, std::string_view blob) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw IoError("cannot open checkpoint temp file: " + tmp);
+    }
+    size_t n = blob.size();
+    // Torn write: only part of the blob reaches the disk, but the rename
+    // below still happens — exactly what a crash between write and fsync
+    // produces.  The CRC rejects the result at load time.
+    if (fault::should_fire(fault::FaultKind::kIoShortWrite)) n /= 2;
+    out.write(blob.data(), static_cast<std::streamsize>(n));
+    out.flush();
+    if (fault::should_fire(fault::FaultKind::kIoWriteFail) || !out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw IoError("checkpoint write failed (out of space?): " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename checkpoint into place: " + path);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw IoError("cannot open checkpoint file: " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+void save_checkpoint_v2(const std::string& path,
+                        const CheckpointParts& parts) {
+  CheckpointSections sections;
+  sections.reserve(parts.size());
+  for (const auto& [name, part] : parts) {
+    util::BinaryWriter w;
+    part->save_checkpoint(w);
+    sections.emplace_back(name, w.buffer());
+  }
+  write_file_atomic(path, encode_checkpoint(sections));
+}
+
+void load_checkpoint_v2(const std::string& path,
+                        const MutableCheckpointParts& parts) {
+  CheckpointSections sections = decode_checkpoint(read_file(path));
+  for (const auto& [name, part] : parts) {
+    const std::string* payload = nullptr;
+    for (const auto& [sname, spayload] : sections) {
+      if (sname == name) {
+        payload = &spayload;
+        break;
+      }
+    }
+    if (!payload) {
+      throw IoError("checkpoint missing section '" + name + "': " +
+                          path);
+    }
+    util::BinaryReader r(*payload);
+    part->restore_checkpoint(r);
+  }
+}
+
+}  // namespace antmd::io

@@ -1,0 +1,72 @@
+// Crash-safe v2 checkpoint container.
+//
+// Layout (all little-endian):
+//
+//   u64  magic   "ANTMDCP2" (0x414E544D44435032)
+//   u32  version (currently 2)
+//   u32  section count
+//   per section:
+//     u64 name length, name bytes
+//     u64 payload length, payload bytes
+//   u32  CRC-32 over everything above
+//
+// Writes are atomic: the blob is written to `<path>.tmp` and renamed into
+// place only after the stream flushed cleanly, so a crash mid-write leaves
+// the previous checkpoint intact.  Loads verify magic, version and CRC and
+// throw IoError on missing, truncated, foreign, or corrupt files — a torn
+// or bit-flipped checkpoint is rejected, never silently restored.
+//
+// Sections are independent named payloads, each produced by one
+// Checkpointable (the simulation, plus any sampling drivers layered on
+// it), so a REMD ladder saves N replica sections + one driver section in a
+// single atomic file.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace antmd::io {
+
+inline constexpr uint64_t kCheckpointMagicV2 = 0x414E544D44435032ull;
+inline constexpr uint32_t kCheckpointVersion = 2;
+
+/// Named parts of a checkpoint file.
+using CheckpointParts =
+    std::vector<std::pair<std::string, const util::Checkpointable*>>;
+using MutableCheckpointParts =
+    std::vector<std::pair<std::string, util::Checkpointable*>>;
+
+/// Serializes every part into its named section and writes the container
+/// atomically.  Throws IoError on any I/O failure (the target path keeps
+/// its previous contents).
+void save_checkpoint_v2(const std::string& path,
+                        const CheckpointParts& parts);
+
+/// Restores every named part from the container.  Throws IoError when the
+/// file is missing/truncated/corrupt or a requested section is absent;
+/// sections not named in `parts` are ignored (forward compatibility).
+void load_checkpoint_v2(const std::string& path,
+                        const MutableCheckpointParts& parts);
+
+// --- lower-level access (tests, tooling) -----------------------------------
+
+/// Raw named sections, in file order.
+using CheckpointSections = std::vector<std::pair<std::string, std::string>>;
+
+/// Builds the container blob (header + sections + CRC) in memory.
+[[nodiscard]] std::string encode_checkpoint(const CheckpointSections& sections);
+
+/// Parses and validates a container blob.  Throws IoError.
+[[nodiscard]] CheckpointSections decode_checkpoint(std::string_view blob);
+
+/// Atomic write of an arbitrary blob (temp file + rename).  Honors the
+/// kIoWriteFail / kIoShortWrite fault-injection points.
+void write_file_atomic(const std::string& path, std::string_view blob);
+
+/// Reads a whole file; throws IoError when it cannot be opened.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace antmd::io

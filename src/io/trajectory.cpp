@@ -2,13 +2,17 @@
 
 #include <iomanip>
 
+#include "io/checkpoint.hpp"
+#include "md/serialize.hpp"
 #include "util/error.hpp"
 
 namespace antmd::io {
 
 XyzWriter::XyzWriter(const std::string& path, const Topology& topo)
     : out_(path), topo_(&topo) {
-  ANTMD_REQUIRE(out_.good(), "cannot open trajectory file: " + path);
+  if (!out_.good()) {
+    throw IoError("cannot open trajectory file: " + path);
+  }
 }
 
 void XyzWriter::write_frame(const State& state) {
@@ -30,7 +34,9 @@ void XyzWriter::write_frame(const State& state) {
 CsvWriter::CsvWriter(const std::string& path,
                      std::vector<std::string> columns)
     : out_(path), columns_(columns.size()) {
-  ANTMD_REQUIRE(out_.good(), "cannot open CSV file: " + path);
+  if (!out_.good()) {
+    throw IoError("cannot open CSV file: " + path);
+  }
   ANTMD_REQUIRE(!columns.empty(), "CSV needs at least one column");
   for (size_t c = 0; c < columns.size(); ++c) {
     out_ << columns[c] << (c + 1 < columns.size() ? "," : "\n");
@@ -46,61 +52,21 @@ void CsvWriter::write_row(std::span<const double> values) {
   ++rows_;
 }
 
-namespace {
-
-constexpr uint64_t kCheckpointMagic = 0x414E544D44435031ull;  // "ANTMDCP1"
-
-template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-void read_pod(std::ifstream& in, T& v) {
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-}
-
-}  // namespace
-
 void save_checkpoint(const std::string& path, const State& state) {
-  std::ofstream out(path, std::ios::binary);
-  ANTMD_REQUIRE(out.good(), "cannot open checkpoint file: " + path);
-  write_pod(out, kCheckpointMagic);
-  uint64_t n = state.positions.size();
-  write_pod(out, n);
-  write_pod(out, state.time);
-  write_pod(out, state.step);
-  Vec3 edges = state.box.edges();
-  write_pod(out, edges);
-  out.write(reinterpret_cast<const char*>(state.positions.data()),
-            static_cast<std::streamsize>(n * sizeof(Vec3)));
-  out.write(reinterpret_cast<const char*>(state.velocities.data()),
-            static_cast<std::streamsize>(n * sizeof(Vec3)));
-  ANTMD_REQUIRE(out.good(), "checkpoint write failed: " + path);
+  util::BinaryWriter w;
+  md::write_state(w, state);
+  write_file_atomic(path, encode_checkpoint({{"state", w.buffer()}}));
 }
 
 State load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  ANTMD_REQUIRE(in.good(), "cannot open checkpoint file: " + path);
-  uint64_t magic = 0;
-  read_pod(in, magic);
-  ANTMD_REQUIRE(magic == kCheckpointMagic, "not an antmd checkpoint");
-  uint64_t n = 0;
-  read_pod(in, n);
-  State state;
-  read_pod(in, state.time);
-  read_pod(in, state.step);
-  Vec3 edges;
-  read_pod(in, edges);
-  state.box = Box(edges.x, edges.y, edges.z);
-  state.positions.resize(n);
-  state.velocities.resize(n);
-  in.read(reinterpret_cast<char*>(state.positions.data()),
-          static_cast<std::streamsize>(n * sizeof(Vec3)));
-  in.read(reinterpret_cast<char*>(state.velocities.data()),
-          static_cast<std::streamsize>(n * sizeof(Vec3)));
-  ANTMD_REQUIRE(in.good(), "checkpoint truncated: " + path);
-  return state;
+  CheckpointSections sections = decode_checkpoint(read_file(path));
+  for (const auto& [name, payload] : sections) {
+    if (name == "state") {
+      util::BinaryReader r(payload);
+      return md::read_state(r);
+    }
+  }
+  throw IoError("checkpoint has no 'state' section: " + path);
 }
 
 }  // namespace antmd::io

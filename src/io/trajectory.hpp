@@ -40,7 +40,10 @@ class CsvWriter {
 };
 
 /// Binary checkpoint of the dynamic state (positions, velocities, box,
-/// clock). Restart is bit-exact.
+/// clock). Restart is bit-exact.  Stored as a v2 container (see
+/// io/checkpoint.hpp) with a single "state" section: atomic write,
+/// CRC-verified load.  load_checkpoint throws IoError on missing,
+/// truncated, or wrong-magic/corrupt files.
 void save_checkpoint(const std::string& path, const State& state);
 [[nodiscard]] State load_checkpoint(const std::string& path);
 

@@ -26,7 +26,9 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
 
   double worst_multicast = 0, worst_pair = 0, worst_gcf = 0, worst_reduce = 0,
          worst_update = 0;
-  for (const NodeWork& n : work.nodes) {
+  for (size_t i = 0; i < work.nodes.size(); ++i) {
+    const NodeWork& n = work.nodes[i];
+    const double slow = node_slowdown(i);
     double t_mc = n.import_bytes / inject_bw +
                   static_cast<double>(n.messages) *
                       config_.message_overhead_s +
@@ -34,12 +36,12 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
     double examined = static_cast<double>(
         n.pairs_examined ? n.pairs_examined : n.pairs);
     double t_pair =
-        std::max(static_cast<double>(n.pairs) / pair_rate,
-                 examined / (pair_rate * config_.match_rate_multiple));
-    double t_gcf = n.gc_force_flops / gc_rate;
+        slow * std::max(static_cast<double>(n.pairs) / pair_rate,
+                        examined / (pair_rate * config_.match_rate_multiple));
+    double t_gcf = slow * n.gc_force_flops / gc_rate;
     double t_red = n.export_bytes / inject_bw +
                    (n.export_bytes > 0 ? mean_hop_lat : 0.0);
-    double t_upd = n.gc_update_flops / gc_rate;
+    double t_upd = slow * n.gc_update_flops / gc_rate;
     worst_multicast = std::max(worst_multicast, t_mc);
     worst_pair = std::max(worst_pair, t_pair);
     worst_gcf = std::max(worst_gcf, t_gcf);
@@ -95,6 +97,12 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
   out.total = out.multicast + out.interaction + out.reduce + out.update +
               out.kspace_total() + out.tempering + out.sync;
   return out;
+}
+
+void TimingModel::set_node_slowdown(size_t node, double factor) {
+  ANTMD_REQUIRE(factor >= 1.0, "slowdown factor must be >= 1");
+  if (node >= slowdowns_.size()) slowdowns_.resize(node + 1, 1.0);
+  slowdowns_[node] = factor;
 }
 
 double ns_per_day(double dt_fs, double step_time_s) {

@@ -98,10 +98,20 @@ class TimingModel {
   [[nodiscard]] const MachineConfig& config() const { return config_; }
   [[nodiscard]] const GcCosts& costs() const { return costs_; }
 
+  /// Marks a node as degraded: its compute phases (pair pipelines, geometry
+  /// cores) run `factor` times slower.  factor = 1 restores full speed.
+  /// Models a partially failed / thermally throttled node; the step time is
+  /// a max over nodes, so one slow node stretches the whole machine.
+  void set_node_slowdown(size_t node, double factor);
+  [[nodiscard]] double node_slowdown(size_t node) const {
+    return node < slowdowns_.size() ? slowdowns_[node] : 1.0;
+  }
+
  private:
   MachineConfig config_;
   GcCosts costs_;
   TorusTopology torus_;
+  std::vector<double> slowdowns_;  ///< empty = all nodes at full speed
 };
 
 /// Simulated nanoseconds per wall-clock day for a given outer timestep and

@@ -133,6 +133,9 @@ class FixedScalar {
   [[nodiscard]] double value() const {
     return fixed::dequantize(q_, fixed::kEnergyScale);
   }
+  /// Raw quanta, for bit-exact checkpoint round trips.
+  [[nodiscard]] int64_t raw() const { return q_; }
+  void set_raw(int64_t q) { q_ = q; }
   friend bool operator==(const FixedScalar&, const FixedScalar&) = default;
 
  private:

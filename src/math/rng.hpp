@@ -54,6 +54,14 @@ class CounterRng {
 /// generator is fine: system builders, Monte Carlo moves in analysis.
 class SequentialRng {
  public:
+  /// Full generator state, exposed so checkpointed drivers (tempering,
+  /// replica exchange, MC barostat) resume their random streams bit-exactly.
+  struct Snapshot {
+    std::array<uint64_t, 4> state{};
+    bool have_spare = false;
+    double spare = 0.0;
+  };
+
   explicit SequentialRng(uint64_t seed);
 
   uint64_t next_u64();
@@ -65,6 +73,15 @@ class SequentialRng {
   double gaussian();
   /// Uniform integer in [0, bound).
   uint64_t uniform_int(uint64_t bound);
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return {state_, have_spare_, spare_};
+  }
+  void restore(const Snapshot& snap) {
+    state_ = snap.state;
+    have_spare_ = snap.have_spare;
+    spare_ = snap.spare;
+  }
 
  private:
   std::array<uint64_t, 4> state_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "math/units.hpp"
+#include "md/serialize.hpp"
 #include "util/error.hpp"
 
 namespace antmd::md {
@@ -145,6 +146,18 @@ bool Barostat::apply_monte_carlo(State& state) {
     return true;
   }
   return false;
+}
+
+void Barostat::save_state(util::BinaryWriter& out) const {
+  out.write_u64(mc_attempts_);
+  out.write_u64(mc_accepts_);
+  write_rng(out, rng_);
+}
+
+void Barostat::restore_state(util::BinaryReader& in) {
+  mc_attempts_ = in.read_u64();
+  mc_accepts_ = in.read_u64();
+  read_rng(in, rng_);
 }
 
 }  // namespace antmd::md

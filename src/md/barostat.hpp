@@ -8,6 +8,7 @@
 #include "math/rng.hpp"
 #include "md/state.hpp"
 #include "topo/topology.hpp"
+#include "util/serialize.hpp"
 
 namespace antmd::md {
 
@@ -61,6 +62,11 @@ class Barostat {
 
   [[nodiscard]] uint64_t mc_attempts() const { return mc_attempts_; }
   [[nodiscard]] uint64_t mc_accepts() const { return mc_accepts_; }
+
+  /// Checkpoint support: MC move counters and the sequential RNG stream
+  /// position (Berendsen kinds are stateless but share the same layout).
+  void save_state(util::BinaryWriter& out) const;
+  void restore_state(util::BinaryReader& in);
 
  private:
   bool apply_berendsen(State& state, double virial_trace);

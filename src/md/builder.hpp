@@ -80,12 +80,14 @@ class SimulationBuilder {
   /// self-referential callback stays valid).
   [[nodiscard]] Simulation build(ForceField& ff, std::vector<Vec3> positions,
                                  Box box) const {
+    config_.validate();  // fail before touching the force field
     return Simulation(ff, std::move(positions), box, config_);
   }
 
   /// Heap variant for ensembles (replica-exchange ladders).
   [[nodiscard]] std::unique_ptr<Simulation> build_unique(
       ForceField& ff, std::vector<Vec3> positions, Box box) const {
+    config_.validate();
     return std::make_unique<Simulation>(ff, std::move(positions), box,
                                         config_);
   }

@@ -1,0 +1,78 @@
+#include "md/serialize.hpp"
+
+namespace antmd::md {
+
+void write_state(util::BinaryWriter& out, const State& state) {
+  Vec3 edges = state.box.edges();
+  out.write_pod(edges);
+  out.write_f64(state.time);
+  out.write_u64(state.step);
+  out.write_pod_vector(state.positions);
+  out.write_pod_vector(state.velocities);
+}
+
+State read_state(util::BinaryReader& in) {
+  State state;
+  Vec3 edges = in.read_pod<Vec3>();
+  state.box = Box(edges.x, edges.y, edges.z);
+  state.time = in.read_f64();
+  state.step = in.read_u64();
+  state.positions = in.read_pod_vector<Vec3>();
+  state.velocities = in.read_pod_vector<Vec3>();
+  if (state.velocities.size() != state.positions.size()) {
+    throw IoError("checkpoint state malformed: " +
+                        std::to_string(state.positions.size()) +
+                        " positions vs " +
+                        std::to_string(state.velocities.size()) +
+                        " velocities");
+  }
+  return state;
+}
+
+void write_force_result(util::BinaryWriter& out, const ForceResult& res) {
+  out.write_u64(res.forces.size());
+  for (size_t i = 0; i < res.forces.size(); ++i) {
+    out.write_pod(res.forces.quanta(i));
+  }
+  const EnergyBreakdown& e = res.energy;
+  for (const auto* term :
+       {&e.bond, &e.angle, &e.dihedral, &e.vdw, &e.coulomb_real,
+        &e.coulomb_kspace, &e.coulomb_self, &e.pair14, &e.restraint,
+        &e.external}) {
+    out.write_i64(term->raw());
+  }
+  out.write_pod(res.virial);
+}
+
+void read_force_result(util::BinaryReader& in, ForceResult& res) {
+  uint64_t n = in.read_u64();
+  res.reset(n);
+  for (size_t i = 0; i < n; ++i) {
+    res.forces.set_quanta(i, in.read_pod<std::array<int64_t, 3>>());
+  }
+  EnergyBreakdown& e = res.energy;
+  for (auto* term :
+       {&e.bond, &e.angle, &e.dihedral, &e.vdw, &e.coulomb_real,
+        &e.coulomb_kspace, &e.coulomb_self, &e.pair14, &e.restraint,
+        &e.external}) {
+    term->set_raw(in.read_i64());
+  }
+  res.virial = in.read_pod<Mat3>();
+}
+
+void write_rng(util::BinaryWriter& out, const SequentialRng& rng) {
+  SequentialRng::Snapshot snap = rng.snapshot();
+  out.write_pod(snap.state);
+  out.write_bool(snap.have_spare);
+  out.write_f64(snap.spare);
+}
+
+void read_rng(util::BinaryReader& in, SequentialRng& rng) {
+  SequentialRng::Snapshot snap;
+  snap.state = in.read_pod<std::array<uint64_t, 4>>();
+  snap.have_spare = in.read_bool();
+  snap.spare = in.read_f64();
+  rng.restore(snap);
+}
+
+}  // namespace antmd::md

@@ -1,0 +1,27 @@
+// Checkpoint serializers for the core dynamic types (State, ForceResult,
+// SequentialRng snapshots).  Shared by md::Simulation, the machine runtime
+// and the sampling drivers so every Checkpointable speaks the same layout.
+#pragma once
+
+#include "ff/energy.hpp"
+#include "math/rng.hpp"
+#include "md/state.hpp"
+#include "util/serialize.hpp"
+
+namespace antmd::md {
+
+/// Positions, velocities, box edges, clock and step counter.
+void write_state(util::BinaryWriter& out, const State& state);
+[[nodiscard]] State read_state(util::BinaryReader& in);
+
+/// Full force result: per-atom integer force quanta, fixed-point energy
+/// breakdown and the double-precision virial.  Needed for bit-exact RESPA /
+/// k-space cache resume (the cached forces were computed at *earlier*
+/// positions, so they cannot be recomputed at restore time).
+void write_force_result(util::BinaryWriter& out, const ForceResult& res);
+void read_force_result(util::BinaryReader& in, ForceResult& res);
+
+void write_rng(util::BinaryWriter& out, const SequentialRng& rng);
+void read_rng(util::BinaryReader& in, SequentialRng& rng);
+
+}  // namespace antmd::md

@@ -1,15 +1,38 @@
 #include "md/simulation.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "math/units.hpp"
+#include "md/serialize.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace antmd::md {
 
+void SimulationConfig::validate() const {
+  if (!(dt_fs > 0)) {
+    throw ConfigError("timestep must be positive, got dt_fs=" +
+                            std::to_string(dt_fs));
+  }
+  if (respa_inner < 1) {
+    throw ConfigError("respa_inner must be >= 1, got " +
+                            std::to_string(respa_inner));
+  }
+  if (kspace_interval < 1) {
+    throw ConfigError("kspace_interval must be >= 1, got " +
+                            std::to_string(kspace_interval));
+  }
+  if (!(neighbor_skin >= 0)) {
+    throw ConfigError("neighbor_skin must be >= 0, got " +
+                            std::to_string(neighbor_skin));
+  }
+}
+
 Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
                        SimulationConfig config)
-    : ff_(&ff),
+    // validate() before any member uses config fields (neighbor list, dt).
+    : ff_((config.validate(), &ff)),
       config_(config),
       dt_(units::fs_to_internal(config.dt_fs)),
       nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin),
@@ -22,9 +45,6 @@ Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
   const Topology& topo = ff.topology();
   ANTMD_REQUIRE(positions.size() == topo.atom_count(),
                 "positions/topology size mismatch");
-  ANTMD_REQUIRE(config.dt_fs > 0, "timestep must be positive");
-  ANTMD_REQUIRE(config.kspace_interval >= 1, "kspace interval must be >= 1");
-  ANTMD_REQUIRE(config.respa_inner >= 1, "respa_inner must be >= 1");
 
   state_.positions = std::move(positions);
   state_.box = box;
@@ -78,6 +98,13 @@ void Simulation::compute_forces(bool kspace_due) {
   current_.merge(kspace_cache_);
   ff::spread_virtual_site_forces(topo.virtual_sites(), state_.positions,
                                  state_.box, current_.forces);
+
+  uint64_t poison_atom = 0;
+  if (fault::should_fire(fault::FaultKind::kNanForce, &poison_atom)) {
+    current_.forces.set_quanta(
+        poison_atom % n,
+        {fault::kPoisonQuanta, fault::kPoisonQuanta, fault::kPoisonQuanta});
+  }
 }
 
 void Simulation::compute_fast_forces() {
@@ -104,6 +131,13 @@ void Simulation::compute_slow_forces(bool kspace_due) {
   slow_.merge(kspace_cache_);
   ff::spread_virtual_site_forces(topo.virtual_sites(), state_.positions,
                                  state_.box, slow_.forces);
+
+  uint64_t poison_atom = 0;
+  if (fault::should_fire(fault::FaultKind::kNanForce, &poison_atom)) {
+    slow_.forces.set_quanta(
+        poison_atom % topo.atom_count(),
+        {fault::kPoisonQuanta, fault::kPoisonQuanta, fault::kPoisonQuanta});
+  }
 }
 
 void Simulation::step_respa() {
@@ -297,6 +331,68 @@ void Simulation::invalidate_forces() {
   ff_->on_box_changed(state_.box);
   nlist_.build(state_.positions, state_.box);
   compute_forces(/*kspace_due=*/true);
+}
+
+void Simulation::set_timestep_fs(double dt_fs) {
+  if (!(dt_fs > 0)) {
+    throw ConfigError("timestep must be positive, got dt_fs=" +
+                            std::to_string(dt_fs));
+  }
+  config_.dt_fs = dt_fs;
+  dt_ = units::fs_to_internal(dt_fs);
+}
+
+void Simulation::save_checkpoint(util::BinaryWriter& out) const {
+  write_state(out, state_);
+  out.write_f64(dt_);
+  thermostat_.save_state(out);
+  out.write_bool(barostat_.has_value());
+  if (barostat_) barostat_->save_state(out);
+  write_force_result(out, kspace_cache_);
+}
+
+void Simulation::restore_checkpoint(util::BinaryReader& in) {
+  const Topology& topo = ff_->topology();
+  State restored = read_state(in);
+  if (restored.positions.size() != topo.atom_count()) {
+    throw IoError(
+        "checkpoint was written for a different system: " +
+        std::to_string(restored.positions.size()) + " atoms vs " +
+        std::to_string(topo.atom_count()) + " in topology");
+  }
+  double dt = in.read_f64();
+  thermostat_.restore_state(in);
+  bool has_barostat = in.read_bool();
+  if (has_barostat != barostat_.has_value()) {
+    throw IoError("checkpoint barostat state does not match config");
+  }
+  if (barostat_) barostat_->restore_state(in);
+  read_force_result(in, kspace_cache_);
+  if (kspace_cache_.forces.size() != topo.atom_count()) {
+    throw IoError("checkpoint k-space cache has wrong atom count");
+  }
+
+  state_ = std::move(restored);
+  dt_ = dt;
+  config_.dt_fs = units::internal_to_fs(dt);
+
+  // Rebuild everything derived from positions/box.  Forces are recomputed
+  // rather than stored: the nonbonded kernel zeroes beyond-cutoff pairs, so
+  // a freshly built neighbor list gives bit-identical sums, and the k-space
+  // term comes from the restored cache (kspace_due=false).
+  ff_->on_box_changed(state_.box);
+  nlist_.build(state_.positions, state_.box);
+  if (config_.respa_inner > 1) {
+    // Re-seed the RESPA split caches exactly as they stood after the last
+    // completed outer step.
+    compute_fast_forces();
+    compute_slow_forces(/*kspace_due=*/false);
+    current_.reset(topo.atom_count());
+    current_.merge(fast_);
+    current_.merge(slow_);
+  } else {
+    compute_forces(/*kspace_due=*/false);
+  }
 }
 
 }  // namespace antmd::md

@@ -20,6 +20,7 @@
 #include "md/state.hpp"
 #include "md/thermostat.hpp"
 #include "util/execution.hpp"
+#include "util/serialize.hpp"
 
 namespace antmd::md {
 
@@ -43,9 +44,14 @@ struct SimulationConfig {
   /// Host parallelism (neighbor-list rebuilds here; force partitions in the
   /// machine runtime).  Defaults to fully serial.
   ExecutionConfig execution;
+
+  /// Throws ConfigError if any field is out of range (dt_fs > 0,
+  /// respa_inner >= 1, kspace_interval >= 1, neighbor_skin >= 0).  Called by
+  /// the Simulation constructor and SimulationBuilder::build().
+  void validate() const;
 };
 
-class Simulation {
+class Simulation : public util::Checkpointable {
  public:
   /// The force field (and the topology it references) must outlive the
   /// simulation. Initial positions/box come from the caller.
@@ -79,8 +85,27 @@ class Simulation {
   [[nodiscard]] ForceField& force_field() { return *ff_; }
   [[nodiscard]] const ForceField& force_field() const { return *ff_; }
   [[nodiscard]] Thermostat& thermostat() { return thermostat_; }
+  [[nodiscard]] const ConstraintSolver& constraints() const {
+    return constraints_;
+  }
   [[nodiscard]] double dt_internal() const { return dt_; }
+  [[nodiscard]] double timestep_fs() const { return config_.dt_fs; }
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
+
+  /// Retargets the outer timestep mid-run (HealthGuard degradation path).
+  void set_timestep_fs(double dt_fs);
+
+  // --- checkpoint / restart ---------------------------------------------------
+  /// Serializes everything needed for a bit-exact resume: dynamic state,
+  /// timestep, thermostat/barostat internals and the reciprocal-space force
+  /// cache (which was computed at *older* positions when kspace_interval > 1
+  /// and therefore cannot be recomputed at restore time).
+  void save_checkpoint(util::BinaryWriter& out) const override;
+  /// Restores into a simulation constructed with the same topology, force
+  /// field and config.  Rebuilds the neighbor list and recomputes forces at
+  /// the restored positions; throws IoError on a size or barostat
+  /// mismatch with the checkpoint.
+  void restore_checkpoint(util::BinaryReader& in) override;
 
   /// Full potential energy for arbitrary (positions, box): used by the MC
   /// barostat and by sampling methods evaluating trial states.

@@ -94,6 +94,22 @@ void Thermostat::apply_nose_hoover(State& state, double dt) {
   for (auto& v : state.velocities) v *= scale;
 }
 
+void Thermostat::save_state(util::BinaryWriter& out) const {
+  out.write_f64(config_.temperature_k);
+  out.write_f64(xi1_);
+  out.write_f64(xi2_);
+  out.write_f64(eta1_);
+  out.write_f64(eta2_);
+}
+
+void Thermostat::restore_state(util::BinaryReader& in) {
+  config_.temperature_k = in.read_f64();
+  xi1_ = in.read_f64();
+  xi2_ = in.read_f64();
+  eta1_ = in.read_f64();
+  eta2_ = in.read_f64();
+}
+
 double Thermostat::reservoir_energy() const {
   if (config_.kind != ThermostatKind::kNoseHoover) return 0.0;
   const double kt = units::kBoltzmann * config_.temperature_k;

@@ -12,6 +12,7 @@
 #include "math/rng.hpp"
 #include "md/state.hpp"
 #include "topo/topology.hpp"
+#include "util/serialize.hpp"
 
 namespace antmd::md {
 
@@ -43,6 +44,12 @@ class Thermostat {
   /// Energy of the extended (Nosé–Hoover) variables, for conserved-quantity
   /// diagnostics. Zero for other kinds.
   [[nodiscard]] double reservoir_energy() const;
+
+  /// Checkpoint support.  The Langevin noise stream is a counter RNG keyed
+  /// by the step number and needs no state; only the (possibly retargeted)
+  /// bath temperature and the Nosé–Hoover chain variables are serialized.
+  void save_state(util::BinaryWriter& out) const;
+  void restore_state(util::BinaryReader& in);
 
  private:
   void apply_berendsen(State& state, double dt);

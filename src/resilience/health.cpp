@@ -1,0 +1,15 @@
+#include "resilience/health.hpp"
+
+namespace antmd::resilience {
+
+const char* policy_name(HealthPolicy policy) {
+  switch (policy) {
+    case HealthPolicy::kThrow:
+      return "throw";
+    case HealthPolicy::kRollback:
+      return "rollback";
+  }
+  return "unknown";
+}
+
+}  // namespace antmd::resilience

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace antmd::runtime {
 
@@ -20,62 +21,71 @@ DistributedEngine::DistributedEngine(ForceField& ff,
 void DistributedEngine::redistribute(std::span<const Vec3> positions,
                                      const Box& box,
                                      std::span<const ff::PairEntry> pairs) {
+  // Fault point: a node may die right before migration; its work lands on
+  // the next alive node below.
+  uint64_t dead = 0;
+  if (fault::should_fire(fault::FaultKind::kNodeFail, &dead)) {
+    set_node_failed(dead % torus_.node_count());
+  }
+
   const Topology& topo = ff_->topology();
   decomp_.assign_atoms(positions, box);
 
   parts_.assign(torus_.node_count(), NodePartition{});
-  const auto& owner = decomp_.owners();
+  const auto& owners = decomp_.owners();
+  // All work routed through the failure remap (identity when all alive).
+  auto owner = [&](uint32_t atom) { return effective_node(owners[atom]); };
 
   auto pair_nodes = decomp_.assign_pairs(pairs, positions, box,
                                          options_.pair_rule);
   for (size_t k = 0; k < pairs.size(); ++k) {
-    parts_[pair_nodes[k]].pairs.push_back(pairs[k]);
+    parts_[effective_node(pair_nodes[k])].pairs.push_back(pairs[k]);
   }
-  for (const Bond& b : topo.bonds()) parts_[owner[b.i]].bonds.push_back(b);
+  for (const Bond& b : topo.bonds()) parts_[owner(b.i)].bonds.push_back(b);
   for (const Angle& a : topo.angles()) {
-    parts_[owner[a.j]].angles.push_back(a);
+    parts_[owner(a.j)].angles.push_back(a);
   }
   for (const Dihedral& d : topo.dihedrals()) {
-    parts_[owner[d.j]].dihedrals.push_back(d);
+    parts_[owner(d.j)].dihedrals.push_back(d);
   }
   for (const MorseBond& b : topo.morse_bonds()) {
-    parts_[owner[b.i]].morse_bonds.push_back(b);
+    parts_[owner(b.i)].morse_bonds.push_back(b);
   }
   for (const UreyBradley& u : topo.urey_bradleys()) {
-    parts_[owner[u.i]].urey_bradleys.push_back(u);
+    parts_[owner(u.i)].urey_bradleys.push_back(u);
   }
   for (const Improper& d : topo.impropers()) {
-    parts_[owner[d.j]].impropers.push_back(d);
+    parts_[owner(d.j)].impropers.push_back(d);
   }
   for (const GoContact& g : topo.go_contacts()) {
-    parts_[owner[g.i]].go_contacts.push_back(g);
+    parts_[owner(g.i)].go_contacts.push_back(g);
   }
   for (const Pair14& p : topo.pairs14()) {
-    parts_[owner[p.i]].pairs14.push_back(p);
+    parts_[owner(p.i)].pairs14.push_back(p);
   }
   for (const auto& r : ff_->position_restraints()) {
-    parts_[owner[r.atom]].pos_restraints.push_back(r);
+    parts_[owner(r.atom)].pos_restraints.push_back(r);
   }
   for (const auto& r : ff_->distance_restraints()) {
-    parts_[owner[r.i]].dist_restraints.push_back(r);
+    parts_[owner(r.i)].dist_restraints.push_back(r);
   }
   for (const auto& s : ff_->steered_springs()) {
-    parts_[owner[s.i]].springs.push_back(s);
+    parts_[owner(s.i)].springs.push_back(s);
   }
   for (const auto& b : ff_->pair_biases()) {
-    parts_[owner[b.i]].biases.push_back(b);
+    parts_[owner(b.i)].biases.push_back(b);
   }
   for (const auto& b : ff_->dihedral_biases()) {
-    parts_[owner[b.j]].dihedral_biases.push_back(b);
+    parts_[owner(b.j)].dihedral_biases.push_back(b);
   }
   for (const auto& v : topo.virtual_sites()) {
-    parts_[owner[v.parents[0]]].vsites.push_back(v);
+    parts_[owner(v.parents[0])].vsites.push_back(v);
   }
   for (const auto& c : topo.constraints()) {
-    ++parts_[owner[c.i]].constraint_count;
+    ++parts_[owner(c.i)].constraint_count;
   }
   for (uint32_t i = 0; i < topo.atom_count(); ++i) {
-    parts_[owner[i]].owned_atoms.push_back(i);
+    parts_[owner(i)].owned_atoms.push_back(i);
   }
 
   fill_comm_counts(positions, box);
@@ -83,7 +93,8 @@ void DistributedEngine::redistribute(std::span<const Vec3> positions,
 
 void DistributedEngine::fill_comm_counts(std::span<const Vec3> /*positions*/,
                                          const Box& /*box*/) {
-  const auto& owner = decomp_.owners();
+  const auto& owners = decomp_.owners();
+  auto owner = [&](uint32_t atom) { return effective_node(owners[atom]); };
   constexpr double kPosBytes = 12.0;    // 3 × int32 fixed-point position
   constexpr double kForceBytes = 12.0;  // 3 × int32 force quanta
 
@@ -92,8 +103,8 @@ void DistributedEngine::fill_comm_counts(std::span<const Vec3> /*positions*/,
     std::unordered_set<uint32_t> imported;
     std::unordered_set<uint32_t> sources;
     auto need = [&](uint32_t atom) {
-      if (owner[atom] != n && imported.insert(atom).second) {
-        sources.insert(owner[atom]);
+      if (owner(atom) != n && imported.insert(atom).second) {
+        sources.insert(owner(atom));
       }
     };
     for (const auto& p : part.pairs) { need(p.i); need(p.j); }
@@ -201,6 +212,32 @@ void DistributedEngine::evaluate_node(const NodePartition& part,
   nw.import_bytes = part.import_bytes;
   nw.export_bytes = part.export_bytes;
   nw.messages = part.messages;
+}
+
+void DistributedEngine::set_node_failed(size_t node, bool failed) {
+  ANTMD_REQUIRE(node < torus_.node_count(), "node index out of range");
+  if (failed_.empty()) failed_.assign(torus_.node_count(), 0);
+  failed_[node] = failed ? 1 : 0;
+  ANTMD_REQUIRE(alive_node_count() > 0, "cannot fail every node");
+}
+
+size_t DistributedEngine::alive_node_count() const {
+  if (failed_.empty()) return torus_.node_count();
+  size_t alive = 0;
+  for (char f : failed_) {
+    if (!f) ++alive;
+  }
+  return alive;
+}
+
+size_t DistributedEngine::effective_node(size_t node) const {
+  if (failed_.empty() || !failed_[node]) return node;
+  const size_t n = torus_.node_count();
+  for (size_t d = 1; d < n; ++d) {
+    size_t cand = (node + d) % n;
+    if (!failed_[cand]) return cand;
+  }
+  return node;  // unreachable: set_node_failed keeps at least one node alive
 }
 
 machine::StepWork DistributedEngine::evaluate(

@@ -59,6 +59,20 @@ class DistributedEngine {
     return decomp_;
   }
   [[nodiscard]] size_t node_count() const { return torus_.node_count(); }
+
+  // --- fault tolerance --------------------------------------------------------
+  /// Marks a modeled node as failed.  Its work (atoms, pairs, bonded terms)
+  /// is remapped to the next alive node in index order at the next
+  /// redistribute().  Because the fixed-point force and energy sums are
+  /// order- and grouping-independent, the trajectory is bit-identical to the
+  /// healthy machine; only the timing (and the double-precision virial, in
+  /// its last ulp) can change.  The kNodeFail fault point fires this
+  /// automatically inside redistribute().
+  void set_node_failed(size_t node, bool failed = true);
+  [[nodiscard]] bool node_failed(size_t node) const {
+    return node < failed_.size() && failed_[node];
+  }
+  [[nodiscard]] size_t alive_node_count() const;
   [[nodiscard]] const EngineOptions& options() const { return options_; }
   [[nodiscard]] const machine::TorusTopology& torus() const { return torus_; }
   /// Shared so the surrounding driver (MachineSimulation) can reuse the
@@ -93,6 +107,8 @@ class DistributedEngine {
   };
 
   void fill_comm_counts(std::span<const Vec3> positions, const Box& box);
+  /// Owner of `atom` after remapping away from failed nodes.
+  [[nodiscard]] size_t effective_node(size_t node) const;
   void evaluate_node(const NodePartition& part, std::span<const Vec3> positions,
                      const Box& box, double time, ForceResult& partial,
                      machine::NodeWork& nw) const;
@@ -102,6 +118,7 @@ class DistributedEngine {
   EngineOptions options_;
   SpatialDecomposition decomp_;
   std::vector<NodePartition> parts_;
+  std::vector<char> failed_;  ///< per-node failure flags (empty = all alive)
   machine::GcCosts costs_;
   std::shared_ptr<ExecutionContext> exec_;
   /// Per-node ForceResult scratch reused across steps (parallel path only).

@@ -1,7 +1,11 @@
 #include "runtime/machine_sim.hpp"
 
+#include <string>
+
 #include "math/units.hpp"
+#include "md/serialize.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace antmd::runtime {
 namespace {
@@ -70,6 +74,13 @@ void MachineSimulation::evaluate_forces(bool kspace_due) {
   accumulate(accumulated_, last_breakdown_);
   modeled_time_s_ += last_breakdown_.total;
   ++steps_timed_;
+
+  uint64_t poison_atom = 0;
+  if (fault::should_fire(fault::FaultKind::kNanForce, &poison_atom)) {
+    current_.forces.set_quanta(
+        poison_atom % current_.forces.size(),
+        {fault::kPoisonQuanta, fault::kPoisonQuanta, fault::kPoisonQuanta});
+  }
 }
 
 void MachineSimulation::step() {
@@ -135,6 +146,61 @@ void MachineSimulation::notify_observers() {
 
 void MachineSimulation::run(size_t n) {
   for (size_t i = 0; i < n; ++i) step();
+}
+
+void MachineSimulation::set_timestep_fs(double dt_fs) {
+  if (!(dt_fs > 0)) {
+    throw ConfigError("timestep must be positive, got dt_fs=" +
+                      std::to_string(dt_fs));
+  }
+  config_.dt_fs = dt_fs;
+  dt_ = units::fs_to_internal(dt_fs);
+}
+
+void MachineSimulation::save_checkpoint(util::BinaryWriter& out) const {
+  md::write_state(out, state_);
+  out.write_f64(dt_);
+  thermostat_.save_state(out);
+  md::write_force_result(out, kspace_cache_);
+  // Modeled-performance accumulators, so a resumed run reports the same
+  // totals as an uninterrupted one.
+  out.write_f64(modeled_time_s_);
+  out.write_u64(steps_timed_);
+  out.write_pod(accumulated_);
+  out.write_pod(last_breakdown_);
+}
+
+void MachineSimulation::restore_checkpoint(util::BinaryReader& in) {
+  const Topology& topo = ff_->topology();
+  State restored = md::read_state(in);
+  if (restored.positions.size() != topo.atom_count()) {
+    throw IoError("checkpoint was written for a different system: " +
+                  std::to_string(restored.positions.size()) + " atoms vs " +
+                  std::to_string(topo.atom_count()) + " in topology");
+  }
+  state_ = std::move(restored);
+  dt_ = in.read_f64();
+  config_.dt_fs = units::internal_to_fs(dt_);
+  thermostat_.restore_state(in);
+  md::read_force_result(in, kspace_cache_);
+  if (kspace_cache_.forces.size() != topo.atom_count()) {
+    throw IoError("checkpoint k-space cache has wrong atom count");
+  }
+  modeled_time_s_ = in.read_f64();
+  steps_timed_ = in.read_u64();
+  accumulated_ = in.read_pod<machine::StepBreakdown>();
+  last_breakdown_ = in.read_pod<machine::StepBreakdown>();
+
+  // Rebuild the distributed picture at the restored positions and recompute
+  // forces directly through the engine: bit-exact for the same reason as in
+  // md::Simulation (beyond-cutoff pairs contribute exactly zero, the k-space
+  // term comes from the restored cache), and free of modeled-time charges so
+  // the performance accumulators stay faithful to the original run.
+  ff_->on_box_changed(state_.box);
+  nlist_.build(state_.positions, state_.box);
+  engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
+  engine_.evaluate(state_.positions, state_.box, state_.time, nlist_.pairs(),
+                   /*kspace_due=*/false, current_, kspace_cache_);
 }
 
 double MachineSimulation::ns_per_day() const {

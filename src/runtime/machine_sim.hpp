@@ -18,6 +18,7 @@
 #include "md/state.hpp"
 #include "md/thermostat.hpp"
 #include "runtime/engine.hpp"
+#include "util/serialize.hpp"
 
 namespace antmd::runtime {
 
@@ -34,7 +35,7 @@ struct MachineSimConfig {
   EngineOptions engine;
 };
 
-class MachineSimulation {
+class MachineSimulation : public util::Checkpointable {
  public:
   MachineSimulation(ForceField& ff, machine::MachineConfig machine,
                     std::vector<Vec3> positions, Box box,
@@ -73,8 +74,25 @@ class MachineSimulation {
   [[nodiscard]] double ns_per_day() const;
 
   [[nodiscard]] const DistributedEngine& engine() const { return engine_; }
+  [[nodiscard]] DistributedEngine& mutable_engine() { return engine_; }
+  [[nodiscard]] machine::TimingModel& timing() { return timing_; }
   [[nodiscard]] ForceField& force_field() { return *ff_; }
   [[nodiscard]] md::Thermostat& thermostat() { return thermostat_; }
+  [[nodiscard]] const md::ConstraintSolver& constraints() const {
+    return constraints_;
+  }
+
+  /// Retargets the outer timestep mid-run (HealthGuard degradation path).
+  void set_timestep_fs(double dt_fs);
+  [[nodiscard]] double timestep_fs() const { return config_.dt_fs; }
+
+  // --- checkpoint / restart ---------------------------------------------------
+  /// Same contract as md::Simulation: dynamic state, timestep, thermostat,
+  /// the reciprocal-space cache, plus the modeled-time accumulators.
+  /// Restore rebuilds the neighbor list, re-runs the node redistribution and
+  /// recomputes forces (bit-exact; no modeled time is charged for it).
+  void save_checkpoint(util::BinaryWriter& out) const override;
+  void restore_checkpoint(util::BinaryReader& in) override;
 
   /// Marks a tempering/exchange decision in the next step's workload
   /// (cost accounting for sampling methods driven on top of this engine).

@@ -37,15 +37,24 @@ std::unique_ptr<ForceField> FepDecoupling::make_field(double lambda) const {
 }
 
 FepResult FepDecoupling::run() {
-  FepResult result;
+  // Fresh ladder: discard any resumable progress and run every window.
+  windows_done_ = 0;
+  sampled_.clear();
+  seed_positions_.clear();
+  run_windows(config_.lambdas.size());
+  return finalize();
+}
+
+size_t FepDecoupling::run_windows(size_t count) {
   const size_t n_win = config_.lambdas.size();
-  result.windows.resize(n_win);
+  if (seed_positions_.empty()) seed_positions_ = spec_->positions;
 
-  std::vector<Vec3> positions = spec_->positions;
-
-  for (size_t w = 0; w < n_win; ++w) {
+  size_t ran = 0;
+  for (; ran < count && windows_done_ < n_win; ++ran) {
+    const size_t w = windows_done_;
     const double lambda = config_.lambdas[w];
-    result.windows[w].lambda = lambda;
+    FepWindowSamples window;
+    window.lambda = lambda;
 
     auto field = make_field(lambda);
     std::unique_ptr<ForceField> field_next =
@@ -53,7 +62,7 @@ FepResult FepDecoupling::run() {
     std::unique_ptr<ForceField> field_prev =
         w > 0 ? make_field(config_.lambdas[w - 1]) : nullptr;
 
-    md::Simulation sim(*field, positions, spec_->box, config_.md);
+    md::Simulation sim(*field, seed_positions_, spec_->box, config_.md);
     sim.run(config_.equil_steps);
 
     for (size_t s = 0; s < config_.prod_steps; ++s) {
@@ -67,24 +76,31 @@ FepResult FepDecoupling::run() {
       const auto& pos = sim.state().positions;
       if (field_next) {
         double u_next = potential_energy(*field_next, pos, sim.state().box);
-        result.windows[w].du_to_next.push_back(u_next - u_here);
+        window.du_to_next.push_back(u_next - u_here);
       }
       if (field_prev) {
         double u_prev = potential_energy(*field_prev, pos, sim.state().box);
-        result.windows[w].du_to_prev.push_back(u_prev - u_here);
+        window.du_to_prev.push_back(u_prev - u_here);
       }
     }
     // Seed the next window from this window's endpoint (stratified start).
-    positions = sim.state().positions;
+    seed_positions_ = sim.state().positions;
+    sampled_.push_back(std::move(window));
+    ++windows_done_;
   }
+  return ran;
+}
 
-  // Assemble totals.
+FepResult FepDecoupling::finalize() const {
+  FepResult result;
+  result.windows = sampled_;
+
   double t_k = config_.md.thermostat.temperature_k;
   if (config_.md.thermostat.kind == md::ThermostatKind::kNone) {
     t_k = config_.md.init_temperature_k;
   }
   double bar_total = 0.0, zw_total = 0.0;
-  for (size_t w = 0; w + 1 < n_win; ++w) {
+  for (size_t w = 0; w + 1 < sampled_.size(); ++w) {
     const auto& fwd = result.windows[w].du_to_next;
     const auto& rev = result.windows[w + 1].du_to_prev;
     zw_total += analysis::zwanzig_delta_f(fwd, t_k);
@@ -93,6 +109,38 @@ FepResult FepDecoupling::run() {
   result.delta_f_bar = bar_total;
   result.delta_f_zwanzig = zw_total;
   return result;
+}
+
+void FepDecoupling::save_checkpoint(util::BinaryWriter& out) const {
+  out.write_u64(windows_done_);
+  out.write_pod_vector(seed_positions_);
+  out.write_u64(sampled_.size());
+  for (const FepWindowSamples& w : sampled_) {
+    out.write_f64(w.lambda);
+    out.write_pod_vector(w.du_to_next);
+    out.write_pod_vector(w.du_to_prev);
+  }
+}
+
+void FepDecoupling::restore_checkpoint(util::BinaryReader& in) {
+  windows_done_ = in.read_u64();
+  if (windows_done_ > config_.lambdas.size()) {
+    throw IoError("FEP checkpoint window count out of range");
+  }
+  seed_positions_ = in.read_pod_vector<Vec3>();
+  uint64_t n = in.read_u64();
+  if (n != windows_done_) {
+    throw IoError("FEP checkpoint sample list inconsistent");
+  }
+  sampled_.clear();
+  sampled_.reserve(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    FepWindowSamples w;
+    w.lambda = in.read_f64();
+    w.du_to_next = in.read_pod_vector<double>();
+    w.du_to_prev = in.read_pod_vector<double>();
+    sampled_.push_back(std::move(w));
+  }
 }
 
 }  // namespace antmd::sampling

@@ -40,14 +40,32 @@ struct FepResult {
   double delta_f_zwanzig = 0.0;  ///< via forward exponential averaging
 };
 
-class FepDecoupling {
+class FepDecoupling : public util::Checkpointable {
  public:
   /// Solute = all atoms of `solute_type` in `spec` (e.g. the dimer type).
   /// The spec must outlive this object.
   FepDecoupling(const SystemSpec& spec, uint32_t solute_type,
                 ff::NonbondedModel model, FepConfig config);
 
+  /// Runs every window from scratch and assembles the estimate
+  /// (equivalent to run_windows over the full ladder + finalize).
   [[nodiscard]] FepResult run();
+
+  /// Resumable interface: advances up to `count` more λ-windows from where
+  /// the ladder last stopped and returns how many were actually run.
+  /// Progress is window-granular — a checkpoint taken between windows
+  /// resumes with the next window's deterministic seed (positions from the
+  /// previous window's endpoint), reproducing the uninterrupted ladder
+  /// exactly.
+  size_t run_windows(size_t count);
+  [[nodiscard]] size_t windows_done() const { return windows_done_; }
+  /// Assembles the BAR/Zwanzig estimate over all windows sampled so far.
+  [[nodiscard]] FepResult finalize() const;
+
+  /// Checkpoint: ladder progress, per-window ΔU samples and the seed
+  /// positions for the next window.
+  void save_checkpoint(util::BinaryWriter& out) const override;
+  void restore_checkpoint(util::BinaryReader& in) override;
 
   /// Unified driver interface: runs `steps` production steps per window
   /// (overriding config.prod_steps) and caches the estimate in result().
@@ -70,6 +88,10 @@ class FepDecoupling {
   ff::NonbondedModel model_;
   FepConfig config_;
   std::optional<FepResult> result_;
+  // Resumable-ladder progress.
+  size_t windows_done_ = 0;
+  std::vector<FepWindowSamples> sampled_;  ///< one entry per finished window
+  std::vector<Vec3> seed_positions_;       ///< start of the next window
 };
 
 }  // namespace antmd::sampling

@@ -90,4 +90,17 @@ std::vector<std::pair<double, double>> Metadynamics::free_energy(
   return out;
 }
 
+void Metadynamics::save_checkpoint(util::BinaryWriter& out) const {
+  out.write_pod_vector(centers_);
+  out.write_pod_vector(heights_);
+}
+
+void Metadynamics::restore_checkpoint(util::BinaryReader& in) {
+  centers_ = in.read_pod_vector<double>();
+  heights_ = in.read_pod_vector<double>();
+  if (centers_.size() != heights_.size()) {
+    throw IoError("metadynamics checkpoint hill lists inconsistent");
+  }
+}
+
 }  // namespace antmd::sampling

@@ -29,7 +29,7 @@ struct MetadynamicsConfig {
   double cv_max = 10.0;
 };
 
-class Metadynamics {
+class Metadynamics : public util::Checkpointable {
  public:
   /// Installs the bias on the (i, j) pair distance of `sim`'s force field.
   Metadynamics(md::Simulation& sim, uint32_t i, uint32_t j,
@@ -51,6 +51,11 @@ class Metadynamics {
 
   [[nodiscard]] size_t hill_count() const { return centers_.size(); }
   [[nodiscard]] double current_cv() const;
+
+  /// Checkpoint: the deposited hill list (the bias closure reads it live,
+  /// so restoring the hills restores the bias force exactly).
+  void save_checkpoint(util::BinaryWriter& out) const override;
+  void restore_checkpoint(util::BinaryReader& in) override;
 
  private:
   void deposit();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "math/units.hpp"
+#include "md/serialize.hpp"
 #include "sampling/common.hpp"
 #include "util/error.hpp"
 
@@ -84,6 +85,28 @@ void TemperatureReplicaExchange::attempt_exchanges(bool even_pairs) {
       ++stats_.accepts[k];
     }
   }
+}
+
+void TemperatureReplicaExchange::save_checkpoint(
+    util::BinaryWriter& out) const {
+  out.write_pod_vector(stats_.attempts);
+  out.write_pod_vector(stats_.accepts);
+  out.write_pod_vector(slot_to_replica_);
+  out.write_u64(rounds_);
+  md::write_rng(out, rng_);
+}
+
+void TemperatureReplicaExchange::restore_checkpoint(util::BinaryReader& in) {
+  stats_.attempts = in.read_pod_vector<uint64_t>();
+  stats_.accepts = in.read_pod_vector<uint64_t>();
+  slot_to_replica_ = in.read_pod_vector<size_t>();
+  if (stats_.attempts.size() != replicas_.size() - 1 ||
+      stats_.accepts.size() != replicas_.size() - 1 ||
+      slot_to_replica_.size() != replicas_.size()) {
+    throw IoError("replica-exchange checkpoint ladder size mismatch");
+  }
+  rounds_ = in.read_u64();
+  md::read_rng(in, rng_);
 }
 
 HamiltonianReplicaExchange::HamiltonianReplicaExchange(

@@ -28,7 +28,7 @@ struct ExchangeStats {
   }
 };
 
-class TemperatureReplicaExchange {
+class TemperatureReplicaExchange : public util::Checkpointable {
  public:
   /// Each replica must have a thermostat set to the matching temperature.
   /// With execution.threads > 1 the replicas advance their MD chunks
@@ -48,6 +48,13 @@ class TemperatureReplicaExchange {
   [[nodiscard]] const std::vector<size_t>& slot_to_replica() const {
     return slot_to_replica_;
   }
+
+  /// Checkpoint: exchange statistics, the slot permutation, the round
+  /// counter (even/odd pair alternation) and the swap RNG position.  The
+  /// replicas themselves are separate Checkpointables and must be saved /
+  /// restored alongside this driver.
+  void save_checkpoint(util::BinaryWriter& out) const override;
+  void restore_checkpoint(util::BinaryReader& in) override;
 
  private:
   void attempt_exchanges(bool even_pairs);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "math/units.hpp"
+#include "md/serialize.hpp"
 #include "util/error.hpp"
 
 namespace antmd::sampling {
@@ -71,6 +72,37 @@ void SimulatedTempering::attempt_move() {
     sim_->rescale_velocities(std::sqrt(t_new / t_old));
     ++accepts_;
   }
+}
+
+void SimulatedTempering::save_checkpoint(util::BinaryWriter& out) const {
+  out.write_u64(level_);
+  out.write_pod_vector(weights_);
+  out.write_pod_vector(occupancy_);
+  out.write_f64(wl_delta_);
+  out.write_u64(attempts_);
+  out.write_u64(accepts_);
+  md::write_rng(out, rng_);
+}
+
+void SimulatedTempering::restore_checkpoint(util::BinaryReader& in) {
+  level_ = in.read_u64();
+  if (level_ >= config_.ladder.size()) {
+    throw IoError("tempering checkpoint level out of range");
+  }
+  weights_ = in.read_pod_vector<double>();
+  occupancy_ = in.read_pod_vector<uint64_t>();
+  if (weights_.size() != config_.ladder.size() ||
+      occupancy_.size() != config_.ladder.size()) {
+    throw IoError("tempering checkpoint ladder size mismatch");
+  }
+  wl_delta_ = in.read_f64();
+  attempts_ = in.read_u64();
+  accepts_ = in.read_u64();
+  md::read_rng(in, rng_);
+  // Keep the bath consistent with the restored ladder position (the
+  // simulation's own checkpoint also restores this; setting it here makes
+  // the driver self-contained).
+  sim_->thermostat().set_temperature(config_.ladder[level_]);
 }
 
 }  // namespace antmd::sampling

@@ -34,7 +34,7 @@ struct TemperingResult {
   std::vector<double> weights;
 };
 
-class SimulatedTempering {
+class SimulatedTempering : public util::Checkpointable {
  public:
   /// Registers a step observer on `sim` that makes the level-change
   /// decision every attempt_interval steps; this object must therefore
@@ -61,6 +61,12 @@ class SimulatedTempering {
     return occupancy_;
   }
   [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+  /// Checkpoint: ladder position, adaptive weights/occupancy, Wang–Landau
+  /// increment, attempt counters and the RNG stream position.  Restore also
+  /// retargets the simulation's thermostat to the restored level.
+  void save_checkpoint(util::BinaryWriter& out) const override;
+  void restore_checkpoint(util::BinaryReader& in) override;
 
  private:
   void attempt_move();

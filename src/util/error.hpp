@@ -29,6 +29,14 @@ class NumericalError : public Error {
   explicit NumericalError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown on I/O failures: unopenable files, short/failed writes, and
+/// missing, truncated, or corrupt (wrong magic / CRC mismatch) checkpoint
+/// and trajectory files.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_require_failure(const char* expr, const char* file,
                                         int line, const std::string& msg);

@@ -1,0 +1,73 @@
+#include "util/fault.hpp"
+
+#include <array>
+#include <cstddef>
+
+using std::size_t;
+
+namespace antmd::fault {
+namespace {
+
+struct Slot {
+  FaultPlan plan;
+  bool active = false;
+  uint64_t events = 0;  ///< qualifying events seen since arm()
+  uint64_t fired = 0;
+  uint64_t rng = 0;     ///< splitmix64 state for probabilistic plans
+};
+
+std::array<Slot, static_cast<size_t>(FaultKind::kCount)>& slots() {
+  static std::array<Slot, static_cast<size_t>(FaultKind::kCount)> s;
+  return s;
+}
+
+Slot& slot(FaultKind kind) { return slots()[static_cast<size_t>(kind)]; }
+
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void arm(const FaultPlan& plan) {
+  Slot& s = slot(plan.kind);
+  s.plan = plan;
+  s.active = true;
+  s.events = 0;
+  s.fired = 0;
+  s.rng = plan.seed * 0x2545F4914F6CDD1Dull + 0x9E3779B97F4A7C15ull;
+}
+
+void disarm(FaultKind kind) { slot(kind) = Slot{}; }
+
+void disarm_all() {
+  for (auto& s : slots()) s = Slot{};
+}
+
+bool armed(FaultKind kind) { return slot(kind).active; }
+
+bool should_fire(FaultKind kind, uint64_t* payload) {
+  Slot& s = slot(kind);
+  if (!s.active) return false;
+  const uint64_t event = s.events++;
+  if (event < s.plan.fire_after) return false;
+  if (s.plan.count >= 0 &&
+      s.fired >= static_cast<uint64_t>(s.plan.count)) {
+    return false;
+  }
+  if (s.plan.probability < 1.0) {
+    constexpr double kInv2Pow64 = 1.0 / 18446744073709551616.0;
+    double u = static_cast<double>(splitmix64(s.rng)) * kInv2Pow64;
+    if (u >= s.plan.probability) return false;
+  }
+  ++s.fired;
+  if (payload) *payload = s.plan.payload;
+  return true;
+}
+
+uint64_t fired_count(FaultKind kind) { return slot(kind).fired; }
+
+}  // namespace antmd::fault

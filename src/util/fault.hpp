@@ -1,0 +1,90 @@
+// Deterministic fault injection for robustness testing.
+//
+// Long production runs die from exactly the failures that never happen in
+// short CI runs: full disks, torn checkpoint writes, numerical blow-ups,
+// dead torus nodes.  This registry lets tests (and chaos-style soak runs)
+// arm those failures deterministically — a fault fires after a fixed number
+// of qualifying events, or with a seed-driven probability per event — so
+// every recovery path in io/, md/ and runtime/ is exercisable from CI with
+// reproducible schedules.
+//
+// Injection points poll should_fire(kind) at the site where the real
+// failure would occur:
+//   kIoWriteFail   io::checkpoint atomic write    -> throws IoError (ENOSPC)
+//   kIoShortWrite  io::checkpoint atomic write    -> truncated blob is
+//                  renamed into place (a torn write the CRC must catch)
+//   kNanForce      Simulation/MachineSimulation   -> poisons one atom's
+//                  force accumulator with kPoisonQuanta
+//   kNodeFail      DistributedEngine::redistribute -> marks a torus node
+//                  failed; its work is remapped to surviving nodes
+//
+// The injector is process-global and NOT thread-safe by design: faults are
+// armed and polled from the driver thread (worker threads never touch it).
+// Tests use ScopedFault so a failing test cannot leak an armed fault into
+// the next one.
+#pragma once
+
+#include <cstdint>
+
+namespace antmd::fault {
+
+enum class FaultKind : uint32_t {
+  kIoWriteFail = 0,   ///< checkpoint write throws IoError (disk full)
+  kIoShortWrite = 1,  ///< checkpoint blob is truncated but "succeeds"
+  kNanForce = 2,      ///< one atom's force result is poisoned
+  kNodeFail = 3,      ///< a modeled torus node drops out
+  kCount = 4,
+};
+
+/// Sentinel force quanta injected by kNanForce: dequantizes to ~±5.5e11
+/// kcal/mol/Å, far beyond any physical force, so health checks treat it
+/// like a non-finite value.
+inline constexpr int64_t kPoisonQuanta = int64_t{1} << 53;
+
+struct FaultPlan {
+  FaultKind kind = FaultKind::kIoWriteFail;
+  /// Number of qualifying events to let pass before the fault can fire.
+  uint64_t fire_after = 0;
+  /// How many times to fire once eligible (-1 = every eligible event).
+  int64_t count = 1;
+  /// If in (0, 1), each eligible event fires with this probability using a
+  /// splitmix64 stream keyed by `seed` (deterministic across runs/threads).
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// Kind-specific payload (kNodeFail: node id; kNanForce: atom index).
+  uint64_t payload = 0;
+};
+
+/// Arms a fault (replacing any armed plan of the same kind).
+void arm(const FaultPlan& plan);
+
+/// Disarms one kind / all kinds.
+void disarm(FaultKind kind);
+void disarm_all();
+
+/// True if a plan (possibly exhausted) is armed for `kind`.
+[[nodiscard]] bool armed(FaultKind kind);
+
+/// Polls the injection point: counts the event, decides deterministically
+/// whether the fault fires now, and if so copies the plan's payload out.
+/// Never fires when nothing is armed (the zero-overhead common case).
+[[nodiscard]] bool should_fire(FaultKind kind, uint64_t* payload = nullptr);
+
+/// Number of times `kind` actually fired since it was last armed.
+[[nodiscard]] uint64_t fired_count(FaultKind kind);
+
+/// RAII arm/disarm for tests: disarms the plan's kind on scope exit.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const FaultPlan& plan) : kind_(plan.kind) {
+    arm(plan);
+  }
+  ~ScopedFault() { disarm(kind_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultKind kind_;
+};
+
+}  // namespace antmd::fault

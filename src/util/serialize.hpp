@@ -1,0 +1,148 @@
+// Binary serialization primitives for checkpointing.
+//
+// BinaryWriter appends little-endian PODs to an in-memory buffer;
+// BinaryReader is the bounds-checked inverse and throws IoError on any
+// overrun, so truncated or corrupt checkpoint payloads surface as typed
+// errors instead of silently garbage state.  Checkpointable is the
+// interface every resumable driver (md::Simulation, MachineSimulation, the
+// sampling methods) implements; the on-disk container lives in
+// io/checkpoint.hpp.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace antmd::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range.
+[[nodiscard]] uint32_t crc32(const void* data, size_t size);
+
+/// Append-only little-endian binary buffer.
+class BinaryWriter {
+ public:
+  void write_bytes(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  template <typename T>
+  void write_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "write_pod needs a trivially copyable type");
+    write_bytes(&v, sizeof(T));
+  }
+
+  void write_u32(uint32_t v) { write_pod(v); }
+  void write_u64(uint64_t v) { write_pod(v); }
+  void write_i64(int64_t v) { write_pod(v); }
+  void write_f64(double v) { write_pod(v); }
+  void write_bool(bool v) { write_pod(static_cast<uint8_t>(v ? 1 : 0)); }
+
+  void write_string(std::string_view s) {
+    write_u64(s.size());
+    write_bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void write_pod_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "write_pod_vector needs a trivially copyable type");
+    write_u64(v.size());
+    if (!v.empty()) write_bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  [[nodiscard]] const std::string& buffer() const { return buf_; }
+  [[nodiscard]] size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a serialized byte range (not owning).
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : buf_(data) {}
+
+  void read_bytes(void* out, size_t size) {
+    if (size > remaining()) {
+      throw IoError("serialized data truncated: wanted " +
+                    std::to_string(size) + " bytes, have " +
+                    std::to_string(remaining()));
+    }
+    std::memcpy(out, buf_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  template <typename T>
+  [[nodiscard]] T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "read_pod needs a trivially copyable type");
+    T v;
+    read_bytes(&v, sizeof(T));
+    return v;
+  }
+
+  [[nodiscard]] uint32_t read_u32() { return read_pod<uint32_t>(); }
+  [[nodiscard]] uint64_t read_u64() { return read_pod<uint64_t>(); }
+  [[nodiscard]] int64_t read_i64() { return read_pod<int64_t>(); }
+  [[nodiscard]] double read_f64() { return read_pod<double>(); }
+  [[nodiscard]] bool read_bool() { return read_pod<uint8_t>() != 0; }
+
+  [[nodiscard]] std::string read_string() {
+    uint64_t n = read_u64();
+    check_count(n, 1);
+    std::string s(n, '\0');
+    read_bytes(s.data(), n);
+    return s;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> read_pod_vector() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "read_pod_vector needs a trivially copyable type");
+    uint64_t n = read_u64();
+    check_count(n, sizeof(T));
+    std::vector<T> v(n);
+    if (n) read_bytes(v.data(), n * sizeof(T));
+    return v;
+  }
+
+  [[nodiscard]] size_t remaining() const { return buf_.size() - pos_; }
+  [[nodiscard]] size_t position() const { return pos_; }
+
+ private:
+  /// Element counts are validated against the remaining bytes before any
+  /// allocation, so a corrupt length field cannot trigger a huge alloc.
+  void check_count(uint64_t count, size_t elem_size) const {
+    if (count * elem_size > remaining()) {
+      throw IoError("serialized data truncated: count " +
+                    std::to_string(count) + " exceeds remaining bytes");
+    }
+  }
+
+  std::string_view buf_;
+  size_t pos_ = 0;
+};
+
+/// A component whose full dynamic state can round-trip through a binary
+/// checkpoint.  The contract is bit-exact resume: restoring into a freshly
+/// constructed object (same constructor arguments) and continuing must
+/// reproduce the uninterrupted run exactly.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Serializes everything needed to resume into `out`.
+  virtual void save_checkpoint(BinaryWriter& out) const = 0;
+
+  /// Inverse of save_checkpoint.  Throws IoError on malformed payloads and
+  /// Error when the payload is incompatible (e.g. atom-count mismatch).
+  virtual void restore_checkpoint(BinaryReader& in) = 0;
+};
+
+}  // namespace antmd::util

@@ -108,7 +108,34 @@ TEST(Checkpoint, RejectsGarbageFile) {
 }
 
 TEST(Checkpoint, MissingFileThrows) {
-  EXPECT_THROW(load_checkpoint("/nonexistent/path/x.bin"), Error);
+  EXPECT_THROW(load_checkpoint("/nonexistent/path/x.bin"), IoError);
+}
+
+TEST(Checkpoint, TruncatedFileThrows) {
+  State state;
+  state.box = Box(10, 10, 10);
+  state.positions.assign(8, Vec3{1, 2, 3});
+  state.velocities.assign(8, Vec3{});
+
+  std::string path = temp_path("truncated.bin");
+  save_checkpoint(path, state);
+  std::string full = slurp(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size() / 2));
+  }
+  EXPECT_THROW(load_checkpoint(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Xyz, UnwritablePathThrowsIoError) {
+  auto spec = build_lj_fluid(8, 0.021, 1);
+  EXPECT_THROW(XyzWriter("/nonexistent/dir/frames.xyz", spec.topology),
+               IoError);
+}
+
+TEST(Csv, UnwritablePathThrowsIoError) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/data.csv", {"a", "b"}), IoError);
 }
 
 }  // namespace
