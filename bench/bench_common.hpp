@@ -49,6 +49,27 @@ inline void print_header(const std::string& experiment,
   std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), caption.c_str());
 }
 
+/// Flattens a modeled phase breakdown into report metrics
+/// (`<prefix>multicast_s`, `<prefix>interaction_s`, ...) so BENCH_*.json
+/// carries the same per-phase picture the telemetry registry exposes at
+/// runtime.
+inline void append_breakdown(
+    std::vector<std::pair<std::string, double>>& metrics,
+    const machine::StepBreakdown& b, const std::string& prefix = "phase_") {
+  metrics.emplace_back(prefix + "multicast_s", b.multicast);
+  metrics.emplace_back(prefix + "pair_s", b.pair_phase);
+  metrics.emplace_back(prefix + "gc_force_s", b.gc_force_phase);
+  metrics.emplace_back(prefix + "interaction_s", b.interaction);
+  metrics.emplace_back(prefix + "reduce_s", b.reduce);
+  metrics.emplace_back(prefix + "update_s", b.update);
+  metrics.emplace_back(prefix + "kspace_s", b.kspace_total());
+  metrics.emplace_back(prefix + "sync_s", b.sync);
+  metrics.emplace_back(prefix + "total_s", b.total);
+  metrics.emplace_back(prefix + "htis_utilization", b.htis_utilization());
+  metrics.emplace_back(prefix + "gc_utilization", b.gc_utilization());
+  metrics.emplace_back(prefix + "network_fraction", b.network_fraction());
+}
+
 /// Machine-readable result dump: writes BENCH_<name>.json in the working
 /// directory.  Every report carries the host worker-thread count used so
 /// wall-clock numbers can be compared across configurations.

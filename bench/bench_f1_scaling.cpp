@@ -59,6 +59,12 @@ void wall_clock_scaling() {
     metrics.emplace_back("wall_s_" + std::to_string(threads) + "t", wall);
     metrics.emplace_back("speedup_" + std::to_string(threads) + "t",
                          t1 > 0 ? t1 / wall : 1.0);
+    // Modeled phase accumulation from the last (max-thread) run; identical
+    // across thread counts by the determinism guarantee.
+    if (threads == thread_counts.back()) {
+      bench::append_breakdown(metrics, sim.accumulated(), "modeled_");
+      metrics.emplace_back("modeled_ns_per_day", sim.ns_per_day());
+    }
   }
   std::fputs(table.render().c_str(), stdout);
   if (hw < thread_counts.back()) {

@@ -20,6 +20,18 @@
 //
 //   ./antmd_run water.cfg [--threads N]
 //       [--checkpoint PATH] [--checkpoint-interval N] [--resume]
+//       [--trace-out trace.json] [--metrics-out metrics.json]
+//       [--no-telemetry]
+//
+// Observability (command line overrides config keys `trace_out`,
+// `metrics_out`, `telemetry`):
+//   --trace-out PATH       record per-phase spans and write a Chrome
+//                          trace_event JSON (load in chrome://tracing or
+//                          ui.perfetto.dev)
+//   --metrics-out PATH     dump every telemetry counter/gauge/histogram at
+//                          exit (.json → JSON, else `name value` text)
+//   --no-telemetry         disable all metric collection (telemetry is on
+//                          by default; overhead is <2%, see DESIGN.md)
 //
 // Robustness options (command line overrides the matching config keys
 // `checkpoint`, `checkpoint_interval`, `resume`, `health`):
@@ -46,6 +58,8 @@
 #include "io/trajectory.hpp"
 #include "md/builder.hpp"
 #include "md/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "resilience/health.hpp"
 #include "runtime/machine_sim.hpp"
 #include "topo/builders.hpp"
@@ -149,9 +163,10 @@ struct RobustnessOptions {
 
 /// Runs `sim` to the configured total step count, optionally resuming from
 /// and mirroring to a v2 checkpoint file, under the numerical health guard
-/// when requested.
+/// when requested.  Returns the wall-clock seconds spent stepping (excludes
+/// construction and resume I/O) for the end-of-run summary.
 template <typename Sim>
-void run_simulation(Sim& sim, size_t steps, const RobustnessOptions& opt) {
+double run_simulation(Sim& sim, size_t steps, const RobustnessOptions& opt) {
   size_t remaining = steps;
   if (opt.resume) {
     ANTMD_REQUIRE(!opt.checkpoint.empty(),
@@ -162,9 +177,10 @@ void run_simulation(Sim& sim, size_t steps, const RobustnessOptions& opt) {
     std::printf("resumed from %s at step %" PRIu64 " (%zu steps left)\n",
                 opt.checkpoint.c_str(), done, remaining);
   }
+  md::WallTimer wall;
   if (opt.checkpoint.empty() && opt.health == "off") {
     sim.run(remaining);
-    return;
+    return wall.seconds();
   }
   resilience::HealthConfig hc;
   if (opt.health == "throw") {
@@ -189,6 +205,36 @@ void run_simulation(Sim& sim, size_t steps, const RobustnessOptions& opt) {
                 opt.checkpoint.c_str(), hc.checkpoint_interval,
                 resilience::policy_name(hc.policy));
   }
+  return wall.seconds();
+}
+
+/// End-of-run summary from the telemetry registry: throughput plus the
+/// instrumented-phase breakdown (percent of the time spent under a
+/// *.time_ns phase counter; phases may nest/overlap across threads, so the
+/// shares describe where instrumented time went, not a partition of wall
+/// time).
+void print_telemetry_summary(size_t steps, double dt_fs, double wall_seconds,
+                             double modeled_ns_day) {
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const double steps_per_s =
+      wall_seconds > 0 ? static_cast<double>(steps) / wall_seconds : 0.0;
+  const double wall_ns_day =
+      wall_seconds > 0
+          ? static_cast<double>(steps) * dt_fs * 1e-6 * 86400.0 / wall_seconds
+          : 0.0;
+  std::printf("\nrun summary: %zu steps in %.3f s wall "
+              "(%.1f steps/s, %.3f ns/day walltime)\n",
+              steps, wall_seconds, steps_per_s, wall_ns_day);
+  if (modeled_ns_day > 0) {
+    std::printf("modeled machine rate: %.0f ns/day\n", modeled_ns_day);
+  }
+  Table table({"phase", "time (s)", "share"});
+  for (const auto& p : obs::phase_breakdown(snap)) {
+    if (p.seconds <= 0.0) continue;
+    table.add_row({p.name, Table::num(p.seconds, 3),
+                   Table::num(100.0 * p.fraction, 1) + " %"});
+  }
+  std::fputs(table.render().c_str(), stdout);
 }
 
 }  // namespace
@@ -199,9 +245,22 @@ int main(int argc, char** argv) {
   int cli_checkpoint_interval = -1;
   const char* cli_checkpoint = nullptr;
   bool cli_resume = false;
+  const char* cli_trace_out = nullptr;
+  const char* cli_metrics_out = nullptr;
+  bool cli_no_telemetry = false;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
-    if (arg.rfind("--threads=", 0) == 0) {
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      cli_trace_out = argv[a] + std::strlen("--trace-out=");
+    } else if (arg == "--trace-out" && a + 1 < argc) {
+      cli_trace_out = argv[++a];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      cli_metrics_out = argv[a] + std::strlen("--metrics-out=");
+    } else if (arg == "--metrics-out" && a + 1 < argc) {
+      cli_metrics_out = argv[++a];
+    } else if (arg == "--no-telemetry") {
+      cli_no_telemetry = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
       cli_threads = parse_int_arg(
           "--threads", arg.c_str() + std::strlen("--threads="));
     } else if (arg == "--threads" && a + 1 < argc) {
@@ -230,11 +289,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: antmd_run <config-file> [--threads N] "
                  "[--checkpoint PATH] [--checkpoint-interval N] "
-                 "[--resume]\n");
+                 "[--resume] [--trace-out PATH] [--metrics-out PATH] "
+                 "[--no-telemetry]\n");
     return 1;
   }
   try {
     auto cfg = io::RunConfig::from_file(config_path);
+
+    // Telemetry is on by default; tracing rides on the same enable flag.
+    const bool telemetry =
+        !cli_no_telemetry && cfg.get_bool("telemetry", true);
+    std::string trace_out = cfg.get_string("trace_out", "");
+    std::string metrics_out = cfg.get_string("metrics_out", "");
+    if (cli_trace_out) trace_out = cli_trace_out;
+    if (cli_metrics_out) metrics_out = cli_metrics_out;
+    obs::register_standard_metrics();
+    obs::set_enabled(telemetry);
+    if (!trace_out.empty() && telemetry) {
+      obs::TraceSession::global().start(trace_out);
+    }
+
     auto spec = build_system(cfg);
     auto model = build_model(cfg);
     // GSE water without charges is meaningless; drop electrostatics when
@@ -271,6 +345,9 @@ int main(int argc, char** argv) {
     if (cli_resume) robust.resume = true;
 
     std::string engine = cfg.get_string("engine", "host");
+    double run_wall_seconds = 0.0;
+    double modeled_ns_day = 0.0;
+    const double dt_fs = cfg.get_double("dt_fs", 2.0);
     if (engine == "machine") {
       runtime::MachineSimConfig mc;
       mc.dt_fs = cfg.get_double("dt_fs", 2.0);
@@ -293,7 +370,10 @@ int main(int argc, char** argv) {
             if (xyz) xyz->write_frame(sim.state());
           },
           report);
-      run_simulation(sim, static_cast<size_t>(steps), robust);
+      if (telemetry) sim.add_observer(md::metrics_observer(), report);
+      run_wall_seconds =
+          run_simulation(sim, static_cast<size_t>(steps), robust);
+      modeled_ns_day = sim.ns_per_day();
       std::fputs(table.render().c_str(), stdout);
       std::printf("modeled mean step: %.2f us on %zu nodes\n",
                   sim.mean_step_time_s() * 1e6, sim.engine().node_count());
@@ -331,7 +411,9 @@ int main(int argc, char** argv) {
             if (xyz) xyz->write_frame(sim.state());
           },
           report);
-      run_simulation(sim, static_cast<size_t>(steps), robust);
+      if (telemetry) sim.add_observer(md::metrics_observer(), report);
+      run_wall_seconds =
+          run_simulation(sim, static_cast<size_t>(steps), robust);
       std::fputs(table.render().c_str(), stdout);
     } else {
       throw ConfigError("unknown engine: " + engine);
@@ -339,6 +421,30 @@ int main(int argc, char** argv) {
     if (xyz) {
       std::printf("wrote %zu frames to %s\n", xyz->frames_written(),
                   cfg.require_string("xyz").c_str());
+    }
+    if (telemetry) {
+      print_telemetry_summary(static_cast<size_t>(steps), dt_fs,
+                              run_wall_seconds, modeled_ns_day);
+    }
+    if (!trace_out.empty() && telemetry) {
+      auto& session = obs::TraceSession::global();
+      size_t events = session.event_count();
+      if (session.stop()) {
+        std::printf("wrote trace: %s (%zu events)\n", trace_out.c_str(),
+                    events);
+      } else {
+        std::fprintf(stderr, "antmd_run: failed to write trace %s\n",
+                     trace_out.c_str());
+      }
+    }
+    if (!metrics_out.empty()) {
+      if (obs::write_metrics_file(metrics_out,
+                                  obs::MetricsRegistry::global().snapshot())) {
+        std::printf("wrote metrics: %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "antmd_run: failed to write metrics %s\n",
+                     metrics_out.c_str());
+      }
     }
     return 0;
   } catch (const Error& e) {

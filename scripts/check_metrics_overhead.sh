@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Telemetry overhead budget check (DESIGN.md "Observability"): a run with
+# metrics enabled must stay within MAX_OVERHEAD_PCT (default 2%) of the
+# same run with --no-telemetry.
+#
+# Methodology: run each configuration REPS times and compare the *minimum*
+# wall time per configuration — the minimum is the run least disturbed by
+# scheduler noise, so it isolates the instrumentation cost itself.  Tracing
+# is deliberately left off: the budget covers always-on metrics; trace
+# recording is opt-in and buffered.
+#
+# Usage: scripts/check_metrics_overhead.sh [build-dir] [config-file]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CONFIG="${2:-examples/configs/water_machine.cfg}"
+REPS="${REPS:-5}"
+MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-2.0}"
+RUN_BIN="$BUILD_DIR/examples/antmd_run"
+
+if [[ ! -x "$RUN_BIN" ]]; then
+  echo "error: $RUN_BIN not found — build the default preset first" >&2
+  exit 2
+fi
+
+# Prints the minimum wall-clock seconds over $REPS runs of "$@".
+min_wall() {
+  local best=""
+  for _ in $(seq "$REPS"); do
+    local start end elapsed
+    start=$(date +%s.%N)
+    "$@" > /dev/null
+    end=$(date +%s.%N)
+    elapsed=$(echo "$end $start" | awk '{printf "%.6f", $1 - $2}')
+    if [[ -z "$best" ]] || awk -v a="$elapsed" -v b="$best" \
+        'BEGIN {exit !(a < b)}'; then
+      best="$elapsed"
+    fi
+  done
+  echo "$best"
+}
+
+echo "measuring: $RUN_BIN $CONFIG ($REPS reps per configuration)"
+off=$(min_wall "$RUN_BIN" "$CONFIG" --no-telemetry)
+on=$(min_wall "$RUN_BIN" "$CONFIG")
+
+overhead=$(echo "$on $off" | awk '{printf "%.2f", ($1 - $2) / $2 * 100.0}')
+echo "telemetry off: ${off}s   telemetry on: ${on}s   overhead: ${overhead}%"
+
+if awk -v o="$overhead" -v cap="$MAX_OVERHEAD_PCT" 'BEGIN {exit !(o > cap)}'
+then
+  echo "FAIL: telemetry overhead ${overhead}% exceeds budget ${MAX_OVERHEAD_PCT}%" >&2
+  exit 1
+fi
+echo "OK: within the ${MAX_OVERHEAD_PCT}% budget"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace antmd::md {
@@ -56,6 +58,12 @@ NeighborList::NeighborList(const Topology& topo, double cutoff, double skin)
 }
 
 void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
+  static auto& rebuild_count =
+      obs::MetricsRegistry::global().counter("md.neighbor.rebuild.count");
+  static auto& rebuild_ns =
+      obs::MetricsRegistry::global().counter("md.neighbor.time_ns");
+  obs::TracePhase phase("md.neighbor.rebuild", "md", &rebuild_ns);
+  rebuild_count.add();
   const double reach = cutoff_ + skin_;
   ANTMD_REQUIRE(2.0 * reach <= box.min_edge(),
                 "cutoff+skin exceeds half the smallest box edge");

@@ -12,8 +12,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <numeric>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace antmd::md {
 
@@ -34,9 +37,14 @@ class ObserverList {
  public:
   /// Invokes `obs` whenever step % interval == 0 (interval clamped to >=1).
   void add(StepObserver obs, int interval = 1) {
-    entries_.push_back({interval < 1 ? uint64_t{1}
-                                     : static_cast<uint64_t>(interval),
-                        std::move(obs)});
+    const uint64_t iv =
+        interval < 1 ? uint64_t{1} : static_cast<uint64_t>(interval);
+    entries_.push_back({iv, std::move(obs)});
+    // An observer fires only at multiples of its interval, hence only at
+    // multiples of the gcd of all intervals: maintaining the gcd on add()
+    // lets due()/notify() reject most steps with one modulo instead of an
+    // O(observers) scan.
+    interval_gcd_ = interval_gcd_ == 0 ? iv : std::gcd(interval_gcd_, iv);
   }
 
   [[nodiscard]] bool empty() const { return entries_.empty(); }
@@ -44,6 +52,7 @@ class ObserverList {
   /// True when at least one observer fires at this step (lets the caller
   /// skip building a StepInfo — and its O(N) reductions — otherwise).
   [[nodiscard]] bool due(uint64_t step) const {
+    if (entries_.empty() || step % interval_gcd_ != 0) return false;
     for (const auto& e : entries_) {
       if (step % e.interval == 0) return true;
     }
@@ -51,6 +60,7 @@ class ObserverList {
   }
 
   void notify(const StepInfo& info) const {
+    if (entries_.empty() || info.step % interval_gcd_ != 0) return;
     for (const auto& e : entries_) {
       if (info.step % e.interval == 0) e.fn(info);
     }
@@ -62,7 +72,37 @@ class ObserverList {
     StepObserver fn;
   };
   std::vector<Entry> entries_;
+  uint64_t interval_gcd_ = 0;  ///< 0 until the first add()
 };
+
+/// MetricsObserver: a StepObserver publishing the step summary into the
+/// telemetry registry as gauges (md.sim.*).  Register it at a sampling
+/// interval via add_observer(metrics_observer(), interval) to get periodic
+/// simulation-health readings in every metrics dump.
+inline StepObserver metrics_observer(
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global()) {
+  struct Gauges {
+    obs::Gauge& step;
+    obs::Gauge& time;
+    obs::Gauge& potential;
+    obs::Gauge& kinetic;
+    obs::Gauge& temperature;
+    obs::Gauge& wall_seconds;
+  };
+  auto gauges = std::make_shared<Gauges>(Gauges{
+      registry.gauge("md.sim.step"), registry.gauge("md.sim.time"),
+      registry.gauge("md.sim.potential"), registry.gauge("md.sim.kinetic"),
+      registry.gauge("md.sim.temperature_k"),
+      registry.gauge("md.sim.wall_seconds")});
+  return [gauges](const StepInfo& info) {
+    gauges->step.set(static_cast<double>(info.step));
+    gauges->time.set(info.time);
+    gauges->potential.set(info.potential);
+    gauges->kinetic.set(info.kinetic);
+    gauges->temperature.set(info.temperature);
+    gauges->wall_seconds.set(info.wall_seconds);
+  };
+}
 
 /// Wall clock used for StepInfo::wall_seconds.
 class WallTimer {

@@ -5,10 +5,42 @@
 
 #include "math/units.hpp"
 #include "md/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
 namespace antmd::md {
+namespace {
+
+// Cached registry handles for the per-phase instrumentation (the name
+// lookup takes a mutex; the handles themselves are lock-free).
+struct MdMetrics {
+  obs::Counter& bonded_ns;
+  obs::Counter& nonbonded_ns;
+  obs::Counter& kspace_ns;
+  obs::Counter& constraints_ns;
+  obs::Counter& integrate_ns;
+  obs::Counter& steps;
+  obs::Histogram& step_us;
+};
+
+MdMetrics& md_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static MdMetrics m{
+      reg.counter("md.bonded.time_ns"),
+      reg.counter("md.nonbonded.time_ns"),
+      reg.counter("md.kspace.time_ns"),
+      reg.counter("md.constraints.time_ns"),
+      reg.counter("md.integrate.time_ns"),
+      reg.counter("md.step.count"),
+      reg.histogram("md.step.wall_us",
+                    {10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000,
+                     300000, 1000000})};
+  return m;
+}
+
+}  // namespace
 
 void SimulationConfig::validate() const {
   if (!(dt_fs > 0)) {
@@ -88,10 +120,17 @@ void Simulation::compute_forces(bool kspace_due) {
   ff::construct_virtual_sites(topo.virtual_sites(), state_.positions,
                               state_.box);
   current_.reset(n);
-  ff_->compute_bonded(state_.positions, state_.box, state_.time, current_);
-  ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box,
-                         current_);
+  {
+    obs::TracePhase phase("md.bonded", "md", &md_metrics().bonded_ns);
+    ff_->compute_bonded(state_.positions, state_.box, state_.time, current_);
+  }
+  {
+    obs::TracePhase phase("md.nonbonded", "md", &md_metrics().nonbonded_ns);
+    ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box,
+                           current_);
+  }
   if (kspace_due && ff_->has_kspace()) {
+    obs::TracePhase phase("md.kspace", "md", &md_metrics().kspace_ns);
     kspace_cache_.reset(n);
     ff_->compute_kspace(state_.positions, state_.box, kspace_cache_);
   }
@@ -112,7 +151,10 @@ void Simulation::compute_fast_forces() {
   ff::construct_virtual_sites(topo.virtual_sites(), state_.positions,
                               state_.box);
   fast_.reset(topo.atom_count());
-  ff_->compute_bonded(state_.positions, state_.box, state_.time, fast_);
+  {
+    obs::TracePhase phase("md.bonded", "md", &md_metrics().bonded_ns);
+    ff_->compute_bonded(state_.positions, state_.box, state_.time, fast_);
+  }
   ff::spread_virtual_site_forces(topo.virtual_sites(), state_.positions,
                                  state_.box, fast_.forces);
 }
@@ -122,9 +164,13 @@ void Simulation::compute_slow_forces(bool kspace_due) {
   ff::construct_virtual_sites(topo.virtual_sites(), state_.positions,
                               state_.box);
   slow_.reset(topo.atom_count());
-  ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box,
-                         slow_);
+  {
+    obs::TracePhase phase("md.nonbonded", "md", &md_metrics().nonbonded_ns);
+    ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box,
+                           slow_);
+  }
   if (kspace_due && ff_->has_kspace()) {
+    obs::TracePhase phase("md.kspace", "md", &md_metrics().kspace_ns);
     kspace_cache_.reset(topo.atom_count());
     ff_->compute_kspace(state_.positions, state_.box, kspace_cache_);
   }
@@ -150,34 +196,48 @@ void Simulation::step_respa() {
   // Slow and fast forces at the current positions (slow_ is maintained
   // across steps; fast_ is refreshed by the inner loop's last iteration).
   // Outer half kick with the slow forces.
-  for (size_t i = 0; i < n; ++i) {
-    if (masses[i] == 0.0) continue;
-    state_.velocities[i] += (dt_ / (2.0 * masses[i])) * slow_.forces.force(i);
+  {
+    obs::ScopedTimer timer(md_metrics().integrate_ns);
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.velocities[i] +=
+          (dt_ / (2.0 * masses[i])) * slow_.forces.force(i);
+    }
   }
 
   // Inner velocity-Verlet loop with the fast (bonded) forces.
   for (int k = 0; k < n_inner; ++k) {
-    for (size_t i = 0; i < n; ++i) {
-      if (masses[i] == 0.0) continue;
-      state_.velocities[i] +=
-          (dtf / (2.0 * masses[i])) * fast_.forces.force(i);
-    }
-    scratch_before_ = state_.positions;
-    for (size_t i = 0; i < n; ++i) {
-      if (masses[i] == 0.0) continue;
-      state_.positions[i] += dtf * state_.velocities[i];
+    {
+      obs::ScopedTimer timer(md_metrics().integrate_ns);
+      for (size_t i = 0; i < n; ++i) {
+        if (masses[i] == 0.0) continue;
+        state_.velocities[i] +=
+            (dtf / (2.0 * masses[i])) * fast_.forces.force(i);
+      }
+      scratch_before_ = state_.positions;
+      for (size_t i = 0; i < n; ++i) {
+        if (masses[i] == 0.0) continue;
+        state_.positions[i] += dtf * state_.velocities[i];
+      }
     }
     if (!constraints_.empty()) {
+      obs::TracePhase phase("md.constraints", "md",
+                            &md_metrics().constraints_ns);
       constraints_.apply_positions(scratch_before_, state_.positions,
                                    state_.velocities, dtf, state_.box);
     }
     compute_fast_forces();
-    for (size_t i = 0; i < n; ++i) {
-      if (masses[i] == 0.0) continue;
-      state_.velocities[i] +=
-          (dtf / (2.0 * masses[i])) * fast_.forces.force(i);
+    {
+      obs::ScopedTimer timer(md_metrics().integrate_ns);
+      for (size_t i = 0; i < n; ++i) {
+        if (masses[i] == 0.0) continue;
+        state_.velocities[i] +=
+            (dtf / (2.0 * masses[i])) * fast_.forces.force(i);
+      }
     }
     if (!constraints_.empty()) {
+      obs::TracePhase phase("md.constraints", "md",
+                            &md_metrics().constraints_ns);
       constraints_.apply_velocities(state_.positions, state_.velocities,
                                     state_.box);
     }
@@ -188,11 +248,17 @@ void Simulation::step_respa() {
   const bool kspace_due =
       (state_.step + 1) % static_cast<uint64_t>(config_.kspace_interval) == 0;
   compute_slow_forces(kspace_due);
-  for (size_t i = 0; i < n; ++i) {
-    if (masses[i] == 0.0) continue;
-    state_.velocities[i] += (dt_ / (2.0 * masses[i])) * slow_.forces.force(i);
+  {
+    obs::ScopedTimer timer(md_metrics().integrate_ns);
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.velocities[i] +=
+          (dt_ / (2.0 * masses[i])) * slow_.forces.force(i);
+    }
   }
   if (!constraints_.empty()) {
+    obs::TracePhase phase("md.constraints", "md",
+                          &md_metrics().constraints_ns);
     constraints_.apply_velocities(state_.positions, state_.velocities,
                                   state_.box);
   }
@@ -214,6 +280,7 @@ void Simulation::step_respa() {
 }
 
 void Simulation::step() {
+  const double step_start_us = obs::enabled() ? obs::now_us() : 0.0;
   if (config_.respa_inner > 1) {
     // Lazily seed the split caches on first use.
     if (fast_.forces.size() != ff_->topology().atom_count()) {
@@ -221,28 +288,35 @@ void Simulation::step() {
       compute_slow_forces(true);
     }
     step_respa();
+    md_metrics().steps.add();
+    if (obs::enabled()) {
+      md_metrics().step_us.observe(obs::now_us() - step_start_us);
+    }
     return;
   }
   const Topology& topo = ff_->topology();
   const size_t n = topo.atom_count();
   const auto& masses = topo.masses();
 
-  // Half kick.
-  for (size_t i = 0; i < n; ++i) {
-    double m = masses[i];
-    if (m == 0.0) continue;
-    state_.velocities[i] += (dt_ / (2.0 * m)) * current_.forces.force(i);
-  }
-
-  // Drift.
-  scratch_before_ = state_.positions;
-  for (size_t i = 0; i < n; ++i) {
-    if (masses[i] == 0.0) continue;
-    state_.positions[i] += dt_ * state_.velocities[i];
+  // Half kick + drift.
+  {
+    obs::ScopedTimer timer(md_metrics().integrate_ns);
+    for (size_t i = 0; i < n; ++i) {
+      double m = masses[i];
+      if (m == 0.0) continue;
+      state_.velocities[i] += (dt_ / (2.0 * m)) * current_.forces.force(i);
+    }
+    scratch_before_ = state_.positions;
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.positions[i] += dt_ * state_.velocities[i];
+    }
   }
 
   // Constrain positions (and fold the impulse into velocities).
   if (!constraints_.empty()) {
+    obs::TracePhase phase("md.constraints", "md",
+                          &md_metrics().constraints_ns);
     constraints_.apply_positions(scratch_before_, state_.positions,
                                  state_.velocities, dt_, state_.box);
   }
@@ -254,12 +328,17 @@ void Simulation::step() {
   compute_forces(kspace_due);
 
   // Second half kick.
-  for (size_t i = 0; i < n; ++i) {
-    double m = masses[i];
-    if (m == 0.0) continue;
-    state_.velocities[i] += (dt_ / (2.0 * m)) * current_.forces.force(i);
+  {
+    obs::ScopedTimer timer(md_metrics().integrate_ns);
+    for (size_t i = 0; i < n; ++i) {
+      double m = masses[i];
+      if (m == 0.0) continue;
+      state_.velocities[i] += (dt_ / (2.0 * m)) * current_.forces.force(i);
+    }
   }
   if (!constraints_.empty()) {
+    obs::TracePhase phase("md.constraints", "md",
+                          &md_metrics().constraints_ns);
     constraints_.apply_velocities(state_.positions, state_.velocities,
                                   state_.box);
   }
@@ -281,6 +360,10 @@ void Simulation::step() {
       state_.step % static_cast<uint64_t>(config_.com_removal_interval) ==
           0) {
     remove_com_momentum(topo, state_);
+  }
+  md_metrics().steps.add();
+  if (obs::enabled()) {
+    md_metrics().step_us.observe(obs::now_us() - step_start_us);
   }
   notify_observers();
 }

@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace antmd::obs {
+
+double now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch)
+      .count();
+}
+
+TraceSession& TraceSession::global() {
+  static TraceSession session;
+  return session;
+}
+
+void TraceSession::start(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = std::move(path);
+  events_.clear();
+  events_.reserve(4096);
+  dropped_ = 0;
+  recording_.store(true, std::memory_order_relaxed);
+}
+
+bool TraceSession::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!recording_.load(std::memory_order_relaxed)) return true;
+  recording_.store(false, std::memory_order_relaxed);
+  if (path_.empty()) return true;
+  std::string body = render_locked();
+  FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) return false;
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int rc = std::fclose(f);
+  return written == body.size() && rc == 0;
+}
+
+void TraceSession::emit_complete(const char* name, const char* cat,
+                                 double ts_us, double dur_us, uint32_t tid,
+                                 const char* arg_name, int64_t arg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!recording_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back({name, cat, ts_us, dur_us, tid, arg_name, arg});
+}
+
+void TraceSession::set_track_name(uint32_t tid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  track_names_[tid] = name;
+}
+
+size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+size_t TraceSession::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string TraceSession::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return render_locked();
+}
+
+std::string TraceSession::render_locked() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[256];
+  bool first = true;
+  for (const auto& [tid, name] : track_names_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+                  "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                  first ? "" : ",", tid, name.c_str());
+    out += buf;
+    first = false;
+  }
+  for (const Event& e : events_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u",
+                  first ? "" : ",", e.name, e.cat, e.ts_us, e.dur_us, e.tid);
+    out += buf;
+    if (e.arg_name) {
+      std::snprintf(buf, sizeof(buf), ", \"args\": {\"%s\": %lld}",
+                    e.arg_name, static_cast<long long>(e.arg));
+      out += buf;
+    }
+    out += "}";
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace antmd::obs

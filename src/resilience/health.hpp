@@ -19,10 +19,33 @@
 
 #include "io/checkpoint.hpp"
 #include "md/state.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/serialize.hpp"
 
 namespace antmd::resilience {
+
+namespace detail {
+
+/// Process-wide telemetry for every HealthGuard instantiation (the registry
+/// deduplicates by name, so all guarded drivers share these).
+struct GuardMetrics {
+  obs::Counter& checks;
+  obs::Counter& violations;
+  obs::Counter& rollbacks;
+  obs::Counter& snapshots;
+};
+
+inline GuardMetrics& guard_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static GuardMetrics m{reg.counter("resilience.health.check.count"),
+                        reg.counter("resilience.health.violation.count"),
+                        reg.counter("resilience.health.rollback.count"),
+                        reg.counter("resilience.health.snapshot.count")};
+  return m;
+}
+
+}  // namespace detail
 
 enum class HealthPolicy {
   kThrow,     ///< raise NumericalError on the first violation
@@ -166,11 +189,13 @@ class HealthGuard {
               static_cast<uint64_t>(config_.check_interval) ==
           0) {
         ++report_.checks;
+        detail::guard_metrics().checks.add();
         std::string violation = find_violation(*sim_, config_,
                                                reference_energy_,
                                                last_good_step_);
         if (!violation.empty()) {
           ++report_.violations;
+          detail::guard_metrics().violations.add();
           report_.last_violation = violation;
           if (config_.policy == HealthPolicy::kThrow ||
               retries >= config_.max_retries) {
@@ -208,6 +233,7 @@ class HealthGuard {
     last_good_step_ = sim_->state().step;
     reference_energy_ = sim_->potential_energy() + sim_->kinetic_energy();
     ++report_.snapshots;
+    detail::guard_metrics().snapshots.add();
     if (!config_.checkpoint_path.empty()) {
       io::write_file_atomic(config_.checkpoint_path,
                             io::encode_checkpoint({{"sim", last_good_}}));
@@ -218,6 +244,7 @@ class HealthGuard {
     util::BinaryReader r(last_good_);
     sim_->restore_checkpoint(r);
     ++report_.rollbacks;
+    detail::guard_metrics().rollbacks.add();
     // restore_checkpoint rewound dt to the snapshot's value; compound the
     // reduction across retries so repeated rollbacks keep shrinking it.
     dt_factor_ *= config_.dt_scale_on_retry;

@@ -2,12 +2,49 @@
 
 #include <algorithm>
 #include <mutex>
+#include <string>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
 namespace antmd::runtime {
+
+namespace {
+
+// Registry lookups go through a mutex; resolve the handles once and reuse
+// them on every step.
+struct EngineMetrics {
+  obs::Counter& evaluate_ns;
+  obs::Counter& redistribute_ns;
+  obs::Counter& kspace_ns;
+  obs::Counter& node_eval_ns;
+  obs::Counter& node_evals;
+  obs::Counter& redistributes;
+  obs::Counter& remaps;
+  obs::Gauge& alive_nodes;
+};
+
+EngineMetrics& engine_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static EngineMetrics m{reg.counter("runtime.evaluate.time_ns"),
+                         reg.counter("runtime.redistribute.time_ns"),
+                         reg.counter("runtime.kspace.time_ns"),
+                         reg.counter("runtime.node_eval.time_ns"),
+                         reg.counter("runtime.node_eval.count"),
+                         reg.counter("runtime.redistribute.count"),
+                         reg.counter("runtime.remap.count"),
+                         reg.gauge("runtime.alive_nodes")};
+  return m;
+}
+
+// Trace-track id space: worker threads use their thread index, engine nodes
+// live at 1000+node so Chrome renders one row per modeled node.
+constexpr uint32_t kNodeTrackBase = 1000;
+
+}  // namespace
 
 DistributedEngine::DistributedEngine(ForceField& ff,
                                      const machine::MachineConfig& config,
@@ -21,11 +58,16 @@ DistributedEngine::DistributedEngine(ForceField& ff,
 void DistributedEngine::redistribute(std::span<const Vec3> positions,
                                      const Box& box,
                                      std::span<const ff::PairEntry> pairs) {
+  obs::TracePhase phase("runtime.redistribute", "runtime",
+                        &engine_metrics().redistribute_ns);
+  engine_metrics().redistributes.add();
+
   // Fault point: a node may die right before migration; its work lands on
   // the next alive node below.
   uint64_t dead = 0;
   if (fault::should_fire(fault::FaultKind::kNodeFail, &dead)) {
     set_node_failed(dead % torus_.node_count());
+    engine_metrics().remaps.add();
   }
 
   const Topology& topo = ff_->topology();
@@ -89,6 +131,18 @@ void DistributedEngine::redistribute(std::span<const Vec3> positions,
   }
 
   fill_comm_counts(positions, box);
+
+  if (obs::enabled()) {
+    engine_metrics().alive_nodes.set(
+        static_cast<double>(alive_node_count()));
+    if (obs::TraceSession::global().recording()) {
+      for (size_t n = 0; n < parts_.size(); ++n) {
+        obs::TraceSession::global().set_track_name(
+            kNodeTrackBase + static_cast<uint32_t>(n),
+            "node " + std::to_string(n));
+      }
+    }
+  }
 }
 
 void DistributedEngine::fill_comm_counts(std::span<const Vec3> /*positions*/,
@@ -245,6 +299,8 @@ machine::StepWork DistributedEngine::evaluate(
     std::span<const ff::PairEntry> pairs, bool kspace_due, ForceResult& out,
     ForceResult& kspace_cache) const {
   ANTMD_REQUIRE(!parts_.empty(), "redistribute() must run before evaluate()");
+  obs::TracePhase eval_phase("runtime.evaluate", "runtime",
+                             &engine_metrics().evaluate_ns);
   static_cast<void>(pairs);  // partitioned copies are authoritative
   const Topology& topo = ff_->topology();
   const size_t n_atoms = topo.atom_count();
@@ -264,6 +320,11 @@ machine::StepWork DistributedEngine::evaluate(
     // Per-node kernels run concurrently, each into its own ForceResult.
     partials_scratch_.resize(parts_.size());
     exec_->parallel_for(parts_.size(), [&](size_t n) {
+      obs::TracePhase node_phase("runtime.node_eval", "runtime",
+                                 &engine_metrics().node_eval_ns, /*track=*/
+                                 kNodeTrackBase + static_cast<int64_t>(n),
+                                 "node", static_cast<int64_t>(n));
+      engine_metrics().node_evals.add();
       partials_scratch_[n].reset(n_atoms);
       evaluate_node(parts_[n], positions, box, time, partials_scratch_[n],
                     work.nodes[n]);
@@ -286,6 +347,11 @@ machine::StepWork DistributedEngine::evaluate(
     }
   } else {
     for (size_t n = 0; n < parts_.size(); ++n) {
+      obs::TracePhase node_phase("runtime.node_eval", "runtime",
+                                 &engine_metrics().node_eval_ns, /*track=*/
+                                 kNodeTrackBase + static_cast<int64_t>(n),
+                                 "node", static_cast<int64_t>(n));
+      engine_metrics().node_evals.add();
       ForceResult partial(n_atoms);
       evaluate_node(parts_[n], positions, box, time, partial, work.nodes[n]);
       out.merge(partial);  // the modeled force reduction
@@ -294,6 +360,8 @@ machine::StepWork DistributedEngine::evaluate(
 
   if (ff_->has_kspace()) {
     if (kspace_due) {
+      obs::TracePhase kspace_phase("runtime.kspace", "runtime",
+                                   &engine_metrics().kspace_ns);
       kspace_cache.reset(n_atoms);
       ff_->compute_kspace(positions, box, kspace_cache);
       size_t charged = 0;

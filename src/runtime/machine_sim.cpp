@@ -1,14 +1,51 @@
 #include "runtime/machine_sim.hpp"
 
+#include <memory>
 #include <string>
 
 #include "math/units.hpp"
 #include "md/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
 namespace antmd::runtime {
 namespace {
+
+struct MachineMetrics {
+  obs::Counter& steps;
+  obs::Counter& integrate_ns;
+  obs::Counter& constraints_ns;
+  obs::Gauge& step_seconds;
+  obs::Gauge& total_seconds;
+  obs::Gauge& ns_day;
+  obs::Gauge& htis_util;
+  obs::Gauge& gc_util;
+  obs::Gauge& net_fraction;
+  obs::Gauge& torus_mean_hops;
+  obs::Gauge& torus_diameter;
+  obs::Gauge& contention_multicast_s;
+  obs::Gauge& contention_max_link_bytes;
+};
+
+MachineMetrics& machine_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static MachineMetrics m{reg.counter("runtime.step.count"),
+                          reg.counter("runtime.integrate.time_ns"),
+                          reg.counter("runtime.constraints.time_ns"),
+                          reg.gauge("machine.model.step_seconds"),
+                          reg.gauge("machine.model.total_seconds"),
+                          reg.gauge("machine.model.ns_per_day"),
+                          reg.gauge("machine.model.htis_utilization"),
+                          reg.gauge("machine.model.gc_utilization"),
+                          reg.gauge("machine.model.network_fraction"),
+                          reg.gauge("machine.torus.mean_hops"),
+                          reg.gauge("machine.torus.diameter"),
+                          reg.gauge("machine.contention.multicast_seconds"),
+                          reg.gauge("machine.contention.max_link_bytes")};
+  return m;
+}
 
 void accumulate(machine::StepBreakdown& acc,
                 const machine::StepBreakdown& step) {
@@ -75,6 +112,8 @@ void MachineSimulation::evaluate_forces(bool kspace_due) {
   modeled_time_s_ += last_breakdown_.total;
   ++steps_timed_;
 
+  if (obs::enabled()) publish_model_metrics(work);
+
   uint64_t poison_atom = 0;
   if (fault::should_fire(fault::FaultKind::kNanForce, &poison_atom)) {
     current_.forces.set_quanta(
@@ -83,22 +122,54 @@ void MachineSimulation::evaluate_forces(bool kspace_due) {
   }
 }
 
+// Publishes the modeled-performance picture for the step just timed.  Reads
+// only derived quantities (breakdowns, torus geometry, link loads) — never
+// writes back into the simulation, so telemetry cannot change a trajectory.
+void MachineSimulation::publish_model_metrics(const machine::StepWork& work) {
+  auto& m = machine_metrics();
+  m.step_seconds.set(last_breakdown_.total);
+  m.total_seconds.set(modeled_time_s_);
+  m.ns_day.set(ns_per_day());
+  m.htis_util.set(last_breakdown_.htis_utilization());
+  m.gc_util.set(last_breakdown_.gc_utilization());
+  m.net_fraction.set(last_breakdown_.network_fraction());
+
+  const auto& torus = engine_.torus();
+  if (torus_mean_hops_ < 0) torus_mean_hops_ = torus.mean_hops();
+  m.torus_mean_hops.set(torus_mean_hops_);
+  m.torus_diameter.set(static_cast<double>(torus.diameter()));
+
+  if (!contention_model_) {
+    contention_model_ =
+        std::make_unique<machine::LinkContentionModel>(timing_.config());
+  }
+  auto contention = contention_model_->multicast_time(work.nodes);
+  m.contention_multicast_s.set(contention.phase_time_s);
+  m.contention_max_link_bytes.set(contention.max_link_bytes);
+}
+
 void MachineSimulation::step() {
   const Topology& topo = ff_->topology();
   const size_t n = topo.atom_count();
   const auto& masses = topo.masses();
+  machine_metrics().steps.add();
 
-  for (size_t i = 0; i < n; ++i) {
-    if (masses[i] == 0.0) continue;
-    state_.velocities[i] += (dt_ / (2.0 * masses[i])) *
-                            current_.forces.force(i);
-  }
-  scratch_before_ = state_.positions;
-  for (size_t i = 0; i < n; ++i) {
-    if (masses[i] == 0.0) continue;
-    state_.positions[i] += dt_ * state_.velocities[i];
+  {
+    obs::ScopedTimer integrate_timer(machine_metrics().integrate_ns);
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.velocities[i] += (dt_ / (2.0 * masses[i])) *
+                              current_.forces.force(i);
+    }
+    scratch_before_ = state_.positions;
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.positions[i] += dt_ * state_.velocities[i];
+    }
   }
   if (!constraints_.empty()) {
+    obs::TracePhase phase("runtime.constraints", "runtime",
+                          &machine_metrics().constraints_ns);
     constraints_.apply_positions(scratch_before_, state_.positions,
                                  state_.velocities, dt_, state_.box);
   }
@@ -110,12 +181,17 @@ void MachineSimulation::step() {
       (state_.step + 1) % static_cast<uint64_t>(config_.kspace_interval) == 0;
   evaluate_forces(kspace_due);
 
-  for (size_t i = 0; i < n; ++i) {
-    if (masses[i] == 0.0) continue;
-    state_.velocities[i] += (dt_ / (2.0 * masses[i])) *
-                            current_.forces.force(i);
+  {
+    obs::ScopedTimer integrate_timer(machine_metrics().integrate_ns);
+    for (size_t i = 0; i < n; ++i) {
+      if (masses[i] == 0.0) continue;
+      state_.velocities[i] += (dt_ / (2.0 * masses[i])) *
+                              current_.forces.force(i);
+    }
   }
   if (!constraints_.empty()) {
+    obs::TracePhase phase("runtime.constraints", "runtime",
+                          &machine_metrics().constraints_ns);
     constraints_.apply_velocities(state_.positions, state_.velocities,
                                   state_.box);
   }

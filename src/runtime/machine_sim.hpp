@@ -9,8 +9,10 @@
 // performance experiments (T1, F1, T2, F2, F5, F7).
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "machine/contention.hpp"
 #include "machine/timing.hpp"
 #include "md/constraints.hpp"
 #include "md/neighbor.hpp"
@@ -106,6 +108,7 @@ class MachineSimulation : public util::Checkpointable {
  private:
   void evaluate_forces(bool kspace_due);
   void notify_observers();
+  void publish_model_metrics(const machine::StepWork& work);
 
   ForceField* ff_;
   MachineSimConfig config_;
@@ -126,6 +129,10 @@ class MachineSimulation : public util::Checkpointable {
   size_t pending_tempering_decisions_ = 0;
   md::ObserverList observers_;
   md::WallTimer wall_;
+  // Telemetry-only state: built lazily the first time metrics are enabled;
+  // never read by the physics, so it cannot perturb trajectories.
+  std::unique_ptr<machine::LinkContentionModel> contention_model_;
+  double torus_mean_hops_ = -1.0;  ///< cached, O(nodes²) to compute
 };
 
 }  // namespace antmd::runtime

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "analysis/free_energy.hpp"
+#include "obs/metrics.hpp"
 #include "sampling/common.hpp"
 #include "util/error.hpp"
 
@@ -46,6 +47,10 @@ FepResult FepDecoupling::run() {
 }
 
 size_t FepDecoupling::run_windows(size_t count) {
+  auto& reg = obs::MetricsRegistry::global();
+  static auto& window_count = reg.counter("sampling.fep.window.count");
+  static auto& sample_count = reg.counter("sampling.fep.sample.count");
+  static auto& windows_done_gauge = reg.gauge("sampling.fep.windows_done");
   const size_t n_win = config_.lambdas.size();
   if (seed_positions_.empty()) seed_positions_ = spec_->positions;
 
@@ -72,6 +77,7 @@ size_t FepDecoupling::run_windows(size_t count) {
           0) {
         continue;
       }
+      sample_count.add();
       double u_here = sim.potential_energy();
       const auto& pos = sim.state().positions;
       if (field_next) {
@@ -87,6 +93,10 @@ size_t FepDecoupling::run_windows(size_t count) {
     seed_positions_ = sim.state().positions;
     sampled_.push_back(std::move(window));
     ++windows_done_;
+    window_count.add();
+    if (obs::enabled()) {
+      windows_done_gauge.set(static_cast<double>(windows_done_));
+    }
   }
   return ran;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace antmd::sampling {
@@ -59,6 +60,9 @@ void Metadynamics::deposit() {
              std::exp(-v / ((config_.bias_factor - 1.0) * kt));
   centers_.push_back(cv);
   heights_.push_back(h);
+  static auto& hill_count =
+      obs::MetricsRegistry::global().counter("sampling.metadynamics.hill.count");
+  hill_count.add();
 }
 
 double Metadynamics::bias(double r) const {

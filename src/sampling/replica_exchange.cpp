@@ -5,11 +5,24 @@
 
 #include "math/units.hpp"
 #include "md/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "sampling/common.hpp"
 #include "util/error.hpp"
 
 namespace antmd::sampling {
 namespace {
+
+struct ExchangeMetrics {
+  obs::Counter& attempts;
+  obs::Counter& accepts;
+};
+
+ExchangeMetrics& exchange_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static ExchangeMetrics m{reg.counter("sampling.exchange.attempt.count"),
+                           reg.counter("sampling.exchange.accept.count")};
+  return m;
+}
 
 /// Swaps configurations between two simulations, rescaling velocities for
 /// the temperature ratio (t_to / t_from per receiving replica).
@@ -73,6 +86,7 @@ void TemperatureReplicaExchange::run(size_t steps) {
 void TemperatureReplicaExchange::attempt_exchanges(bool even_pairs) {
   for (size_t k = even_pairs ? 0 : 1; k + 1 < replicas_.size(); k += 2) {
     ++stats_.attempts[k];
+    exchange_metrics().attempts.add();
     double beta_lo = 1.0 / (units::kBoltzmann * temperatures_[k]);
     double beta_hi = 1.0 / (units::kBoltzmann * temperatures_[k + 1]);
     double u_lo = replicas_[k]->potential_energy();
@@ -83,6 +97,7 @@ void TemperatureReplicaExchange::attempt_exchanges(bool even_pairs) {
                           temperatures_[k], temperatures_[k + 1]);
       std::swap(slot_to_replica_[k], slot_to_replica_[k + 1]);
       ++stats_.accepts[k];
+      exchange_metrics().accepts.add();
     }
   }
 }
@@ -140,6 +155,7 @@ void HamiltonianReplicaExchange::attempt_exchanges(bool even_pairs) {
   const double beta = 1.0 / (units::kBoltzmann * temperature_k_);
   for (size_t k = even_pairs ? 0 : 1; k + 1 < replicas_.size(); k += 2) {
     ++stats_.attempts[k];
+    exchange_metrics().attempts.add();
     md::Simulation& a = *replicas_[k];
     md::Simulation& b = *replicas_[k + 1];
     // Cross-Hamiltonian energies: U_a(x_b) and U_b(x_a).
@@ -153,6 +169,7 @@ void HamiltonianReplicaExchange::attempt_exchanges(bool even_pairs) {
     if (log_acc >= 0.0 || rng_.uniform() < std::exp(log_acc)) {
       swap_configurations(a, b, temperature_k_, temperature_k_);
       ++stats_.accepts[k];
+      exchange_metrics().accepts.add();
     }
   }
 }

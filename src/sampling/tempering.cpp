@@ -5,6 +5,7 @@
 
 #include "math/units.hpp"
 #include "md/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace antmd::sampling {
@@ -33,6 +34,11 @@ SimulatedTempering::SimulatedTempering(md::Simulation& sim,
 void SimulatedTempering::run(size_t steps) { sim_->run(steps); }
 
 void SimulatedTempering::attempt_move() {
+  static auto& attempt_count =
+      obs::MetricsRegistry::global().counter("sampling.tempering.attempt.count");
+  static auto& accept_count =
+      obs::MetricsRegistry::global().counter("sampling.tempering.accept.count");
+  attempt_count.add();
   ++attempts_;
   ++occupancy_[level_];
 
@@ -71,6 +77,7 @@ void SimulatedTempering::attempt_move() {
     sim_->thermostat().set_temperature(t_new);
     sim_->rescale_velocities(std::sqrt(t_new / t_old));
     ++accepts_;
+    accept_count.add();
   }
 }
 

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstddef>
 
+#include "obs/metrics.hpp"
+
 using std::size_t;
 
 namespace antmd::fault {
@@ -22,6 +24,20 @@ std::array<Slot, static_cast<size_t>(FaultKind::kCount)>& slots() {
 }
 
 Slot& slot(FaultKind kind) { return slots()[static_cast<size_t>(kind)]; }
+
+// One telemetry counter per injectable fault kind (util.fault.*.count), so
+// resilience experiments can cross-check "faults injected" against
+// "rollbacks/retries observed" from a single metrics dump.
+obs::Counter& fired_counter(FaultKind kind) {
+  auto& reg = obs::MetricsRegistry::global();
+  static std::array<obs::Counter*,
+                    static_cast<size_t>(FaultKind::kCount)>
+      counters{&reg.counter("util.fault.io_write_fail.count"),
+               &reg.counter("util.fault.io_short_write.count"),
+               &reg.counter("util.fault.nan_force.count"),
+               &reg.counter("util.fault.node_fail.count")};
+  return *counters[static_cast<size_t>(kind)];
+}
 
 uint64_t splitmix64(uint64_t& state) {
   uint64_t z = (state += 0x9E3779B97F4A7C15ull);
@@ -64,6 +80,7 @@ bool should_fire(FaultKind kind, uint64_t* payload) {
     if (u >= s.plan.probability) return false;
   }
   ++s.fired;
+  fired_counter(kind).add();
   if (payload) *payload = s.plan.payload;
   return true;
 }

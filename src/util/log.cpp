@@ -1,13 +1,33 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+#include <string>
 
 namespace antmd {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/// Initial level: ANTMD_LOG_LEVEL=debug|info|warn|error|off (case-insensitive)
+/// overrides the kInfo default; set_log_level() still wins afterwards.
+LogLevel initial_level() {
+  const char* env = std::getenv("ANTMD_LOG_LEVEL");
+  if (!env || !*env) return LogLevel::kInfo;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -21,6 +41,14 @@ const char* level_name(LogLevel level) {
   return "?????";
 }
 
+/// Small sequential per-thread id (main thread is t00): stable across the
+/// process and far more readable than the 16-hex-digit std::thread::id.
+uint32_t thread_label() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
@@ -30,8 +58,20 @@ namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // Wall-clock timestamp with millisecond resolution, local time.
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%H:%M:%S", &tm_buf);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[antmd %s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[antmd %s %s.%03d t%02u] %s\n", level_name(level),
+               stamp, static_cast<int>(ms), thread_label(), message.c_str());
 }
 
 }  // namespace detail

@@ -14,6 +14,8 @@
 #include "md/builder.hpp"
 #include "md/neighbor.hpp"
 #include "md/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/machine_sim.hpp"
 #include "sampling/replica_exchange.hpp"
 #include "topo/builders.hpp"
@@ -84,6 +86,24 @@ TEST(ParallelDeterminism, MachineEngineBitIdenticalAcrossThreadCounts) {
   for (size_t threads : {2u, 4u, 8u}) {
     expect_bitwise_equal(reference, run_machine(threads), threads);
   }
+}
+
+// Telemetry must be write-only with respect to the physics: the same run
+// with metrics + tracing enabled has to reproduce the reference trajectory
+// bit for bit (ISSUE: "telemetry changes no trajectory bit").
+TEST(ParallelDeterminism, TelemetryAndTracingChangeNoTrajectoryBit) {
+  auto reference_host = run_host(4);
+  auto reference_machine = run_machine(4);
+
+  obs::ScopedTelemetry telemetry(true);
+  obs::TraceSession::global().start("");  // record to the in-memory buffer
+  auto traced_host = run_host(4);
+  auto traced_machine = run_machine(4);
+  obs::TraceSession::global().stop();
+
+  EXPECT_GT(obs::TraceSession::global().event_count(), 0u);
+  expect_bitwise_equal(reference_host, traced_host, 4);
+  expect_bitwise_equal(reference_machine, traced_machine, 4);
 }
 
 TEST(ParallelDeterminism, NeighborListPairsMatchSerialBuild) {
