@@ -20,6 +20,7 @@
 //
 //   ./antmd_run water.cfg [--threads N]
 //       [--checkpoint PATH] [--checkpoint-interval N] [--resume]
+//       [--supervise] [--max-retries N] [--watchdog-ms X] [--fault SPEC]
 //       [--trace-out trace.json] [--metrics-out metrics.json]
 //       [--no-telemetry]
 //
@@ -38,11 +39,34 @@
 //   --checkpoint PATH      write an atomic, CRC-verified v2 checkpoint of
 //                          the simulation every checkpoint-interval steps
 //   --checkpoint-interval N  snapshot cadence in steps (default 200)
-//   --resume               restore from --checkpoint before running; the
-//                          run continues to the configured total `steps`
+//   --resume               restore from --checkpoint before running; when
+//                          the primary file fails its CRC the `.bak`
+//                          mirror is tried automatically; the run
+//                          continues to the configured total `steps`
 //   health = off|rollback|throw   numerical health guard policy; rollback
 //                          restores the last good snapshot at a reduced
 //                          timestep, throw aborts on the first violation
+//
+// Fault tolerance (config keys `supervise`, `max_retries`, `watchdog_ms`,
+// `report_out`, `fault`; see DESIGN.md "Failure model & recovery"):
+//   --supervise            run under resilience::Supervisor: faults are
+//                          detected, classified transient/fatal, and
+//                          recovered by retry/rollback/restart; recovery
+//                          never changes the trajectory — a recovered run
+//                          is bit-identical to the fault-free run
+//   --max-retries N        recovery attempts per failure episode (default 3)
+//   --watchdog-ms X        modeled per-step deadline in ms; a hung node
+//                          trips it and is remapped (0 = off)
+//   --fault SPEC           arm a deterministic fault for the whole run:
+//                          kind[:fire_after[:count[:payload]]], e.g.
+//                          link_drop:40, packet_corrupt:10:3, node_hang:25:1:5
+//                          kinds: io_write_fail io_short_write nan_force
+//                                 node_fail link_drop packet_corrupt node_hang
+//
+// Exit codes: 0 success, 1 unexpected error, 2 configuration/usage,
+// 3 I/O failure, 4 numerical failure, 5 recovery exhausted (a
+// RecoveryReport is written to `report_out`, default
+// antmd_recovery_report.txt).
 //
 // --threads on the command line overrides the config file.
 #include <cinttypes>
@@ -61,9 +85,11 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resilience/health.hpp"
+#include "resilience/supervisor.hpp"
 #include "runtime/machine_sim.hpp"
 #include "topo/builders.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/table.hpp"
 
 using namespace antmd;
@@ -148,17 +174,82 @@ int parse_int_arg(const char* flag, const char* text) {
   if (end == text || *end != '\0' || value < 0) {
     std::fprintf(stderr, "antmd_run: %s expects a non-negative "
                          "integer, got '%s'\n", flag, text);
-    std::exit(1);
+    std::exit(2);  // usage errors share the configuration exit code
   }
   return static_cast<int>(value);
 }
 
-/// Checkpoint/health settings shared by the host and machine branches.
+/// Strict non-negative double parse for --watchdog-ms.
+double parse_double_arg(const char* flag, const char* text) {
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(value >= 0)) {
+    std::fprintf(stderr, "antmd_run: %s expects a non-negative "
+                         "number, got '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+/// Escalation signal: the supervisor exhausted its recovery budget.  Caught
+/// in main() and mapped to exit code 5 (after the report was written).
+struct RecoveryExhausted : Error {
+  using Error::Error;
+};
+
+/// Parses a `--fault` / `fault =` spec `kind[:fire_after[:count[:payload]]]`
+/// and arms it for the whole run.  Throws ConfigError on a malformed spec.
+void arm_fault_spec(const std::string& spec) {
+  fault::FaultPlan plan;
+  std::string kind = spec;
+  std::string rest;
+  if (auto colon = spec.find(':'); colon != std::string::npos) {
+    kind = spec.substr(0, colon);
+    rest = spec.substr(colon + 1);
+  }
+  if (kind == "io_write_fail") plan.kind = fault::FaultKind::kIoWriteFail;
+  else if (kind == "io_short_write") {
+    plan.kind = fault::FaultKind::kIoShortWrite;
+  } else if (kind == "nan_force") plan.kind = fault::FaultKind::kNanForce;
+  else if (kind == "node_fail") plan.kind = fault::FaultKind::kNodeFail;
+  else if (kind == "link_drop") plan.kind = fault::FaultKind::kLinkDrop;
+  else if (kind == "packet_corrupt") {
+    plan.kind = fault::FaultKind::kPacketCorrupt;
+  } else if (kind == "node_hang") plan.kind = fault::FaultKind::kNodeHang;
+  else throw ConfigError("unknown fault kind: " + kind);
+  uint64_t* fields[] = {&plan.fire_after, nullptr, &plan.payload};
+  int64_t count = plan.count;
+  for (int f = 0; !rest.empty() && f < 3; ++f) {
+    std::string tok = rest;
+    if (auto colon = rest.find(':'); colon != std::string::npos) {
+      tok = rest.substr(0, colon);
+      rest = rest.substr(colon + 1);
+    } else {
+      rest.clear();
+    }
+    char* end = nullptr;
+    long long value = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      throw ConfigError("bad fault spec field '" + tok + "' in: " + spec);
+    }
+    if (f == 1) count = value;
+    else *fields[f] = static_cast<uint64_t>(value);
+  }
+  plan.count = count;
+  fault::arm(plan);
+}
+
+/// Checkpoint/health/supervision settings shared by the host and machine
+/// branches.
 struct RobustnessOptions {
   std::string checkpoint;        ///< empty = no on-disk checkpointing
   int checkpoint_interval = 200;
   bool resume = false;
   std::string health = "off";    ///< off | rollback | throw
+  bool supervise = false;        ///< run under resilience::Supervisor
+  int max_retries = 3;
+  double watchdog_ms = 0.0;
+  std::string report = "antmd_recovery_report.txt";
 };
 
 /// Runs `sim` to the configured total step count, optionally resuming from
@@ -171,13 +262,31 @@ double run_simulation(Sim& sim, size_t steps, const RobustnessOptions& opt) {
   if (opt.resume) {
     ANTMD_REQUIRE(!opt.checkpoint.empty(),
                   "--resume needs a checkpoint path (--checkpoint)");
-    io::load_checkpoint_v2(opt.checkpoint, {{"sim", &sim}});
+    // A torn/corrupt primary (CRC mismatch) degrades to the `.bak` mirror
+    // kept by the checkpointing layers; only both failing is fatal.
+    std::string used =
+        io::load_checkpoint_v2_or_backup(opt.checkpoint, {{"sim", &sim}});
     uint64_t done = sim.state().step;
     remaining = done >= steps ? 0 : steps - static_cast<size_t>(done);
     std::printf("resumed from %s at step %" PRIu64 " (%zu steps left)\n",
-                opt.checkpoint.c_str(), done, remaining);
+                used.c_str(), done, remaining);
   }
   md::WallTimer wall;
+  if (opt.supervise) {
+    resilience::SupervisorConfig sc;
+    sc.max_retries = opt.max_retries;
+    sc.watchdog_ms = opt.watchdog_ms;
+    sc.snapshot_interval = opt.checkpoint_interval;
+    sc.checkpoint_path = opt.checkpoint;
+    sc.report_path = opt.report;
+    resilience::Supervisor<Sim> supervisor(sim, sc);
+    resilience::RecoveryReport report = supervisor.run(remaining);
+    std::fputs(report.render().c_str(), stdout);
+    if (!report.completed) {
+      throw RecoveryExhausted(report.final_error);
+    }
+    return wall.seconds();
+  }
   if (opt.checkpoint.empty() && opt.health == "off") {
     sim.run(remaining);
     return wall.seconds();
@@ -245,6 +354,10 @@ int main(int argc, char** argv) {
   int cli_checkpoint_interval = -1;
   const char* cli_checkpoint = nullptr;
   bool cli_resume = false;
+  bool cli_supervise = false;
+  int cli_max_retries = -1;
+  double cli_watchdog_ms = -1.0;
+  const char* cli_fault = nullptr;
   const char* cli_trace_out = nullptr;
   const char* cli_metrics_out = nullptr;
   bool cli_no_telemetry = false;
@@ -278,6 +391,22 @@ int main(int argc, char** argv) {
       cli_checkpoint = argv[++a];
     } else if (arg == "--resume") {
       cli_resume = true;
+    } else if (arg == "--supervise") {
+      cli_supervise = true;
+    } else if (arg.rfind("--max-retries=", 0) == 0) {
+      cli_max_retries = parse_int_arg(
+          "--max-retries", arg.c_str() + std::strlen("--max-retries="));
+    } else if (arg == "--max-retries" && a + 1 < argc) {
+      cli_max_retries = parse_int_arg("--max-retries", argv[++a]);
+    } else if (arg.rfind("--watchdog-ms=", 0) == 0) {
+      cli_watchdog_ms = parse_double_arg(
+          "--watchdog-ms", arg.c_str() + std::strlen("--watchdog-ms="));
+    } else if (arg == "--watchdog-ms" && a + 1 < argc) {
+      cli_watchdog_ms = parse_double_arg("--watchdog-ms", argv[++a]);
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      cli_fault = argv[a] + std::strlen("--fault=");
+    } else if (arg == "--fault" && a + 1 < argc) {
+      cli_fault = argv[++a];
     } else if (!config_path) {
       config_path = argv[a];
     } else {
@@ -289,9 +418,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: antmd_run <config-file> [--threads N] "
                  "[--checkpoint PATH] [--checkpoint-interval N] "
-                 "[--resume] [--trace-out PATH] [--metrics-out PATH] "
-                 "[--no-telemetry]\n");
-    return 1;
+                 "[--resume] [--supervise] [--max-retries N] "
+                 "[--watchdog-ms X] [--fault SPEC] [--trace-out PATH] "
+                 "[--metrics-out PATH] [--no-telemetry]\n");
+    return 2;
   }
   try {
     auto cfg = io::RunConfig::from_file(config_path);
@@ -338,11 +468,25 @@ int main(int argc, char** argv) {
     robust.checkpoint_interval = cfg.get_int("checkpoint_interval", 200);
     robust.resume = cfg.get_bool("resume", false);
     robust.health = cfg.get_string("health", "off");
+    robust.supervise = cfg.get_bool("supervise", false);
+    robust.max_retries = cfg.get_int("max_retries", 3);
+    robust.watchdog_ms = cfg.get_double("watchdog_ms", 0.0);
+    robust.report = cfg.get_string("report_out", "antmd_recovery_report.txt");
     if (cli_checkpoint) robust.checkpoint = cli_checkpoint;
     if (cli_checkpoint_interval >= 0) {
       robust.checkpoint_interval = cli_checkpoint_interval;
     }
     if (cli_resume) robust.resume = true;
+    if (cli_supervise) robust.supervise = true;
+    if (cli_max_retries >= 0) robust.max_retries = cli_max_retries;
+    if (cli_watchdog_ms >= 0) robust.watchdog_ms = cli_watchdog_ms;
+
+    std::string fault_spec = cfg.get_string("fault", "");
+    if (cli_fault) fault_spec = cli_fault;
+    if (!fault_spec.empty()) {
+      arm_fault_spec(fault_spec);
+      std::printf("fault armed: %s\n", fault_spec.c_str());
+    }
 
     std::string engine = cfg.get_string("engine", "host");
     double run_wall_seconds = 0.0;
@@ -447,6 +591,18 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const RecoveryExhausted& e) {
+    std::fprintf(stderr, "antmd_run: recovery exhausted: %s\n", e.what());
+    return 5;
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "antmd_run: %s\n", e.what());
+    return 2;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "antmd_run: %s\n", e.what());
+    return 3;
+  } catch (const NumericalError& e) {
+    std::fprintf(stderr, "antmd_run: %s\n", e.what());
+    return 4;
   } catch (const Error& e) {
     std::fprintf(stderr, "antmd_run: %s\n", e.what());
     return 1;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Soak the supervisor with N seeded random fault schedules (tier 2).
+#
+# Each schedule arms one deterministically-derived fault (kind, fire point,
+# payload from a splitmix64 stream keyed by the schedule index) and runs a
+# supervised machine simulation through it; see tests/soak_test.cpp for the
+# invariants checked (bit-identical recovery or clean escalation).
+#
+# Usage: scripts/run_soak.sh [N]
+#   N  number of random fault schedules (default 25; CI's `ctest -L soak`
+#      runs the same binary with its built-in small default)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N="${1:-25}"
+
+cmake -B build -S . >/dev/null
+cmake --build build --target soak_test -j "$(nproc)"
+
+ANTMD_SOAK_SCHEDULES="$N" \
+  ctest --test-dir build -L soak --output-on-failure

@@ -105,6 +105,38 @@ void save_checkpoint_v2(const std::string& path,
   write_file_atomic(path, encode_checkpoint(sections));
 }
 
+std::string backup_path(const std::string& path) { return path + ".bak"; }
+
+void rotate_backup(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe.good()) return;  // nothing to rotate
+  probe.close();
+  const std::string bak = backup_path(path);
+  std::remove(bak.c_str());
+  if (std::rename(path.c_str(), bak.c_str()) != 0) {
+    throw IoError("cannot rotate checkpoint backup: " + path);
+  }
+}
+
+std::string load_checkpoint_v2_or_backup(
+    const std::string& path, const MutableCheckpointParts& parts) {
+  std::string primary_error;
+  try {
+    load_checkpoint_v2(path, parts);
+    return path;
+  } catch (const IoError& e) {
+    primary_error = e.what();
+  }
+  const std::string bak = backup_path(path);
+  try {
+    load_checkpoint_v2(bak, parts);
+    return bak;
+  } catch (const IoError& e) {
+    throw IoError("checkpoint unusable (" + primary_error +
+                  ") and backup unusable (" + e.what() + ")");
+  }
+}
+
 void load_checkpoint_v2(const std::string& path,
                         const MutableCheckpointParts& parts) {
   CheckpointSections sections = decode_checkpoint(read_file(path));

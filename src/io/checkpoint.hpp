@@ -51,6 +51,22 @@ void save_checkpoint_v2(const std::string& path,
 void load_checkpoint_v2(const std::string& path,
                         const MutableCheckpointParts& parts);
 
+/// Path of the rotated backup mirror kept next to a checkpoint.
+[[nodiscard]] std::string backup_path(const std::string& path);
+
+/// Keeps the previous generation alive: if `path` exists it is renamed to
+/// backup_path(path) (replacing any older backup).  Callers rotate before
+/// each atomic write so a checkpoint that lands torn on disk still leaves
+/// the prior good one restorable.
+void rotate_backup(const std::string& path);
+
+/// load_checkpoint_v2 with degradation: when the primary fails (missing,
+/// truncated, CRC mismatch), falls back to the `.bak` mirror.  Returns the
+/// path actually restored from; throws IoError describing both failures
+/// when neither loads.
+std::string load_checkpoint_v2_or_backup(const std::string& path,
+                                         const MutableCheckpointParts& parts);
+
 // --- lower-level access (tests, tooling) -----------------------------------
 
 /// Raw named sections, in file order.

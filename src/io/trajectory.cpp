@@ -1,15 +1,20 @@
 #include "io/trajectory.hpp"
 
+#include <cstdlib>
 #include <iomanip>
+#include <sstream>
 
 #include "io/checkpoint.hpp"
 #include "md/serialize.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace antmd::io {
 
-XyzWriter::XyzWriter(const std::string& path, const Topology& topo)
-    : out_(path), topo_(&topo) {
+XyzWriter::XyzWriter(const std::string& path, const Topology& topo,
+                     bool append)
+    : out_(path, append ? std::ios::out | std::ios::app : std::ios::out),
+      topo_(&topo) {
   if (!out_.good()) {
     throw IoError("cannot open trajectory file: " + path);
   }
@@ -18,17 +23,102 @@ XyzWriter::XyzWriter(const std::string& path, const Topology& topo)
 void XyzWriter::write_frame(const State& state) {
   ANTMD_REQUIRE(state.positions.size() == topo_->atom_count(),
                 "state size mismatch");
-  out_ << topo_->atom_count() << '\n';
-  out_ << "step=" << state.step << " time_internal=" << state.time
-       << " box=" << state.box.edges().x << ',' << state.box.edges().y << ','
-       << state.box.edges().z << '\n';
-  out_ << std::setprecision(8);
+  std::ostringstream frame;
+  frame << topo_->atom_count() << '\n';
+  frame << "step=" << state.step << " time_internal=" << state.time
+        << " box=" << state.box.edges().x << ',' << state.box.edges().y << ','
+        << state.box.edges().z << '\n';
+  frame << std::setprecision(8);
   for (size_t i = 0; i < topo_->atom_count(); ++i) {
     const auto& name = topo_->types()[topo_->type_ids()[i]].name;
     const Vec3& p = state.positions[i];
-    out_ << name << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
+    frame << name << ' ' << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  const std::string text = std::move(frame).str();
+  size_t n = text.size();
+  // Torn write: the process "crashes" after half the frame hit the disk.
+  // repair_xyz() detects the partial frame and truncates back to the last
+  // complete one.
+  if (fault::should_fire(fault::FaultKind::kIoShortWrite)) n /= 2;
+  out_.write(text.data(), static_cast<std::streamsize>(n));
+  out_.flush();
+  if (!out_.good()) {
+    throw IoError("trajectory write failed");
   }
   ++frames_;
+}
+
+namespace {
+
+/// [begin, end) of one line starting at `pos`; returns false when the text
+/// ends before a terminating newline (an incomplete, torn line).
+bool take_line(const std::string& text, size_t pos, size_t* begin,
+               size_t* end) {
+  if (pos >= text.size()) return false;
+  size_t nl = text.find('\n', pos);
+  if (nl == std::string::npos) return false;
+  *begin = pos;
+  *end = nl;
+  return true;
+}
+
+/// An atom line must hold a name token plus three finite coordinates.
+bool valid_atom_line(const std::string& text, size_t begin, size_t end) {
+  std::istringstream is(text.substr(begin, end - begin));
+  std::string name;
+  double x, y, z;
+  if (!(is >> name >> x >> y >> z)) return false;
+  return true;
+}
+
+}  // namespace
+
+XyzRepair repair_xyz(const std::string& path) {
+  const std::string text = read_file(path);
+  XyzRepair repair;
+  size_t pos = 0;
+  size_t good_end = 0;
+  while (pos < text.size()) {
+    size_t begin, end;
+    // atom-count header
+    if (!take_line(text, pos, &begin, &end)) break;
+    char* parse_end = nullptr;
+    const std::string count_line = text.substr(begin, end - begin);
+    unsigned long atoms = std::strtoul(count_line.c_str(), &parse_end, 10);
+    if (parse_end == count_line.c_str() || *parse_end != '\0' || atoms == 0) {
+      break;
+    }
+    // comment line
+    size_t cursor = end + 1;
+    if (!take_line(text, cursor, &begin, &end)) break;
+    cursor = end + 1;
+    // atom lines
+    bool complete = true;
+    for (unsigned long i = 0; i < atoms; ++i) {
+      if (!take_line(text, cursor, &begin, &end) ||
+          !valid_atom_line(text, begin, end)) {
+        complete = false;
+        break;
+      }
+      cursor = end + 1;
+    }
+    if (!complete) break;
+    good_end = cursor;
+    ++repair.frames_kept;
+    pos = cursor;
+  }
+  if (good_end < text.size()) {
+    repair.bytes_removed = text.size() - good_end;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw IoError("cannot truncate trajectory file: " + path);
+    }
+    out.write(text.data(), static_cast<std::streamsize>(good_end));
+    if (!out.good()) {
+      throw IoError("trajectory truncation failed: " + path);
+    }
+  }
+  return repair;
 }
 
 CsvWriter::CsvWriter(const std::string& path,

@@ -12,9 +12,16 @@
 namespace antmd::io {
 
 /// Writes frames in extended XYZ format (element = atom type name).
+///
+/// Each frame is built in memory and written in one streamed block followed
+/// by a flush, so a crash can tear at most the frame being written — the
+/// kIoShortWrite fault point models exactly that (half a frame reaches the
+/// disk).  repair_xyz() truncates such a tail so a resumed run can reopen
+/// the file with `append = true` and continue from the last good frame.
 class XyzWriter {
  public:
-  XyzWriter(const std::string& path, const Topology& topo);
+  XyzWriter(const std::string& path, const Topology& topo,
+            bool append = false);
 
   void write_frame(const State& state);
   [[nodiscard]] size_t frames_written() const { return frames_; }
@@ -24,6 +31,19 @@ class XyzWriter {
   const Topology* topo_;
   size_t frames_ = 0;
 };
+
+/// Result of scanning/repairing a trajectory file after a crash.
+struct XyzRepair {
+  size_t frames_kept = 0;    ///< complete frames remaining in the file
+  size_t bytes_removed = 0;  ///< partial-frame tail truncated away
+  [[nodiscard]] bool truncated() const { return bytes_removed > 0; }
+};
+
+/// Scans an XYZ trajectory frame by frame (atom-count line, comment line,
+/// then exactly that many well-formed atom lines) and truncates the file to
+/// the last complete frame when a torn/partial tail is found.  Missing file
+/// throws IoError; an empty or fully-torn file is truncated to zero frames.
+XyzRepair repair_xyz(const std::string& path);
 
 /// Simple CSV writer with a fixed header.
 class CsvWriter {

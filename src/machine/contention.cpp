@@ -21,11 +21,6 @@ LinkContentionModel::LinkContentionModel(const MachineConfig& config)
   config_.validate();
 }
 
-size_t LinkContentionModel::link_id(size_t from, int axis, int sign) const {
-  // 6 directed links per node: axis (0..2) × direction (0 = +, 1 = -).
-  return from * 6 + static_cast<size_t>(axis) * 2 + (sign > 0 ? 0 : 1);
-}
-
 ContentionResult LinkContentionModel::multicast_time(
     const std::vector<NodeWork>& nodes) const {
   ANTMD_REQUIRE(nodes.size() == torus_.node_count(),
@@ -55,10 +50,19 @@ ContentionResult LinkContentionModel::multicast_time(
     NodeCoord at = torus_.coord_of(src);
     for (int axis = 0; axis < 3; ++axis) {
       int steps = offset[axis];
+      if (steps == 0) continue;
       int sign = steps >= 0 ? 1 : -1;
-      for (int s = 0; s < std::abs(steps); ++s) {
+      int hops = std::abs(steps);
+      // Redundant-direction reroute: when the first hop of this leg would
+      // cross a down-marked link, go the other way around the ring.
+      if (link_down(torus_.link_id(torus_.id_of(at), axis, sign)) &&
+          dims[axis] > 1) {
+        sign = -sign;
+        hops = dims[axis] - hops;
+      }
+      for (int s = 0; s < hops; ++s) {
         size_t from = torus_.id_of(at);
-        msg.links.push_back(link_id(from, axis, sign));
+        msg.links.push_back(torus_.link_id(from, axis, sign));
         at[axis] = wrap(at[axis] + sign, dims[axis]);
         ++msg.hops;
       }

@@ -34,13 +34,20 @@ class LinkContentionModel {
   [[nodiscard]] ContentionResult multicast_time(
       const std::vector<NodeWork>& nodes) const;
 
- private:
-  /// Directed link id for the hop from `from` one step along `axis` in
-  /// direction `sign`.
-  [[nodiscard]] size_t link_id(size_t from, int axis, int sign) const;
+  /// Down-marked directed links (ReliableTransport's view, shared via
+  /// TorusTopology::link_id).  Axis legs whose first hop would cross a down
+  /// link are rerouted the long way around the ring — the torus's redundant
+  /// direction — so a degraded network shows up as longer routes and hotter
+  /// surviving links in the contention gauges.
+  void set_down_links(const std::vector<char>& down) { down_ = down; }
+  [[nodiscard]] bool link_down(size_t link) const {
+    return link < down_.size() && down_[link] != 0;
+  }
 
+ private:
   MachineConfig config_;
   TorusTopology torus_;
+  std::vector<char> down_;  ///< per directed link (empty = all up)
 };
 
 }  // namespace antmd::machine

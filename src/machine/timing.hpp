@@ -64,6 +64,11 @@ struct StepBreakdown {
   double kspace_interp = 0.0;
   double tempering = 0.0;
   double sync = 0.0;
+  /// Reliability-protocol overhead charged by machine::ReliableTransport:
+  /// retransmit timeouts/backoff, CRC nack round trips, reroutes around
+  /// down-marked links, and node-hang stalls.  Zero on a healthy machine.
+  /// Filled in by the driver (MachineSimulation) after step_time().
+  double reliability = 0.0;
   double total = 0.0;
 
   [[nodiscard]] double kspace_total() const {
@@ -84,7 +89,9 @@ struct StepBreakdown {
   }
   /// Fraction of the step spent on the network (non-overlapped).
   [[nodiscard]] double network_fraction() const {
-    return total > 0 ? (multicast + reduce + kspace_fft_comm + sync) / total
+    return total > 0 ? (multicast + reduce + kspace_fft_comm + sync +
+                        reliability) /
+                           total
                      : 0.0;
   }
 };

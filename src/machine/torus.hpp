@@ -25,6 +25,23 @@ class TorusTopology {
   /// Minimum hop count between two nodes (per-axis wrap-around shortest).
   [[nodiscard]] int hops(size_t a, size_t b) const;
 
+  // --- directed links ---------------------------------------------------------
+  // Shared id convention for the 6 directed links leaving each node
+  // (axis 0..2 × direction ±), used by the contention model and the
+  // reliable-transport layer so a down-marked link means the same wire to
+  // both.
+  [[nodiscard]] size_t link_count() const { return count_ * 6; }
+  [[nodiscard]] size_t link_id(size_t from, int axis, int sign) const {
+    return from * 6 + static_cast<size_t>(axis) * 2 + (sign > 0 ? 0 : 1);
+  }
+  [[nodiscard]] size_t link_source(size_t link) const { return link / 6; }
+  [[nodiscard]] int link_axis(size_t link) const {
+    return static_cast<int>((link % 6) / 2);
+  }
+  [[nodiscard]] int link_sign(size_t link) const {
+    return (link % 2) == 0 ? 1 : -1;
+  }
+
   /// Maximum hop count between any two nodes (network diameter).
   [[nodiscard]] int diameter() const;
 

@@ -1,0 +1,182 @@
+#include "machine/transport.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/serialize.hpp"
+
+namespace antmd::machine {
+namespace {
+
+/// Deterministic wire image of message `m` from node `n`: what the CRC is
+/// computed over.  Content is arbitrary but reproducible — only the
+/// checksum behaviour matters.
+std::array<uint64_t, 4> wire_image(size_t node, size_t msg) {
+  uint64_t x = (static_cast<uint64_t>(node) << 32) ^ msg ^
+               0x9E3779B97F4A7C15ull;
+  std::array<uint64_t, 4> img;
+  for (auto& w : img) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    w = x;
+  }
+  return img;
+}
+
+/// Exercises the same CRC-32 the checkpoint container uses: checksum the
+/// message, flip one payload byte (the modeled in-flight corruption), and
+/// confirm the receiver's recomputed CRC rejects it.
+bool crc_rejects_corruption(size_t node, size_t msg) {
+  auto img = wire_image(node, msg);
+  const uint32_t sent = util::crc32(img.data(), sizeof(img));
+  auto* bytes = reinterpret_cast<unsigned char*>(img.data());
+  bytes[(node + msg) % sizeof(img)] ^= 0x40;
+  const uint32_t received = util::crc32(img.data(), sizeof(img));
+  return received != sent;
+}
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(const MachineConfig& machine,
+                                     TransportConfig config)
+    : config_(config),
+      torus_(machine),
+      link_bandwidth_Bps_(machine.link_bandwidth_Bps),
+      hop_latency_s_(machine.hop_latency_s),
+      message_overhead_s_(machine.message_overhead_s) {
+  ANTMD_REQUIRE(config_.base_timeout_s > 0, "ack timeout must be positive");
+  ANTMD_REQUIRE(config_.backoff_factor >= 1.0,
+                "backoff factor must be >= 1");
+  ANTMD_REQUIRE(config_.retry_budget >= 1, "retry budget must be >= 1");
+}
+
+double ReliableTransport::backoff_cost(int attempt) const {
+  double timeout = config_.base_timeout_s;
+  for (int i = 0; i < attempt; ++i) timeout *= config_.backoff_factor;
+  return timeout;
+}
+
+double ReliableTransport::reroute_cost(size_t link) const {
+  // The torus's redundant dimension: the ring along the link's axis can be
+  // traversed the other way, at (n - 2) extra hops relative to the one-hop
+  // neighbour path, plus a fresh injection.
+  const int n = torus_.dims()[static_cast<size_t>(torus_.link_axis(link))];
+  const double extra_hops = static_cast<double>(std::max(0, n - 2));
+  return extra_hops * hop_latency_s_ + message_overhead_s_;
+}
+
+size_t ReliableTransport::down_link_count() const {
+  size_t n = 0;
+  for (char d : down_) {
+    if (d) ++n;
+  }
+  return n;
+}
+
+void ReliableTransport::set_link_down(size_t link, bool down) {
+  ANTMD_REQUIRE(link < torus_.link_count(), "link id out of range");
+  if (down_.empty()) down_.assign(torus_.link_count(), 0);
+  down_[link] = down ? 1 : 0;
+}
+
+StepDelivery ReliableTransport::deliver(const StepWork& work) {
+  StepDelivery out;
+
+  // A hung node is a per-step event: it stalls the bulk-synchronous step
+  // until the watchdog (supervisor) notices, so the whole stall lands in
+  // this step's reliability charge.
+  uint64_t payload = 0;
+  if (fault::should_fire(fault::FaultKind::kNodeHang, &payload)) {
+    out.hung_node = payload % torus_.node_count();
+    hung_node_ = out.hung_node;
+    out.extra_s += config_.hang_duration_s;
+    ++stats_.hangs;
+  }
+
+  const double serialize_s =
+      config_.message_bytes / link_bandwidth_Bps_;
+  const double nack_s = 2.0 * hop_latency_s_ + serialize_s;
+
+  for (size_t n = 0; n < work.nodes.size(); ++n) {
+    const size_t msgs = work.nodes[n].messages;
+    for (size_t m = 0; m < msgs; ++m) {
+      ++out.messages;
+      ++out.crc_checks;
+      // Fixed round-robin assignment of messages to the node's six
+      // outbound links keeps the fault → link mapping deterministic.
+      const int axis = static_cast<int>(m % 3);
+      const int sign = (m % 6) < 3 ? 1 : -1;
+      size_t link = torus_.link_id(n, axis, sign);
+
+      if (link_down(link)) {
+        // Already down-marked: take the redundant direction immediately.
+        out.extra_s += reroute_cost(link);
+        ++out.rerouted;
+        link = torus_.link_id(n, axis, -sign);
+      }
+
+      // In-flight corruption: the per-message CRC-32 (same code path as the
+      // checkpoint container) rejects the payload and the receiver nacks.
+      if (fault::should_fire(fault::FaultKind::kPacketCorrupt)) {
+        ANTMD_REQUIRE(crc_rejects_corruption(n, m),
+                      "CRC-32 failed to reject a corrupt message");
+        ++out.corrupt_detected;
+        int attempt = 0;
+        out.extra_s += nack_s;
+        ++out.retransmits;
+        while (attempt < config_.retry_budget &&
+               fault::should_fire(fault::FaultKind::kPacketCorrupt)) {
+          ++attempt;
+          out.extra_s += nack_s;
+          ++out.retransmits;
+          ++out.corrupt_detected;
+        }
+        if (attempt >= config_.retry_budget) {
+          // Persistent corruption is a broken wire: down-mark and reroute.
+          set_link_down(link);
+          ++out.links_downed;
+          out.extra_s += reroute_cost(link);
+          ++out.rerouted;
+        }
+      }
+
+      // Silent drop: no ack arrives, the sender times out and retransmits
+      // with exponential backoff until the retry budget is spent, then
+      // declares the link dead and reroutes around the ring.
+      if (fault::should_fire(fault::FaultKind::kLinkDrop)) {
+        ++out.drops;
+        int attempt = 0;
+        bool delivered = false;
+        while (attempt < config_.retry_budget) {
+          out.extra_s += backoff_cost(attempt) + serialize_s;
+          ++out.retransmits;
+          ++attempt;
+          if (!fault::should_fire(fault::FaultKind::kLinkDrop)) {
+            delivered = true;
+            break;
+          }
+          ++out.drops;
+        }
+        if (!delivered) {
+          set_link_down(link);
+          ++out.links_downed;
+          out.extra_s += reroute_cost(link);
+          ++out.rerouted;
+        }
+      }
+    }
+  }
+
+  stats_.messages += out.messages;
+  stats_.corrupt_detected += out.corrupt_detected;
+  stats_.drops += out.drops;
+  stats_.retransmits += out.retransmits;
+  stats_.rerouted += out.rerouted;
+  stats_.reliability_s += out.extra_s;
+  return out;
+}
+
+}  // namespace antmd::machine

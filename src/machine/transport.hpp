@@ -1,0 +1,139 @@
+// Reliable modeled transport for the torus interconnect.
+//
+// The real machine's network treats failure as normal: every packet carries
+// a link-level CRC, every message is acked, and lost or corrupt packets are
+// retransmitted in hardware (Anton 3 network, PAPERS.md).  This layer gives
+// the *modeled* machine the same contract.  It consumes the per-node message
+// counts the DistributedEngine already produces, pushes every message
+// through a failure model driven by util::fault
+// (kLinkDrop / kPacketCorrupt / kNodeHang), and charges the resulting
+// protocol overhead — retransmit timeouts with deterministic exponential
+// backoff, CRC nack round trips, reroutes around down-marked links, and
+// node-hang stalls — as modeled time only.
+//
+// Invariant: the transport never touches positions, forces or energies.  A
+// faulted run is bit-identical in physics to a healthy one; the faults show
+// up exclusively in StepBreakdown::reliability, the machine.transport.*
+// metrics, and the link-down state fed to the contention model.
+//
+// Messages are delivered in a fixed order (node index, then message index)
+// and every random decision comes from the deterministic fault registry, so
+// a given fault schedule reproduces the same delivery trace on every run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "machine/timing.hpp"
+#include "machine/torus.hpp"
+
+namespace antmd::machine {
+
+struct TransportConfig {
+  /// Ack timeout before the first retransmit (seconds, modeled).
+  double base_timeout_s = 1e-6;
+  /// Deterministic exponential backoff multiplier per retransmit.
+  double backoff_factor = 2.0;
+  /// Retransmits attempted per message before the link is down-marked.
+  int retry_budget = 4;
+  /// Modeled wire bytes per point-to-point message (header + payload).
+  double message_bytes = 256.0;
+  /// Modeled stall when a node hangs (seconds).  Long enough to blow any
+  /// sane phase-watchdog deadline, short enough to keep soak runs cheap.
+  double hang_duration_s = 5e-3;
+};
+
+/// What happened to the messages of one step.
+struct StepDelivery {
+  uint64_t messages = 0;          ///< point-to-point messages delivered
+  uint64_t crc_checks = 0;        ///< per-message CRC-32 verifications
+  uint64_t corrupt_detected = 0;  ///< CRC mismatches caught (kPacketCorrupt)
+  uint64_t drops = 0;             ///< ack timeouts (kLinkDrop)
+  uint64_t retransmits = 0;       ///< total retransmissions this step
+  uint64_t rerouted = 0;          ///< messages sent the long way around
+  uint64_t links_downed = 0;      ///< links down-marked this step
+  /// Node that stopped acking this step (kNodeHang), or kNoNode.
+  size_t hung_node = kNoNode;
+  /// Protocol overhead charged to the step (seconds, modeled).
+  double extra_s = 0.0;
+
+  static constexpr size_t kNoNode = static_cast<size_t>(-1);
+};
+
+/// Cumulative transport counters since construction (or restore).
+struct TransportStats {
+  uint64_t messages = 0;
+  uint64_t corrupt_detected = 0;
+  uint64_t drops = 0;
+  uint64_t retransmits = 0;
+  uint64_t rerouted = 0;
+  uint64_t hangs = 0;
+  double reliability_s = 0.0;  ///< total modeled protocol overhead
+};
+
+class ReliableTransport {
+ public:
+  explicit ReliableTransport(const MachineConfig& machine,
+                             TransportConfig config = {});
+
+  /// Pushes one step's messages through the failure model and returns what
+  /// it cost.  Polls the kLinkDrop / kPacketCorrupt / kNodeHang fault
+  /// points; with nothing armed this is a cheap pass over the node list.
+  StepDelivery deliver(const StepWork& work);
+
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  [[nodiscard]] const TorusTopology& torus() const { return torus_; }
+
+  // --- link state -------------------------------------------------------------
+  [[nodiscard]] bool link_down(size_t link) const {
+    return link < down_.size() && down_[link] != 0;
+  }
+  [[nodiscard]] size_t down_link_count() const;
+  /// Per-link down flags (empty = all up); fed to LinkContentionModel so a
+  /// degraded network also shows up in the contention gauges.
+  [[nodiscard]] const std::vector<char>& down_links() const { return down_; }
+  /// Manually down/up a link (tests, operator tooling).
+  void set_link_down(size_t link, bool down = true);
+
+  // --- node-hang handshake ----------------------------------------------------
+  /// Last node observed hanging; cleared by acknowledge_hang() once the
+  /// supervisor has remapped it.
+  [[nodiscard]] size_t hung_node() const { return hung_node_; }
+  void acknowledge_hang() { hung_node_ = StepDelivery::kNoNode; }
+
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
+
+  // --- checkpoint -------------------------------------------------------------
+  // Serialized by MachineSimulation so a resumed run reports the same
+  // cumulative reliability picture as an uninterrupted one.
+  void save_state(std::vector<char>& down, TransportStats& stats) const {
+    down = down_;
+    stats = stats_;
+  }
+  void restore_state(std::vector<char> down, const TransportStats& stats) {
+    down_ = std::move(down);
+    stats_ = stats;
+    hung_node_ = StepDelivery::kNoNode;
+  }
+
+ private:
+  /// Cost of one retransmit chain; returns attempts actually used and
+  /// whether the message ultimately got through without down-marking.
+  double backoff_cost(int attempt) const;
+  /// Extra one-way cost of routing around a down link: the wrap-around
+  /// redundancy of the torus ring along the link's axis.
+  double reroute_cost(size_t link) const;
+
+  TransportConfig config_;
+  TorusTopology torus_;
+  // Machine timing constants the protocol costs are built from.
+  double link_bandwidth_Bps_;
+  double hop_latency_s_;
+  double message_overhead_s_;
+  std::vector<char> down_;  ///< per directed link (empty = all up)
+  TransportStats stats_;
+  size_t hung_node_ = StepDelivery::kNoNode;
+};
+
+}  // namespace antmd::machine

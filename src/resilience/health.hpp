@@ -235,6 +235,10 @@ class HealthGuard {
     ++report_.snapshots;
     detail::guard_metrics().snapshots.add();
     if (!config_.checkpoint_path.empty()) {
+      // Keep the previous generation as a `.bak` mirror: if this write
+      // lands torn (and the CRC rejects it at resume), the prior good
+      // checkpoint is still restorable.
+      io::rotate_backup(config_.checkpoint_path);
       io::write_file_atomic(config_.checkpoint_path,
                             io::encode_checkpoint({{"sim", last_good_}}));
     }

@@ -27,6 +27,13 @@ struct MachineMetrics {
   obs::Gauge& torus_diameter;
   obs::Gauge& contention_multicast_s;
   obs::Gauge& contention_max_link_bytes;
+  obs::Counter& transport_messages;
+  obs::Counter& transport_retransmits;
+  obs::Counter& transport_corrupt;
+  obs::Counter& transport_drops;
+  obs::Counter& transport_rerouted;
+  obs::Gauge& transport_links_down;
+  obs::Gauge& transport_reliability_s;
 };
 
 MachineMetrics& machine_metrics() {
@@ -43,7 +50,14 @@ MachineMetrics& machine_metrics() {
                           reg.gauge("machine.torus.mean_hops"),
                           reg.gauge("machine.torus.diameter"),
                           reg.gauge("machine.contention.multicast_seconds"),
-                          reg.gauge("machine.contention.max_link_bytes")};
+                          reg.gauge("machine.contention.max_link_bytes"),
+                          reg.counter("machine.transport.message.count"),
+                          reg.counter("machine.transport.retransmit.count"),
+                          reg.counter("machine.transport.corrupt.count"),
+                          reg.counter("machine.transport.drop.count"),
+                          reg.counter("machine.transport.reroute.count"),
+                          reg.gauge("machine.transport.links_down"),
+                          reg.gauge("machine.transport.reliability_seconds")};
   return m;
 }
 
@@ -62,6 +76,7 @@ void accumulate(machine::StepBreakdown& acc,
   acc.kspace_interp += step.kspace_interp;
   acc.tempering += step.tempering;
   acc.sync += step.sync;
+  acc.reliability += step.reliability;
   acc.total += step.total;
 }
 
@@ -74,6 +89,7 @@ MachineSimulation::MachineSimulation(ForceField& ff,
     : ff_(&ff),
       config_(config),
       timing_(machine_cfg),
+      transport_(machine_cfg, config.transport),
       engine_(ff, machine_cfg, config.engine),
       dt_(units::fs_to_internal(config.dt_fs)),
       nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin),
@@ -108,6 +124,12 @@ void MachineSimulation::evaluate_forces(bool kspace_due) {
   work.tempering_decisions = pending_tempering_decisions_;
   pending_tempering_decisions_ = 0;
   last_breakdown_ = timing_.step_time(work);
+  // Reliability protocol: every modeled message rides the transport, and
+  // any retransmit/backoff/reroute/hang cost lands in the step breakdown —
+  // modeled time only, never the physics.
+  last_delivery_ = transport_.deliver(work);
+  last_breakdown_.reliability = last_delivery_.extra_s;
+  last_breakdown_.total += last_delivery_.extra_s;
   accumulate(accumulated_, last_breakdown_);
   modeled_time_s_ += last_breakdown_.total;
   ++steps_timed_;
@@ -143,9 +165,21 @@ void MachineSimulation::publish_model_metrics(const machine::StepWork& work) {
     contention_model_ =
         std::make_unique<machine::LinkContentionModel>(timing_.config());
   }
+  // Degraded links reroute in the contention picture too.
+  contention_model_->set_down_links(transport_.down_links());
   auto contention = contention_model_->multicast_time(work.nodes);
   m.contention_multicast_s.set(contention.phase_time_s);
   m.contention_max_link_bytes.set(contention.max_link_bytes);
+
+  const auto& ts = transport_.stats();
+  m.transport_messages.add(last_delivery_.messages);
+  m.transport_retransmits.add(last_delivery_.retransmits);
+  m.transport_corrupt.add(last_delivery_.corrupt_detected);
+  m.transport_drops.add(last_delivery_.drops);
+  m.transport_rerouted.add(last_delivery_.rerouted);
+  m.transport_links_down.set(
+      static_cast<double>(transport_.down_link_count()));
+  m.transport_reliability_s.set(ts.reliability_s);
 }
 
 void MachineSimulation::step() {
@@ -244,6 +278,14 @@ void MachineSimulation::save_checkpoint(util::BinaryWriter& out) const {
   out.write_u64(steps_timed_);
   out.write_pod(accumulated_);
   out.write_pod(last_breakdown_);
+  // Transport reliability state: down-marked links persist (a dead wire
+  // stays dead across a restart) and the cumulative protocol counters keep
+  // the resumed run's reliability picture identical to an uninterrupted one.
+  std::vector<char> down;
+  machine::TransportStats tstats;
+  transport_.save_state(down, tstats);
+  out.write_pod_vector(down);
+  out.write_pod(tstats);
 }
 
 void MachineSimulation::restore_checkpoint(util::BinaryReader& in) {
@@ -266,6 +308,10 @@ void MachineSimulation::restore_checkpoint(util::BinaryReader& in) {
   steps_timed_ = in.read_u64();
   accumulated_ = in.read_pod<machine::StepBreakdown>();
   last_breakdown_ = in.read_pod<machine::StepBreakdown>();
+  std::vector<char> down = in.read_pod_vector<char>();
+  auto tstats = in.read_pod<machine::TransportStats>();
+  transport_.restore_state(std::move(down), tstats);
+  last_delivery_ = machine::StepDelivery{};
 
   // Rebuild the distributed picture at the restored positions and recompute
   // forces directly through the engine: bit-exact for the same reason as in

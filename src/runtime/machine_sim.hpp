@@ -14,6 +14,7 @@
 
 #include "machine/contention.hpp"
 #include "machine/timing.hpp"
+#include "machine/transport.hpp"
 #include "md/constraints.hpp"
 #include "md/neighbor.hpp"
 #include "md/observer.hpp"
@@ -35,6 +36,7 @@ struct MachineSimConfig {
   uint64_t velocity_seed = 1234;
   int com_removal_interval = 0;
   EngineOptions engine;
+  machine::TransportConfig transport;
 };
 
 class MachineSimulation : public util::Checkpointable {
@@ -78,6 +80,24 @@ class MachineSimulation : public util::Checkpointable {
   [[nodiscard]] const DistributedEngine& engine() const { return engine_; }
   [[nodiscard]] DistributedEngine& mutable_engine() { return engine_; }
   [[nodiscard]] machine::TimingModel& timing() { return timing_; }
+  /// Reliability protocol state: retransmit/CRC/link-down counters and the
+  /// node-hang handshake the supervisor's watchdog consumes.
+  [[nodiscard]] const machine::ReliableTransport& transport() const {
+    return transport_;
+  }
+  [[nodiscard]] machine::ReliableTransport& mutable_transport() {
+    return transport_;
+  }
+  /// Delivery record of the most recent force evaluation.
+  [[nodiscard]] const machine::StepDelivery& last_delivery() const {
+    return last_delivery_;
+  }
+  /// Re-runs the node redistribution at the current positions (supervisor
+  /// recovery path after marking nodes failed).  Bit-exact; charges no
+  /// modeled time, like the restore path.
+  void rebuild_distribution() {
+    engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
+  }
   [[nodiscard]] ForceField& force_field() { return *ff_; }
   [[nodiscard]] md::Thermostat& thermostat() { return thermostat_; }
   [[nodiscard]] const md::ConstraintSolver& constraints() const {
@@ -113,6 +133,8 @@ class MachineSimulation : public util::Checkpointable {
   ForceField* ff_;
   MachineSimConfig config_;
   machine::TimingModel timing_;
+  machine::ReliableTransport transport_;
+  machine::StepDelivery last_delivery_;
   DistributedEngine engine_;
   State state_;
   double dt_;

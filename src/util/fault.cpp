@@ -35,7 +35,10 @@ obs::Counter& fired_counter(FaultKind kind) {
       counters{&reg.counter("util.fault.io_write_fail.count"),
                &reg.counter("util.fault.io_short_write.count"),
                &reg.counter("util.fault.nan_force.count"),
-               &reg.counter("util.fault.node_fail.count")};
+               &reg.counter("util.fault.node_fail.count"),
+               &reg.counter("util.fault.link_drop.count"),
+               &reg.counter("util.fault.packet_corrupt.count"),
+               &reg.counter("util.fault.node_hang.count")};
   return *counters[static_cast<size_t>(kind)];
 }
 

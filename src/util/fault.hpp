@@ -12,11 +12,24 @@
 // failure would occur:
 //   kIoWriteFail   io::checkpoint atomic write    -> throws IoError (ENOSPC)
 //   kIoShortWrite  io::checkpoint atomic write    -> truncated blob is
-//                  renamed into place (a torn write the CRC must catch)
+//                  renamed into place (a torn write the CRC must catch);
+//                  also polled by io::XyzWriter::write_frame, where half a
+//                  trajectory frame reaches the disk and io::repair_xyz
+//                  must truncate back to the last complete frame
 //   kNanForce      Simulation/MachineSimulation   -> poisons one atom's
 //                  force accumulator with kPoisonQuanta
 //   kNodeFail      DistributedEngine::redistribute -> marks a torus node
 //                  failed; its work is remapped to surviving nodes
+//   kLinkDrop      machine::ReliableTransport      -> a message is dropped
+//                  on its torus link; the ack times out and the transport
+//                  retransmits with exponential backoff, down-marking the
+//                  link when the retry budget runs out
+//   kPacketCorrupt machine::ReliableTransport      -> a message payload is
+//                  bit-flipped in flight; the per-message CRC-32 rejects it
+//                  and the receiver nacks for a retransmit
+//   kNodeHang      machine::ReliableTransport      -> a node stops acking
+//                  for a modeled interval; the step stalls until the
+//                  supervisor's phase watchdog fires and remaps the node
 //
 // The injector is process-global and NOT thread-safe by design: faults are
 // armed and polled from the driver thread (worker threads never touch it).
@@ -33,7 +46,10 @@ enum class FaultKind : uint32_t {
   kIoShortWrite = 1,  ///< checkpoint blob is truncated but "succeeds"
   kNanForce = 2,      ///< one atom's force result is poisoned
   kNodeFail = 3,      ///< a modeled torus node drops out
-  kCount = 4,
+  kLinkDrop = 4,      ///< a torus link silently drops a modeled message
+  kPacketCorrupt = 5, ///< a modeled message payload is corrupted in flight
+  kNodeHang = 6,      ///< a modeled node stops responding for an interval
+  kCount = 7,
 };
 
 /// Sentinel force quanta injected by kNanForce: dequantizes to ~±5.5e11
@@ -51,7 +67,9 @@ struct FaultPlan {
   /// splitmix64 stream keyed by `seed` (deterministic across runs/threads).
   double probability = 1.0;
   uint64_t seed = 0;
-  /// Kind-specific payload (kNodeFail: node id; kNanForce: atom index).
+  /// Kind-specific payload (kNodeFail: node id; kNanForce: atom index;
+  /// kNodeHang: node id; kLinkDrop/kPacketCorrupt: unused — the fault hits
+  /// whichever message polls the injection point).
   uint64_t payload = 0;
 };
 

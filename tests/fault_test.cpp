@@ -13,6 +13,7 @@
 #include "machine/config.hpp"
 #include "md/simulation.hpp"
 #include "resilience/health.hpp"
+#include "resilience/supervisor.hpp"
 #include "runtime/machine_sim.hpp"
 #include "topo/builders.hpp"
 #include "util/error.hpp"
@@ -256,6 +257,121 @@ TEST(NodeFailure, InjectedFaultMarksNodeAndRunContinues) {
   EXPECT_EQ(sim.engine().alive_node_count(), 7u);
   EXPECT_TRUE(std::isfinite(sim.potential_energy()));
   EXPECT_EQ(sim.state().step, 10u);
+}
+
+// The core PR-4 acceptance matrix: every recoverable fault kind, armed at
+// several fire points, run under the supervisor — and in every cell the
+// final state must match the fault-free reference to the last bit.  The
+// fault's entire footprint is modeled time, retransmit counters and
+// recovery events.
+TEST(Supervisor, FaultMatrixKeepsTrajectoryBitExact) {
+  auto spec = build_lj_fluid(216, 0.021, 5);
+  auto model = lj_model();
+  auto cfg = machine_config();
+  constexpr size_t kSteps = 30;
+
+  ForceField field_ref(spec.topology, model);
+  runtime::MachineSimulation reference(field_ref,
+                                       machine::anton_with_torus(2, 2, 2),
+                                       spec.positions, spec.box, cfg);
+  reference.run(kSteps);
+
+  struct Case {
+    fault::FaultKind kind;
+    uint64_t fire_after;  ///< qualifying events before the fault fires
+    uint64_t payload;
+  };
+  const Case matrix[] = {
+      // kNanForce counts force evaluations (one per step)
+      {fault::FaultKind::kNanForce, 2, 7},
+      {fault::FaultKind::kNanForce, 20, 140},
+      // link faults count modeled messages (many per step)
+      {fault::FaultKind::kLinkDrop, 0, 0},
+      {fault::FaultKind::kLinkDrop, 50, 0},
+      {fault::FaultKind::kPacketCorrupt, 0, 0},
+      {fault::FaultKind::kPacketCorrupt, 50, 0},
+      // kNodeHang counts steps (one transport poll per step)
+      {fault::FaultKind::kNodeHang, 3, 5},
+      {fault::FaultKind::kNodeHang, 12, 1},
+  };
+
+  for (const Case& c : matrix) {
+    SCOPED_TRACE(std::string("kind=") +
+                 std::to_string(static_cast<int>(c.kind)) +
+                 " fire_after=" + std::to_string(c.fire_after));
+    ForceField field(spec.topology, model);
+    runtime::MachineSimulation sim(field, machine::anton_with_torus(2, 2, 2),
+                                   spec.positions, spec.box, cfg);
+    // Armed after construction so fire_after counts run-time events only.
+    fault::FaultPlan plan;
+    plan.kind = c.kind;
+    plan.fire_after = c.fire_after;
+    plan.count = 1;
+    plan.payload = c.payload;
+    fault::ScopedFault f(plan);
+
+    resilience::SupervisorConfig sc;
+    sc.max_retries = 3;
+    sc.snapshot_interval = 10;
+    sc.watchdog_ms = 1.0;  // a 5 ms modeled hang trips this; normal steps not
+    resilience::Supervisor<runtime::MachineSimulation> supervisor(sim, sc);
+    resilience::RecoveryReport report = supervisor.run(kSteps);
+
+    EXPECT_EQ(fault::fired_count(c.kind), 1u);
+    EXPECT_TRUE(report.completed) << report.final_error;
+    EXPECT_EQ(sim.state().step, kSteps);
+
+    const State& sa = reference.state();
+    const State& sb = sim.state();
+    ASSERT_EQ(sa.positions.size(), sb.positions.size());
+    for (size_t i = 0; i < sa.positions.size(); ++i) {
+      ASSERT_EQ(sa.positions[i], sb.positions[i]) << "atom " << i;
+      ASSERT_EQ(sa.velocities[i], sb.velocities[i]) << "atom " << i;
+    }
+    EXPECT_EQ(reference.potential_energy(), sim.potential_energy());
+  }
+}
+
+// When the retry budget cannot cover the failure (the fault fires on every
+// attempt), the supervisor must escalate with a report that accounts for
+// every decision — not crash, not loop forever.
+TEST(Supervisor, ExhaustedRetryBudgetEscalatesWithAccurateReport) {
+  auto spec = build_lj_fluid(125, 0.021, 3);
+  ForceField field(spec.topology, lj_model());
+  md::Simulation sim(field, spec.positions, spec.box, langevin_config(120));
+
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kNanForce;
+  plan.fire_after = 5;
+  plan.count = -1;  // fires on every evaluation: retry can never succeed
+  fault::ScopedFault f(plan);
+
+  std::string report_path = temp_path("escalation.report");
+  resilience::SupervisorConfig sc;
+  sc.max_retries = 2;
+  sc.snapshot_interval = 10;
+  sc.report_path = report_path;
+  resilience::Supervisor<md::Simulation> supervisor(sim, sc);
+  resilience::RecoveryReport report = supervisor.run(60);
+
+  EXPECT_FALSE(report.completed);
+  EXPECT_LT(sim.state().step, 60u);
+  // Budget of 2: two rollback attempts, then the third detection escalates.
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_EQ(report.rollbacks, 2u);
+  EXPECT_EQ(report.faults_detected, 3u);
+  EXPECT_GT(report.recovery_modeled_s, 0.0);
+  EXPECT_NE(report.final_error.find("numerical"), std::string::npos);
+  ASSERT_GE(report.events.size(), 3u);
+  EXPECT_EQ(report.events.back().action,
+            resilience::RecoveryAction::kEscalate);
+  EXPECT_EQ(report.events.back().kind, resilience::FailureKind::kNumerical);
+
+  // The written report matches the returned one.
+  std::string on_disk = io::read_file(report_path);
+  EXPECT_NE(on_disk.find("run abandoned"), std::string::npos);
+  EXPECT_NE(on_disk.find("rollbacks:          2"), std::string::npos);
+  std::remove(report_path.c_str());
 }
 
 TEST(NodeFailure, SlowNodeStretchesModeledTimeOnly) {

@@ -5,10 +5,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/checkpoint.hpp"
 #include "io/trajectory.hpp"
 #include "math/rng.hpp"
 #include "topo/builders.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace antmd::io {
 namespace {
@@ -136,6 +138,106 @@ TEST(Xyz, UnwritablePathThrowsIoError) {
 
 TEST(Csv, UnwritablePathThrowsIoError) {
   EXPECT_THROW(CsvWriter("/nonexistent/dir/data.csv", {"a", "b"}), IoError);
+}
+
+TEST(Xyz, TornWriteIsDetectedAndTruncatedToLastGoodFrame) {
+  auto spec = build_lj_fluid(27, 0.021, 1);
+  State state;
+  state.positions = spec.positions;
+  state.velocities.assign(27, Vec3{});
+  state.box = spec.box;
+  state.step = 1;
+
+  std::string path = temp_path("torn.xyz");
+  {
+    XyzWriter writer(path, spec.topology);
+    writer.write_frame(state);
+    state.step = 2;
+    writer.write_frame(state);
+    // Third frame tears mid-write: only half of it reaches the disk.
+    fault::ScopedFault torn(
+        {.kind = fault::FaultKind::kIoShortWrite, .fire_after = 0});
+    state.step = 3;
+    writer.write_frame(state);
+  }
+  const std::string before = slurp(path);
+  EXPECT_NE(before.find("step=3"), std::string::npos);  // partial tail exists
+
+  XyzRepair repair = repair_xyz(path);
+  EXPECT_TRUE(repair.truncated());
+  EXPECT_EQ(repair.frames_kept, 2u);
+  EXPECT_GT(repair.bytes_removed, 0u);
+
+  const std::string after = slurp(path);
+  EXPECT_NE(after.find("step=2"), std::string::npos);
+  EXPECT_EQ(after.find("step=3"), std::string::npos);  // tail gone
+  EXPECT_LT(after.size(), before.size());
+
+  // Repairing an already-clean file is a no-op.
+  XyzRepair again = repair_xyz(path);
+  EXPECT_FALSE(again.truncated());
+  EXPECT_EQ(again.frames_kept, 2u);
+
+  // A resumed run appends frame 3 after the repair point.
+  {
+    XyzWriter writer(path, spec.topology, /*append=*/true);
+    state.step = 3;
+    writer.write_frame(state);
+  }
+  XyzRepair resumed = repair_xyz(path);
+  EXPECT_FALSE(resumed.truncated());
+  EXPECT_EQ(resumed.frames_kept, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Xyz, RepairMissingFileThrows) {
+  EXPECT_THROW(repair_xyz("/nonexistent/dir/traj.xyz"), IoError);
+}
+
+TEST(CheckpointBackup, LoadFallsBackToBakWhenPrimaryCorrupt) {
+  struct Blob : util::Checkpointable {
+    uint64_t value = 0;
+    void save_checkpoint(util::BinaryWriter& w) const override {
+      w.write_u64(value);
+    }
+    void restore_checkpoint(util::BinaryReader& r) override {
+      value = r.read_u64();
+    }
+  };
+
+  std::string path = temp_path("backup.ckpt");
+  Blob blob;
+  blob.value = 41;
+  save_checkpoint_v2(path, {{"sim", &blob}});
+  rotate_backup(path);  // generation 41 now lives in the .bak mirror
+  blob.value = 42;
+  save_checkpoint_v2(path, {{"sim", &blob}});
+
+  // Healthy primary wins.
+  Blob loaded;
+  EXPECT_EQ(load_checkpoint_v2_or_backup(path, {{"sim", &loaded}}), path);
+  EXPECT_EQ(loaded.value, 42u);
+
+  // Corrupt the primary (CRC mismatch): the .bak generation is restored.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(12);
+    f.put('\xff');
+  }
+  EXPECT_THROW(load_checkpoint_v2(path, {{"sim", &loaded}}), IoError);
+  EXPECT_EQ(load_checkpoint_v2_or_backup(path, {{"sim", &loaded}}),
+            backup_path(path));
+  EXPECT_EQ(loaded.value, 41u);
+
+  // Both generations corrupt -> IoError naming both failures.
+  {
+    std::ofstream f(backup_path(path), std::ios::trunc);
+    f << "junk";
+  }
+  EXPECT_THROW(load_checkpoint_v2_or_backup(path, {{"sim", &loaded}}),
+               IoError);
+  std::remove(path.c_str());
+  std::remove(backup_path(path).c_str());
 }
 
 }  // namespace

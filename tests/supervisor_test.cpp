@@ -1,0 +1,260 @@
+// resilience::Supervisor unit tests: the snapshot ring, failure
+// classification, each recovery path (retry/rollback, mirror degrade, node
+// remap via the phase watchdog), and the RecoveryReport contract.  The
+// bit-identity acceptance matrix lives in fault_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "ff/forcefield.hpp"
+#include "io/checkpoint.hpp"
+#include "machine/config.hpp"
+#include "md/simulation.hpp"
+#include "resilience/supervisor.hpp"
+#include "runtime/machine_sim.hpp"
+#include "topo/builders.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace antmd {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string("/tmp/antmd_supervisor_test_") + name;
+}
+
+ff::NonbondedModel lj_model() {
+  ff::NonbondedModel m;
+  m.cutoff = 7.0;
+  m.electrostatics = ff::Electrostatics::kNone;
+  return m;
+}
+
+md::SimulationConfig host_config() {
+  md::SimulationConfig cfg;
+  cfg.dt_fs = 4.0;
+  cfg.neighbor_skin = 1.0;
+  cfg.init_temperature_k = 120.0;
+  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  cfg.thermostat.temperature_k = 120.0;
+  cfg.thermostat.gamma_per_ps = 5.0;
+  return cfg;
+}
+
+runtime::MachineSimConfig machine_config() {
+  runtime::MachineSimConfig cfg;
+  cfg.dt_fs = 2.0;
+  cfg.neighbor_skin = 1.0;
+  cfg.init_temperature_k = 120.0;
+  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  cfg.thermostat.temperature_k = 120.0;
+  return cfg;
+}
+
+TEST(SnapshotRing, KeepsNewestAndEvictsOldest) {
+  resilience::SnapshotRing ring(2);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.newest_step(), Error);
+  EXPECT_THROW(ring.newest_blob(), Error);
+
+  ring.push(0, "a");
+  ring.push(10, "b");
+  ring.push(20, "c");  // evicts step 0
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.newest_step(), 20u);
+  EXPECT_EQ(ring.newest_blob(), "c");
+
+  // Re-pushing the same step refreshes in place instead of duplicating.
+  ring.push(20, "c2");
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.newest_blob(), "c2");
+}
+
+TEST(Supervisor, RejectsBadConfig) {
+  auto spec = build_lj_fluid(125, 0.021, 1);
+  ForceField field(spec.topology, lj_model());
+  md::Simulation sim(field, spec.positions, spec.box, host_config());
+
+  resilience::SupervisorConfig bad;
+  bad.max_retries = 0;
+  EXPECT_THROW(resilience::Supervisor<md::Simulation>(sim, bad), ConfigError);
+  bad = {};
+  bad.snapshot_interval = 0;
+  EXPECT_THROW(resilience::Supervisor<md::Simulation>(sim, bad), ConfigError);
+  bad = {};
+  bad.backoff_factor = 0.5;
+  EXPECT_THROW(resilience::Supervisor<md::Simulation>(sim, bad), ConfigError);
+}
+
+TEST(Supervisor, CleanRunCompletesWithEmptyEventLog) {
+  auto spec = build_lj_fluid(125, 0.021, 3);
+  ForceField field(spec.topology, lj_model());
+  md::Simulation sim(field, spec.positions, spec.box, host_config());
+
+  resilience::SupervisorConfig sc;
+  sc.snapshot_interval = 10;
+  resilience::Supervisor<md::Simulation> supervisor(sim, sc);
+  resilience::RecoveryReport report = supervisor.run(25);
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.steps_delivered, 25u);
+  EXPECT_EQ(report.faults_detected, 0u);
+  EXPECT_TRUE(report.events.empty());
+  EXPECT_GE(report.snapshots, 3u);  // step 0, 10, 20
+  EXPECT_TRUE(report.final_error.empty());
+  EXPECT_EQ(sim.state().step, 25u);
+}
+
+TEST(Supervisor, TransientIoErrorInStepRollsBackAndCompletes) {
+  auto spec = build_lj_fluid(125, 0.021, 3);
+  ForceField field(spec.topology, lj_model());
+  md::Simulation sim(field, spec.positions, spec.box, host_config());
+  // A trajectory writer whose disk fails exactly once: the step throws
+  // IoError, the supervisor rolls back and the re-run sails past.
+  bool thrown = false;
+  sim.add_observer(
+      [&](const md::StepInfo& info) {
+        if (info.step == 7 && !thrown) {
+          thrown = true;
+          throw IoError("transient trajectory write failure");
+        }
+      },
+      1);
+
+  resilience::SupervisorConfig sc;
+  sc.snapshot_interval = 5;
+  resilience::Supervisor<md::Simulation> supervisor(sim, sc);
+  resilience::RecoveryReport report = supervisor.run(20);
+
+  EXPECT_TRUE(report.completed) << report.final_error;
+  EXPECT_TRUE(thrown);
+  EXPECT_EQ(report.faults_detected, 1u);
+  EXPECT_EQ(report.rollbacks, 1u);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].kind, resilience::FailureKind::kIo);
+  EXPECT_EQ(report.events[0].action, resilience::RecoveryAction::kRollback);
+  EXPECT_GT(report.events[0].backoff_s, 0.0);
+  EXPECT_EQ(sim.state().step, 20u);
+}
+
+TEST(Supervisor, PersistentMirrorFailureDegradesInsteadOfAborting) {
+  auto spec = build_lj_fluid(125, 0.021, 3);
+  ForceField field(spec.topology, lj_model());
+  md::Simulation sim(field, spec.positions, spec.box, host_config());
+
+  // Every checkpoint write fails (disk full): the supervisor retries with
+  // backoff, then drops the mirror and finishes on the in-memory ring.
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kIoWriteFail;
+  plan.count = -1;
+  fault::ScopedFault f(plan);
+
+  std::string path = temp_path("mirror.ckpt");
+  resilience::SupervisorConfig sc;
+  sc.max_retries = 2;
+  sc.snapshot_interval = 10;
+  sc.checkpoint_path = path;
+  resilience::Supervisor<md::Simulation> supervisor(sim, sc);
+  resilience::RecoveryReport report = supervisor.run(25);
+
+  EXPECT_TRUE(report.completed) << report.final_error;
+  EXPECT_EQ(sim.state().step, 25u);
+  EXPECT_EQ(report.retries, 2u);
+  bool degraded = false;
+  for (const auto& e : report.events) {
+    if (e.action == resilience::RecoveryAction::kDegrade &&
+        e.detail.find("mirror disabled") != std::string::npos) {
+      degraded = true;
+    }
+  }
+  EXPECT_TRUE(degraded);
+  std::remove(path.c_str());
+}
+
+TEST(Supervisor, WatchdogRemapsHungNodeAndRunContinues) {
+  auto spec = build_lj_fluid(216, 0.021, 5);
+  ForceField field(spec.topology, lj_model());
+  runtime::MachineSimulation sim(field, machine::anton_with_torus(2, 2, 2),
+                                 spec.positions, spec.box, machine_config());
+
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kNodeHang;
+  plan.fire_after = 4;  // transport polls once per step
+  plan.count = 1;
+  plan.payload = 5;  // node that stops acking
+  fault::ScopedFault f(plan);
+
+  resilience::SupervisorConfig sc;
+  sc.watchdog_ms = 1.0;  // modeled steps are ~µs; the 5 ms hang trips this
+  sc.snapshot_interval = 10;
+  resilience::Supervisor<runtime::MachineSimulation> supervisor(sim, sc);
+  resilience::RecoveryReport report = supervisor.run(20);
+
+  EXPECT_TRUE(report.completed) << report.final_error;
+  EXPECT_EQ(report.watchdog_trips, 1u);
+  EXPECT_EQ(report.node_remaps, 1u);
+  EXPECT_TRUE(sim.engine().node_failed(5));
+  EXPECT_EQ(sim.engine().alive_node_count(), 7u);
+  EXPECT_EQ(sim.transport().hung_node(), machine::StepDelivery::kNoNode);
+  EXPECT_EQ(sim.state().step, 20u);
+  bool remap_event = false;
+  for (const auto& e : report.events) {
+    if (e.kind == resilience::FailureKind::kWatchdog &&
+        e.action == resilience::RecoveryAction::kDegrade) {
+      remap_event = true;
+    }
+  }
+  EXPECT_TRUE(remap_event);
+}
+
+TEST(Supervisor, NodeDropoutIsObservedAsDegradeEvent) {
+  auto spec = build_lj_fluid(216, 0.021, 5);
+  ForceField field(spec.topology, lj_model());
+  runtime::MachineSimulation sim(field, machine::anton_with_torus(2, 2, 2),
+                                 spec.positions, spec.box, machine_config());
+
+  resilience::SupervisorConfig sc;
+  sc.snapshot_interval = 10;
+  resilience::Supervisor<runtime::MachineSimulation> supervisor(sim, sc);
+  supervisor.run(5);
+  // A node dies mid-run; the engine remaps it silently and bit-exactly —
+  // the supervisor's job is to make that visible in the report.
+  sim.mutable_engine().set_node_failed(3);
+  resilience::RecoveryReport report = supervisor.run(10);
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.node_remaps, 1u);
+  ASSERT_GE(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].kind, resilience::FailureKind::kNodeFailure);
+  EXPECT_EQ(report.events[0].action, resilience::RecoveryAction::kDegrade);
+}
+
+TEST(RecoveryReport, RenderAndAtomicWrite) {
+  resilience::RecoveryReport report;
+  report.completed = false;
+  report.steps_delivered = 17;
+  report.faults_detected = 3;
+  report.final_error = "numerical: boom";
+  report.events.push_back({12, resilience::FailureKind::kNumerical,
+                           resilience::RecoveryAction::kRollback, 0.004,
+                           "rolled back"});
+  std::string text = report.render();
+  EXPECT_NE(text.find("run abandoned"), std::string::npos);
+  EXPECT_NE(text.find("numerical -> rollback"), std::string::npos);
+  EXPECT_NE(text.find("backoff=0.004"), std::string::npos);
+  EXPECT_NE(text.find("numerical: boom"), std::string::npos);
+
+  std::string path = temp_path("report.txt");
+  resilience::write_recovery_report(path, report);
+  EXPECT_EQ(io::read_file(path), text);
+  std::remove(path.c_str());
+
+  EXPECT_STREQ(resilience::failure_kind_name(
+                   resilience::FailureKind::kWatchdog), "watchdog");
+  EXPECT_STREQ(resilience::recovery_action_name(
+                   resilience::RecoveryAction::kEscalate), "escalate");
+}
+
+}  // namespace
+}  // namespace antmd
