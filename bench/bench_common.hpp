@@ -58,6 +58,7 @@ inline void append_breakdown(
     const machine::StepBreakdown& b, const std::string& prefix = "phase_") {
   metrics.emplace_back(prefix + "multicast_s", b.multicast);
   metrics.emplace_back(prefix + "pair_s", b.pair_phase);
+  metrics.emplace_back(prefix + "pair_masked_s", b.pair_masked);
   metrics.emplace_back(prefix + "gc_force_s", b.gc_force_phase);
   metrics.emplace_back(prefix + "interaction_s", b.interaction);
   metrics.emplace_back(prefix + "reduce_s", b.reduce);

@@ -3,8 +3,12 @@
 // budgets), not the modeled machine — modeled times come from machine/.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 
+#include "bench_common.hpp"
 #include "ewald/gse.hpp"
 #include "ff/forcefield.hpp"
 #include "fft/fft3d.hpp"
@@ -57,6 +61,27 @@ void BM_PairLoop(benchmark::State& state) {
                           static_cast<int64_t>(list.pairs().size()));
 }
 BENCHMARK(BM_PairLoop)->Arg(512)->Arg(1728);
+
+void BM_ClusterPairLoop(benchmark::State& state) {
+  auto spec = build_lj_fluid(static_cast<size_t>(state.range(0)), 0.021, 3);
+  ff::NonbondedModel model;
+  model.cutoff = 8.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ff::PairTableSet tables(spec.topology, model);
+  md::NeighborList list(spec.topology, model.cutoff, 1.0,
+                        /*cluster_mode=*/true);
+  list.build(spec.positions, spec.box);
+  ForceResult out(spec.topology.atom_count());
+  for (auto _ : state) {
+    out.reset(spec.topology.atom_count());
+    ff::compute_clusters(list.clusters(), tables, spec.positions, spec.box,
+                         out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(list.clusters().real_pairs));
+}
+BENCHMARK(BM_ClusterPairLoop)->Arg(512)->Arg(1728);
 
 void BM_NeighborBuild(benchmark::State& state) {
   auto spec = build_lj_fluid(static_cast<size_t>(state.range(0)), 0.021, 5);
@@ -127,7 +152,94 @@ void BM_PhiloxGaussian3(benchmark::State& state) {
 }
 BENCHMARK(BM_PhiloxGaussian3);
 
+// Head-to-head nonbonded throughput at the acceptance size (~12k atoms):
+// both kernels over the same pair set, serial and with the worker pool,
+// recorded to BENCH_micro_kernels.json so the speedup is tracked per run.
+void kernel_throughput_report() {
+  const size_t n_atoms = 12167;  // 23^3 LJ lattice
+  auto spec = build_lj_fluid(n_atoms, 0.021, 3);
+  ff::NonbondedModel model;
+  model.cutoff = 8.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ff::PairTableSet tables(spec.topology, model);
+
+  md::NeighborList pair_list(spec.topology, model.cutoff, 1.0);
+  pair_list.build(spec.positions, spec.box);
+  md::NeighborList cluster_list(spec.topology, model.cutoff, 1.0,
+                                /*cluster_mode=*/true);
+  cluster_list.build(spec.positions, spec.box);
+  const ff::ClusterPairList& cl = cluster_list.clusters();
+  const double n_pairs = static_cast<double>(pair_list.pairs().size());
+
+  ForceResult out(n_atoms);
+  auto best_eval_s = [&](auto&& body) {
+    body();  // warm caches and scratch
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      for (int k = 0; k < 2; ++k) {
+        out.reset(n_atoms);
+        body();
+      }
+      double s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count() /
+                 2.0;
+      best = std::min(best, s);
+    }
+    return best;
+  };
+
+  const double pair_s = best_eval_s([&] {
+    ff::compute_pairs(pair_list.pairs(), tables, spec.topology.type_ids(),
+                      spec.topology.charges(), spec.positions, spec.box, out);
+  });
+  const double cluster_s = best_eval_s([&] {
+    ff::compute_clusters(cl, tables, spec.positions, spec.box, out);
+  });
+  auto exec = ExecutionContext::create(ExecutionConfig{8});
+  const double cluster8_s = best_eval_s([&] {
+    ff::compute_clusters(cl, tables, spec.positions, spec.box, out, 1.0, 1.0,
+                         exec.get());
+  });
+
+  std::printf("\nnonbonded kernel throughput, %zu atoms, %.0f pairs "
+              "(best of 5):\n",
+              n_atoms, n_pairs);
+  std::printf("  pair     (serial):    %8.3f ms  %7.1f Mpairs/s\n",
+              pair_s * 1e3, n_pairs / pair_s * 1e-6);
+  std::printf("  cluster  (serial):    %8.3f ms  %7.1f Mpairs/s  (%.2fx)\n",
+              cluster_s * 1e3, n_pairs / cluster_s * 1e-6,
+              pair_s / cluster_s);
+  std::printf("  cluster  (8 threads): %8.3f ms  %7.1f Mpairs/s  (%.2fx)\n",
+              cluster8_s * 1e3, n_pairs / cluster8_s * 1e-6,
+              pair_s / cluster8_s);
+  std::printf("  tile fill ratio: %.3f (%zu tiles)\n\n", cl.fill_ratio(),
+              cl.entries.size());
+
+  bench::write_json_report(
+      "micro_kernels", 1,
+      {{"atoms", static_cast<double>(n_atoms)},
+       {"pairs", n_pairs},
+       {"cluster_tiles", static_cast<double>(cl.entries.size())},
+       {"cluster_fill_ratio", cl.fill_ratio()},
+       {"pair_eval_s", pair_s},
+       {"cluster_eval_s", cluster_s},
+       {"cluster_eval_8t_s", cluster8_s},
+       {"pair_mpairs_per_s", n_pairs / pair_s * 1e-6},
+       {"cluster_mpairs_per_s", n_pairs / cluster_s * 1e-6},
+       {"cluster_mpairs_per_s_8t", n_pairs / cluster8_s * 1e-6},
+       {"speedup_cluster_vs_pair", pair_s / cluster_s},
+       {"speedup_cluster_8t_vs_pair", pair_s / cluster8_s}});
+}
+
 }  // namespace
 }  // namespace antmd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  antmd::kernel_throughput_report();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

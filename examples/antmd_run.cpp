@@ -497,6 +497,8 @@ int main(int argc, char** argv) {
       mc.dt_fs = cfg.get_double("dt_fs", 2.0);
       mc.kspace_interval = cfg.get_int("kspace_interval", 2);
       mc.neighbor_skin = cfg.get_double("skin", 1.0);
+      mc.nonbonded_kernel = ff::parse_nonbonded_kernel(
+          cfg.get_string("nonbonded_kernel", "cluster"));
       mc.init_temperature_k = cfg.get_double("temperature", 300.0);
       mc.thermostat = build_thermostat(cfg);
       mc.engine.execution = exec;
@@ -540,6 +542,8 @@ int main(int argc, char** argv) {
               .kspace_interval(cfg.get_int("kspace_interval", 1))
               .respa_inner(cfg.get_int("respa_inner", 1))
               .neighbor_skin(cfg.get_double("skin", 1.0))
+              .nonbonded_kernel(ff::parse_nonbonded_kernel(
+                  cfg.get_string("nonbonded_kernel", "cluster")))
               .init_temperature(cfg.get_double("temperature", 300.0))
               .thermostat(build_thermostat(cfg))
               .barostat(bc)

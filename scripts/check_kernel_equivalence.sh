@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Differential check of the two nonbonded kernels on the bench systems:
+# runs antmd_run with nonbonded_kernel = pair and = cluster on identical
+# configs and byte-compares the trajectories (the kernels are specified to
+# be bit-identical, so `cmp` — not a tolerance diff — is the bar).  Also
+# verifies the cluster kernel is thread-invariant: --threads 1 vs 2 vs 8
+# must produce byte-identical trajectories.
+#
+# Usage: scripts/check_kernel_equivalence.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+RUN="${BUILD_DIR}/examples/antmd_run"
+if [ ! -x "$RUN" ]; then
+  echo "building antmd_run in ${BUILD_DIR}..."
+  cmake -B "${BUILD_DIR}" -S . > /dev/null
+  cmake --build "${BUILD_DIR}" --target antmd_run -j > /dev/null
+fi
+
+WORK="$(mktemp -d /tmp/antmd_kernel_eq.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+# name | base config body (kernel/xyz keys appended per run)
+write_base() {
+  case "$1" in
+    ljfluid512)
+      cat <<'EOF'
+system = ljfluid
+size = 512
+steps = 100
+dt_fs = 2.0
+temperature = 120
+thermostat = langevin
+electrostatics = none
+cutoff = 8.0
+skin = 1.0
+seed = 3
+EOF
+      ;;
+    water216)
+      cat <<'EOF'
+system = water
+size = 216
+steps = 60
+dt_fs = 2.0
+temperature = 300
+thermostat = nosehoover
+electrostatics = gse
+cutoff = 6.0
+skin = 1.0
+seed = 3
+EOF
+      ;;
+    polymer)
+      cat <<'EOF'
+system = polymer
+size = 216
+chain_length = 12
+steps = 60
+dt_fs = 2.0
+temperature = 300
+thermostat = langevin
+electrostatics = cutoff
+cutoff = 7.0
+skin = 1.0
+seed = 3
+EOF
+      ;;
+  esac
+}
+
+run_one() {  # system kernel threads -> trajectory path
+  local sys="$1" kernel="$2" threads="$3"
+  local tag="${sys}_${kernel}_t${threads}"
+  local cfg="${WORK}/${tag}.cfg"
+  write_base "$sys" > "$cfg"
+  {
+    echo "nonbonded_kernel = ${kernel}"
+    echo "threads = ${threads}"
+    echo "xyz = ${WORK}/${tag}.xyz"
+  } >> "$cfg"
+  "$RUN" "$cfg" > "${WORK}/${tag}.log" 2>&1 \
+    || { echo "FAIL: antmd_run ${tag} exited non-zero"; \
+         tail -5 "${WORK}/${tag}.log"; exit 1; }
+  echo "${WORK}/${tag}.xyz"
+}
+
+status=0
+for sys in ljfluid512 water216 polymer; do
+  pair_xyz="$(run_one "$sys" pair 1)"
+  cluster_xyz="$(run_one "$sys" cluster 1)"
+  if cmp -s "$pair_xyz" "$cluster_xyz"; then
+    echo "OK  ${sys}: pair == cluster (byte-identical trajectory)"
+  else
+    echo "FAIL ${sys}: pair and cluster trajectories differ:"
+    cmp "$pair_xyz" "$cluster_xyz" || true
+    status=1
+  fi
+
+  t1="$(run_one "$sys" cluster 1)"
+  for t in 2 8; do
+    tn="$(run_one "$sys" cluster "$t")"
+    if cmp -s "$t1" "$tn"; then
+      echo "OK  ${sys}: cluster --threads 1 == --threads ${t}"
+    else
+      echo "FAIL ${sys}: cluster kernel not thread-invariant at ${t} threads:"
+      cmp "$t1" "$tn" || true
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "kernel equivalence: all checks passed"
+else
+  echo "kernel equivalence: FAILURES above"
+fi
+exit "$status"

@@ -19,3 +19,9 @@ FILTER="${1:-util_test|io_test|md_test|runtime_test|sampling_test|checkpoint_tes
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}" \
   ctest --test-dir build-asan -R "$FILTER" --output-on-failure
+
+# The golden-physics harness walks every tile mask of the cluster-pair
+# kernel (gather buffers, padding slots, chunk scratch) — run it under ASan
+# so a layout bug shows up as an instrumented fault, not a physics diff.
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}" \
+  ctest --test-dir build-asan -L golden --output-on-failure

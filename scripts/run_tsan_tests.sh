@@ -18,3 +18,9 @@ FILTER="${1:-obs_test|util_test|md_test|runtime_test|sampling_test|parallel_dete
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
   ctest --test-dir build-tsan -R "$FILTER" --output-on-failure
+
+# The golden harness includes the cluster-kernel thread-invariance case
+# (1/2/8 worker fan-out over shared tile scratch) — exactly the access
+# pattern TSan is for.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+  ctest --test-dir build-tsan -L golden --output-on-failure

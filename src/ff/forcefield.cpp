@@ -99,6 +99,14 @@ void ForceField::compute_nonbonded(std::span<const ff::PairEntry> pairs,
                     box, out, vdw_scale_, charge_scale_);
 }
 
+void ForceField::compute_nonbonded_clusters(const ff::ClusterPairList& clusters,
+                                            std::span<const Vec3> pos,
+                                            const Box& box, ForceResult& out,
+                                            ExecutionContext* exec) const {
+  ff::compute_clusters(clusters, tables_, pos, box, out, vdw_scale_,
+                       charge_scale_, exec);
+}
+
 void ForceField::compute_kspace(std::span<const Vec3> pos, const Box& box,
                                 ForceResult& out) const {
   if (!gse_) return;

@@ -18,6 +18,7 @@
 #include "ff/bonded.hpp"
 #include "ff/energy.hpp"
 #include "ff/nonbonded.hpp"
+#include "ff/nonbonded_cluster.hpp"
 #include "ff/restraints.hpp"
 #include "ff/vsites.hpp"
 #include "topo/topology.hpp"
@@ -60,6 +61,14 @@ class ForceField {
   void compute_nonbonded(std::span<const ff::PairEntry> pairs,
                          std::span<const Vec3> pos, const Box& box,
                          ForceResult& out) const;
+
+  /// Same terms over the blocked cluster-pair list (bit-identical to
+  /// compute_nonbonded over the list's source pairs); `exec` fans the tile
+  /// chunks out deterministically when parallel.
+  void compute_nonbonded_clusters(const ff::ClusterPairList& clusters,
+                                  std::span<const Vec3> pos, const Box& box,
+                                  ForceResult& out,
+                                  ExecutionContext* exec = nullptr) const;
 
   /// Reciprocal-space electrostatics (no-op unless the model is kEwaldReal).
   void compute_kspace(std::span<const Vec3> pos, const Box& box,

@@ -1,0 +1,298 @@
+#include "ff/nonbonded_cluster.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace antmd::ff {
+
+NonbondedKernel parse_nonbonded_kernel(const std::string& name) {
+  if (name == "pair") return NonbondedKernel::kPair;
+  if (name == "cluster") return NonbondedKernel::kCluster;
+  throw ConfigError("nonbonded_kernel must be \"pair\" or \"cluster\", got \"" +
+                    name + "\"");
+}
+
+const char* to_string(NonbondedKernel kernel) {
+  return kernel == NonbondedKernel::kPair ? "pair" : "cluster";
+}
+
+void gather_cluster_coords(const ClusterPairList& list,
+                           std::span<const Vec3> pos) {
+  const size_t slots = list.atoms.size();
+  list.sx.resize(slots);
+  list.sy.resize(slots);
+  list.sz.resize(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    const uint32_t atom = list.atoms[s];
+    if (atom == kPadAtom) {
+      // Never read through the mask; any finite value works.
+      list.sx[s] = 0.0;
+      list.sy[s] = 0.0;
+      list.sz[s] = 0.0;
+      continue;
+    }
+    const Vec3& p = pos[atom];
+    list.sx[s] = p.x;
+    list.sy[s] = p.y;
+    list.sz[s] = p.z;
+  }
+}
+
+namespace {
+
+// The inner loop, specialized at compile time on whether an electrostatics
+// table is present, whether both lambda scales are exactly 1 (x * 1.0 == x
+// for every double, so skipping the multiply is bit-identical), and whether
+// every table covers the cutoff (s_max >= cutoff², so the eval's own range
+// check can never fire and is skipped).  kSingleType handles the common
+// single-species case: the lone table view lives in registers for the whole
+// loop, so per-pair type loads and grid indexing disappear.  All variants
+// produce bit-identical results to the generic path; they only shed work
+// that is provably dead.
+template <bool kHasElec, bool kUnitScale, bool kTightTables,
+          bool kSingleType = false>
+void cluster_entries_impl(const ClusterPairList& list,
+                          std::span<const ClusterPairEntry> entries,
+                          std::span<const RadialTableView> grid,
+                          size_t n_types, const RadialTableView& elec,
+                          double cutoff2, const Box& box,
+                          FixedForceArray& forces, EnergyBreakdown& energy,
+                          Mat3& virial, double vdw_scale,
+                          double charge_product_scale) {
+  const double* sx = list.sx.data();
+  const double* sy = list.sy.data();
+  const double* sz = list.sz.data();
+  const uint32_t* types = list.slot_types.data();
+  const double* charges = list.slot_charges.data();
+  const Vec3 edges = box.edges();
+  const double hx = 0.5 * edges.x;
+  const double hy = 0.5 * edges.y;
+  const double hz = 0.5 * edges.z;
+
+  auto eval = [](const RadialTableView& v, double r2) {
+    if constexpr (kTightTables) {
+      return evaluate_view_incutoff(v, r2);
+    } else {
+      return evaluate_view(v, r2);
+    }
+  };
+  // By-value copy for the single-type case: a local aggregate the compiler
+  // can keep entirely in registers across the loop.
+  const RadialTableView only_view =
+      kSingleType ? grid.front() : RadialTableView{};
+
+  int64_t e_vdw_q = 0;
+  int64_t e_elec_q = 0;
+  // Local virial accumulators: summed per pair in entry order (the same
+  // per-component chains as `virial += outer(d, f)` would produce) but kept
+  // out of the sink until the end, so the compiler keeps them in registers
+  // instead of re-loading the sink every pair (it cannot prove no aliasing).
+  double v00 = 0, v01 = 0, v02 = 0;
+  double v10 = 0, v11 = 0, v12 = 0;
+  double v20 = 0, v21 = 0, v22 = 0;
+
+  // Entries arrive sorted by (ci, cj), so consecutive tiles share their
+  // i-cluster.  The i-side quanta accumulate across the whole run and hit
+  // memory once per run (~tens of tiles) instead of once per tile; integer
+  // addition is order-independent, so per-atom totals are unchanged.
+  int64_t fi[kClusterSize][3] = {};
+  uint32_t run_ci = entries.empty() ? 0u : entries.front().ci;
+  auto flush_fi = [&](uint32_t ci) {
+    const size_t b = static_cast<size_t>(ci) * kClusterSize;
+    for (unsigned k = 0; k < kClusterSize; ++k) {
+      if ((fi[k][0] | fi[k][1] | fi[k][2]) != 0) {
+        forces.add_quanta(list.atoms[b + k], {fi[k][0], fi[k][1], fi[k][2]});
+        fi[k][0] = 0; fi[k][1] = 0; fi[k][2] = 0;
+      }
+    }
+  };
+
+  for (const ClusterPairEntry& e : entries) {
+    if (e.ci != run_ci) {
+      flush_fi(run_ci);
+      run_ci = e.ci;
+    }
+    const size_t bi = static_cast<size_t>(e.ci) * kClusterSize;
+    const size_t bj = static_cast<size_t>(e.cj) * kClusterSize;
+    // The j-side quanta stay in registers for the tile; one scatter per
+    // touched slot at tile end instead of a memory round trip per pair.
+    int64_t fj[kClusterSize][3] = {};
+
+    for (uint32_t m = e.mask; m != 0; m &= m - 1) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(m));
+      const unsigned a = bit >> 2;
+      const unsigned b = bit & 3;
+
+      // Exact minimum image with a half-box fast path: for |d| < L/2 the
+      // wrap count nearbyint(d/L) is exactly zero (division is monotone and
+      // nearbyint rounds half to even), so skipping the division changes no
+      // bit relative to Box::min_image.  The slow branch is the verbatim
+      // Box::min_image arithmetic, taken only by boundary-crossing pairs.
+      double dx = sx[bi + a] - sx[bj + b];
+      double dy = sy[bi + a] - sy[bj + b];
+      double dz = sz[bi + a] - sz[bj + b];
+      if (dx >= hx || dx <= -hx) dx -= std::nearbyint(dx / edges.x) * edges.x;
+      if (dy >= hy || dy <= -hy) dy -= std::nearbyint(dy / edges.y) * edges.y;
+      if (dz >= hz || dz <= -hz) dz -= std::nearbyint(dz / edges.z) * edges.z;
+
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= cutoff2) continue;
+
+      const RadialEval vdw =
+          kSingleType
+              ? eval(only_view, r2)
+              : eval(grid[types[bi + a] * n_types + types[bj + b]], r2);
+      double f_over_r;
+      if constexpr (kUnitScale) {
+        f_over_r = vdw.force_over_r;
+        e_vdw_q += fixed::quantize_round(vdw.energy, fixed::kEnergyScale);
+      } else {
+        f_over_r = vdw.force_over_r * vdw_scale;
+        e_vdw_q += fixed::quantize_round(vdw.energy * vdw_scale,
+                                         fixed::kEnergyScale);
+      }
+      if constexpr (kHasElec) {
+        double qq = charges[bi + a] * charges[bj + b];
+        if constexpr (!kUnitScale) qq *= charge_product_scale;
+        if (qq != 0.0) {
+          const RadialEval el = eval(elec, r2);
+          f_over_r += qq * el.force_over_r;
+          e_elec_q +=
+              fixed::quantize_round(qq * el.energy, fixed::kEnergyScale);
+        }
+      }
+
+      const double fx = f_over_r * dx;
+      const double fy = f_over_r * dy;
+      const double fz = f_over_r * dz;
+      const int64_t qx = fixed::quantize_round(fx, fixed::kForceScale);
+      const int64_t qy = fixed::quantize_round(fy, fixed::kForceScale);
+      const int64_t qz = fixed::quantize_round(fz, fixed::kForceScale);
+      fi[a][0] += qx; fi[a][1] += qy; fi[a][2] += qz;
+      fj[b][0] -= qx; fj[b][1] -= qy; fj[b][2] -= qz;
+      v00 += dx * fx; v01 += dx * fy; v02 += dx * fz;
+      v10 += dy * fx; v11 += dy * fy; v12 += dy * fz;
+      v20 += dz * fx; v21 += dz * fy; v22 += dz * fz;
+    }
+
+    for (unsigned k = 0; k < kClusterSize; ++k) {
+      // Padded slots (and untouched lanes) carry all-zero quanta.
+      if ((fj[k][0] | fj[k][1] | fj[k][2]) != 0) {
+        forces.add_quanta(list.atoms[bj + k], {fj[k][0], fj[k][1], fj[k][2]});
+      }
+    }
+  }
+  if (!entries.empty()) flush_fi(run_ci);
+
+  Mat3 v;
+  v.m = {v00, v01, v02, v10, v11, v12, v20, v21, v22};
+  virial += v;
+  energy.vdw.add_raw(e_vdw_q);
+  energy.coulomb_real.add_raw(e_elec_q);
+}
+
+}  // namespace
+
+void compute_cluster_entries(const ClusterPairList& list,
+                             std::span<const ClusterPairEntry> entries,
+                             const PairTableSet& tables, const Box& box,
+                             FixedForceArray& forces, EnergyBreakdown& energy,
+                             Mat3& virial, double vdw_scale,
+                             double charge_product_scale) {
+  const double cutoff2 = tables.model().cutoff * tables.model().cutoff;
+  const bool has_elec = tables.elec_table().has_value();
+  const RadialTableView elec =
+      has_elec ? tables.elec_table()->view() : RadialTableView{};
+
+  // Dense type-pair grid of by-value table views: the triangular
+  // (bounds-checked) lookup runs once per type pair per call instead of once
+  // per interaction, and each lookup in the loop reads the per-bin packed
+  // knot layout with no pointer chase through the table object.
+  const size_t n_types = tables.type_count();
+  std::vector<RadialTableView> grid(n_types * n_types);
+  bool tight = !has_elec || elec.s_max >= cutoff2;
+  for (uint32_t a = 0; a < n_types; ++a) {
+    for (uint32_t b = 0; b < n_types; ++b) {
+      grid[a * n_types + b] = tables.vdw_table(a, b).view();
+      tight = tight && grid[a * n_types + b].s_max >= cutoff2;
+    }
+  }
+  const bool unit = vdw_scale == 1.0 && charge_product_scale == 1.0;
+
+  auto run = [&](auto impl) {
+    impl(list, entries, std::span<const RadialTableView>(grid), n_types, elec,
+         cutoff2, box, forces, energy, virial, vdw_scale,
+         charge_product_scale);
+  };
+  const bool single = n_types == 1;
+  if (has_elec) {
+    if (unit && tight && single)
+      run(cluster_entries_impl<true, true, true, true>);
+    else if (unit && tight)  run(cluster_entries_impl<true, true, true>);
+    else if (unit)           run(cluster_entries_impl<true, true, false>);
+    else if (tight)          run(cluster_entries_impl<true, false, true>);
+    else                     run(cluster_entries_impl<true, false, false>);
+  } else {
+    if (unit && tight && single)
+      run(cluster_entries_impl<false, true, true, true>);
+    else if (unit && tight)  run(cluster_entries_impl<false, true, true>);
+    else if (unit)           run(cluster_entries_impl<false, true, false>);
+    else if (tight)          run(cluster_entries_impl<false, false, true>);
+    else                     run(cluster_entries_impl<false, false, false>);
+  }
+}
+
+void compute_clusters(const ClusterPairList& list, const PairTableSet& tables,
+                      std::span<const Vec3> pos, const Box& box,
+                      ForceResult& out, double vdw_scale,
+                      double charge_product_scale, ExecutionContext* exec) {
+  gather_cluster_coords(list, pos);
+  const size_t n_entries = list.entries.size();
+  if (n_entries == 0) return;
+
+  // The chunk partition is a function of the list alone — never the thread
+  // count — and chunk virial partials are reduced in ascending chunk order,
+  // so even the double-precision virial is identical at any thread count.
+  constexpr size_t kMinChunkEntries = 256;
+  constexpr size_t kMaxChunks = 16;
+  const size_t want =
+      (n_entries + kMinChunkEntries - 1) / kMinChunkEntries;
+  const size_t chunk_len =
+      (n_entries + std::min(want, kMaxChunks) - 1) /
+      std::min(want, kMaxChunks);
+  const size_t n_chunks = (n_entries + chunk_len - 1) / chunk_len;
+  auto chunk = [&](size_t c) {
+    const size_t lo = c * chunk_len;
+    const size_t hi = std::min(lo + chunk_len, n_entries);
+    return std::span<const ClusterPairEntry>(list.entries.data() + lo,
+                                             hi - lo);
+  };
+
+  if (exec != nullptr && exec->parallel() && n_chunks > 1) {
+    list.chunk_scratch.resize(n_chunks);
+    exec->parallel_for(n_chunks, [&](size_t c) {
+      ForceResult& partial = list.chunk_scratch[c];
+      partial.reset(out.forces.size());
+      compute_cluster_entries(list, chunk(c), tables, box, partial.forces,
+                              partial.energy, partial.virial, vdw_scale,
+                              charge_product_scale);
+    });
+    for (size_t c = 0; c < n_chunks; ++c) out.merge(list.chunk_scratch[c]);
+  } else {
+    // Same arithmetic as the parallel path: fixed-point sums go straight
+    // into `out` (order-independent), the virial through a chunk-local
+    // partial so its summation grouping matches the merge above bitwise.
+    for (size_t c = 0; c < n_chunks; ++c) {
+      Mat3 v{};
+      compute_cluster_entries(list, chunk(c), tables, box, out.forces,
+                              out.energy, v, vdw_scale,
+                              charge_product_scale);
+      out.virial += v;
+    }
+  }
+}
+
+}  // namespace antmd::ff

@@ -1,0 +1,130 @@
+// Blocked cluster-pair nonbonded kernel (the GROMACS NxM shape mapped onto
+// antmd's deterministic fixed-point contract).
+//
+// The flat pair list streams one (i, j) entry per interaction; the cluster
+// list regroups *exactly the same pair set* into 4x4 tiles: atoms are
+// ordered by cell-list cell, chunked into clusters of kClusterSize, and
+// every surviving flat pair becomes one bit in the 16-bit interaction mask
+// of its (cluster_i, cluster_j) tile.  The kernel gathers coordinates and
+// per-atom parameters once per cluster (SoA), walks the mask bits, and
+// accumulates forces/energies through the same quantize-once fixed-point
+// path as ff::compute_pairs — so the two kernels are bit-identical in every
+// fixed-point sum, and the tile structure only changes memory traffic and
+// per-pair overhead, not physics.
+//
+// Determinism contract (mirrors util::ExecutionContext):
+//   - forces and energies are integer sums → independent of tile order,
+//     chunking and thread count, and bit-identical to the flat kernel;
+//   - the double-precision virial is summed per fixed-size entry chunk and
+//     the chunk partials are reduced in ascending chunk order, so it too is
+//     bit-identical across thread counts (chunk boundaries depend only on
+//     the list, never on the thread count).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ff/energy.hpp"
+#include "ff/nonbonded.hpp"
+#include "math/pbc.hpp"
+#include "util/execution.hpp"
+
+namespace antmd::ff {
+
+/// Kernel selector for the real-space nonbonded hot path.
+enum class NonbondedKernel {
+  kPair,     ///< flat pair-by-pair loop (reference implementation)
+  kCluster,  ///< blocked 4x4 cluster-pair tiles (default)
+};
+
+/// Parses "pair" / "cluster"; throws ConfigError on anything else.
+[[nodiscard]] NonbondedKernel parse_nonbonded_kernel(const std::string& name);
+[[nodiscard]] const char* to_string(NonbondedKernel kernel);
+
+/// Atoms per cluster (one tile covers kClusterSize² candidate pairs).
+inline constexpr uint32_t kClusterSize = 4;
+
+/// Slot sentinel for the ragged last cluster.
+inline constexpr uint32_t kPadAtom = 0xffffffffu;
+
+/// One cluster-i × cluster-j tile.  Bit (a*kClusterSize + b) of `mask` is
+/// set when slot a of cluster ci interacts with slot b of cluster cj; the
+/// mask encodes exactly the flat list's pair set (in reach at build time,
+/// exclusions removed, each unordered pair exactly once), never padding.
+struct ClusterPairEntry {
+  uint32_t ci = 0;
+  uint32_t cj = 0;   ///< ci <= cj
+  uint16_t mask = 0;
+  /// Periodic shift of cj's cell relative to ci's at build time, encoded as
+  /// (sx+1) + 3*(sy+1) + 9*(sz+1) with s ∈ {-1,0,1} (13 = no wrap).  This is
+  /// what the hardware import machinery would key on; the software kernel
+  /// stays exact under arbitrary drift by re-deriving the minimum image per
+  /// pair (with a half-box fast path), so the index is advisory: modeled
+  /// import accounting and diagnostics only.
+  uint16_t shift = 13;
+};
+
+/// The blocked list: SoA per-slot static data plus the tile entries.
+/// Built by md::NeighborList from its flat pair vector (see
+/// NeighborList::clusters()); consumed by compute_clusters().
+struct ClusterPairList {
+  /// Slot -> global atom id, kPadAtom in padded slots; size is
+  /// cluster_count() * kClusterSize.
+  std::vector<uint32_t> atoms;
+  std::vector<uint32_t> slot_types;   ///< padded slots hold 0
+  std::vector<double> slot_charges;   ///< padded slots hold 0.0
+  std::vector<ClusterPairEntry> entries;  ///< sorted by (ci, cj)
+  size_t real_pairs = 0;  ///< total mask popcount == flat pair count
+
+  [[nodiscard]] size_t cluster_count() const {
+    return atoms.size() / kClusterSize;
+  }
+  /// Pipeline lanes a 4x4-tile evaluator streams (incl. masked-off ones).
+  [[nodiscard]] size_t lane_count() const {
+    return entries.size() * kClusterSize * kClusterSize;
+  }
+  /// Useful-work fraction of the streamed lanes (telemetry gauge).
+  [[nodiscard]] double fill_ratio() const {
+    size_t lanes = lane_count();
+    return lanes ? static_cast<double>(real_pairs) /
+                       static_cast<double>(lanes)
+                 : 0.0;
+  }
+
+  // Kernel scratch, reused across steps.  Mutable because force evaluation
+  // is logically const on the list; a list serves one kernel call at a time
+  // (same single-writer discipline as the rest of the simulation).
+  mutable std::vector<double> sx, sy, sz;         ///< gathered coordinates
+  mutable std::vector<ForceResult> chunk_scratch; ///< parallel partials
+};
+
+/// Gathers `pos` into the list's SoA coordinate scratch (cluster order).
+/// Must run after every position change and before compute_cluster_entries;
+/// compute_clusters() calls it itself.
+void gather_cluster_coords(const ClusterPairList& list,
+                           std::span<const Vec3> pos);
+
+/// Evaluates a span of tiles into explicit sinks.  Assumes
+/// gather_cluster_coords() ran at the current positions.  The virial sink is
+/// separate from the fixed-point sinks so callers control its summation
+/// grouping (see compute_clusters for why).
+void compute_cluster_entries(const ClusterPairList& list,
+                             std::span<const ClusterPairEntry> entries,
+                             const PairTableSet& tables, const Box& box,
+                             FixedForceArray& forces, EnergyBreakdown& energy,
+                             Mat3& virial, double vdw_scale = 1.0,
+                             double charge_product_scale = 1.0);
+
+/// Whole-list evaluation: gather + fixed-size entry chunks, fanned out over
+/// `exec` when parallel.  Bit-identical to ff::compute_pairs over the source
+/// flat list in forces and energies, and bit-identical to itself at any
+/// thread count (including the virial).
+void compute_clusters(const ClusterPairList& list, const PairTableSet& tables,
+                      std::span<const Vec3> pos, const Box& box,
+                      ForceResult& out, double vdw_scale = 1.0,
+                      double charge_product_scale = 1.0,
+                      ExecutionContext* exec = nullptr);
+
+}  // namespace antmd::ff

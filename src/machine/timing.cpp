@@ -25,7 +25,7 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
   const double mean_hop_lat = torus_.mean_hops() * config_.hop_latency_s;
 
   double worst_multicast = 0, worst_pair = 0, worst_gcf = 0, worst_reduce = 0,
-         worst_update = 0;
+         worst_update = 0, worst_pair_masked = 0;
   for (size_t i = 0; i < work.nodes.size(); ++i) {
     const NodeWork& n = work.nodes[i];
     const double slow = node_slowdown(i);
@@ -33,23 +33,43 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
                   static_cast<double>(n.messages) *
                       config_.message_overhead_s +
                   (n.import_bytes > 0 ? mean_hop_lat : 0.0);
-    double examined = static_cast<double>(
-        n.pairs_examined ? n.pairs_examined : n.pairs);
-    double t_pair =
-        slow * std::max(static_cast<double>(n.pairs) / pair_rate,
+    double t_pair;
+    double t_masked = 0.0;
+    if (n.cluster_tiles > 0) {
+      // Blocked kernel: the pipelines stream every lane of every tile
+      // (masked lanes burn a slot too), while the match unit only has to
+      // screen one candidate per tile — the blocking trades lane padding
+      // for a 16x lighter match stream.
+      const double lanes = static_cast<double>(n.cluster_lanes);
+      const double tiles = static_cast<double>(n.cluster_tiles);
+      t_pair = slow *
+               std::max(lanes / pair_rate,
+                        tiles / (pair_rate * config_.match_rate_multiple));
+      const double masked_lanes = lanes - static_cast<double>(n.pairs);
+      t_masked = lanes > 0 ? t_pair * masked_lanes / lanes : 0.0;
+    } else {
+      double examined = static_cast<double>(
+          n.pairs_examined ? n.pairs_examined : n.pairs);
+      t_pair = slow *
+               std::max(static_cast<double>(n.pairs) / pair_rate,
                         examined / (pair_rate * config_.match_rate_multiple));
+    }
     double t_gcf = slow * n.gc_force_flops / gc_rate;
     double t_red = n.export_bytes / inject_bw +
                    (n.export_bytes > 0 ? mean_hop_lat : 0.0);
     double t_upd = slow * n.gc_update_flops / gc_rate;
     worst_multicast = std::max(worst_multicast, t_mc);
-    worst_pair = std::max(worst_pair, t_pair);
+    if (t_pair > worst_pair) {
+      worst_pair = t_pair;
+      worst_pair_masked = t_masked;
+    }
     worst_gcf = std::max(worst_gcf, t_gcf);
     worst_reduce = std::max(worst_reduce, t_red);
     worst_update = std::max(worst_update, t_upd);
   }
   out.multicast = worst_multicast;
   out.pair_phase = worst_pair;
+  out.pair_masked = worst_pair_masked;
   out.gc_force_phase = worst_gcf;
   out.interaction = std::max(worst_pair, worst_gcf);
   out.reduce = worst_reduce;

@@ -26,6 +26,12 @@ namespace antmd::machine {
 struct NodeWork {
   size_t pairs = 0;              ///< tabulated pair evaluations (HTIS)
   size_t pairs_examined = 0;     ///< match-unit candidates (0 = same as pairs)
+  /// Blocked cluster-pair kernel counts.  When cluster_tiles > 0 the HTIS
+  /// phase is charged per streamed tile lane (cluster_lanes = tiles × 16,
+  /// masked-off lanes included — the pipeline cannot skip them) instead of
+  /// per matched pair, and the match unit screens tiles, not pairs.
+  size_t cluster_tiles = 0;
+  size_t cluster_lanes = 0;
   double gc_force_flops = 0.0;   ///< bonded/restraints/etc — overlaps HTIS
   double gc_update_flops = 0.0;  ///< integration/constraints — post-reduce
   double import_bytes = 0.0;     ///< position data this node receives
@@ -53,6 +59,10 @@ struct StepWork {
 struct StepBreakdown {
   double multicast = 0.0;
   double pair_phase = 0.0;      ///< HTIS time (max over nodes)
+  /// Share of the worst node's pair_phase spent streaming masked-off tile
+  /// lanes (cluster kernel only; the padding cost of blocking).  Included
+  /// in pair_phase, not added to total.
+  double pair_masked = 0.0;
   double gc_force_phase = 0.0;  ///< concurrent GC force work (max over nodes)
   double interaction = 0.0;     ///< max(pair_phase, gc_force_phase)
   double reduce = 0.0;

@@ -33,6 +33,27 @@ inline constexpr double kEnergyScale = 4294967296.0;  // 2^32
 inline int64_t quantize(double v, double scale) {
   return std::llround(v * scale);
 }
+
+/// Bit-for-bit equal to quantize(), computed with the hardware round
+/// instruction instead of the libm llround call (which most compilers
+/// cannot inline because no instruction rounds ties away from zero).
+/// nearbyint rounds ties to even, so the only inputs where the two differ
+/// are exact .5 ties; t - nearbyint(t) is computed exactly whenever
+/// |t - nearbyint(t)| <= 0.5 (Sterbenz), so the tie test below is exact
+/// and the correction restores llround's away-from-zero behaviour.
+/// Hot kernels use this; everything else keeps the libm spelling.
+inline int64_t quantize_round(double v, double scale) {
+  const double t = v * scale;
+  const double r = std::nearbyint(t);
+  auto q = static_cast<int64_t>(r);
+  const double d = t - r;
+  if (d == 0.5 && t > 0.0) {
+    ++q;  // e.g. 2.5: nearbyint gives 2, llround gives 3
+  } else if (d == -0.5 && t < 0.0) {
+    --q;  // e.g. -2.5: nearbyint gives -2, llround gives -3
+  }
+  return q;
+}
 inline double dequantize(int64_t q, double scale) {
   return static_cast<double>(q) / scale;
 }
@@ -129,6 +150,9 @@ class FixedScalar {
   FixedScalar() = default;
 
   void add(double v) { q_ += fixed::quantize(v, fixed::kEnergyScale); }
+  /// Adds pre-quantized energy quanta (kernels that batch per-pair quanta
+  /// in a local int64 and flush once — same integer sum as per-pair add()).
+  void add_raw(int64_t q) { q_ += q; }
   void merge(const FixedScalar& o) { q_ += o.q_; }
   [[nodiscard]] double value() const {
     return fixed::dequantize(q_, fixed::kEnergyScale);

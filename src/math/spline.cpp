@@ -76,6 +76,10 @@ RadialTable RadialTable::from_potential(
   const size_t knots = bins + 1;
   const double ds = (t.s_max_ - t.s_min_) / static_cast<double>(bins);
   t.inv_ds_ = 1.0 / ds;
+  // The basis uses the double-rounded reciprocal (matching the historical
+  // `1.0 / inv_ds_` in evaluate()), not `ds`, so cached results are
+  // bit-identical to recomputing it per call.
+  t.ds_ = 1.0 / t.inv_ds_;
 
   const double shift = shift_to_zero ? energy(r_cut) : 0.0;
 
@@ -104,33 +108,27 @@ RadialTable RadialTable::from_potential(
       t.dgvalue_[k] = (t.gvalue_[k + 1] - t.gvalue_[k - 1]) * 0.5 * t.inv_ds_;
     }
   }
+  // 8 doubles (one cache line) per bin; pad the front so the first bin's
+  // slot lands on a 64-byte boundary wherever the heap block starts.
+  t.packed_.resize(bins * 8 + 8);
+  auto base = reinterpret_cast<uintptr_t>(t.packed_.data());
+  t.packed_skip_ = (64 - base % 64) % 64 / sizeof(double);
+  double* packed = t.packed_.data() + t.packed_skip_;
+  for (size_t k = 0; k < bins; ++k) {
+    packed[8 * k + 0] = t.value_[k];
+    packed[8 * k + 1] = t.dvalue_[k];
+    packed[8 * k + 2] = t.gvalue_[k];
+    packed[8 * k + 3] = t.dgvalue_[k];
+    packed[8 * k + 4] = t.value_[k + 1];
+    packed[8 * k + 5] = t.dvalue_[k + 1];
+    packed[8 * k + 6] = t.gvalue_[k + 1];
+    packed[8 * k + 7] = t.dgvalue_[k + 1];
+  }
   return t;
 }
 
 RadialEval RadialTable::evaluate(double r2) const {
-  if (r2 >= s_max_) return {};
-  double s = std::max(r2, s_min_);
-  double u = (s - s_min_) * inv_ds_;
-  auto bin = static_cast<size_t>(u);
-  const size_t last = value_.size() - 2;
-  if (bin > last) bin = last;
-  double tloc = u - static_cast<double>(bin);
-  double ds = 1.0 / inv_ds_;
-
-  // Cubic Hermite basis.
-  double t2 = tloc * tloc;
-  double t3 = t2 * tloc;
-  double h00 = 2 * t3 - 3 * t2 + 1;
-  double h10 = t3 - 2 * t2 + tloc;
-  double h01 = -2 * t3 + 3 * t2;
-  double h11 = t3 - t2;
-
-  RadialEval out;
-  out.energy = h00 * value_[bin] + h10 * ds * dvalue_[bin] +
-               h01 * value_[bin + 1] + h11 * ds * dvalue_[bin + 1];
-  out.force_over_r = h00 * gvalue_[bin] + h10 * ds * dgvalue_[bin] +
-                     h01 * gvalue_[bin + 1] + h11 * ds * dgvalue_[bin + 1];
-  return out;
+  return evaluate_inline(r2);
 }
 
 }  // namespace antmd

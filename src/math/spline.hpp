@@ -40,6 +40,19 @@ struct RadialEval {
   double force_over_r = 0.0;  ///< -(1/r) dU/dr; force vector = this * r_ij
 };
 
+/// Flat, by-value snapshot of a RadialTable for hot loops: the evaluation
+/// constants live in the struct (no pointer chase through the table object)
+/// and the knot data is the interleaved packed_ array, so one lookup touches
+/// one or two adjacent cache lines instead of eight scattered ones.
+struct RadialTableView {
+  double s_min = 0.0;
+  double s_max = 0.0;
+  double inv_ds = 0.0;
+  double ds = 0.0;
+  size_t last = 0;               ///< highest valid bin index
+  const double* packed = nullptr;  ///< 8 doubles per bin (see RadialTable)
+};
+
 /// Radial interaction table sampled uniformly in s = r², evaluated with
 /// cubic Hermite interpolation (value and d/ds at each knot), mirroring the
 /// hardware evaluator.  Below s_min the table clamps to the first knot (a
@@ -56,6 +69,41 @@ class RadialTable {
 
   [[nodiscard]] RadialEval evaluate(double r2) const;
 
+  /// Same arithmetic as evaluate(), defined inline so hot kernels get it
+  /// folded into their loop (no call, knot-array base pointers hoisted).
+  /// The two entry points return identical bits for every input.
+  [[nodiscard]] RadialEval evaluate_inline(double r2) const {
+    if (r2 >= s_max_) return {};
+    double s = r2 > s_min_ ? r2 : s_min_;
+    double u = (s - s_min_) * inv_ds_;
+    auto bin = static_cast<size_t>(u);
+    const size_t last = value_.size() - 2;
+    if (bin > last) bin = last;
+    double tloc = u - static_cast<double>(bin);
+
+    // Cubic Hermite basis.
+    double t2 = tloc * tloc;
+    double t3 = t2 * tloc;
+    double h00 = 2 * t3 - 3 * t2 + 1;
+    double h10 = t3 - 2 * t2 + tloc;
+    double h01 = -2 * t3 + 3 * t2;
+    double h11 = t3 - t2;
+
+    RadialEval out;
+    out.energy = h00 * value_[bin] + h10 * ds_ * dvalue_[bin] +
+                 h01 * value_[bin + 1] + h11 * ds_ * dvalue_[bin + 1];
+    out.force_over_r = h00 * gvalue_[bin] + h10 * ds_ * dgvalue_[bin] +
+                       h01 * gvalue_[bin + 1] + h11 * ds_ * dgvalue_[bin + 1];
+    return out;
+  }
+
+  /// Snapshot for evaluate_view(); valid while this table is alive and
+  /// unmoved (hot kernels build their view grid per call).
+  [[nodiscard]] RadialTableView view() const {
+    return {s_min_, s_max_, inv_ds_, ds_, value_.size() - 2,
+            packed_.data() + packed_skip_};
+  }
+
   [[nodiscard]] size_t bins() const { return value_.empty() ? 0
                                                             : value_.size() - 1; }
   [[nodiscard]] double r_cut() const { return r_cut_; }
@@ -66,12 +114,60 @@ class RadialTable {
   double s_min_ = 0.0;
   double s_max_ = 0.0;
   double inv_ds_ = 0.0;
+  double ds_ = 0.0;  ///< 1.0 / inv_ds_, cached (spacing used by the basis)
   double r_cut_ = 0.0;
   // Knot arrays for U(s) and G(s) = -(1/r) dU/dr as functions of s = r².
   std::vector<double> value_;    // U at knots
   std::vector<double> dvalue_;   // dU/ds at knots
   std::vector<double> gvalue_;   // G at knots
   std::vector<double> dgvalue_;  // dG/ds at knots
+  // Per-bin copy of the knot data, 8 doubles per bin in the order
+  // (value, dvalue, gvalue, dgvalue) for the bin's lower knot followed by
+  // the same four for its upper knot.  Each knot is stored twice (once per
+  // adjacent bin) so one lookup reads exactly one 64-byte cache line;
+  // packed_skip_ is the element offset that made the first bin's slot
+  // 64-byte-aligned when the table was built (copies may lose alignment,
+  // which costs nothing but speed).
+  std::vector<double> packed_;
+  size_t packed_skip_ = 0;
 };
+
+/// Same arithmetic as RadialTable::evaluate_inline(), reading the per-bin
+/// packed layout through a RadialTableView, without the above-cutoff test:
+/// the caller must guarantee r2 < s_max (hot kernels have already applied
+/// the cutoff, which equals s_max).  Every product and sum appears in the
+/// same order on the same values, so results are bit-identical to the
+/// member entry points for every in-range input.
+[[nodiscard]] inline RadialEval evaluate_view_incutoff(
+    const RadialTableView& v, double r2) {
+  double s = r2 > v.s_min ? r2 : v.s_min;
+  double u = (s - v.s_min) * v.inv_ds;
+  auto bin = static_cast<size_t>(u);
+  if (bin > v.last) bin = v.last;
+  double tloc = u - static_cast<double>(bin);
+
+  double t2 = tloc * tloc;
+  double t3 = t2 * tloc;
+  double h00 = 2 * t3 - 3 * t2 + 1;
+  double h10 = t3 - 2 * t2 + tloc;
+  double h01 = -2 * t3 + 3 * t2;
+  double h11 = t3 - t2;
+
+  const double* p = v.packed + 8 * bin;
+  RadialEval out;
+  out.energy = h00 * p[0] + h10 * v.ds * p[1] +
+               h01 * p[4] + h11 * v.ds * p[5];
+  out.force_over_r = h00 * p[2] + h10 * v.ds * p[3] +
+                     h01 * p[6] + h11 * v.ds * p[7];
+  return out;
+}
+
+/// evaluate_view_incutoff() behind the same out-of-range guard as
+/// RadialTable::evaluate(): zero at/above s_max.
+[[nodiscard]] inline RadialEval evaluate_view(const RadialTableView& v,
+                                              double r2) {
+  if (r2 >= v.s_max) return {};
+  return evaluate_view_incutoff(v, r2);
+}
 
 }  // namespace antmd

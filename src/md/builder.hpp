@@ -62,6 +62,9 @@ class SimulationBuilder {
   SimulationBuilder& velocity_seed(uint64_t seed) {
     config_.velocity_seed = seed; return *this;
   }
+  SimulationBuilder& nonbonded_kernel(ff::NonbondedKernel kernel) {
+    config_.nonbonded_kernel = kernel; return *this;
+  }
   /// Host threads for the parallel execution layer (1 = serial, 0 = auto).
   SimulationBuilder& threads(size_t n) {
     config_.execution.threads = n; return *this;

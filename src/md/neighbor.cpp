@@ -52,8 +52,9 @@ std::array<int, 3> CellList::cell_of(uint32_t atom) const {
   return atom_cells_[atom];
 }
 
-NeighborList::NeighborList(const Topology& topo, double cutoff, double skin)
-    : topo_(&topo), cutoff_(cutoff), skin_(skin) {
+NeighborList::NeighborList(const Topology& topo, double cutoff, double skin,
+                           bool cluster_mode)
+    : topo_(&topo), cutoff_(cutoff), skin_(skin), cluster_mode_(cluster_mode) {
   ANTMD_REQUIRE(cutoff > 0 && skin >= 0, "bad neighbor-list parameters");
 }
 
@@ -157,15 +158,136 @@ void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
                pairs_.end());
 
   reference_positions_.assign(positions.begin(), positions.end());
+  if (cluster_mode_) build_clusters(cells, positions.size());
   ++build_count_;
+}
+
+void NeighborList::build_clusters(const CellList& cells, size_t atom_count) {
+  ff::ClusterPairList& cl = clusters_;
+
+  // Cell-major atom order (same traversal the build used): clusters are
+  // spatially compact, so the 4x4 tiles over them stay densely masked.
+  std::vector<uint32_t> order;
+  order.reserve(atom_count);
+  for (int cz = 0; cz < cells.nz(); ++cz) {
+    for (int cy = 0; cy < cells.ny(); ++cy) {
+      for (int cx = 0; cx < cells.nx(); ++cx) {
+        const auto& c = cells.cell(cx, cy, cz);
+        order.insert(order.end(), c.begin(), c.end());
+      }
+    }
+  }
+
+  const size_t n_clusters =
+      (atom_count + ff::kClusterSize - 1) / ff::kClusterSize;
+  const size_t slots = n_clusters * ff::kClusterSize;
+  cl.atoms.assign(slots, ff::kPadAtom);
+  cl.slot_types.assign(slots, 0);
+  cl.slot_charges.assign(slots, 0.0);
+  const auto type_ids = topo_->type_ids();
+  const auto charges = topo_->charges();
+  std::vector<uint32_t> slot_of(atom_count);
+  for (size_t s = 0; s < order.size(); ++s) {
+    const uint32_t atom = order[s];
+    cl.atoms[s] = atom;
+    cl.slot_types[s] = type_ids[atom];
+    cl.slot_charges[s] = charges[atom];
+    slot_of[atom] = static_cast<uint32_t>(s);
+  }
+
+  // Every flat pair becomes exactly one mask bit of its (ci, cj) tile, so
+  // the tile list encodes the flat pair set by construction — the kernels
+  // compute identical interactions and the equivalence tests can assert
+  // exact pair-count accounting.
+  std::vector<std::pair<uint64_t, uint16_t>> keyed;
+  keyed.reserve(pairs_.size());
+  for (const ff::PairEntry& p : pairs_) {
+    const uint32_t si = slot_of[p.i];
+    const uint32_t sj = slot_of[p.j];
+    uint32_t ci = si / ff::kClusterSize;
+    uint32_t cj = sj / ff::kClusterSize;
+    uint32_t a = si % ff::kClusterSize;
+    uint32_t b = sj % ff::kClusterSize;
+    if (ci > cj) {
+      std::swap(ci, cj);
+      std::swap(a, b);
+    }
+    keyed.emplace_back(
+        (static_cast<uint64_t>(ci) << 32) | cj,
+        static_cast<uint16_t>(1u << (a * ff::kClusterSize + b)));
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  // Advisory periodic shift of cj relative to ci, from the cells of the
+  // clusters' lead atoms (a cluster can straddle a cell boundary; anything
+  // that is not a clean one-cell wrap is recorded as "no wrap").
+  auto shift_code = [&](uint32_t ci, uint32_t cj) {
+    const auto cell_i = cells.cell_of(cl.atoms[ci * ff::kClusterSize]);
+    const auto cell_j = cells.cell_of(cl.atoms[cj * ff::kClusterSize]);
+    const int dims[3] = {cells.nx(), cells.ny(), cells.nz()};
+    int code = 0;
+    int mult = 1;
+    for (int ax = 0; ax < 3; ++ax) {
+      const int d = cell_j[ax] - cell_i[ax];
+      int s = 0;
+      if (d > dims[ax] / 2) {
+        s = -1;
+      } else if (d < -(dims[ax] / 2)) {
+        s = 1;
+      }
+      code += (s + 1) * mult;
+      mult *= 3;
+    }
+    return static_cast<uint16_t>(code);
+  };
+
+  cl.entries.clear();
+  cl.real_pairs = pairs_.size();
+  for (size_t k = 0; k < keyed.size();) {
+    const uint64_t key = keyed[k].first;
+    uint16_t mask = 0;
+    while (k < keyed.size() && keyed[k].first == key) mask |= keyed[k++].second;
+    ff::ClusterPairEntry e;
+    e.ci = static_cast<uint32_t>(key >> 32);
+    e.cj = static_cast<uint32_t>(key & 0xffffffffu);
+    e.mask = mask;
+    e.shift = shift_code(e.ci, e.cj);
+    cl.entries.push_back(e);
+  }
 }
 
 bool NeighborList::needs_rebuild(std::span<const Vec3> positions,
                                  const Box& box) const {
+  static auto& check_count =
+      obs::MetricsRegistry::global().counter("md.neighbor.skin_check.count");
+  static auto& hot_hits =
+      obs::MetricsRegistry::global().counter("md.neighbor.skin_check.hot_hit");
+  check_count.add();
   if (reference_positions_.size() != positions.size()) return true;
   const double limit2 = 0.25 * skin_ * skin_;
+  auto exceeds = [&](size_t i) {
+    // Raw displacement bounds the minimum-image displacement from above
+    // (the per-axis wrap never increases a component's magnitude), so a
+    // small raw distance proves the atom is inside the half-skin without
+    // paying the three divisions inside Box::min_image.  Only atoms past
+    // the raw bound — in practice none until a rebuild is due — fall
+    // through to the exact check, which keeps the rebuild decision
+    // identical to the plain loop.
+    const Vec3 d = positions[i] - reference_positions_[i];
+    if (norm2(d) <= limit2) return false;
+    return box.distance2(positions[i], reference_positions_[i]) > limit2;
+  };
+  // The atom that tripped the previous check keeps drifting until the next
+  // rebuild resets its reference, so testing it first turns the positive
+  // case into O(1).
+  if (hot_atom_ < positions.size() && exceeds(hot_atom_)) {
+    hot_hits.add();
+    return true;
+  }
   for (size_t i = 0; i < positions.size(); ++i) {
-    if (box.distance2(positions[i], reference_positions_[i]) > limit2) {
+    if (exceeds(i)) {
+      hot_atom_ = static_cast<uint32_t>(i);
       return true;
     }
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ff/nonbonded.hpp"
+#include "ff/nonbonded_cluster.hpp"
 #include "math/pbc.hpp"
 #include "topo/topology.hpp"
 #include "util/execution.hpp"
@@ -51,7 +52,11 @@ class CellList {
 /// half the skin since the last build.
 class NeighborList {
  public:
-  NeighborList(const Topology& topo, double cutoff, double skin);
+  /// cluster_mode additionally derives a blocked 4x4 cluster-pair list from
+  /// every rebuild (see ff::ClusterPairList); the flat pair vector is still
+  /// produced and stays the source of truth for the pair set.
+  NeighborList(const Topology& topo, double cutoff, double skin,
+               bool cluster_mode = false);
 
   /// Rebuilds unconditionally.
   void build(std::span<const Vec3> positions, const Box& box);
@@ -61,6 +66,11 @@ class NeighborList {
 
   [[nodiscard]] const std::vector<ff::PairEntry>& pairs() const {
     return pairs_;
+  }
+  [[nodiscard]] bool cluster_mode() const { return cluster_mode_; }
+  /// Blocked tile view of pairs(); empty unless cluster_mode is on.
+  [[nodiscard]] const ff::ClusterPairList& clusters() const {
+    return clusters_;
   }
   [[nodiscard]] double cutoff() const { return cutoff_; }
   [[nodiscard]] double skin() const { return skin_; }
@@ -76,14 +86,20 @@ class NeighborList {
  private:
   [[nodiscard]] bool needs_rebuild(std::span<const Vec3> positions,
                                    const Box& box) const;
+  void build_clusters(const CellList& cells, size_t atom_count);
 
   const Topology* topo_;
   double cutoff_;
   double skin_;
+  bool cluster_mode_ = false;
   std::vector<ff::PairEntry> pairs_;
+  ff::ClusterPairList clusters_;
   std::vector<Vec3> reference_positions_;
   uint64_t build_count_ = 0;
   std::shared_ptr<ExecutionContext> exec_;  ///< null = serial build
+  /// Last atom seen beyond half-skin: checked first for an O(1) positive
+  /// skin-check exit while that atom keeps drifting.
+  mutable uint32_t hot_atom_ = 0;
 };
 
 }  // namespace antmd::md

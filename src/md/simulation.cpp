@@ -23,6 +23,8 @@ struct MdMetrics {
   obs::Counter& integrate_ns;
   obs::Counter& steps;
   obs::Histogram& step_us;
+  obs::Gauge& nonbonded_kernel;  ///< 0 = pair, 1 = cluster
+  obs::Gauge& cluster_fill;      ///< useful-lane fraction of the tile list
 };
 
 MdMetrics& md_metrics() {
@@ -36,7 +38,9 @@ MdMetrics& md_metrics() {
       reg.counter("md.step.count"),
       reg.histogram("md.step.wall_us",
                     {10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000,
-                     300000, 1000000})};
+                     300000, 1000000}),
+      reg.gauge("md.sim.nonbonded.kernel"),
+      reg.gauge("md.sim.nonbonded.cluster_fill")};
   return m;
 }
 
@@ -67,7 +71,8 @@ Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
     : ff_((config.validate(), &ff)),
       config_(config),
       dt_(units::fs_to_internal(config.dt_fs)),
-      nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin),
+      nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin,
+             config.nonbonded_kernel == ff::NonbondedKernel::kCluster),
       constraints_(ff.topology(), 1e-8, 500,
                    config.constraint_algorithm),
       thermostat_(ff.topology(), config.thermostat),
@@ -113,6 +118,21 @@ void Simulation::notify_observers() {
   observers_.notify(info);
 }
 
+void Simulation::compute_nonbonded_into(ForceResult& out) {
+  if (nlist_.cluster_mode()) {
+    ff_->compute_nonbonded_clusters(nlist_.clusters(), state_.positions,
+                                    state_.box, out, exec_.get());
+  } else {
+    ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box, out);
+  }
+  if (obs::enabled()) {
+    md_metrics().nonbonded_kernel.set(nlist_.cluster_mode() ? 1.0 : 0.0);
+    if (nlist_.cluster_mode()) {
+      md_metrics().cluster_fill.set(nlist_.clusters().fill_ratio());
+    }
+  }
+}
+
 void Simulation::compute_forces(bool kspace_due) {
   const Topology& topo = ff_->topology();
   const size_t n = topo.atom_count();
@@ -126,8 +146,7 @@ void Simulation::compute_forces(bool kspace_due) {
   }
   {
     obs::TracePhase phase("md.nonbonded", "md", &md_metrics().nonbonded_ns);
-    ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box,
-                           current_);
+    compute_nonbonded_into(current_);
   }
   if (kspace_due && ff_->has_kspace()) {
     obs::TracePhase phase("md.kspace", "md", &md_metrics().kspace_ns);
@@ -166,8 +185,7 @@ void Simulation::compute_slow_forces(bool kspace_due) {
   slow_.reset(topo.atom_count());
   {
     obs::TracePhase phase("md.nonbonded", "md", &md_metrics().nonbonded_ns);
-    ff_->compute_nonbonded(nlist_.pairs(), state_.positions, state_.box,
-                           slow_);
+    compute_nonbonded_into(slow_);
   }
   if (kspace_due && ff_->has_kspace()) {
     obs::TracePhase phase("md.kspace", "md", &md_metrics().kspace_ns);

@@ -41,6 +41,10 @@ struct SimulationConfig {
   /// If >= 0, draw Maxwell–Boltzmann velocities at this temperature.
   double init_temperature_k = 300.0;
   uint64_t velocity_seed = 1234;
+  /// Real-space nonbonded hot path: flat pair loop or blocked 4x4
+  /// cluster-pair tiles.  Bit-identical results either way (the golden and
+  /// equivalence tests enforce it); cluster is the fast default.
+  ff::NonbondedKernel nonbonded_kernel = ff::NonbondedKernel::kCluster;
   /// Host parallelism (neighbor-list rebuilds here; force partitions in the
   /// machine runtime).  Defaults to fully serial.
   ExecutionConfig execution;
@@ -133,6 +137,7 @@ class Simulation : public util::Checkpointable {
 
  private:
   void compute_forces(bool kspace_due);
+  void compute_nonbonded_into(ForceResult& out);
   void step_respa();
   void compute_fast_forces();
   void compute_slow_forces(bool kspace_due);

@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -57,7 +58,8 @@ DistributedEngine::DistributedEngine(ForceField& ff,
 
 void DistributedEngine::redistribute(std::span<const Vec3> positions,
                                      const Box& box,
-                                     std::span<const ff::PairEntry> pairs) {
+                                     std::span<const ff::PairEntry> pairs,
+                                     const ff::ClusterPairList* clusters) {
   obs::TracePhase phase("runtime.redistribute", "runtime",
                         &engine_metrics().redistribute_ns);
   engine_metrics().redistributes.add();
@@ -78,10 +80,25 @@ void DistributedEngine::redistribute(std::span<const Vec3> positions,
   // All work routed through the failure remap (identity when all alive).
   auto owner = [&](uint32_t atom) { return effective_node(owners[atom]); };
 
-  auto pair_nodes = decomp_.assign_pairs(pairs, positions, box,
-                                         options_.pair_rule);
-  for (size_t k = 0; k < pairs.size(); ++k) {
-    parts_[effective_node(pair_nodes[k])].pairs.push_back(pairs[k]);
+  clusters_ = clusters;
+  if (clusters_ != nullptr) {
+    // One tile lives on the node owning its lead cluster's lead atom (the
+    // whole-cluster analogue of kHomeOfFirst); the flat pairs are not
+    // partitioned — the tiles carry the full pair set.
+    for (const ff::ClusterPairEntry& e : clusters_->entries) {
+      NodePartition& part = parts_[effective_node(
+          owners[clusters_->atoms[static_cast<size_t>(e.ci) *
+                                  ff::kClusterSize]])];
+      part.cluster_entries.push_back(e);
+      part.cluster_real_pairs +=
+          static_cast<size_t>(std::popcount(static_cast<uint32_t>(e.mask)));
+    }
+  } else {
+    auto pair_nodes = decomp_.assign_pairs(pairs, positions, box,
+                                           options_.pair_rule);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      parts_[effective_node(pair_nodes[k])].pairs.push_back(pairs[k]);
+    }
   }
   for (const Bond& b : topo.bonds()) parts_[owner(b.i)].bonds.push_back(b);
   for (const Angle& a : topo.angles()) {
@@ -162,6 +179,19 @@ void DistributedEngine::fill_comm_counts(std::span<const Vec3> /*positions*/,
       }
     };
     for (const auto& p : part.pairs) { need(p.i); need(p.j); }
+    // Cluster tiles import whole clusters: the hardware multicasts all of a
+    // cluster's positions to the evaluating node whether or not every lane
+    // is masked in (that coarsening is the import cost of blocking).
+    for (const auto& e : part.cluster_entries) {
+      for (unsigned k = 0; k < ff::kClusterSize; ++k) {
+        uint32_t ai =
+            clusters_->atoms[static_cast<size_t>(e.ci) * ff::kClusterSize + k];
+        if (ai != ff::kPadAtom) need(ai);
+        uint32_t aj =
+            clusters_->atoms[static_cast<size_t>(e.cj) * ff::kClusterSize + k];
+        if (aj != ff::kPadAtom) need(aj);
+      }
+    }
     for (const auto& b : part.bonds) { need(b.i); need(b.j); }
     for (const auto& a : part.angles) { need(a.i); need(a.j); need(a.k_atom); }
     for (const auto& d : part.dihedrals) {
@@ -233,13 +263,31 @@ void DistributedEngine::evaluate_node(const NodePartition& part,
           -q * dot(ff_->external_field()->field, positions[atom]));
     }
   }
-  ff::compute_pairs(part.pairs, tables, topo.type_ids(), topo.charges(),
-                    positions, box, partial, ff_->vdw_scale(),
-                    ff_->charge_product_scale());
+  if (clusters_ != nullptr) {
+    // Gather already ran once in evaluate(); per-node virials accumulate
+    // sequentially within the node, and the ascending-node merge keeps the
+    // total thread-invariant.
+    ff::compute_cluster_entries(*clusters_, part.cluster_entries, tables, box,
+                                partial.forces, partial.energy, partial.virial,
+                                ff_->vdw_scale(),
+                                ff_->charge_product_scale());
+  } else {
+    ff::compute_pairs(part.pairs, tables, topo.type_ids(), topo.charges(),
+                      positions, box, partial, ff_->vdw_scale(),
+                      ff_->charge_product_scale());
+  }
 
   // --- workload accounting -------------------------------------------------
-  nw.pairs = part.pairs.size();
-  nw.pairs_examined = part.pairs.size();
+  if (clusters_ != nullptr) {
+    nw.pairs = part.cluster_real_pairs;
+    nw.pairs_examined = part.cluster_real_pairs;
+    nw.cluster_tiles = part.cluster_entries.size();
+    nw.cluster_lanes =
+        part.cluster_entries.size() * ff::kClusterSize * ff::kClusterSize;
+  } else {
+    nw.pairs = part.pairs.size();
+    nw.pairs_examined = part.pairs.size();
+  }
   nw.gc_force_flops =
       part.bonds.size() * costs_.bond + part.angles.size() * costs_.angle +
       part.dihedrals.size() * costs_.dihedral +
@@ -311,6 +359,8 @@ machine::StepWork DistributedEngine::evaluate(
   }
 
   ff::construct_virtual_sites(topo.virtual_sites(), positions, box);
+  // One SoA gather serves every node's tile slice this step.
+  if (clusters_ != nullptr) ff::gather_cluster_coords(*clusters_, positions);
 
   out.reset(n_atoms);
   machine::StepWork work;

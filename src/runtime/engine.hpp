@@ -43,9 +43,13 @@ class DistributedEngine {
 
   /// Reassigns atoms and work to nodes; call whenever the global neighbor
   /// list was rebuilt (atom migration happens at list rebuilds on Anton
-  /// too).
+  /// too).  When `clusters` is non-null the engine partitions and evaluates
+  /// the blocked cluster-pair tiles instead of the flat pairs (the tile
+  /// list must stay alive until the next redistribute) and charges the
+  /// timing model per streamed tile lane.
   void redistribute(std::span<const Vec3> positions, const Box& box,
-                    std::span<const ff::PairEntry> pairs);
+                    std::span<const ff::PairEntry> pairs,
+                    const ff::ClusterPairList* clusters = nullptr);
 
   /// Evaluates all forces.  `kspace_cache` is reused when !kspace_due.
   /// Returns the machine-wide workload of this step for the timing model.
@@ -84,6 +88,10 @@ class DistributedEngine {
  private:
   struct NodePartition {
     std::vector<ff::PairEntry> pairs;
+    /// Cluster mode: this node's tile slice (pairs stays empty) plus its
+    /// real-pair mask popcount for workload accounting.
+    std::vector<ff::ClusterPairEntry> cluster_entries;
+    size_t cluster_real_pairs = 0;
     std::vector<Bond> bonds;
     std::vector<Angle> angles;
     std::vector<Dihedral> dihedrals;
@@ -118,6 +126,9 @@ class DistributedEngine {
   EngineOptions options_;
   SpatialDecomposition decomp_;
   std::vector<NodePartition> parts_;
+  /// Non-null between a cluster-mode redistribute and the next one; owned
+  /// by the caller (the neighbor list object outlives its rebuilds).
+  const ff::ClusterPairList* clusters_ = nullptr;
   std::vector<char> failed_;  ///< per-node failure flags (empty = all alive)
   machine::GcCosts costs_;
   std::shared_ptr<ExecutionContext> exec_;

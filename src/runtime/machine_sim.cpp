@@ -23,6 +23,8 @@ struct MachineMetrics {
   obs::Gauge& htis_util;
   obs::Gauge& gc_util;
   obs::Gauge& net_fraction;
+  obs::Gauge& cluster_fill;
+  obs::Gauge& pair_masked_s;
   obs::Gauge& torus_mean_hops;
   obs::Gauge& torus_diameter;
   obs::Gauge& contention_multicast_s;
@@ -47,6 +49,8 @@ MachineMetrics& machine_metrics() {
                           reg.gauge("machine.model.htis_utilization"),
                           reg.gauge("machine.model.gc_utilization"),
                           reg.gauge("machine.model.network_fraction"),
+                          reg.gauge("machine.model.cluster_fill"),
+                          reg.gauge("machine.model.pair_masked_seconds"),
                           reg.gauge("machine.torus.mean_hops"),
                           reg.gauge("machine.torus.diameter"),
                           reg.gauge("machine.contention.multicast_seconds"),
@@ -65,6 +69,7 @@ void accumulate(machine::StepBreakdown& acc,
                 const machine::StepBreakdown& step) {
   acc.multicast += step.multicast;
   acc.pair_phase += step.pair_phase;
+  acc.pair_masked += step.pair_masked;
   acc.gc_force_phase += step.gc_force_phase;
   acc.interaction += step.interaction;
   acc.reduce += step.reduce;
@@ -92,7 +97,8 @@ MachineSimulation::MachineSimulation(ForceField& ff,
       transport_(machine_cfg, config.transport),
       engine_(ff, machine_cfg, config.engine),
       dt_(units::fs_to_internal(config.dt_fs)),
-      nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin),
+      nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin,
+             config.nonbonded_kernel == ff::NonbondedKernel::kCluster),
       constraints_(ff.topology(), 1e-8, 500,
                    config.constraint_algorithm),
       thermostat_(ff.topology(), config.thermostat),
@@ -113,7 +119,8 @@ MachineSimulation::MachineSimulation(ForceField& ff,
   ff_->on_box_changed(state_.box);
   nlist_.set_execution(engine_.execution());
   nlist_.build(state_.positions, state_.box);
-  engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
+  engine_.redistribute(state_.positions, state_.box, nlist_.pairs(),
+                       cluster_arg());
   evaluate_forces(/*kspace_due=*/true);
 }
 
@@ -155,6 +162,10 @@ void MachineSimulation::publish_model_metrics(const machine::StepWork& work) {
   m.htis_util.set(last_breakdown_.htis_utilization());
   m.gc_util.set(last_breakdown_.gc_utilization());
   m.net_fraction.set(last_breakdown_.network_fraction());
+  if (nlist_.cluster_mode()) {
+    m.cluster_fill.set(nlist_.clusters().fill_ratio());
+    m.pair_masked_s.set(last_breakdown_.pair_masked);
+  }
 
   const auto& torus = engine_.torus();
   if (torus_mean_hops_ < 0) torus_mean_hops_ = torus.mean_hops();
@@ -209,7 +220,8 @@ void MachineSimulation::step() {
   }
 
   if (nlist_.update(state_.positions, state_.box)) {
-    engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
+    engine_.redistribute(state_.positions, state_.box, nlist_.pairs(),
+                         cluster_arg());
   }
   const bool kspace_due =
       (state_.step + 1) % static_cast<uint64_t>(config_.kspace_interval) == 0;
@@ -320,7 +332,8 @@ void MachineSimulation::restore_checkpoint(util::BinaryReader& in) {
   // the performance accumulators stay faithful to the original run.
   ff_->on_box_changed(state_.box);
   nlist_.build(state_.positions, state_.box);
-  engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
+  engine_.redistribute(state_.positions, state_.box, nlist_.pairs(),
+                       cluster_arg());
   engine_.evaluate(state_.positions, state_.box, state_.time, nlist_.pairs(),
                    /*kspace_due=*/false, current_, kspace_cache_);
 }

@@ -35,6 +35,9 @@ struct MachineSimConfig {
   double init_temperature_k = 300.0;
   uint64_t velocity_seed = 1234;
   int com_removal_interval = 0;
+  /// Same knob as md::SimulationConfig::nonbonded_kernel; cluster mode also
+  /// switches the timing model to per-tile-lane HTIS accounting.
+  ff::NonbondedKernel nonbonded_kernel = ff::NonbondedKernel::kCluster;
   EngineOptions engine;
   machine::TransportConfig transport;
 };
@@ -96,7 +99,8 @@ class MachineSimulation : public util::Checkpointable {
   /// recovery path after marking nodes failed).  Bit-exact; charges no
   /// modeled time, like the restore path.
   void rebuild_distribution() {
-    engine_.redistribute(state_.positions, state_.box, nlist_.pairs());
+    engine_.redistribute(state_.positions, state_.box, nlist_.pairs(),
+                         cluster_arg());
   }
   [[nodiscard]] ForceField& force_field() { return *ff_; }
   [[nodiscard]] md::Thermostat& thermostat() { return thermostat_; }
@@ -129,6 +133,11 @@ class MachineSimulation : public util::Checkpointable {
   void evaluate_forces(bool kspace_due);
   void notify_observers();
   void publish_model_metrics(const machine::StepWork& work);
+  /// The engine's cluster-list argument: the live tile list in cluster
+  /// mode, null in pair mode.
+  [[nodiscard]] const ff::ClusterPairList* cluster_arg() const {
+    return nlist_.cluster_mode() ? &nlist_.clusters() : nullptr;
+  }
 
   ForceField* ff_;
   MachineSimConfig config_;

@@ -227,6 +227,91 @@ TEST(CheckpointResume, MachineSimulationBitExact) {
   EXPECT_EQ(c.mean_step_time_s(), a.mean_step_time_s());
 }
 
+// Cluster-list state is NOT serialized: restore rebuilds the neighbor list
+// (and with it the tiles) deterministically from the restored positions.
+// This must still give a bit-exact resume with the cluster kernel selected,
+// and the reconstruction itself must be deterministic tile-for-tile.
+TEST(CheckpointResume, ClusterKernelResumeBitExact) {
+  auto spec = build_ionic_solution(125, 4, 5);
+  ff::NonbondedModel model;
+  model.cutoff = 6.0;
+  model.electrostatics = ff::Electrostatics::kReactionCutoff;
+  auto cfg = langevin_config(160, 2.0);
+  cfg.nonbonded_kernel = ff::NonbondedKernel::kCluster;
+
+  ForceField field_a(spec.topology, model);
+  md::Simulation a(field_a, spec.positions, spec.box, cfg);
+  a.run(40);
+
+  ForceField field_b(spec.topology, model);
+  md::Simulation b(field_b, spec.positions, spec.box, cfg);
+  b.run(20);
+  std::string blob = save(b);
+
+  ForceField field_c(spec.topology, model);
+  md::Simulation c(field_c, spec.positions, spec.box, cfg);
+  restore(c, blob);
+  c.run(20);
+
+  expect_state_eq(c.state(), a.state());
+  EXPECT_EQ(c.potential_energy(), a.potential_energy());
+  EXPECT_EQ(c.kinetic_energy(), a.kinetic_energy());
+
+  // Rebuilding from the same positions reproduces the cluster layout
+  // tile-for-tile — the property the no-serialization design relies on.
+  ASSERT_TRUE(c.neighbor_list().cluster_mode());
+  md::NeighborList x(spec.topology, model.cutoff, cfg.neighbor_skin, true);
+  md::NeighborList y(spec.topology, model.cutoff, cfg.neighbor_skin, true);
+  x.build(c.state().positions, c.state().box);
+  y.build(c.state().positions, c.state().box);
+  ASSERT_EQ(x.clusters().atoms, y.clusters().atoms);
+  ASSERT_EQ(x.clusters().entries.size(), y.clusters().entries.size());
+  for (size_t k = 0; k < x.clusters().entries.size(); ++k) {
+    const auto& ex = x.clusters().entries[k];
+    const auto& ey = y.clusters().entries[k];
+    EXPECT_EQ(ex.ci, ey.ci);
+    EXPECT_EQ(ex.cj, ey.cj);
+    EXPECT_EQ(ex.mask, ey.mask);
+    EXPECT_EQ(ex.shift, ey.shift);
+  }
+  EXPECT_EQ(x.clusters().real_pairs, y.clusters().real_pairs);
+}
+
+// The flat-pair kernel stays checkpoint-safe too now that cluster is the
+// default: exercise the explicit opt-out through the machine model.
+TEST(CheckpointResume, MachinePairKernelResumeBitExact) {
+  auto spec = build_water_box(64, WaterModel::kRigid3Site);
+  auto model = water_model(5.0);
+  runtime::MachineSimConfig cfg;
+  cfg.dt_fs = 2.0;
+  cfg.neighbor_skin = 1.0;
+  cfg.init_temperature_k = 250.0;
+  cfg.thermostat.kind = md::ThermostatKind::kLangevin;
+  cfg.thermostat.temperature_k = 250.0;
+  cfg.nonbonded_kernel = ff::NonbondedKernel::kPair;
+
+  ForceField field_a(spec.topology, model);
+  runtime::MachineSimulation a(field_a, machine::anton_with_torus(2, 2, 2),
+                               spec.positions, spec.box, cfg);
+  a.run(20);
+
+  ForceField field_b(spec.topology, model);
+  runtime::MachineSimulation b(field_b, machine::anton_with_torus(2, 2, 2),
+                               spec.positions, spec.box, cfg);
+  b.run(10);
+  std::string blob = save(b);
+
+  ForceField field_c(spec.topology, model);
+  runtime::MachineSimulation c(field_c, machine::anton_with_torus(2, 2, 2),
+                               spec.positions, spec.box, cfg);
+  restore(c, blob);
+  c.run(10);
+
+  expect_state_eq(c.state(), a.state());
+  EXPECT_EQ(c.potential_energy(), a.potential_energy());
+  EXPECT_EQ(c.modeled_time_s(), a.modeled_time_s());
+}
+
 TEST(CheckpointResume, V2FileRoundTripAndMissingSection) {
   auto spec = build_lj_fluid(125, 0.021, 3);
   auto model = lj_model();

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "ff/nonbonded_cluster.hpp"
 #include "io/checkpoint.hpp"
+#include "io/config.hpp"
 #include "io/trajectory.hpp"
 #include "math/rng.hpp"
 #include "topo/builders.hpp"
@@ -238,6 +240,37 @@ TEST(CheckpointBackup, LoadFallsBackToBakWhenPrimaryCorrupt) {
                IoError);
   std::remove(path.c_str());
   std::remove(backup_path(path).c_str());
+}
+
+// The nonbonded_kernel config knob: both spellings resolve, the default is
+// cluster, and anything else is a ConfigError that names the bad value —
+// exactly what the antmd_run driver does with the key.
+TEST(RunConfigKernel, AcceptsPairAndClusterAndDefaultsToCluster) {
+  auto cfg = RunConfig::from_string("nonbonded_kernel = pair\n");
+  EXPECT_EQ(ff::parse_nonbonded_kernel(
+                cfg.get_string("nonbonded_kernel", "cluster")),
+            ff::NonbondedKernel::kPair);
+
+  cfg = RunConfig::from_string("nonbonded_kernel = cluster\n");
+  EXPECT_EQ(ff::parse_nonbonded_kernel(
+                cfg.get_string("nonbonded_kernel", "cluster")),
+            ff::NonbondedKernel::kCluster);
+
+  cfg = RunConfig::from_string("# no kernel key\ndt_fs = 2.0\n");
+  EXPECT_EQ(ff::parse_nonbonded_kernel(
+                cfg.get_string("nonbonded_kernel", "cluster")),
+            ff::NonbondedKernel::kCluster);
+}
+
+TEST(RunConfigKernel, RejectsUnknownKernelNames) {
+  for (const char* bad : {"blocked", "Cluster", "PAIR", "clusters", ""}) {
+    auto cfg = RunConfig::from_string(std::string("nonbonded_kernel = ") +
+                                      bad + "\n");
+    EXPECT_THROW(ff::parse_nonbonded_kernel(
+                     cfg.get_string("nonbonded_kernel", "cluster")),
+                 ConfigError)
+        << "value '" << bad << "' should be rejected";
+  }
 }
 
 }  // namespace

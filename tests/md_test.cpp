@@ -3,10 +3,13 @@
 // temperature control, constraint maintenance).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <set>
 
 #include "ff/forcefield.hpp"
+#include "obs/metrics.hpp"
 #include "math/units.hpp"
 #include "md/constraints.hpp"
 #include "md/neighbor.hpp"
@@ -81,6 +84,105 @@ TEST(NeighborListTest, SkinDelaysRebuild) {
   moved[3] += Vec3{1.5, 0, 0};
   EXPECT_TRUE(list.update(moved, spec.box));
   EXPECT_EQ(list.build_count(), 2u);
+}
+
+// Regression for the skin-check fast path: the raw-displacement early-out
+// plus hot-atom cache must leave the rebuild DECISION identical to the
+// plain exact half-skin loop, while the md.neighbor.* counters show the
+// checks actually ran through the new path.
+TEST(NeighborListTest, SkinCheckEarlyOutKeepsRebuildDecision) {
+  obs::ScopedTelemetry telemetry(true);
+  auto& checks =
+      obs::MetricsRegistry::global().counter("md.neighbor.skin_check.count");
+  auto& hot_hits =
+      obs::MetricsRegistry::global().counter("md.neighbor.skin_check.hot_hit");
+  auto& rebuilds =
+      obs::MetricsRegistry::global().counter("md.neighbor.rebuild.count");
+
+  auto spec = build_lj_fluid(125, 0.021, 7);
+  const double skin = 2.0;
+  NeighborList list(spec.topology, 7.0, skin);
+  list.build(spec.positions, spec.box);
+
+  const uint64_t checks0 = checks.value();
+  const uint64_t rebuilds0 = rebuilds.value();
+
+  // Drift atoms with a seeded walk; shadow the decision with the exact
+  // min-image half-skin test against our own copy of the reference frame.
+  SequentialRng rng(41);
+  auto pos = spec.positions;
+  auto ref = pos;
+  const double limit2 = 0.25 * skin * skin;
+  uint64_t expected_rebuilds = 0;
+  for (int step = 0; step < 60; ++step) {
+    for (auto& p : pos) {
+      p += Vec3{rng.uniform(-0.12, 0.12), rng.uniform(-0.12, 0.12),
+                rng.uniform(-0.12, 0.12)};
+    }
+    bool expected = false;
+    for (size_t i = 0; i < pos.size(); ++i) {
+      if (spec.box.distance2(pos[i], ref[i]) > limit2) {
+        expected = true;
+        break;
+      }
+    }
+    EXPECT_EQ(list.update(pos, spec.box), expected) << "step " << step;
+    if (expected) {
+      ref = pos;
+      ++expected_rebuilds;
+    }
+  }
+  EXPECT_GT(expected_rebuilds, 0u) << "walk never tripped the skin";
+  EXPECT_EQ(rebuilds.value() - rebuilds0, expected_rebuilds);
+  EXPECT_EQ(checks.value() - checks0, 60u);
+
+  // The atom that trips the check keeps drifting, so consecutive positive
+  // checks on the same atom go through the O(1) hot-atom cache.
+  const uint64_t hot0 = hot_hits.value();
+  for (int k = 0; k < 4; ++k) {
+    pos[3] += Vec3{1.5, 0, 0};
+    EXPECT_TRUE(list.update(pos, spec.box));
+  }
+  EXPECT_GE(hot_hits.value() - hot0, 3u);
+}
+
+// The blocked cluster-pair list is a re-layout of the flat pair list: the
+// tile masks must decode to EXACTLY the same {i, j} set, padding slots must
+// never carry mask bits, and the bookkeeping (real_pairs, fill ratio,
+// shift codes) must be consistent.
+TEST(NeighborListTest, ClusterTilesEncodeExactlyTheFlatPairs) {
+  auto spec = build_lj_fluid(343, 0.021, 5);
+  NeighborList list(spec.topology, 8.0, 1.5, /*cluster_mode=*/true);
+  list.build(spec.positions, spec.box);
+  const auto& cl = list.clusters();
+
+  ASSERT_EQ(cl.atoms.size(), cl.cluster_count() * ff::kClusterSize);
+  ASSERT_EQ(cl.slot_types.size(), cl.atoms.size());
+  ASSERT_EQ(cl.slot_charges.size(), cl.atoms.size());
+
+  std::set<std::pair<uint32_t, uint32_t>> flat;
+  for (const auto& p : list.pairs()) flat.insert({p.i, p.j});
+
+  std::set<std::pair<uint32_t, uint32_t>> decoded;
+  size_t bits_total = 0;
+  for (const auto& e : cl.entries) {
+    ASSERT_LE(e.ci, e.cj);
+    ASSERT_LT(e.shift, 27) << "shift code out of range";
+    for (uint32_t m = e.mask; m != 0; m &= m - 1) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(m));
+      const uint32_t i = cl.atoms[e.ci * ff::kClusterSize + (bit >> 2)];
+      const uint32_t j = cl.atoms[e.cj * ff::kClusterSize + (bit & 3)];
+      ASSERT_NE(i, ff::kPadAtom) << "mask bit touches a padding slot";
+      ASSERT_NE(j, ff::kPadAtom) << "mask bit touches a padding slot";
+      decoded.insert({std::min(i, j), std::max(i, j)});
+      ++bits_total;
+    }
+  }
+  EXPECT_EQ(decoded, flat);
+  EXPECT_EQ(bits_total, flat.size()) << "a pair appears in two tiles";
+  EXPECT_EQ(cl.real_pairs, flat.size());
+  EXPECT_GT(cl.fill_ratio(), 0.0);
+  EXPECT_LE(cl.fill_ratio(), 1.0);
 }
 
 TEST(NeighborListTest, RejectsCutoffLargerThanHalfBox) {

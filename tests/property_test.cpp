@@ -281,5 +281,146 @@ TEST_P(SoftcoreAlphas, EndpointsAndFiniteness) {
 INSTANTIATE_TEST_SUITE_P(Alphas, SoftcoreAlphas,
                          ::testing::Values(0.25, 0.5, 1.0));
 
+// ---------------------------------------------------------------------------
+// Physics invariants hold for BOTH nonbonded kernels (flat pair list and
+// blocked cluster-pair).  Parameterized so each invariant runs against each
+// hot-path implementation.
+// ---------------------------------------------------------------------------
+class KernelSweep : public ::testing::TestWithParam<ff::NonbondedKernel> {};
+
+/// Real-space nonbonded evaluation through the selected kernel, with a
+/// fresh neighbor list built for the given positions/box.
+ForceResult nonbonded_only(const Topology& topo, const ForceField& field,
+                           ff::NonbondedKernel kernel,
+                           const std::vector<Vec3>& positions,
+                           const Box& box) {
+  ForceResult out(topo.atom_count());
+  md::NeighborList list(topo, field.model().cutoff, 1.0,
+                        kernel == ff::NonbondedKernel::kCluster);
+  list.build(positions, box);
+  if (list.cluster_mode()) {
+    field.compute_nonbonded_clusters(list.clusters(), positions, box, out);
+  } else {
+    field.compute_nonbonded(list.pairs(), positions, box, out);
+  }
+  return out;
+}
+
+// Newton's third law: pairwise forces are accumulated as +q / -q in fixed
+// point, so the net force is EXACTLY zero quanta in every component.
+TEST_P(KernelSweep, NewtonThirdLawNetForceExactlyZero) {
+  auto spec = build_ionic_solution(125, 4, 9);
+  ff::NonbondedModel model;
+  model.cutoff = 6.0;
+  model.electrostatics = ff::Electrostatics::kReactionCutoff;
+  ForceField field(spec.topology, model);
+  ForceResult res = nonbonded_only(spec.topology, field, GetParam(),
+                                   spec.positions, spec.box);
+  std::array<int64_t, 3> net{0, 0, 0};
+  for (size_t i = 0; i < res.forces.size(); ++i) {
+    auto q = res.forces.quanta(i);
+    net[0] += q[0];
+    net[1] += q[1];
+    net[2] += q[2];
+  }
+  EXPECT_EQ(net[0], 0);
+  EXPECT_EQ(net[1], 0);
+  EXPECT_EQ(net[2], 0);
+}
+
+// Virial consistency: tr(W) = sum r.f must equal -dU/dlambda under a uniform
+// scaling of box and coordinates (numerical central difference).
+TEST_P(KernelSweep, VirialMatchesNumericalVolumeDerivative) {
+  auto spec = build_lj_fluid(216, 0.021, 13);
+  ff::NonbondedModel model;
+  model.cutoff = 7.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ForceField field(spec.topology, model);
+
+  auto scaled_energy = [&](double lambda) {
+    std::vector<Vec3> pos(spec.positions);
+    for (auto& p : pos) p = p * lambda;
+    Box box(spec.box.edges().x * lambda, spec.box.edges().y * lambda,
+            spec.box.edges().z * lambda);
+    ForceResult r = nonbonded_only(spec.topology, field, GetParam(), pos, box);
+    return r.energy.total();
+  };
+
+  ForceResult base = nonbonded_only(spec.topology, field, GetParam(),
+                                    spec.positions, spec.box);
+  const double h = 1e-5;
+  const double du_dlambda = (scaled_energy(1.0 + h) - scaled_energy(1.0 - h)) /
+                            (2.0 * h);
+  const double w = trace(base.virial);
+  EXPECT_NEAR(w, -du_dlambda, 5e-3 * std::abs(w) + 0.1)
+      << "kernel=" << ff::to_string(GetParam());
+}
+
+// Energy conservation over a long NVE trajectory through the full
+// md::Simulation stack with the kernel selected via SimulationConfig.
+TEST_P(KernelSweep, NveDriftBoundedOver2kSteps) {
+  auto spec = build_lj_fluid(125, 0.021, 4);
+  ff::NonbondedModel model;
+  model.cutoff = 7.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ForceField field(spec.topology, model);
+  md::SimulationConfig cfg;
+  cfg.dt_fs = 2.0;
+  cfg.neighbor_skin = 1.0;
+  cfg.init_temperature_k = 110.0;
+  cfg.thermostat.kind = md::ThermostatKind::kNone;
+  cfg.com_removal_interval = 0;
+  cfg.nonbonded_kernel = GetParam();
+  md::Simulation sim(field, spec.positions, spec.box, cfg);
+  sim.run(50);
+  double e0 = sim.potential_energy() + sim.kinetic_energy();
+  sim.run(2000);
+  double e1 = sim.potential_energy() + sim.kinetic_energy();
+  EXPECT_TRUE(std::isfinite(e1));
+  EXPECT_NEAR(e1, e0, 0.02 * (std::abs(e0) + 10.0))
+      << "kernel=" << ff::to_string(GetParam());
+}
+
+// The nonbonded energy depends only on relative geometry: rigid translation
+// and a cube-group rotation (90 degrees about z, which the cubic periodic
+// cell maps onto itself) leave it unchanged to rounding.
+TEST_P(KernelSweep, TranslationAndRotationInvariance) {
+  auto spec = build_lj_fluid(216, 0.021, 17);
+  ff::NonbondedModel model;
+  model.cutoff = 7.0;
+  model.electrostatics = ff::Electrostatics::kNone;
+  ForceField field(spec.topology, model);
+  const double e_ref =
+      nonbonded_only(spec.topology, field, GetParam(), spec.positions,
+                     spec.box)
+          .energy.total();
+  const double tol = 1e-6 * std::abs(e_ref) + 1e-8;
+
+  // Translation by an arbitrary vector (min-image handles unwrapped input).
+  std::vector<Vec3> shifted(spec.positions);
+  for (auto& p : shifted) p = p + Vec3{1.234, -2.345, 0.777};
+  const double e_shift =
+      nonbonded_only(spec.topology, field, GetParam(), shifted, spec.box)
+          .energy.total();
+  EXPECT_NEAR(e_shift, e_ref, tol) << "kernel=" << ff::to_string(GetParam());
+
+  // Rotation: (x, y, z) -> (L - y, x, z) for the cubic cell.
+  const double edge = spec.box.edges().x;
+  ASSERT_DOUBLE_EQ(edge, spec.box.edges().y);
+  std::vector<Vec3> rotated(spec.positions);
+  for (auto& p : rotated) p = Vec3{edge - p.y, p.x, p.z};
+  const double e_rot =
+      nonbonded_only(spec.topology, field, GetParam(), rotated, spec.box)
+          .energy.total();
+  EXPECT_NEAR(e_rot, e_ref, tol) << "kernel=" << ff::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelSweep,
+                         ::testing::Values(ff::NonbondedKernel::kPair,
+                                           ff::NonbondedKernel::kCluster),
+                         [](const auto& info) {
+                           return std::string(ff::to_string(info.param));
+                         });
+
 }  // namespace
 }  // namespace antmd
