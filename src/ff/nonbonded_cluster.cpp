@@ -245,54 +245,79 @@ void compute_cluster_entries(const ClusterPairList& list,
   }
 }
 
-void compute_clusters(const ClusterPairList& list, const PairTableSet& tables,
-                      std::span<const Vec3> pos, const Box& box,
-                      ForceResult& out, double vdw_scale,
-                      double charge_product_scale, ExecutionContext* exec) {
-  gather_cluster_coords(list, pos);
-  const size_t n_entries = list.entries.size();
-  if (n_entries == 0) return;
-
+util::ChunkPlan cluster_chunk_plan(const ClusterPairList& list) {
   // The chunk partition is a function of the list alone — never the thread
   // count — and chunk virial partials are reduced in ascending chunk order,
   // so even the double-precision virial is identical at any thread count.
   constexpr size_t kMinChunkEntries = 256;
   constexpr size_t kMaxChunks = 16;
-  const size_t want =
-      (n_entries + kMinChunkEntries - 1) / kMinChunkEntries;
-  const size_t chunk_len =
-      (n_entries + std::min(want, kMaxChunks) - 1) /
-      std::min(want, kMaxChunks);
-  const size_t n_chunks = (n_entries + chunk_len - 1) / chunk_len;
-  auto chunk = [&](size_t c) {
-    const size_t lo = c * chunk_len;
-    const size_t hi = std::min(lo + chunk_len, n_entries);
-    return std::span<const ClusterPairEntry>(list.entries.data() + lo,
-                                             hi - lo);
-  };
+  return util::plan_chunks(list.entries.size(), kMinChunkEntries, kMaxChunks);
+}
 
-  if (exec != nullptr && exec->parallel() && n_chunks > 1) {
-    list.chunk_scratch.resize(n_chunks);
-    exec->parallel_for(n_chunks, [&](size_t c) {
-      ForceResult& partial = list.chunk_scratch[c];
-      partial.reset(out.forces.size());
-      compute_cluster_entries(list, chunk(c), tables, box, partial.forces,
-                              partial.energy, partial.virial, vdw_scale,
-                              charge_product_scale);
+void prepare_cluster_scratch(const ClusterPairList& list, size_t lanes,
+                             size_t n_atoms, const util::ChunkPlan& plan) {
+  ClusterEvalScratch& s = list.scratch;
+  if (!s.clean) {
+    for (auto& lane : s.lane_forces) lane.clear();
+  }
+  if (s.lane_forces.size() != lanes) s.lane_forces.resize(lanes);
+  for (auto& lane : s.lane_forces) {
+    if (lane.size() != n_atoms) lane.resize(n_atoms);  // resize zero-fills
+  }
+  s.chunk_energy.assign(plan.chunks, EnergyBreakdown{});
+  s.chunk_virial.assign(plan.chunks, Mat3{});
+  s.clean = false;
+}
+
+void compute_clusters_chunk(const ClusterPairList& list,
+                            const PairTableSet& tables, const Box& box,
+                            const util::ChunkPlan& plan, size_t chunk,
+                            size_t lane, double vdw_scale,
+                            double charge_product_scale) {
+  ClusterEvalScratch& s = list.scratch;
+  const size_t lo = plan.begin(chunk);
+  const std::span<const ClusterPairEntry> entries(list.entries.data() + lo,
+                                                  plan.end(chunk) - lo);
+  compute_cluster_entries(list, entries, tables, box, s.lane_forces[lane],
+                          s.chunk_energy[chunk], s.chunk_virial[chunk],
+                          vdw_scale, charge_product_scale);
+}
+
+void reduce_cluster_chunks(const ClusterPairList& list,
+                           const util::ChunkPlan& plan, ForceResult& out) {
+  ClusterEvalScratch& s = list.scratch;
+  for (auto& lane : s.lane_forces) lane.drain_into(out.forces);
+  for (size_t c = 0; c < plan.chunks; ++c) {
+    out.energy.merge(s.chunk_energy[c]);
+    out.virial += s.chunk_virial[c];
+  }
+  s.clean = true;
+}
+
+void compute_clusters(const ClusterPairList& list, const PairTableSet& tables,
+                      std::span<const Vec3> pos, const Box& box,
+                      ForceResult& out, double vdw_scale,
+                      double charge_product_scale, ExecutionContext* exec) {
+  gather_cluster_coords(list, pos);
+  const util::ChunkPlan plan = cluster_chunk_plan(list);
+  if (plan.chunks == 0) return;
+
+  const bool fan_out = exec != nullptr && exec->parallel() && plan.chunks > 1;
+  const size_t lanes = fan_out ? exec->runtime()->lanes() : 1;
+  prepare_cluster_scratch(list, lanes, out.forces.size(), plan);
+  if (fan_out) {
+    exec->parallel_for(plan.chunks, [&](size_t c) {
+      compute_clusters_chunk(list, tables, box, plan, c,
+                             util::TaskRuntime::current_lane(), vdw_scale,
+                             charge_product_scale);
     });
-    for (size_t c = 0; c < n_chunks; ++c) out.merge(list.chunk_scratch[c]);
   } else {
-    // Same arithmetic as the parallel path: fixed-point sums go straight
-    // into `out` (order-independent), the virial through a chunk-local
-    // partial so its summation grouping matches the merge above bitwise.
-    for (size_t c = 0; c < n_chunks; ++c) {
-      Mat3 v{};
-      compute_cluster_entries(list, chunk(c), tables, box, out.forces,
-                              out.energy, v, vdw_scale,
-                              charge_product_scale);
-      out.virial += v;
+    for (size_t c = 0; c < plan.chunks; ++c) {
+      compute_clusters_chunk(list, tables, box, plan, c, 0, vdw_scale,
+                             charge_product_scale);
     }
   }
+  reduce_cluster_chunks(list, plan, out);
 }
 
 }  // namespace antmd::ff

@@ -49,6 +49,23 @@ inline constexpr uint32_t kClusterSize = 4;
 /// Slot sentinel for the ragged last cluster.
 inline constexpr uint32_t kPadAtom = 0xffffffffu;
 
+/// Persistent evaluation partials for one cluster list, reused across
+/// steps.  Forces accumulate into lane-private fixed-point arrays (indexed
+/// by util::TaskRuntime::current_lane()) that stay allocated — and zeroed,
+/// via FixedForceArray::drain_into in the reduction — between evaluations,
+/// so the per-call cost is the fold itself, not an O(lanes × atoms) clear.
+/// Energy and virial partials are per *chunk* (not per lane) because the
+/// double-precision virial's summation grouping must be a function of the
+/// list alone; reduce_cluster_chunks merges them in ascending chunk order.
+struct ClusterEvalScratch {
+  std::vector<FixedForceArray> lane_forces;
+  std::vector<EnergyBreakdown> chunk_energy;
+  std::vector<Mat3> chunk_virial;
+  /// False while an evaluation is in flight; a dirty prepare re-clears the
+  /// lane arrays (only happens after an exception unwound an evaluation).
+  bool clean = true;
+};
+
 /// One cluster-i × cluster-j tile.  Bit (a*kClusterSize + b) of `mask` is
 /// set when slot a of cluster ci interacts with slot b of cluster cj; the
 /// mask encodes exactly the flat list's pair set (in reach at build time,
@@ -96,8 +113,8 @@ struct ClusterPairList {
   // Kernel scratch, reused across steps.  Mutable because force evaluation
   // is logically const on the list; a list serves one kernel call at a time
   // (same single-writer discipline as the rest of the simulation).
-  mutable std::vector<double> sx, sy, sz;         ///< gathered coordinates
-  mutable std::vector<ForceResult> chunk_scratch; ///< parallel partials
+  mutable std::vector<double> sx, sy, sz;  ///< gathered coordinates
+  mutable ClusterEvalScratch scratch;      ///< persistent eval partials
 };
 
 /// Gathers `pos` into the list's SoA coordinate scratch (cluster order).
@@ -117,10 +134,37 @@ void compute_cluster_entries(const ClusterPairList& list,
                              Mat3& virial, double vdw_scale = 1.0,
                              double charge_product_scale = 1.0);
 
-/// Whole-list evaluation: gather + fixed-size entry chunks, fanned out over
-/// `exec` when parallel.  Bit-identical to ff::compute_pairs over the source
-/// flat list in forces and energies, and bit-identical to itself at any
-/// thread count (including the virial).
+/// The deterministic chunk partition for a list: a function of the entry
+/// count alone, never of the lane count, so per-chunk virial partials keep
+/// the same boundaries (and the same bits) at any parallelism.
+[[nodiscard]] util::ChunkPlan cluster_chunk_plan(const ClusterPairList& list);
+
+/// Sizes and (when needed) clears the persistent partial sinks for one
+/// evaluation over `plan` with `lanes` worker lanes.  Must run after the
+/// chunk plan is known and before the first compute_clusters_chunk call.
+void prepare_cluster_scratch(const ClusterPairList& list, size_t lanes,
+                             size_t n_atoms, const util::ChunkPlan& plan);
+
+/// Evaluates one chunk of tiles into the lane-private force accumulator
+/// and the chunk's energy/virial partials.  Chunks may run concurrently on
+/// distinct lanes; gather_cluster_coords() must have run at the current
+/// positions.
+void compute_clusters_chunk(const ClusterPairList& list,
+                            const PairTableSet& tables, const Box& box,
+                            const util::ChunkPlan& plan, size_t chunk,
+                            size_t lane, double vdw_scale = 1.0,
+                            double charge_product_scale = 1.0);
+
+/// The fixed-order reduction slot: drains every lane's force partial into
+/// `out` (integer, order-free) and merges chunk energy/virial partials in
+/// ascending chunk order — the same summation grouping as a serial run.
+void reduce_cluster_chunks(const ClusterPairList& list,
+                           const util::ChunkPlan& plan, ForceResult& out);
+
+/// Whole-list evaluation: gather + prepare + chunks + reduce, fanned out
+/// over `exec` when parallel.  Bit-identical to ff::compute_pairs over the
+/// source flat list in forces and energies, and bit-identical to itself at
+/// any thread count (including the virial).
 void compute_clusters(const ClusterPairList& list, const PairTableSet& tables,
                       std::span<const Vec3> pos, const Box& box,
                       ForceResult& out, double vdw_scale = 1.0,

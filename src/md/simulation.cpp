@@ -4,6 +4,7 @@
 #include <string>
 
 #include "math/units.hpp"
+#include "md/engine_api.hpp"
 #include "md/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -11,6 +12,11 @@
 #include "util/fault.hpp"
 
 namespace antmd::md {
+
+// The reference engine must itself honor the contract generic layers
+// (Supervisor, observer plumbing) constrain on.
+static_assert(EngineApi<Simulation>);
+
 namespace {
 
 // Cached registry handles for the per-phase instrumentation (the name
@@ -103,20 +109,122 @@ Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
                               state_.box);
   nlist_.set_execution(exec_);
   nlist_.build(state_.positions, state_.box);
+  if (nlist_.cluster_mode()) build_step_graph();
   compute_forces(/*kspace_due=*/true);
 }
 
-void Simulation::notify_observers() {
-  if (observers_.empty() || !observers_.due(state_.step)) return;
-  StepInfo info;
-  info.step = state_.step;
-  info.time = state_.time;
-  info.potential = potential_energy();
-  info.kinetic = kinetic_energy();
-  info.temperature = temperature();
-  info.wall_seconds = wall_.seconds();
-  observers_.notify(info);
+void Simulation::build_step_graph() {
+  // The step's force work as a DAG.  Dependency structure encodes the data
+  // flow: bonded and kspace only need final positions (virtual sites), the
+  // tile kernel also needs the neighbor list; so on rebuild steps bonded and
+  // kspace overlap the rebuild instead of waiting behind it.  All
+  // order-sensitive arithmetic — ascending-chunk virial merge, kspace cache
+  // fold, virtual-site force spread — lives in the single reduction task,
+  // which is why the result is bit-identical at any lane count *and* to the
+  // sequential compute_forces() path used by recompute callers.
+  step_graph_ = std::make_unique<util::TaskGraph>(exec_->runtime(), "md.step");
+  util::TaskGraph& g = *step_graph_;
+  const bool have_vsites = !ff_->topology().virtual_sites().empty();
+
+  const util::TaskId t_nlist = g.add("md.nlist", [this] {
+    nlist_.update(state_.positions, state_.box);
+  });
+  // Tasks that read final positions: behind vsite construction when there
+  // are virtual sites (which must in turn see the neighbor list's view of
+  // the previous vsite positions, as the sequential path does), unblocked
+  // from the start otherwise.
+  std::vector<util::TaskId> after_pos;
+  util::TaskId t_list_ready = t_nlist;
+  if (have_vsites) {
+    const util::TaskId t_vsites = g.add(
+        "md.vsites",
+        [this] {
+          ff::construct_virtual_sites(ff_->topology().virtual_sites(),
+                                      state_.positions, state_.box);
+        },
+        {t_nlist});
+    after_pos = {t_vsites};
+    t_list_ready = t_vsites;
+  }
+
+  const util::TaskId t_bonded = g.add(
+      "md.bonded",
+      [this] {
+        if (!graph_include_bonded_) return;
+        obs::ScopedTimer timer(md_metrics().bonded_ns);
+        ff_->compute_bonded(state_.positions, state_.box, state_.time,
+                            *graph_sink_);
+      },
+      after_pos);
+
+  const util::TaskId t_kspace = g.add(
+      "md.kspace",
+      [this] {
+        if (!graph_kspace_due_ || !ff_->has_kspace()) return;
+        obs::ScopedTimer timer(md_metrics().kspace_ns);
+        kspace_cache_.reset(ff_->topology().atom_count());
+        ff_->compute_kspace(state_.positions, state_.box, kspace_cache_);
+      },
+      after_pos);
+
+  const util::TaskId t_gather = g.add(
+      "md.nb.gather",
+      [this] {
+        obs::ScopedTimer timer(md_metrics().nonbonded_ns);
+        const ff::ClusterPairList& list = nlist_.clusters();
+        ff::gather_cluster_coords(list, state_.positions);
+        nb_plan_ = ff::cluster_chunk_plan(list);
+        ff::prepare_cluster_scratch(list, step_graph_->lanes(),
+                                    ff_->topology().atom_count(), nb_plan_);
+      },
+      {t_list_ready});
+
+  const util::TaskId t_nb = g.add_parallel(
+      "md.nonbonded", [this] { return nb_plan_.chunks; },
+      [this](size_t chunk) {
+        obs::ScopedTimer timer(md_metrics().nonbonded_ns);
+        ff::compute_clusters_chunk(nlist_.clusters(), ff_->tables(),
+                                   state_.box, nb_plan_, chunk,
+                                   util::TaskRuntime::current_lane(),
+                                   ff_->vdw_scale(),
+                                   ff_->charge_product_scale());
+      },
+      {t_gather});
+
+  g.add_reduction(
+      "md.reduce",
+      [this] {
+        ff::reduce_cluster_chunks(nlist_.clusters(), nb_plan_, *graph_sink_);
+        graph_sink_->merge(kspace_cache_);
+        ff::spread_virtual_site_forces(ff_->topology().virtual_sites(),
+                                       state_.positions, state_.box,
+                                       graph_sink_->forces);
+        if (obs::enabled()) {
+          md_metrics().nonbonded_kernel.set(1.0);
+          md_metrics().cluster_fill.set(nlist_.clusters().fill_ratio());
+        }
+      },
+      {t_bonded, t_nb, t_kspace});
 }
+
+void Simulation::run_force_graph(ForceResult& sink, bool include_bonded,
+                                 bool kspace_due) {
+  const size_t n = ff_->topology().atom_count();
+  graph_sink_ = &sink;
+  graph_include_bonded_ = include_bonded;
+  graph_kspace_due_ = kspace_due;
+  sink.reset(n);
+  step_graph_->run();
+
+  uint64_t poison_atom = 0;
+  if (fault::should_fire(fault::FaultKind::kNanForce, &poison_atom)) {
+    sink.forces.set_quanta(
+        poison_atom % n,
+        {fault::kPoisonQuanta, fault::kPoisonQuanta, fault::kPoisonQuanta});
+  }
+}
+
+void Simulation::notify_observers() { notify_step(*this, observers_, wall_); }
 
 void Simulation::compute_nonbonded_into(ForceResult& out) {
   if (nlist_.cluster_mode()) {
@@ -262,10 +370,14 @@ void Simulation::step_respa() {
   }
 
   // Slow forces at the new positions; outer half kick.
-  nlist_.update(state_.positions, state_.box);
   const bool kspace_due =
       (state_.step + 1) % static_cast<uint64_t>(config_.kspace_interval) == 0;
-  compute_slow_forces(kspace_due);
+  if (step_graph_) {
+    run_force_graph(slow_, /*include_bonded=*/false, kspace_due);
+  } else {
+    nlist_.update(state_.positions, state_.box);
+    compute_slow_forces(kspace_due);
+  }
   {
     obs::ScopedTimer timer(md_metrics().integrate_ns);
     for (size_t i = 0; i < n; ++i) {
@@ -339,11 +451,17 @@ void Simulation::step() {
                                  state_.velocities, dt_, state_.box);
   }
 
-  // Neighbor list & forces at the new positions.
-  nlist_.update(state_.positions, state_.box);
+  // Neighbor list & forces at the new positions.  Cluster mode runs the
+  // phase-overlapped step graph (bit-identical to the sequential path); the
+  // reference pair kernel keeps the sequential orchestration.
   const bool kspace_due =
       (state_.step + 1) % static_cast<uint64_t>(config_.kspace_interval) == 0;
-  compute_forces(kspace_due);
+  if (step_graph_) {
+    run_force_graph(current_, /*include_bonded=*/true, kspace_due);
+  } else {
+    nlist_.update(state_.positions, state_.box);
+    compute_forces(kspace_due);
+  }
 
   // Second half kick.
   {

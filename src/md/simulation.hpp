@@ -142,6 +142,13 @@ class Simulation : public util::Checkpointable {
   void compute_fast_forces();
   void compute_slow_forces(bool kspace_due);
   void notify_observers();
+  /// Wires the per-step force DAG (cluster kernel only): neighbor update →
+  /// vsites → {bonded ∥ nonbonded tiles ∥ kspace} → fixed-order reduce.
+  void build_step_graph();
+  /// Runs the step graph into `sink` (current_ for Verlet, slow_ for the
+  /// RESPA outer kick, which excludes bonded).
+  void run_force_graph(ForceResult& sink, bool include_bonded,
+                       bool kspace_due);
 
   ForceField* ff_;
   SimulationConfig config_;
@@ -157,6 +164,13 @@ class Simulation : public util::Checkpointable {
   ForceResult slow_;           ///< nonbonded + k-space (RESPA outer kicks)
   std::vector<Vec3> scratch_before_;
   std::shared_ptr<ExecutionContext> exec_;
+  // Per-step force DAG (null in pair-kernel mode).  The graph is built once
+  // and rerun every step; these flags parameterize one run.
+  std::unique_ptr<util::TaskGraph> step_graph_;
+  util::ChunkPlan nb_plan_;  ///< tile chunk partition, refreshed per run
+  ForceResult* graph_sink_ = nullptr;
+  bool graph_include_bonded_ = true;
+  bool graph_kspace_due_ = false;
   ObserverList observers_;
   WallTimer wall_;
 };

@@ -37,6 +37,7 @@
 
 #include "io/checkpoint.hpp"
 #include "machine/transport.hpp"  // StepDelivery::kNoNode (header-only use)
+#include "md/engine_api.hpp"
 #include "obs/metrics.hpp"
 #include "resilience/health.hpp"
 #include "util/error.hpp"
@@ -163,7 +164,9 @@ concept MachineDriver = requires(Sim& s) {
   s.rebuild_distribution();
 };
 
-template <typename Sim>
+/// Any engine satisfying md::EngineApi is supervisable; the MachineDriver
+/// refinement above just unlocks the watchdog/remap extras.
+template <md::EngineApi Sim>
 class Supervisor {
  public:
   Supervisor(Sim& sim, SupervisorConfig config)

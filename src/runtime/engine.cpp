@@ -366,9 +366,29 @@ machine::StepWork DistributedEngine::evaluate(
   machine::StepWork work;
   work.nodes.resize(parts_.size());
 
-  if (exec_->parallel() && parts_.size() > 1) {
-    // Per-node kernels run concurrently, each into its own ForceResult.
+  if (exec_->parallel() && exec_->deterministic_reduction() &&
+      parts_.size() > 1) {
+    // Phase-overlapped path: per-node kernels and the reciprocal-space
+    // solve run concurrently; forces fold in parallel over disjoint atom
+    // ranges (order-free integer adds); energies and the double-precision
+    // virial merge in ascending node order inside the reduction task —
+    // bit-identical to the serial loop below.
+    if (!eval_graph_) build_eval_graph();
     partials_scratch_.resize(parts_.size());
+    call_ = EvalCall{positions, &box,           time, kspace_due,
+                     &out,      &kspace_cache, &work};
+    eval_graph_->run();
+    call_ = EvalCall{};
+    return work;
+  }
+
+  if (exec_->parallel() && parts_.size() > 1) {
+    // Opted out of deterministic reduction: per-node kernels still run
+    // concurrently, and partials merge in completion order (deterministic
+    // in forces/energy thanks to fixed-point accumulation; the virial may
+    // differ in the last ulp).
+    partials_scratch_.resize(parts_.size());
+    std::mutex merge_mutex;
     exec_->parallel_for(parts_.size(), [&](size_t n) {
       obs::TracePhase node_phase("runtime.node_eval", "runtime",
                                  &engine_metrics().node_eval_ns, /*track=*/
@@ -378,23 +398,9 @@ machine::StepWork DistributedEngine::evaluate(
       partials_scratch_[n].reset(n_atoms);
       evaluate_node(parts_[n], positions, box, time, partials_scratch_[n],
                     work.nodes[n]);
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      out.merge(partials_scratch_[n]);
     });
-    if (exec_->deterministic_reduction()) {
-      // Fixed ascending-node-index merge: identical to the serial loop
-      // bit-for-bit, including the double-precision virial (the fixed-point
-      // force/energy sums are order-independent anyway; the virial is not).
-      for (size_t n = 0; n < parts_.size(); ++n) {
-        out.merge(partials_scratch_[n]);
-      }
-    } else {
-      // Completion-order merge (still deterministic in forces/energy thanks
-      // to fixed-point accumulation; virial may differ in the last ulp).
-      std::mutex merge_mutex;
-      exec_->parallel_for(parts_.size(), [&](size_t n) {
-        std::lock_guard<std::mutex> lock(merge_mutex);
-        out.merge(partials_scratch_[n]);
-      });
-    }
   } else {
     for (size_t n = 0; n < parts_.size(); ++n) {
       obs::TracePhase node_phase("runtime.node_eval", "runtime",
@@ -409,28 +415,91 @@ machine::StepWork DistributedEngine::evaluate(
   }
 
   if (ff_->has_kspace()) {
-    if (kspace_due) {
-      obs::TracePhase kspace_phase("runtime.kspace", "runtime",
-                                   &engine_metrics().kspace_ns);
-      kspace_cache.reset(n_atoms);
-      ff_->compute_kspace(positions, box, kspace_cache);
-      size_t charged = 0;
-      for (double q : topo.charges()) {
-        if (q != 0.0) ++charged;
-      }
-      auto gw = ff_->gse()->workload(charged);
-      work.kspace.active = true;
-      work.kspace.grid_points = gw.grid_points;
-      work.kspace.charges = gw.charges;
-      work.kspace.stencil_points = gw.spread_stencil_points;
-      work.kspace.fft_flops = gw.fft_flops;
-    }
+    kspace_phase(positions, box, kspace_due, kspace_cache, work);
     out.merge(kspace_cache);
   }
 
   ff::spread_virtual_site_forces(topo.virtual_sites(), positions, box,
                                  out.forces);
   return work;
+}
+
+void DistributedEngine::kspace_phase(std::span<const Vec3> positions,
+                                     const Box& box, bool kspace_due,
+                                     ForceResult& kspace_cache,
+                                     machine::StepWork& work) const {
+  if (!ff_->has_kspace() || !kspace_due) return;
+  obs::TracePhase phase("runtime.kspace", "runtime",
+                        &engine_metrics().kspace_ns);
+  kspace_cache.reset(ff_->topology().atom_count());
+  ff_->compute_kspace(positions, box, kspace_cache);
+  size_t charged = 0;
+  for (double q : ff_->topology().charges()) {
+    if (q != 0.0) ++charged;
+  }
+  auto gw = ff_->gse()->workload(charged);
+  work.kspace.active = true;
+  work.kspace.grid_points = gw.grid_points;
+  work.kspace.charges = gw.charges;
+  work.kspace.stencil_points = gw.spread_stencil_points;
+  work.kspace.fft_flops = gw.fft_flops;
+}
+
+void DistributedEngine::build_eval_graph() const {
+  const size_t n_atoms = ff_->topology().atom_count();
+  // The fold partition is a function of the atom count alone; the fold is
+  // an order-free integer add, so its granularity cannot change any bit.
+  fold_plan_ = util::plan_chunks(n_atoms, 1024, 32);
+  eval_graph_ =
+      std::make_unique<util::TaskGraph>(exec_->runtime(), "runtime.evaluate");
+  util::TaskGraph& g = *eval_graph_;
+
+  const util::TaskId t_nodes = g.add_parallel(
+      "runtime.node_eval", [this] { return parts_.size(); },
+      [this](size_t n) {
+        obs::TracePhase node_phase("runtime.node_eval", "runtime",
+                                   &engine_metrics().node_eval_ns, /*track=*/
+                                   kNodeTrackBase + static_cast<int64_t>(n),
+                                   "node", static_cast<int64_t>(n));
+        engine_metrics().node_evals.add();
+        partials_scratch_[n].reset(call_.positions.size());
+        evaluate_node(parts_[n], call_.positions, *call_.box, call_.time,
+                      partials_scratch_[n], call_.work->nodes[n]);
+      });
+
+  const util::TaskId t_kspace = g.add("runtime.kspace", [this] {
+    kspace_phase(call_.positions, *call_.box, call_.kspace_due,
+                 *call_.kspace_cache, *call_.work);
+  });
+
+  const util::TaskId t_fold = g.add_parallel(
+      "runtime.force_fold", [this] { return fold_plan_.chunks; },
+      [this](size_t c) {
+        const size_t lo = fold_plan_.begin(c);
+        const size_t hi = fold_plan_.end(c);
+        for (size_t n = 0; n < parts_.size(); ++n) {
+          call_.out->forces.accumulate_range(partials_scratch_[n].forces, lo,
+                                             hi);
+        }
+      },
+      {t_nodes});
+
+  g.add_reduction(
+      "runtime.reduce",
+      [this] {
+        // Ascending node order for the scalar partials: the same summation
+        // grouping as the serial loop, bit-for-bit, including the
+        // double-precision virial.
+        for (size_t n = 0; n < parts_.size(); ++n) {
+          call_.out->energy.merge(partials_scratch_[n].energy);
+          call_.out->virial += partials_scratch_[n].virial;
+        }
+        if (ff_->has_kspace()) call_.out->merge(*call_.kspace_cache);
+        ff::spread_virtual_site_forces(ff_->topology().virtual_sites(),
+                                       call_.positions, *call_.box,
+                                       call_.out->forces);
+      },
+      {t_fold, t_kspace});
 }
 
 }  // namespace antmd::runtime

@@ -120,6 +120,14 @@ class DistributedEngine {
   void evaluate_node(const NodePartition& part, std::span<const Vec3> positions,
                      const Box& box, double time, ForceResult& partial,
                      machine::NodeWork& nw) const;
+  /// Wires the per-evaluate DAG: node kernels ∥ kspace → parallel atom-range
+  /// force fold → ascending-node energy/virial merge + vsite spread.
+  void build_eval_graph() const;
+  /// Reciprocal-space recompute (when due) plus its workload accounting;
+  /// the cache merge stays with the caller's reduction.
+  void kspace_phase(std::span<const Vec3> positions, const Box& box,
+                    bool kspace_due, ForceResult& kspace_cache,
+                    machine::StepWork& work) const;
 
   ForceField* ff_;
   machine::TorusTopology torus_;
@@ -134,6 +142,22 @@ class DistributedEngine {
   std::shared_ptr<ExecutionContext> exec_;
   /// Per-node ForceResult scratch reused across steps (parallel path only).
   mutable std::vector<ForceResult> partials_scratch_;
+
+  /// Per-evaluate task graph (built lazily; parallel deterministic path
+  /// only) plus the per-call parameters its task bodies read.  Mutable for
+  /// the same reason as the scratch: evaluation is logically const.
+  struct EvalCall {
+    std::span<const Vec3> positions;
+    const Box* box = nullptr;
+    double time = 0.0;
+    bool kspace_due = false;
+    ForceResult* out = nullptr;
+    ForceResult* kspace_cache = nullptr;
+    machine::StepWork* work = nullptr;
+  };
+  mutable std::unique_ptr<util::TaskGraph> eval_graph_;
+  mutable util::ChunkPlan fold_plan_;
+  mutable EvalCall call_;
 };
 
 }  // namespace antmd::runtime

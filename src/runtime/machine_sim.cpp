@@ -4,6 +4,7 @@
 #include <string>
 
 #include "math/units.hpp"
+#include "md/engine_api.hpp"
 #include "md/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -11,6 +12,10 @@
 #include "util/fault.hpp"
 
 namespace antmd::runtime {
+
+// The machine-mapped driver and the reference md::Simulation present one
+// engine surface; generic layers constrain on it instead of special-casing.
+static_assert(md::EngineApi<MachineSimulation>);
 namespace {
 
 struct MachineMetrics {
@@ -255,15 +260,7 @@ void MachineSimulation::step() {
 }
 
 void MachineSimulation::notify_observers() {
-  if (observers_.empty() || !observers_.due(state_.step)) return;
-  md::StepInfo info;
-  info.step = state_.step;
-  info.time = state_.time;
-  info.potential = potential_energy();
-  info.kinetic = kinetic_energy();
-  info.temperature = temperature();
-  info.wall_seconds = wall_.seconds();
-  observers_.notify(info);
+  md::notify_step(*this, observers_, wall_);
 }
 
 void MachineSimulation::run(size_t n) {

@@ -52,7 +52,8 @@ TemperatureReplicaExchange::TemperatureReplicaExchange(
       temperatures_(std::move(temperatures)),
       attempt_interval_(attempt_interval),
       rng_(seed),
-      exec_(ExecutionContext::create(execution)) {
+      exec_(ExecutionContext::create(execution)),
+      replica_graph_(exec_->runtime(), "sampling.remd") {
   ANTMD_REQUIRE(replicas_.size() >= 2, "need >= 2 replicas");
   ANTMD_REQUIRE(replicas_.size() == temperatures_.size(),
                 "replica/temperature count mismatch");
@@ -65,16 +66,19 @@ TemperatureReplicaExchange::TemperatureReplicaExchange(
   for (size_t i = 0; i < replicas_.size(); ++i) {
     replicas_[i]->thermostat().set_temperature(temperatures_[i]);
   }
+  // Replicas are independent between exchanges (separate ForceFields,
+  // counter-based RNGs), so the chunks may run concurrently.
+  replica_graph_.add_parallel(
+      "sampling.replica_chunk", [this] { return replicas_.size(); },
+      [this](size_t r) { replicas_[r]->run(chunk_); });
 }
 
 void TemperatureReplicaExchange::run(size_t steps) {
   size_t done = 0;
   while (done < steps) {
-    size_t chunk = std::min<size_t>(attempt_interval_, steps - done);
-    // Replicas are independent between exchanges (separate ForceFields,
-    // counter-based RNGs), so the chunks may run concurrently.
-    exec_->parallel_for(replicas_.size(),
-                        [&](size_t r) { replicas_[r]->run(chunk); });
+    chunk_ = std::min<size_t>(attempt_interval_, steps - done);
+    replica_graph_.run();
+    size_t chunk = chunk_;
     done += chunk;
     if (chunk == static_cast<size_t>(attempt_interval_)) {
       attempt_exchanges(rounds_ % 2 == 0);
@@ -131,18 +135,22 @@ HamiltonianReplicaExchange::HamiltonianReplicaExchange(
       temperature_k_(temperature_k),
       attempt_interval_(attempt_interval),
       rng_(seed),
-      exec_(ExecutionContext::create(execution)) {
+      exec_(ExecutionContext::create(execution)),
+      replica_graph_(exec_->runtime(), "sampling.hremd") {
   ANTMD_REQUIRE(replicas_.size() >= 2, "need >= 2 replicas");
   stats_.attempts.assign(replicas_.size() - 1, 0);
   stats_.accepts.assign(replicas_.size() - 1, 0);
+  replica_graph_.add_parallel(
+      "sampling.replica_chunk", [this] { return replicas_.size(); },
+      [this](size_t r) { replicas_[r]->run(chunk_); });
 }
 
 void HamiltonianReplicaExchange::run(size_t steps) {
   size_t done = 0;
   while (done < steps) {
-    size_t chunk = std::min<size_t>(attempt_interval_, steps - done);
-    exec_->parallel_for(replicas_.size(),
-                        [&](size_t r) { replicas_[r]->run(chunk); });
+    chunk_ = std::min<size_t>(attempt_interval_, steps - done);
+    replica_graph_.run();
+    size_t chunk = chunk_;
     done += chunk;
     if (chunk == static_cast<size_t>(attempt_interval_)) {
       attempt_exchanges(rounds_ % 2 == 0);

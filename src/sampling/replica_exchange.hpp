@@ -15,6 +15,7 @@
 #include "math/rng.hpp"
 #include "md/simulation.hpp"
 #include "util/execution.hpp"
+#include "util/task_graph.hpp"
 
 namespace antmd::sampling {
 
@@ -67,6 +68,10 @@ class TemperatureReplicaExchange : public util::Checkpointable {
   ExchangeStats stats_;
   uint64_t rounds_ = 0;
   std::shared_ptr<ExecutionContext> exec_;
+  /// One parallel node over the replica set, reused across exchange
+  /// rounds; chunk_ is the per-round step count its body reads.
+  util::TaskGraph replica_graph_;
+  size_t chunk_ = 0;
 };
 
 class HamiltonianReplicaExchange {
@@ -93,6 +98,8 @@ class HamiltonianReplicaExchange {
   ExchangeStats stats_;
   uint64_t rounds_ = 0;
   std::shared_ptr<ExecutionContext> exec_;
+  util::TaskGraph replica_graph_;  ///< see TemperatureReplicaExchange
+  size_t chunk_ = 0;
 };
 
 }  // namespace antmd::sampling

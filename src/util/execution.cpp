@@ -11,7 +11,7 @@ ExecutionContext::ExecutionContext(ExecutionConfig config) : config_(config) {
     if (n == 0) n = 1;
   }
   threads_ = n;
-  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  if (threads_ > 1) runtime_ = util::TaskRuntime::create(threads_);
 }
 
 std::shared_ptr<ExecutionContext> ExecutionContext::create(
@@ -21,11 +21,11 @@ std::shared_ptr<ExecutionContext> ExecutionContext::create(
 
 void ExecutionContext::parallel_for(size_t count,
                                     const std::function<void(size_t)>& fn) {
-  if (!pool_) {
+  if (!runtime_) {
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  pool_->parallel_for(count, fn);
+  runtime_->parallel_for(count, fn);
 }
 
 }  // namespace antmd

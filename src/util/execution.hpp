@@ -1,26 +1,29 @@
-// Deterministic parallel execution layer.
+// Deterministic parallel execution layer — compatibility shim.
 //
-// ExecutionConfig describes how much host parallelism a simulation may use;
-// ExecutionContext owns the ThreadPool (if any) and exposes parallel_for
-// with a serial in-order fallback.  The contract every caller relies on:
-// with deterministic reduction enabled (the default), results are
-// bit-identical at any thread count, because all shared accumulations are
-// either order-independent fixed-point sums or are merged in a fixed index
-// order after the parallel region.
+// ExecutionConfig describes how much host parallelism a simulation may use.
+// ExecutionContext is now a thin facade over util::TaskRuntime (the
+// persistent worker pool behind util::TaskGraph): parallel_for runs as a
+// one-task graph, and graph-aware subsystems reach the shared runtime via
+// runtime() so an engine, its neighbor list and its step graph all reuse
+// one pool.  The contract every caller relies on is unchanged: with
+// deterministic reduction enabled (the default), results are bit-identical
+// at any thread count, because all shared accumulations are either
+// order-independent fixed-point sums or are merged in a fixed index order
+// after the parallel region.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 
-#include "util/thread_pool.hpp"
+#include "util/task_graph.hpp"
 
 namespace antmd {
 
 struct ExecutionConfig {
-  /// Worker threads for the hot loops (node-partition force evaluation,
-  /// neighbor-list rebuild, replica chunks).  1 = fully serial (no pool is
-  /// created); 0 = use hardware_concurrency.
+  /// Worker lanes for the hot loops (step task graphs, node-partition force
+  /// evaluation, neighbor-list rebuild, replica chunks).  1 = fully serial
+  /// (no workers are spawned); 0 = use hardware_concurrency.
   size_t threads = 1;
   /// Merge per-node partial forces in fixed node-index order so the virial
   /// (double precision) matches the serial path bitwise too.  Disabling it
@@ -31,7 +34,7 @@ struct ExecutionConfig {
 
 /// Shared parallel context.  One per Simulation/engine; cheap to share via
 /// shared_ptr between an engine and its neighbor list so they reuse one
-/// pool.
+/// worker pool.
 class ExecutionContext {
  public:
   explicit ExecutionContext(ExecutionConfig config);
@@ -44,8 +47,16 @@ class ExecutionContext {
   [[nodiscard]] bool deterministic_reduction() const {
     return config_.deterministic_reduction;
   }
-  /// True when a pool exists and parallel_for actually fans out.
-  [[nodiscard]] bool parallel() const { return pool_ != nullptr; }
+  /// True when worker lanes exist and parallel_for actually fans out.
+  [[nodiscard]] bool parallel() const {
+    return runtime_ && runtime_->parallel();
+  }
+
+  /// The persistent worker pool backing this context, for callers that
+  /// build real task graphs instead of flat loops.  Null when serial.
+  [[nodiscard]] const std::shared_ptr<util::TaskRuntime>& runtime() const {
+    return runtime_;
+  }
 
   /// Runs fn(i) for i in [0, count).  Serial contexts run in index order on
   /// the calling thread; parallel contexts make no ordering promise, so the
@@ -55,7 +66,7 @@ class ExecutionContext {
  private:
   ExecutionConfig config_;
   size_t threads_ = 1;
-  std::unique_ptr<ThreadPool> pool_;  ///< null when threads_ == 1
+  std::shared_ptr<util::TaskRuntime> runtime_;  ///< null when threads_ == 1
 };
 
 }  // namespace antmd

@@ -1,0 +1,184 @@
+// Tier-1 determinism harness for util::TaskGraph itself (the MD-level
+// trajectory checks live in parallel_determinism_test): seeded random DAG
+// topologies run at 1 lane and at 8 lanes must produce bit-identical
+// outputs, provided the task bodies follow the documented recipe —
+// per-grain slots for order-sensitive arithmetic folded by a fixed-order
+// reduction, or order-free integer accumulation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "util/task_graph.hpp"
+
+namespace antmd {
+namespace {
+
+// Order-sensitive on purpose: double rounding makes any schedule that
+// reassociates these folds diverge in the low bits.
+double mix(double a, double b) { return a * 1.0000001 + std::sin(b) * 0.5; }
+
+/// One randomly-wired graph: node i either computes serially from its
+/// dependencies or fans out over per-grain slots that a paired reduction
+/// folds in ascending grain order.  The topology, grain counts and all
+/// arithmetic depend only on `seed`, never on the lane count.
+std::vector<double> run_random_graph(
+    const std::shared_ptr<util::TaskRuntime>& runtime, uint32_t seed,
+    size_t n_value_nodes) {
+  std::mt19937 rng(seed);
+  util::TaskGraph graph(runtime, "test.random");
+
+  struct ValueNode {
+    std::vector<size_t> deps;    // earlier value-node indices
+    std::vector<double> slots;   // per-grain outputs (parallel nodes)
+    util::TaskId task = 0;       // task producing node_out[i]
+  };
+  auto nodes = std::make_shared<std::vector<ValueNode>>(n_value_nodes);
+  auto out = std::make_shared<std::vector<double>>(n_value_nodes, 0.0);
+
+  for (size_t i = 0; i < n_value_nodes; ++i) {
+    ValueNode& node = (*nodes)[i];
+    if (i > 0) {
+      const size_t n_deps = rng() % 4;  // 0..3 draws (duplicates fine)
+      for (size_t d = 0; d < n_deps; ++d) node.deps.push_back(rng() % i);
+    }
+    std::vector<util::TaskId> dep_tasks;
+    for (size_t dep : node.deps) dep_tasks.push_back((*nodes)[dep].task);
+
+    if (rng() % 2 == 0) {
+      // Serial node: fold the dependency outputs in a fixed order.
+      node.task = graph.add(
+          "value",
+          [nodes, out, i] {
+            double acc = static_cast<double>(i) + 1.0;
+            for (size_t dep : (*nodes)[i].deps) acc = mix(acc, (*out)[dep]);
+            (*out)[i] = acc;
+          },
+          dep_tasks);
+    } else {
+      // Parallel node: grains write disjoint slots (any schedule), then a
+      // reduction folds the slots — and the dependencies — ascending.
+      const size_t grains = 1 + rng() % 97;
+      node.slots.assign(grains, 0.0);
+      const util::TaskId fan = graph.add_parallel(
+          "fan", [nodes, i] { return (*nodes)[i].slots.size(); },
+          [nodes, out, i](size_t g) {
+            double acc = std::cos(static_cast<double>(g) + 0.25);
+            for (size_t dep : (*nodes)[i].deps) acc = mix(acc, (*out)[dep]);
+            (*nodes)[i].slots[g] = acc;
+          },
+          dep_tasks);
+      node.task = graph.add_reduction(
+          "fold",
+          [nodes, out, i] {
+            double acc = 0.0;
+            for (double s : (*nodes)[i].slots) acc = mix(acc, s);
+            (*out)[i] = acc;
+          },
+          {fan});
+    }
+  }
+  graph.run();
+  return *out;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &a[i], sizeof ba);
+    std::memcpy(&bb, &b[i], sizeof bb);
+    EXPECT_EQ(ba, bb) << "node " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+TEST(GraphDeterminism, RandomTopologyBitIdenticalAcrossLaneCounts) {
+  auto eight = util::TaskRuntime::create(8);
+  auto two = util::TaskRuntime::create(2);
+  for (uint32_t seed : {1u, 7u, 42u, 1234u, 99999u}) {
+    const auto serial = run_random_graph(nullptr, seed, 40);
+    expect_bitwise_equal(serial, run_random_graph(two, seed, 40));
+    expect_bitwise_equal(serial, run_random_graph(eight, seed, 40));
+  }
+}
+
+TEST(GraphDeterminism, ReusedGraphReproducesItselfEveryRun) {
+  auto runtime = util::TaskRuntime::create(8);
+  util::TaskGraph graph(runtime, "test.reuse");
+  std::vector<double> slots(257, 0.0);
+  double total = 0.0;
+  const util::TaskId fan = graph.add_parallel(
+      "fan", [&] { return slots.size(); },
+      [&](size_t g) { slots[g] = std::sqrt(static_cast<double>(g) + 0.5); });
+  graph.add_reduction(
+      "fold",
+      [&] {
+        total = 0.0;
+        for (double s : slots) total = mix(total, s);
+      },
+      {fan});
+
+  graph.run();
+  const double first = total;
+  for (int round = 0; round < 20; ++round) {
+    graph.run();
+    uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &first, sizeof ba);
+    std::memcpy(&bb, &total, sizeof bb);
+    ASSERT_EQ(ba, bb) << "round " << round;
+  }
+}
+
+TEST(GraphDeterminism, OrderFreeIntegerAccumulationMatchesSerial) {
+  // The fixed-point force idiom: racing grains fold into one integer
+  // accumulator; addition commutes, so any schedule gives the same bits.
+  auto accumulate = [](const std::shared_ptr<util::TaskRuntime>& rt) {
+    util::TaskGraph graph(rt, "test.intsum");
+    std::atomic<int64_t> sum{0};
+    graph.add_parallel(
+        "sum", [] { return size_t{1000}; },
+        [&sum](size_t g) {
+          sum.fetch_add(static_cast<int64_t>(g * g * 2654435761u),
+                        std::memory_order_relaxed);
+        });
+    graph.run();
+    return sum.load();
+  };
+  const int64_t serial = accumulate(nullptr);
+  EXPECT_EQ(serial, accumulate(util::TaskRuntime::create(2)));
+  EXPECT_EQ(serial, accumulate(util::TaskRuntime::create(8)));
+}
+
+TEST(GraphDeterminism, PhaseOverlapKeepsIndependentChainsIsolated) {
+  // Two independent chains (the bonded-vs-nonbonded shape) plus a joint
+  // reduction: whatever interleaving the scheduler picks, each chain sees
+  // only its own writes and the join folds in declaration order.
+  auto run_chains = [](const std::shared_ptr<util::TaskRuntime>& rt) {
+    util::TaskGraph graph(rt, "test.chains");
+    double a = 0.0, b = 0.0, joint = 0.0;
+    const util::TaskId a1 = graph.add("a1", [&] { a = 1.25; });
+    const util::TaskId a2 =
+        graph.add("a2", [&] { a = mix(a, 3.0); }, {a1});
+    const util::TaskId b1 = graph.add_parallel(
+        "b1", [] { return size_t{64}; },
+        [&b](size_t) { /* read-only grains */ (void)b; });
+    const util::TaskId b2 =
+        graph.add("b2", [&] { b = mix(0.5, 7.0); }, {b1});
+    graph.add_reduction("join", [&] { joint = mix(a, b); }, {a2, b2});
+    graph.run();
+    return joint;
+  };
+  const double serial = run_chains(nullptr);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(serial, run_chains(util::TaskRuntime::create(8)));
+  }
+}
+
+}  // namespace
+}  // namespace antmd

@@ -122,6 +122,43 @@ TEST(ParallelDeterminism, NeighborListPairsMatchSerialBuild) {
   }
 }
 
+// Phase overlap: rigid water turns on every concurrent phase at once —
+// k-space recompute (overlapped with the nonbonded tiles by the step
+// graph), SHAKE constraints, and the neighbor-list early-out.  The
+// trajectory must stay byte-identical across thread counts for both
+// nonbonded kernels.
+TEST(ParallelDeterminism, PhaseOverlapWithKspaceAndConstraints) {
+  auto run_water = [](size_t threads, ff::NonbondedKernel kernel) {
+    auto spec = build_water_box(125, WaterModel::kRigid3Site);
+    ff::NonbondedModel model;
+    model.cutoff = 6.0;
+    model.electrostatics = ff::Electrostatics::kEwaldReal;
+    model.ewald_beta = 0.45;
+    ForceField field(spec.topology, model);
+    md::Simulation sim = md::SimulationBuilder()
+                             .dt_fs(2.0)
+                             .neighbor_skin(1.0)
+                             .kspace_interval(2)  // due and not-due steps
+                             .langevin(250.0, 5.0)
+                             .nonbonded_kernel(kernel)
+                             .threads(threads)
+                             .build(field, spec.positions, spec.box);
+    sim.run(200);
+    md::ConstraintSolver check(spec.topology);
+    EXPECT_LT(check.max_violation(sim.state().positions, sim.state().box),
+              1e-6);
+    return sim.state().positions;
+  };
+
+  for (auto kernel :
+       {ff::NonbondedKernel::kCluster, ff::NonbondedKernel::kPair}) {
+    auto reference = run_water(1, kernel);
+    for (size_t threads : {2u, 8u}) {
+      expect_bitwise_equal(reference, run_water(threads, kernel), threads);
+    }
+  }
+}
+
 TEST(ParallelDeterminism, ReplicaExchangeThreadCountInvariant) {
   auto spec = build_polymer_in_solvent(12, 125);
   const std::vector<double> temps = {140.0, 160.0, 180.0, 200.0};

@@ -1,7 +1,8 @@
-// Unit tests for src/util: errors, CLI parsing, tables, thread pool,
+// Unit tests for src/util: errors, CLI parsing, tables, task graph,
 // execution context.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <set>
@@ -12,7 +13,7 @@
 #include "util/error.hpp"
 #include "util/execution.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
+#include "util/task_graph.hpp"
 
 namespace antmd {
 namespace {
@@ -109,16 +110,16 @@ TEST(Table, NumAndSciFormat) {
   EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
 }
 
-TEST(ThreadPool, RunsAllIndices) {
-  ThreadPool pool(2);
+TEST(TaskRuntime, RunsAllIndices) {
+  auto rt = util::TaskRuntime::create(2);
   std::vector<std::atomic<int>> hits(100);
-  pool.parallel_for(100, [&](size_t i) { hits[i].fetch_add(1); });
+  rt->parallel_for(100, [&](size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPool, PropagatesExceptions) {
-  ThreadPool pool(2);
-  EXPECT_THROW(pool.parallel_for(
+TEST(TaskRuntime, PropagatesExceptions) {
+  auto rt = util::TaskRuntime::create(2);
+  EXPECT_THROW(rt->parallel_for(
                    10,
                    [](size_t i) {
                      if (i == 5) throw Error("boom");
@@ -126,37 +127,162 @@ TEST(ThreadPool, PropagatesExceptions) {
                Error);
 }
 
-TEST(ThreadPool, ZeroCountIsNoop) {
-  ThreadPool pool(1);
-  EXPECT_NO_THROW(pool.parallel_for(0, [](size_t) { FAIL(); }));
+TEST(TaskRuntime, ZeroCountIsNoop) {
+  auto rt = util::TaskRuntime::create(1);
+  EXPECT_NO_THROW(rt->parallel_for(0, [](size_t) { FAIL(); }));
 }
 
-TEST(ThreadPool, ReusableAcrossCalls) {
-  ThreadPool pool(3);
+TEST(TaskRuntime, ReusableAcrossCalls) {
+  auto rt = util::TaskRuntime::create(3);
   for (int round = 0; round < 50; ++round) {
     std::atomic<long> sum{0};
-    pool.parallel_for(64, [&](size_t i) {
+    rt->parallel_for(64, [&](size_t i) {
       sum.fetch_add(static_cast<long>(i));
     });
     EXPECT_EQ(sum.load(), 64 * 63 / 2);
   }
 }
 
-TEST(ThreadPool, MoreWorkersThanItems) {
-  ThreadPool pool(8);
+TEST(TaskRuntime, MoreLanesThanItems) {
+  auto rt = util::TaskRuntime::create(8);
   std::vector<std::atomic<int>> hits(3);
-  pool.parallel_for(3, [&](size_t i) { hits[i].fetch_add(1); });
+  rt->parallel_for(3, [&](size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPool, UsableAfterException) {
-  ThreadPool pool(2);
+TEST(TaskRuntime, UsableAfterException) {
+  auto rt = util::TaskRuntime::create(2);
   EXPECT_THROW(
-      pool.parallel_for(4, [](size_t) { throw Error("first call"); }),
+      rt->parallel_for(4, [](size_t) { throw Error("first call"); }),
       Error);
   std::atomic<int> count{0};
-  pool.parallel_for(16, [&](size_t) { count.fetch_add(1); });
+  rt->parallel_for(16, [&](size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 16);
+}
+
+TEST(TaskRuntime, NestedParallelForRunsInlineInOrder) {
+  auto rt = util::TaskRuntime::create(4);
+  std::array<std::vector<size_t>, 3> inner_order;
+  rt->parallel_for(3, [&](size_t outer) {
+    // Re-entering the same runtime from a task body must not deadlock; it
+    // runs serially in index order on the calling lane.
+    rt->parallel_for(5, [&](size_t inner) {
+      EXPECT_EQ(util::TaskRuntime::current_lane(), 0u);
+      inner_order[outer].push_back(inner);
+    });
+  });
+  for (const auto& order : inner_order) {
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(TaskGraph, RespectsDependencies) {
+  auto rt = util::TaskRuntime::create(4);
+  for (int round = 0; round < 20; ++round) {
+    util::TaskGraph g(rt);
+    std::atomic<int> stage{0};
+    auto a = g.add("a", [&] { stage.store(1); });
+    auto b = g.add_parallel(
+        "b", [] { return size_t{32}; },
+        [&](size_t) { EXPECT_GE(stage.load(), 1); }, {a});
+    g.add_reduction("c", [&] { stage.store(2); }, {b});
+    g.run();
+    EXPECT_EQ(stage.load(), 2);
+  }
+}
+
+TEST(TaskGraph, IndependentTasksAllRun) {
+  auto rt = util::TaskRuntime::create(4);
+  util::TaskGraph g(rt);
+  std::vector<std::atomic<int>> hits(16);
+  std::vector<util::TaskId> roots;
+  for (size_t t = 0; t < hits.size(); ++t) {
+    roots.push_back(g.add("root", [&hits, t] { hits[t].fetch_add(1); }));
+  }
+  g.add_reduction(
+      "join",
+      [&] {
+        for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+      },
+      roots);
+  g.run();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskGraph, CountProviderResolvedAtReadyTime) {
+  auto rt = util::TaskRuntime::create(2);
+  util::TaskGraph g(rt);
+  size_t count = 0;  // written by an upstream task, read by the provider
+  size_t next = 37;
+  std::atomic<size_t> ran{0};
+  auto resize = g.add("resize", [&] { count = next; });
+  g.add_parallel(
+      "body", [&count] { return count; },
+      [&](size_t) { ran.fetch_add(1); }, {resize});
+  g.run();
+  EXPECT_EQ(ran.load(), 37u);
+  // Graphs are reusable, counts re-resolve each run, and a zero-grain
+  // parallel task completes vacuously without blocking downstream tasks.
+  next = 0;
+  ran.store(0);
+  std::atomic<int> after{0};
+  g.add("after", [&] { after.fetch_add(1); });
+  g.run();
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(TaskGraph, SerialFallbackRunsInInsertionOrder) {
+  util::TaskGraph g(nullptr);  // no runtime: serial
+  std::vector<int> order;
+  auto a = g.add("a", [&] { order.push_back(0); });
+  g.add_parallel(
+      "b", [] { return size_t{3}; },
+      [&](size_t i) { order.push_back(1 + static_cast<int>(i)); }, {a});
+  g.add("c", [&] { order.push_back(4); });
+  g.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskGraph, ExceptionCancelsAndRethrows) {
+  auto rt = util::TaskRuntime::create(2);
+  util::TaskGraph g(rt);
+  std::atomic<int> downstream{0};
+  auto boom = g.add("boom", [] { throw Error("task failed"); });
+  g.add_reduction("after", [&] { downstream.fetch_add(1); }, {boom});
+  EXPECT_THROW(g.run(), Error);
+  EXPECT_EQ(downstream.load(), 0);
+  // Scheduling state resets cleanly: a second run reproduces the result.
+  EXPECT_THROW(g.run(), Error);
+}
+
+TEST(PlanChunks, MatchesBounds) {
+  auto plan = util::plan_chunks(1000, 256, 16);
+  EXPECT_EQ(plan.items, 1000u);
+  EXPECT_EQ(plan.chunks, 4u);
+  EXPECT_EQ(plan.begin(0), 0u);
+  EXPECT_EQ(plan.end(plan.chunks - 1), 1000u);
+  size_t covered = 0;
+  for (size_t c = 0; c < plan.chunks; ++c) {
+    EXPECT_GE(plan.end(c), plan.begin(c));
+    covered += plan.end(c) - plan.begin(c);
+  }
+  EXPECT_EQ(covered, 1000u);
+}
+
+TEST(PlanChunks, CapsAtMaxChunks) {
+  auto plan = util::plan_chunks(100000, 256, 16);
+  EXPECT_EQ(plan.chunks, 16u);
+  EXPECT_EQ(plan.end(15), 100000u);
+}
+
+TEST(PlanChunks, SmallInputsGetOneChunk) {
+  auto plan = util::plan_chunks(10, 256, 16);
+  EXPECT_EQ(plan.chunks, 1u);
+  EXPECT_EQ(plan.begin(0), 0u);
+  EXPECT_EQ(plan.end(0), 10u);
+  auto empty = util::plan_chunks(0, 256, 16);
+  EXPECT_EQ(empty.chunks, 0u);
 }
 
 TEST(ExecutionContext, SerialByDefault) {
