@@ -1,0 +1,181 @@
+// antmd_fleet: the fleet scheduler daemon.
+//
+// Consumes a run manifest (see src/fleet/manifest.hpp) and drives every
+// run to a terminal state — completed, quarantined, or rejected — under
+// per-run supervision and fault isolation:
+//
+//   # fleet.manifest
+//   [fleet]
+//   max_active       = 8
+//   memory_budget_mb = 64
+//   slice_steps      = 32
+//   threads          = 2
+//   checkpoint_dir   = ./fleet-ckpt
+//   status_path      = fleet-status.json
+//
+//   [defaults]
+//   system = ljfluid
+//   size   = 125
+//   steps  = 200
+//
+//   [run alpha]
+//   size = 343
+//   priority = 2
+//
+//   [run chaos]
+//   fault = nan_force:50          # scoped: siblings never observe it
+//
+//   ./antmd_fleet fleet.manifest
+//       [--status PATH] [--status-interval N] [--max-active N]
+//       [--memory-mb N] [--slice N] [--threads N] [--checkpoint-dir DIR]
+//       [--metrics-out PATH] [--quiet]
+//
+// The status file (schema "antmd.fleet.status/v1") is rewritten atomically
+// every N slices, so an operator can poll one JSON document for the whole
+// fleet's phase/progress/fault counters while it runs.
+//
+// Exit codes: 0 every run completed; 6 at least one run quarantined or
+// rejected (the status file says which and why); 2 configuration errors;
+// 3 I/O errors; 1 anything else.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fleet/manifest.hpp"
+#include "fleet/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+using namespace antmd;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: antmd_fleet MANIFEST [--status PATH] [--status-interval N]\n"
+      "                   [--max-active N] [--memory-mb N] [--slice N]\n"
+      "                   [--threads N] [--checkpoint-dir DIR]\n"
+      "                   [--metrics-out PATH] [--quiet]\n");
+  return 2;
+}
+
+uint64_t parse_u64_arg(const char* flag, const char* text) {
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "antmd_fleet: %s expects a non-negative integer, "
+                         "got '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string manifest_path;
+  std::string metrics_out;
+  bool quiet = false;
+
+  // Overrides applied after the manifest parses.
+  struct {
+    const char* status = nullptr;
+    const char* checkpoint_dir = nullptr;
+    uint64_t status_interval = 0, max_active = 0, memory_mb = 0, slice = 0;
+    bool threads_set = false;
+    uint64_t threads = 0;
+  } over;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "antmd_fleet: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--status") over.status = value();
+    else if (arg == "--status-interval") {
+      over.status_interval = parse_u64_arg("--status-interval", value());
+    } else if (arg == "--max-active") {
+      over.max_active = parse_u64_arg("--max-active", value());
+    } else if (arg == "--memory-mb") {
+      over.memory_mb = parse_u64_arg("--memory-mb", value());
+    } else if (arg == "--slice") {
+      over.slice = parse_u64_arg("--slice", value());
+    } else if (arg == "--threads") {
+      over.threads = parse_u64_arg("--threads", value());
+      over.threads_set = true;
+    } else if (arg == "--checkpoint-dir") {
+      over.checkpoint_dir = value();
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "antmd_fleet: unknown option %s\n", arg.c_str());
+      return usage();
+    } else if (manifest_path.empty()) {
+      manifest_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (manifest_path.empty()) return usage();
+
+  try {
+    fleet::Manifest manifest = fleet::load_manifest(manifest_path);
+    if (over.status) manifest.scheduler.status_path = over.status;
+    if (over.status_interval) {
+      manifest.scheduler.status_interval_slices =
+          static_cast<int>(over.status_interval);
+    }
+    if (over.max_active) manifest.scheduler.max_active_runs = over.max_active;
+    if (over.memory_mb) {
+      manifest.scheduler.memory_budget_bytes = over.memory_mb * 1024 * 1024;
+    }
+    if (over.slice) manifest.scheduler.slice_steps = over.slice;
+    if (over.threads_set) manifest.scheduler.threads = over.threads;
+    if (over.checkpoint_dir) {
+      manifest.scheduler.checkpoint_dir = over.checkpoint_dir;
+    }
+
+    obs::register_standard_metrics();
+    obs::set_enabled(true);
+
+    fleet::Scheduler scheduler(manifest.scheduler);
+    for (fleet::RunSpec& spec : manifest.runs) {
+      scheduler.submit(std::move(spec));
+    }
+    fleet::FleetSummary summary = scheduler.run_to_completion();
+
+    if (!quiet) {
+      std::fputs(summary.render().c_str(), stdout);
+      for (const fleet::RunStatus& s : scheduler.statuses()) {
+        std::printf("  %-24s %-12s %8llu/%llu steps%s%s\n", s.name.c_str(),
+                    fleet::run_phase_name(s.phase),
+                    static_cast<unsigned long long>(s.steps_done),
+                    static_cast<unsigned long long>(s.steps_target),
+                    s.detail.empty() ? "" : "  -- ", s.detail.c_str());
+      }
+    }
+    if (!metrics_out.empty()) {
+      obs::write_metrics_file(metrics_out,
+                              obs::MetricsRegistry::global().snapshot());
+    }
+    return summary.completed == summary.submitted ? 0 : 6;
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "antmd_fleet: configuration error: %s\n", e.what());
+    return 2;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "antmd_fleet: io error: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "antmd_fleet: %s\n", e.what());
+    return 1;
+  }
+}

@@ -197,48 +197,6 @@ struct RecoveryExhausted : Error {
   using Error::Error;
 };
 
-/// Parses a `--fault` / `fault =` spec `kind[:fire_after[:count[:payload]]]`
-/// and arms it for the whole run.  Throws ConfigError on a malformed spec.
-void arm_fault_spec(const std::string& spec) {
-  fault::FaultPlan plan;
-  std::string kind = spec;
-  std::string rest;
-  if (auto colon = spec.find(':'); colon != std::string::npos) {
-    kind = spec.substr(0, colon);
-    rest = spec.substr(colon + 1);
-  }
-  if (kind == "io_write_fail") plan.kind = fault::FaultKind::kIoWriteFail;
-  else if (kind == "io_short_write") {
-    plan.kind = fault::FaultKind::kIoShortWrite;
-  } else if (kind == "nan_force") plan.kind = fault::FaultKind::kNanForce;
-  else if (kind == "node_fail") plan.kind = fault::FaultKind::kNodeFail;
-  else if (kind == "link_drop") plan.kind = fault::FaultKind::kLinkDrop;
-  else if (kind == "packet_corrupt") {
-    plan.kind = fault::FaultKind::kPacketCorrupt;
-  } else if (kind == "node_hang") plan.kind = fault::FaultKind::kNodeHang;
-  else throw ConfigError("unknown fault kind: " + kind);
-  uint64_t* fields[] = {&plan.fire_after, nullptr, &plan.payload};
-  int64_t count = plan.count;
-  for (int f = 0; !rest.empty() && f < 3; ++f) {
-    std::string tok = rest;
-    if (auto colon = rest.find(':'); colon != std::string::npos) {
-      tok = rest.substr(0, colon);
-      rest = rest.substr(colon + 1);
-    } else {
-      rest.clear();
-    }
-    char* end = nullptr;
-    long long value = std::strtoll(tok.c_str(), &end, 10);
-    if (end == tok.c_str() || *end != '\0') {
-      throw ConfigError("bad fault spec field '" + tok + "' in: " + spec);
-    }
-    if (f == 1) count = value;
-    else *fields[f] = static_cast<uint64_t>(value);
-  }
-  plan.count = count;
-  fault::arm(plan);
-}
-
 /// Checkpoint/health/supervision settings shared by the host and machine
 /// branches.
 struct RobustnessOptions {
@@ -484,7 +442,7 @@ int main(int argc, char** argv) {
     std::string fault_spec = cfg.get_string("fault", "");
     if (cli_fault) fault_spec = cli_fault;
     if (!fault_spec.empty()) {
-      arm_fault_spec(fault_spec);
+      fault::arm(fault::parse_fault_plan(fault_spec));
       std::printf("fault armed: %s\n", fault_spec.c_str());
     }
 

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Soak the fleet scheduler: generate a manifest of N mixed-size runs with
+# deterministic per-run fault schedules (transient force poisoning, failing
+# mirrors, unrecoverable poison, hung machine nodes), push it through the
+# antmd_fleet CLI under a tight memory budget (so eviction/rehydration
+# cycles continuously), and assert every run lands in a terminal state:
+# completed, or quarantined for exactly the runs built to be unrecoverable.
+#
+# Usage: scripts/run_fleet_soak.sh [N]
+#   N  number of runs in the fleet (default 64, the tier-2 floor)
+#
+# Env:
+#   ANTMD_FLEET_BIN  path to a prebuilt antmd_fleet binary; when unset the
+#                    script configures/builds the default tree (like
+#                    scripts/run_soak.sh).  ctest's `-L soak` registration
+#                    sets it to the freshly built CLI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N="${1:-64}"
+if (( N < 64 )); then
+  echo "run_fleet_soak: N must be >= 64 (got $N)" >&2
+  exit 2
+fi
+
+if [[ -z "${ANTMD_FLEET_BIN:-}" ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build --target antmd_fleet_cli -j "$(nproc)" >/dev/null
+  ANTMD_FLEET_BIN="build/examples/antmd_fleet"
+fi
+
+WORK="$(mktemp -d /tmp/antmd_fleet_soak.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+MANIFEST="$WORK/fleet.ini"
+STATUS="$WORK/status.json"
+
+# --- deterministic manifest -------------------------------------------------
+{
+  echo "[fleet]"
+  echo "max_active = 12"
+  echo "memory_budget_mb = 2"        # tight: forces eviction round trips
+  echo "slice_steps = 16"
+  echo "checkpoint_dir = $WORK/ckpt"
+  echo "status_path = $STATUS"
+  echo "status_interval = 8"
+  echo
+  echo "[defaults]"
+  echo "system = ljfluid"
+  echo "dt_fs = 4.0"
+  echo "temperature = 120"
+  echo "cutoff = 7.0"
+  echo "steps = 48"
+  echo "snapshot_interval = 16"
+} > "$MANIFEST"
+
+expected_quarantined=0
+for (( i = 0; i < N; ++i )); do
+  {
+    echo
+    echo "[run soak-$i]"
+    echo "seed = $(( i + 1 ))"
+    if (( i % 2 )); then echo "size = 216"; else echo "size = 125"; fi
+    echo "priority = $(( i % 3 + 1 ))"
+    if (( i % 16 == 7 )); then
+      # Unrecoverable: poisoned on every force evaluation -> quarantine.
+      echo "fault = nan_force:0:-1:$i"
+    elif (( i % 8 == 3 )); then
+      # Failing mirror: every checkpoint write fails, run degrades and
+      # completes on the in-memory snapshot ring.
+      echo "fault = io_write_fail:0:-1"
+    elif (( i % 4 == 1 )); then
+      # One transient force poisoning at a per-run deterministic step.
+      echo "fault = nan_force:$(( i % 40 + 2 )):1:$(( i % 100 ))"
+    elif (( i % 10 == 6 )); then
+      echo "engine = machine"
+      echo "nodes = 2"
+      echo "dt_fs = 2.0"
+      echo "steps = 24"
+      echo "snapshot_interval = 8"
+      echo "fault = node_hang:$(( i % 12 + 3 )):1:$(( i % 8 ))"
+      echo "watchdog_ms = 1.0"
+    fi
+  } >> "$MANIFEST"
+  if (( i % 16 == 7 )); then (( ++expected_quarantined )); fi
+done
+
+echo "run_fleet_soak: $N runs, expecting $expected_quarantined quarantines"
+
+# --- run ---------------------------------------------------------------------
+# Exit 6 = some runs quarantined (expected here); anything else is a failure.
+rc=0
+"$ANTMD_FLEET_BIN" "$MANIFEST" --quiet || rc=$?
+if (( rc != 6 && rc != 0 )); then
+  echo "run_fleet_soak: antmd_fleet exited $rc" >&2
+  exit 1
+fi
+
+# --- verify terminal states --------------------------------------------------
+completed=$(grep -c '"phase": "completed"' "$STATUS" || true)
+quarantined=$(grep -c '"phase": "quarantined"' "$STATUS" || true)
+nonterminal=$(grep -cE '"phase": "(queued|running|evicted)"' "$STATUS" || true)
+
+echo "run_fleet_soak: completed=$completed quarantined=$quarantined" \
+     "nonterminal=$nonterminal"
+
+fail=0
+if (( nonterminal != 0 )); then
+  echo "run_fleet_soak: FAIL — $nonterminal runs left in a non-terminal state" >&2
+  fail=1
+fi
+if (( quarantined != expected_quarantined )); then
+  echo "run_fleet_soak: FAIL — quarantined $quarantined, expected" \
+       "$expected_quarantined" >&2
+  fail=1
+fi
+if (( completed + quarantined != N )); then
+  echo "run_fleet_soak: FAIL — completed+quarantined=$((completed + quarantined)), expected $N" >&2
+  fail=1
+fi
+if (( fail )); then
+  exit 1
+fi
+echo "run_fleet_soak: PASS"

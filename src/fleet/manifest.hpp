@@ -1,0 +1,55 @@
+// Fleet manifest: one file describing a whole fleet.
+//
+// INI-style sections:
+//
+//   [fleet]              scheduler settings (SchedulerConfig)
+//   [defaults]           RunSpec keys applied to every run first
+//   [run NAME]           one run; keys override the defaults
+//
+// Example:
+//
+//   [fleet]
+//   max_active = 8
+//   memory_budget_mb = 64
+//   slice_steps = 32
+//   threads = 2
+//   checkpoint_dir = /tmp/fleet-ckpt
+//   status_path = fleet-status.json
+//
+//   [defaults]
+//   system = ljfluid
+//   size = 125
+//   steps = 200
+//
+//   [run alpha]
+//   size = 343
+//   priority = 2
+//
+//   [run chaos]
+//   fault = nan_force:50
+//
+// `#` and `;` start comments; keys are `key = value`.  Unknown keys and
+// malformed lines are ConfigErrors — a fleet manifest is an operator
+// contract, so typos fail loudly instead of silently running defaults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/run.hpp"
+#include "fleet/scheduler.hpp"
+
+namespace antmd::fleet {
+
+struct Manifest {
+  SchedulerConfig scheduler;
+  std::vector<RunSpec> runs;
+};
+
+/// Parses manifest text; throws ConfigError with the offending line.
+[[nodiscard]] Manifest parse_manifest(const std::string& text);
+
+/// Reads and parses a manifest file; throws ConfigError / IoError.
+[[nodiscard]] Manifest load_manifest(const std::string& path);
+
+}  // namespace antmd::fleet

@@ -111,11 +111,38 @@ void rotate_backup(const std::string& path) {
   std::ifstream probe(path, std::ios::binary);
   if (!probe.good()) return;  // nothing to rotate
   probe.close();
+
+  // Only a checkpoint that passes its own CRC may shadow the previous
+  // backup: a primary torn by a crash or short write (kIoShortWrite renames
+  // a truncated blob into place) is discarded here, so `.bak` keeps the
+  // last generation that actually restores.
+  std::string blob = read_file(path);
+  try {
+    (void)decode_checkpoint(blob);
+  } catch (const IoError&) {
+    std::remove(path.c_str());
+    return;
+  }
+
+  // Promote via temp file + rename: the rename is atomic, so `.bak` is
+  // either the old generation or the complete new one — never truncated.
   const std::string bak = backup_path(path);
-  std::remove(bak.c_str());
-  if (std::rename(path.c_str(), bak.c_str()) != 0) {
+  const std::string tmp = bak + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw IoError("cannot write checkpoint backup: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), bak.c_str()) != 0) {
+    std::remove(tmp.c_str());
     throw IoError("cannot rotate checkpoint backup: " + path);
   }
+  std::remove(path.c_str());
 }
 
 std::string load_checkpoint_v2_or_backup(

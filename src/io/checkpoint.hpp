@@ -54,10 +54,12 @@ void load_checkpoint_v2(const std::string& path,
 /// Path of the rotated backup mirror kept next to a checkpoint.
 [[nodiscard]] std::string backup_path(const std::string& path);
 
-/// Keeps the previous generation alive: if `path` exists it is renamed to
-/// backup_path(path) (replacing any older backup).  Callers rotate before
-/// each atomic write so a checkpoint that lands torn on disk still leaves
-/// the prior good one restorable.
+/// Keeps the previous generation alive: if `path` exists *and its CRC
+/// verifies*, it is promoted to backup_path(path) via temp file + atomic
+/// rename (replacing any older backup).  A torn or corrupt primary is
+/// deleted instead, so it can never shadow a good `.bak`.  Callers rotate
+/// before each atomic write so a checkpoint that lands torn on disk still
+/// leaves the prior good one restorable.
 void rotate_backup(const std::string& path);
 
 /// load_checkpoint_v2 with degradation: when the primary fails (missing,

@@ -199,6 +199,18 @@ void Simulation::build_step_graph() {
         ff::spread_virtual_site_forces(ff_->topology().virtual_sites(),
                                        state_.positions, state_.box,
                                        graph_sink_->forces);
+        // Force-poison injection point, deliberately inside the graph: the
+        // reduction runs on whichever lane picks it up, so a kNanForce plan
+        // fires from a worker thread — the fault registry's thread-safety
+        // contract — while the one-poll-per-evaluation cadence matches the
+        // sequential compute_forces() path exactly.
+        uint64_t poison_atom = 0;
+        if (fault::should_fire(fault::FaultKind::kNanForce, &poison_atom)) {
+          const size_t n = ff_->topology().atom_count();
+          graph_sink_->forces.set_quanta(
+              poison_atom % n, {fault::kPoisonQuanta, fault::kPoisonQuanta,
+                                fault::kPoisonQuanta});
+        }
         if (obs::enabled()) {
           md_metrics().nonbonded_kernel.set(1.0);
           md_metrics().cluster_fill.set(nlist_.clusters().fill_ratio());
@@ -215,13 +227,6 @@ void Simulation::run_force_graph(ForceResult& sink, bool include_bonded,
   graph_kspace_due_ = kspace_due;
   sink.reset(n);
   step_graph_->run();
-
-  uint64_t poison_atom = 0;
-  if (fault::should_fire(fault::FaultKind::kNanForce, &poison_atom)) {
-    sink.forces.set_quanta(
-        poison_atom % n,
-        {fault::kPoisonQuanta, fault::kPoisonQuanta, fault::kPoisonQuanta});
-  }
 }
 
 void Simulation::notify_observers() { notify_step(*this, observers_, wall_); }

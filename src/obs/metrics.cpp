@@ -312,6 +312,17 @@ void register_standard_metrics(MetricsRegistry& registry) {
         "util.fault.node_fail.count"}) {
     registry.counter(name);
   }
+  registry.gauge("resilience.supervisor.snapshot_bytes");
+  // fleet: the multi-run scheduler.
+  for (const char* name :
+       {"fleet.submit.count", "fleet.reject.count", "fleet.complete.count",
+        "fleet.quarantine.count", "fleet.evict.count",
+        "fleet.rehydrate.count", "fleet.slice.count"}) {
+    registry.counter(name);
+  }
+  registry.gauge("fleet.active_runs");
+  registry.gauge("fleet.queued_runs");
+  registry.gauge("fleet.resident_bytes");
 }
 
 bool write_metrics_file(const std::string& path,

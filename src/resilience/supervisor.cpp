@@ -82,7 +82,8 @@ SupervisorMetrics& supervisor_metrics() {
       reg.counter("resilience.supervisor.watchdog.count"),
       reg.counter("resilience.supervisor.escalation.count"),
       reg.counter("resilience.supervisor.mirror_degrade.count"),
-      reg.gauge("resilience.supervisor.recovery_modeled_seconds")};
+      reg.gauge("resilience.supervisor.recovery_modeled_seconds"),
+      reg.gauge("resilience.supervisor.snapshot_bytes")};
   return m;
 }
 
@@ -90,11 +91,20 @@ SupervisorMetrics& supervisor_metrics() {
 
 void SnapshotRing::push(uint64_t step, std::string blob) {
   if (!entries_.empty() && entries_.back().first == step) {
+    bytes_ -= entries_.back().second.size();
+    bytes_ += blob.size();
     entries_.back().second = std::move(blob);  // refresh in place
-    return;
+  } else {
+    bytes_ += blob.size();
+    entries_.emplace_back(step, std::move(blob));
   }
-  entries_.emplace_back(step, std::move(blob));
-  while (entries_.size() > depth_) entries_.pop_front();
+  // Depth cap, then byte budget; the newest entry always survives so a
+  // rollback target exists even when one snapshot exceeds the budget.
+  while (entries_.size() > depth_ ||
+         (max_bytes_ > 0 && bytes_ > max_bytes_ && entries_.size() > 1)) {
+    bytes_ -= entries_.front().second.size();
+    entries_.pop_front();
+  }
 }
 
 uint64_t SnapshotRing::newest_step() const {

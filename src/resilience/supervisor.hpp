@@ -75,6 +75,12 @@ struct SupervisorConfig {
   int snapshot_interval = 50;
   /// Ring depth (newest entry is the rollback target).
   size_t snapshot_ring_depth = 4;
+  /// Byte budget for the ring (0 = unbounded).  Large systems evict old
+  /// entries past this bound even below the depth cap, so a run's resident
+  /// snapshot cost is predictable — the fleet scheduler's admission and
+  /// eviction decisions read it via snapshot_bytes() and the
+  /// resilience.supervisor.snapshot_bytes gauge.
+  size_t snapshot_ring_bytes = 0;
   /// Optional on-disk mirror of each ring snapshot (v2 container, atomic
   /// write, `.bak` rotation); also the restart source when the ring fails.
   std::string checkpoint_path;
@@ -131,6 +137,7 @@ struct SupervisorMetrics {
   obs::Counter& escalations;
   obs::Counter& mirror_degrades;
   obs::Gauge& recovery_modeled_s;
+  obs::Gauge& snapshot_bytes;
 };
 
 SupervisorMetrics& supervisor_metrics();
@@ -138,18 +145,25 @@ SupervisorMetrics& supervisor_metrics();
 }  // namespace detail
 
 /// Bounded ring of serialized last-good snapshots (newest-first rollback).
+/// Bounded by entry count and, when max_bytes > 0, by total payload bytes;
+/// the newest entry is never evicted, so rollback always has a target.
 class SnapshotRing {
  public:
-  explicit SnapshotRing(size_t depth) : depth_(depth ? depth : 1) {}
+  explicit SnapshotRing(size_t depth, size_t max_bytes = 0)
+      : depth_(depth ? depth : 1), max_bytes_(max_bytes) {}
 
   void push(uint64_t step, std::string blob);
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] size_t size() const { return entries_.size(); }
+  /// Total serialized payload resident in the ring.
+  [[nodiscard]] size_t bytes() const { return bytes_; }
   [[nodiscard]] uint64_t newest_step() const;
   [[nodiscard]] const std::string& newest_blob() const;
 
  private:
   size_t depth_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
   std::deque<std::pair<uint64_t, std::string>> entries_;
 };
 
@@ -172,7 +186,7 @@ class Supervisor {
   Supervisor(Sim& sim, SupervisorConfig config)
       : sim_(&sim),
         config_(std::move(config)),
-        ring_(config_.snapshot_ring_depth) {
+        ring_(config_.snapshot_ring_depth, config_.snapshot_ring_bytes) {
     if (config_.max_retries < 1) {
       throw ConfigError("supervisor max_retries must be >= 1");
     }
@@ -244,6 +258,10 @@ class Supervisor {
   }
 
   [[nodiscard]] const RecoveryReport& report() const { return report_; }
+
+  /// Resident bytes held by the in-memory snapshot ring — the per-run
+  /// memory cost the fleet layer folds into its eviction decisions.
+  [[nodiscard]] size_t snapshot_bytes() const { return ring_.bytes(); }
 
  private:
   /// Post-step detection that does not unwind the stack: numerical health
@@ -383,6 +401,8 @@ class Supervisor {
     ref_energy_ = sim_->potential_energy() + sim_->kinetic_energy();
     ref_step_ = sim_->state().step;
     ++report_.snapshots;
+    detail::supervisor_metrics().snapshot_bytes.set(
+        static_cast<double>(ring_.bytes()));
     if (!config_.checkpoint_path.empty() && mirror_enabled_) {
       write_mirror(w.buffer());
     }

@@ -11,7 +11,10 @@ ExecutionContext::ExecutionContext(ExecutionConfig config) : config_(config) {
     if (n == 0) n = 1;
   }
   threads_ = n;
-  if (threads_ > 1) runtime_ = util::TaskRuntime::create(threads_);
+  if (threads_ > 1) {
+    runtime_ = config.shared_runtime ? config.shared_runtime
+                                     : util::TaskRuntime::create(threads_);
+  }
 }
 
 std::shared_ptr<ExecutionContext> ExecutionContext::create(

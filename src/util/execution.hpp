@@ -30,6 +30,13 @@ struct ExecutionConfig {
   /// merges partials as they complete; fixed-point forces and energies stay
   /// bit-identical either way, only the virial's fp summation order varies.
   bool deterministic_reduction = true;
+  /// Optional externally owned worker pool.  When set (and parallel), the
+  /// ExecutionContext reuses it instead of spawning its own workers — this
+  /// is how the fleet scheduler multiplexes hundreds of engines over one
+  /// TaskRuntime without a thread explosion.  Null (the default) keeps the
+  /// one-pool-per-engine behavior.  Results are unaffected: the grain
+  /// partition is a function of `threads`, never of the pool identity.
+  std::shared_ptr<util::TaskRuntime> shared_runtime;
 };
 
 /// Shared parallel context.  One per Simulation/engine; cheap to share via

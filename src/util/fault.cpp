@@ -1,9 +1,14 @@
 #include "util/fault.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <map>
+#include <mutex>
 
 #include "obs/metrics.hpp"
+#include "util/error.hpp"
 
 using std::size_t;
 
@@ -18,12 +23,35 @@ struct Slot {
   uint64_t rng = 0;     ///< splitmix64 state for probabilistic plans
 };
 
-std::array<Slot, static_cast<size_t>(FaultKind::kCount)>& slots() {
-  static std::array<Slot, static_cast<size_t>(FaultKind::kCount)> s;
+using SlotArray = std::array<Slot, static_cast<size_t>(FaultKind::kCount)>;
+
+// Registry state.  All mutation happens under `mutex()`; `armed_plans()` is
+// the lock-free fast path that keeps an idle should_fire() at one relaxed
+// load even when polled from task-graph worker lanes.
+std::mutex& mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::atomic<uint32_t>& armed_plans() {
+  static std::atomic<uint32_t> n{0};
+  return n;
+}
+
+std::atomic<ScopeId>& scope_now() {
+  static std::atomic<ScopeId> s{kGlobalScope};
   return s;
 }
 
-Slot& slot(FaultKind kind) { return slots()[static_cast<size_t>(kind)]; }
+SlotArray& global_slots() {
+  static SlotArray s;
+  return s;
+}
+
+std::map<ScopeId, SlotArray>& scoped_slots() {
+  static std::map<ScopeId, SlotArray> s;
+  return s;
+}
 
 // One telemetry counter per injectable fault kind (util.fault.*.count), so
 // resilience experiments can cross-check "faults injected" against
@@ -49,10 +77,8 @@ uint64_t splitmix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-}  // namespace
-
-void arm(const FaultPlan& plan) {
-  Slot& s = slot(plan.kind);
+void arm_slot(Slot& s, const FaultPlan& plan) {
+  if (!s.active) armed_plans().fetch_add(1, std::memory_order_relaxed);
   s.plan = plan;
   s.active = true;
   s.events = 0;
@@ -60,16 +86,13 @@ void arm(const FaultPlan& plan) {
   s.rng = plan.seed * 0x2545F4914F6CDD1Dull + 0x9E3779B97F4A7C15ull;
 }
 
-void disarm(FaultKind kind) { slot(kind) = Slot{}; }
-
-void disarm_all() {
-  for (auto& s : slots()) s = Slot{};
+void disarm_slot(Slot& s) {
+  if (s.active) armed_plans().fetch_sub(1, std::memory_order_relaxed);
+  s = Slot{};
 }
 
-bool armed(FaultKind kind) { return slot(kind).active; }
-
-bool should_fire(FaultKind kind, uint64_t* payload) {
-  Slot& s = slot(kind);
+/// Counts the event against an armed slot and decides whether it fires.
+bool slot_fires(Slot& s, uint64_t* payload) {
   if (!s.active) return false;
   const uint64_t event = s.events++;
   if (event < s.plan.fire_after) return false;
@@ -83,11 +106,132 @@ bool should_fire(FaultKind kind, uint64_t* payload) {
     if (u >= s.plan.probability) return false;
   }
   ++s.fired;
-  fired_counter(kind).add();
   if (payload) *payload = s.plan.payload;
   return true;
 }
 
-uint64_t fired_count(FaultKind kind) { return slot(kind).fired; }
+}  // namespace
+
+void arm(const FaultPlan& plan) { arm_scoped(kGlobalScope, plan); }
+
+void arm_scoped(ScopeId scope, const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex());
+  SlotArray& slots = scope == kGlobalScope ? global_slots()
+                                           : scoped_slots()[scope];
+  arm_slot(slots[static_cast<size_t>(plan.kind)], plan);
+}
+
+void disarm(FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex());
+  disarm_slot(global_slots()[static_cast<size_t>(kind)]);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex());
+  for (auto& s : global_slots()) disarm_slot(s);
+  for (auto& [scope, slots] : scoped_slots()) {
+    for (auto& s : slots) disarm_slot(s);
+  }
+  scoped_slots().clear();
+}
+
+void disarm_scope(ScopeId scope) {
+  if (scope == kGlobalScope) return;
+  std::lock_guard<std::mutex> lock(mutex());
+  auto it = scoped_slots().find(scope);
+  if (it == scoped_slots().end()) return;
+  for (auto& s : it->second) disarm_slot(s);
+  scoped_slots().erase(it);
+}
+
+void set_current_scope(ScopeId scope) {
+  scope_now().store(scope, std::memory_order_relaxed);
+}
+
+ScopeId current_scope() {
+  return scope_now().load(std::memory_order_relaxed);
+}
+
+bool armed(FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex());
+  return global_slots()[static_cast<size_t>(kind)].active;
+}
+
+bool should_fire(FaultKind kind, uint64_t* payload) {
+  if (armed_plans().load(std::memory_order_relaxed) == 0) return false;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex());
+    // The current scope's plan is the more specific match, so it decides
+    // first; the global plan still counts the qualifying event either way
+    // (it observes all traffic, scoped plans only their tenant's).
+    const ScopeId scope = current_scope();
+    if (scope != kGlobalScope) {
+      auto it = scoped_slots().find(scope);
+      if (it != scoped_slots().end()) {
+        fire = slot_fires(it->second[static_cast<size_t>(kind)], payload);
+      }
+    }
+    Slot& global = global_slots()[static_cast<size_t>(kind)];
+    if (fire) {
+      if (global.active) ++global.events;
+    } else {
+      fire = slot_fires(global, payload);
+    }
+  }
+  if (fire) fired_counter(kind).add();
+  return fire;
+}
+
+uint64_t fired_count(FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex());
+  return global_slots()[static_cast<size_t>(kind)].fired;
+}
+
+uint64_t fired_count_scoped(ScopeId scope, FaultKind kind) {
+  if (scope == kGlobalScope) return fired_count(kind);
+  std::lock_guard<std::mutex> lock(mutex());
+  auto it = scoped_slots().find(scope);
+  if (it == scoped_slots().end()) return 0;
+  return it->second[static_cast<size_t>(kind)].fired;
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::string kind = spec;
+  std::string rest;
+  if (auto colon = spec.find(':'); colon != std::string::npos) {
+    kind = spec.substr(0, colon);
+    rest = spec.substr(colon + 1);
+  }
+  if (kind == "io_write_fail") plan.kind = FaultKind::kIoWriteFail;
+  else if (kind == "io_short_write") plan.kind = FaultKind::kIoShortWrite;
+  else if (kind == "nan_force") plan.kind = FaultKind::kNanForce;
+  else if (kind == "node_fail") plan.kind = FaultKind::kNodeFail;
+  else if (kind == "link_drop") plan.kind = FaultKind::kLinkDrop;
+  else if (kind == "packet_corrupt") plan.kind = FaultKind::kPacketCorrupt;
+  else if (kind == "node_hang") plan.kind = FaultKind::kNodeHang;
+  else throw ConfigError("unknown fault kind: " + kind);
+  uint64_t* fields[] = {&plan.fire_after, nullptr, &plan.payload};
+  int64_t count = plan.count;
+  for (int f = 0; !rest.empty() && f < 3; ++f) {
+    std::string tok = rest;
+    if (auto colon = rest.find(':'); colon != std::string::npos) {
+      tok = rest.substr(0, colon);
+      rest = rest.substr(colon + 1);
+    } else {
+      rest.clear();
+    }
+    char* end = nullptr;
+    long long value = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      throw ConfigError("bad fault spec field '" + tok + "' in: " + spec);
+    }
+    if (f == 1) count = value;
+    else *fields[f] = static_cast<uint64_t>(value);
+  }
+  plan.count = count;
+  return plan;
+}
 
 }  // namespace antmd::fault

@@ -31,13 +31,28 @@
 //                  for a modeled interval; the step stalls until the
 //                  supervisor's phase watchdog fires and remaps the node
 //
-// The injector is process-global and NOT thread-safe by design: faults are
-// armed and polled from the driver thread (worker threads never touch it).
+// The injector is process-global and thread-safe: injection points may sit
+// inside task-graph worker lanes (the cluster-kernel force poison fires
+// from the step DAG's reduction task, on whichever lane picks it up), so
+// every registry operation synchronizes on an internal lock behind a
+// relaxed armed-plan fast path — when nothing is armed, should_fire() is a
+// single atomic load.  Event/fire counts stay deterministic because the
+// *sites* poll deterministically; which thread polls never matters.
+//
+// Scopes (fleet multi-tenancy): a plan armed with arm_scoped(scope, plan)
+// fires only while that scope is current (fault::CurrentScope RAII, set by
+// the fleet scheduler around one run's time slice), and counts qualifying
+// events only while current.  Scope 0 is the global scope: plans armed with
+// plain arm() behave exactly as before and fire regardless of the current
+// scope.  This is what lets a chaos schedule target one tenant of a
+// 256-run fleet without its siblings ever observing a fault.
+//
 // Tests use ScopedFault so a failing test cannot leak an armed fault into
 // the next one.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace antmd::fault {
 
@@ -73,23 +88,63 @@ struct FaultPlan {
   uint64_t payload = 0;
 };
 
-/// Arms a fault (replacing any armed plan of the same kind).
+/// Tenancy scope for fault plans.  0 is the global scope (plain arm()).
+using ScopeId = uint64_t;
+inline constexpr ScopeId kGlobalScope = 0;
+
+/// Arms a fault in the global scope (replacing any armed global plan of the
+/// same kind).
 void arm(const FaultPlan& plan);
 
-/// Disarms one kind / all kinds.
+/// Arms a fault visible only while `scope` is current (replacing any armed
+/// plan of the same kind in that scope).  scope == kGlobalScope is arm().
+void arm_scoped(ScopeId scope, const FaultPlan& plan);
+
+/// Disarms one kind / all kinds in the global scope.
 void disarm(FaultKind kind);
 void disarm_all();
 
-/// True if a plan (possibly exhausted) is armed for `kind`.
+/// Disarms every plan of one scope (fleet teardown of a finished tenant).
+void disarm_scope(ScopeId scope);
+
+/// Sets/reads the current tenancy scope.  Scoped plans only see events that
+/// occur while their scope is current; the global scope's plans see all.
+void set_current_scope(ScopeId scope);
+[[nodiscard]] ScopeId current_scope();
+
+/// RAII current-scope switch (fleet scheduler around one run's time slice).
+class CurrentScope {
+ public:
+  explicit CurrentScope(ScopeId scope) : previous_(current_scope()) {
+    set_current_scope(scope);
+  }
+  ~CurrentScope() { set_current_scope(previous_); }
+  CurrentScope(const CurrentScope&) = delete;
+  CurrentScope& operator=(const CurrentScope&) = delete;
+
+ private:
+  ScopeId previous_;
+};
+
+/// True if a plan (possibly exhausted) is armed for `kind` globally.
 [[nodiscard]] bool armed(FaultKind kind);
 
 /// Polls the injection point: counts the event, decides deterministically
 /// whether the fault fires now, and if so copies the plan's payload out.
+/// The current scope's plan (if any) takes precedence over a global plan.
 /// Never fires when nothing is armed (the zero-overhead common case).
 [[nodiscard]] bool should_fire(FaultKind kind, uint64_t* payload = nullptr);
 
-/// Number of times `kind` actually fired since it was last armed.
+/// Number of times `kind` actually fired since it was last armed (global
+/// scope; the scoped variant reports one tenant's schedule).
 [[nodiscard]] uint64_t fired_count(FaultKind kind);
+[[nodiscard]] uint64_t fired_count_scoped(ScopeId scope, FaultKind kind);
+
+/// Parses a fault spec `kind[:fire_after[:count[:payload]]]` — e.g.
+/// "link_drop:40", "nan_force:10:1", "node_hang:25:1:5" — into a plan.
+/// Kinds: io_write_fail io_short_write nan_force node_fail link_drop
+/// packet_corrupt node_hang.  Throws ConfigError on a malformed spec.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
 
 /// RAII arm/disarm for tests: disarms the plan's kind on scope exit.
 class ScopedFault {

@@ -401,5 +401,134 @@ TEST(NodeFailure, SlowNodeStretchesModeledTimeOnly) {
   }
 }
 
+// With threads > 1 the force evaluation runs as a task graph and the
+// kNanForce injection point sits in the md.reduce task — it fires on
+// whichever worker lane picks that task up, not on the caller thread.
+// Recovery must still be race-free and bit-identical to the fault-free
+// parallel run (this case is part of the tsan sweep).
+TEST(Supervisor, WorkerLaneFaultRecoveryIsBitIdentical) {
+  auto spec = build_lj_fluid(216, 0.021, 7);
+  auto model = lj_model();
+  auto cfg = langevin_config(120);
+  cfg.execution.threads = 2;
+  constexpr size_t kSteps = 30;
+
+  ForceField field_ref(spec.topology, model);
+  md::Simulation reference(field_ref, spec.positions, spec.box, cfg);
+  reference.run(kSteps);
+
+  ForceField field(spec.topology, model);
+  md::Simulation sim(field, spec.positions, spec.box, cfg);
+
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kNanForce;
+  plan.fire_after = 12;  // force evaluations, counted on the worker lane
+  plan.payload = 9;
+  fault::ScopedFault f(plan);
+
+  resilience::SupervisorConfig sc;
+  sc.snapshot_interval = 10;
+  resilience::Supervisor<md::Simulation> supervisor(sim, sc);
+  resilience::RecoveryReport report = supervisor.run(kSteps);
+
+  EXPECT_EQ(fault::fired_count(fault::FaultKind::kNanForce), 1u);
+  EXPECT_TRUE(report.completed) << report.final_error;
+  EXPECT_GE(report.rollbacks, 1u);
+
+  const State& sa = reference.state();
+  const State& sb = sim.state();
+  ASSERT_EQ(sa.positions.size(), sb.positions.size());
+  for (size_t i = 0; i < sa.positions.size(); ++i) {
+    ASSERT_EQ(sa.positions[i], sb.positions[i]) << "atom " << i;
+    ASSERT_EQ(sa.velocities[i], sb.velocities[i]) << "atom " << i;
+  }
+  EXPECT_EQ(reference.potential_energy(), sim.potential_energy());
+}
+
+// Scoped plans (fleet multi-tenancy): a plan armed for one scope fires
+// only while that scope is current, counts only that scope's events, and
+// disarm_scope removes it without touching other tenants or the globals.
+TEST(FaultScope, ScopedPlanOnlyFiresInItsScope) {
+  fault::disarm_all();
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kIoWriteFail;
+  plan.fire_after = 0;
+  plan.count = -1;  // every eligible event
+  fault::arm_scoped(7, plan);
+
+  // Global scope: the scoped plan is invisible.
+  EXPECT_FALSE(fault::should_fire(fault::FaultKind::kIoWriteFail));
+  {
+    fault::CurrentScope scope(7);
+    EXPECT_TRUE(fault::should_fire(fault::FaultKind::kIoWriteFail));
+    EXPECT_TRUE(fault::should_fire(fault::FaultKind::kIoWriteFail));
+  }
+  {
+    fault::CurrentScope scope(8);  // a sibling tenant
+    EXPECT_FALSE(fault::should_fire(fault::FaultKind::kIoWriteFail));
+  }
+  EXPECT_EQ(fault::fired_count_scoped(7, fault::FaultKind::kIoWriteFail), 2u);
+  EXPECT_EQ(fault::fired_count_scoped(8, fault::FaultKind::kIoWriteFail), 0u);
+
+  fault::disarm_scope(7);
+  {
+    fault::CurrentScope scope(7);
+    EXPECT_FALSE(fault::should_fire(fault::FaultKind::kIoWriteFail));
+  }
+  fault::disarm_all();
+}
+
+TEST(FaultScope, ScopedEventCountingIgnoresOtherScopes) {
+  fault::disarm_all();
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kNanForce;
+  plan.fire_after = 2;  // two qualifying events must pass in-scope first
+  fault::arm_scoped(3, plan);
+
+  // Events observed while another scope is current must not advance the
+  // plan's fire_after countdown.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fault::should_fire(fault::FaultKind::kNanForce));
+  }
+  {
+    fault::CurrentScope scope(3);
+    EXPECT_FALSE(fault::should_fire(fault::FaultKind::kNanForce));
+    EXPECT_FALSE(fault::should_fire(fault::FaultKind::kNanForce));
+    EXPECT_TRUE(fault::should_fire(fault::FaultKind::kNanForce));
+    EXPECT_FALSE(fault::should_fire(fault::FaultKind::kNanForce));
+  }
+  fault::disarm_all();
+}
+
+TEST(FaultScope, GlobalPlanFiresInEveryScope) {
+  fault::disarm_all();
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kNodeFail;
+  plan.count = -1;
+  fault::arm(plan);
+  {
+    fault::CurrentScope scope(42);
+    EXPECT_TRUE(fault::should_fire(fault::FaultKind::kNodeFail));
+  }
+  EXPECT_TRUE(fault::should_fire(fault::FaultKind::kNodeFail));
+  fault::disarm_all();
+}
+
+TEST(FaultScope, ParseFaultPlanRoundTrips) {
+  fault::FaultPlan plan = fault::parse_fault_plan("nan_force:10:2:7");
+  EXPECT_EQ(plan.kind, fault::FaultKind::kNanForce);
+  EXPECT_EQ(plan.fire_after, 10u);
+  EXPECT_EQ(plan.count, 2);
+  EXPECT_EQ(plan.payload, 7u);
+
+  plan = fault::parse_fault_plan("node_hang");
+  EXPECT_EQ(plan.kind, fault::FaultKind::kNodeHang);
+  EXPECT_EQ(plan.fire_after, 0u);
+  EXPECT_EQ(plan.count, 1);
+
+  EXPECT_THROW(fault::parse_fault_plan("meteor_strike"), ConfigError);
+  EXPECT_THROW(fault::parse_fault_plan("nan_force:abc"), ConfigError);
+}
+
 }  // namespace
 }  // namespace antmd

@@ -242,6 +242,62 @@ TEST(CheckpointBackup, LoadFallsBackToBakWhenPrimaryCorrupt) {
   std::remove(backup_path(path).c_str());
 }
 
+// A checkpoint write that fails mid-rotation must never shadow a good
+// backup with a truncated one: rotate_backup verifies the candidate's CRC
+// before promoting it, deletes a torn primary outright, and replaces the
+// .bak only via temp file + atomic rename.
+TEST(CheckpointBackup, TornPrimaryNeverShadowsGoodBackup) {
+  struct Blob : util::Checkpointable {
+    uint64_t value = 0;
+    void save_checkpoint(util::BinaryWriter& w) const override {
+      w.write_u64(value);
+    }
+    void restore_checkpoint(util::BinaryReader& r) override {
+      value = r.read_u64();
+    }
+  };
+
+  std::string path = temp_path("torn_rotation.ckpt");
+  std::remove(path.c_str());
+  std::remove(backup_path(path).c_str());
+
+  Blob blob;
+  blob.value = 7;
+  save_checkpoint_v2(path, {{"sim", &blob}});
+  rotate_backup(path);  // generation 7 is now the .bak mirror
+  ASSERT_EQ(std::ifstream(path).good(), false) << "rotation keeps primary";
+
+  // A crash leaves a torn primary: rotating it again must not replace the
+  // good .bak, and must remove the torn file so it cannot be restored.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "torn-checkpoint-garbage";
+  }
+  rotate_backup(path);
+  EXPECT_FALSE(std::ifstream(path).good()) << "torn primary was deleted";
+  Blob loaded;
+  EXPECT_EQ(load_checkpoint_v2_or_backup(path, {{"sim", &loaded}}),
+            backup_path(path));
+  EXPECT_EQ(loaded.value, 7u);
+
+  // A healthy newer primary still replaces the .bak generation.
+  blob.value = 8;
+  save_checkpoint_v2(path, {{"sim", &blob}});
+  rotate_backup(path);
+  EXPECT_EQ(load_checkpoint_v2_or_backup(path, {{"sim", &loaded}}),
+            backup_path(path));
+  EXPECT_EQ(loaded.value, 8u);
+
+  // Rotating a missing primary is a no-op that keeps the backup.
+  rotate_backup(path);
+  EXPECT_EQ(load_checkpoint_v2_or_backup(path, {{"sim", &loaded}}),
+            backup_path(path));
+  EXPECT_EQ(loaded.value, 8u);
+
+  std::remove(path.c_str());
+  std::remove(backup_path(path).c_str());
+}
+
 // The nonbonded_kernel config knob: both spellings resolve, the default is
 // cluster, and anything else is a ConfigError that names the bad value —
 // exactly what the antmd_run driver does with the key.

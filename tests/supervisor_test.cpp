@@ -71,6 +71,69 @@ TEST(SnapshotRing, KeepsNewestAndEvictsOldest) {
   EXPECT_EQ(ring.newest_blob(), "c2");
 }
 
+TEST(SnapshotRing, ByteBudgetEvictsBelowDepthCap) {
+  // Depth alone would hold 8 entries; a 100-byte budget holds only two
+  // 40-byte blobs, so old entries evict early and bytes() tracks exactly.
+  resilience::SnapshotRing ring(8, 100);
+  EXPECT_EQ(ring.bytes(), 0u);
+  ring.push(0, std::string(40, 'a'));
+  ring.push(10, std::string(40, 'b'));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.bytes(), 80u);
+
+  ring.push(20, std::string(40, 'c'));  // 120 B > 100 B: evicts step 0
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.bytes(), 80u);
+  EXPECT_EQ(ring.newest_step(), 20u);
+
+  // Same-step refresh accounts the size delta, not a duplicate.
+  ring.push(20, std::string(60, 'C'));
+  EXPECT_EQ(ring.bytes(), 100u);
+  EXPECT_EQ(ring.size(), 2u);
+
+  // One blob larger than the whole budget: the newest entry always
+  // survives so rollback still has a target.
+  ring.push(30, std::string(500, 'd'));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.bytes(), 500u);
+  EXPECT_EQ(ring.newest_blob(), std::string(500, 'd'));
+}
+
+TEST(Supervisor, ByteBoundedRingStillRecoversAndPublishesGauge) {
+  obs::ScopedTelemetry telemetry(true);
+  auto spec = build_lj_fluid(125, 0.021, 11);
+  ForceField field(spec.topology, lj_model());
+  md::Simulation sim(field, spec.positions, spec.box, host_config());
+
+  // Budget below two serialized states: the ring holds exactly the newest
+  // snapshot, yet rollback recovery still completes the faulted run.
+  util::BinaryWriter probe;
+  sim.save_checkpoint(probe);
+  const size_t one_state = probe.buffer().size();
+
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kNanForce;
+  plan.fire_after = 12;
+  plan.payload = 17;
+  fault::ScopedFault f(plan);
+
+  resilience::SupervisorConfig sc;
+  sc.snapshot_interval = 5;
+  sc.snapshot_ring_depth = 8;
+  sc.snapshot_ring_bytes = one_state + one_state / 2;
+  resilience::Supervisor<md::Simulation> supervisor(sim, sc);
+  resilience::RecoveryReport report = supervisor.run(30);
+
+  EXPECT_TRUE(report.completed) << report.final_error;
+  EXPECT_EQ(report.rollbacks, 1u);
+  EXPECT_GT(supervisor.snapshot_bytes(), 0u);
+  EXPECT_LE(supervisor.snapshot_bytes(), sc.snapshot_ring_bytes);
+  // The resident-bytes gauge tracks the ring for the fleet layer.
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.gauge_or("resilience.supervisor.snapshot_bytes", -1.0),
+            static_cast<double>(supervisor.snapshot_bytes()));
+}
+
 TEST(Supervisor, RejectsBadConfig) {
   auto spec = build_lj_fluid(125, 0.021, 1);
   ForceField field(spec.topology, lj_model());
