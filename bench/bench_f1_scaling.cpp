@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "ff/forcefield.hpp"
 #include "md/builder.hpp"
+#include "obs/profile.hpp"
 #include "runtime/machine_sim.hpp"
 #include "topo/builders.hpp"
 
@@ -147,6 +148,66 @@ void host_md_scaling(MetricList& report) {
   }
 }
 
+/// F1d: per-message-class network attribution at two torus sizes.  The
+/// attribution profiler decomposes the modeled network time of a real
+/// water-360 run into position multicast / force reduction / k-space FFT /
+/// barrier / reliability, and the class totals must reproduce the engine's
+/// accumulated network time bit for bit (the same sums in the same order).
+void network_attribution(MetricList& report) {
+  bench::print_header(
+      "F1d: network attribution",
+      "Modeled network seconds per message class for 40 steps of water-360 "
+      "(cluster kernel, GSE) at two torus sizes; class sums are bit-exact "
+      "against the aggregate StepBreakdown network time");
+
+  auto spec = build_water_box(360, WaterModel::kRigid3Site);
+  ff::NonbondedModel model;
+  model.cutoff = 6.0;
+  model.electrostatics = ff::Electrostatics::kEwaldReal;
+
+  Table table({"nodes", "class", "time (s)", "share"});
+  for (int edge : {2, 4}) {
+    obs::ScopedProfiling profiling_on(true);
+    obs::Profile::global().reset();
+    ForceField field(spec.topology, model);
+    runtime::MachineSimConfig mc;
+    mc.dt_fs = 2.0;
+    mc.neighbor_skin = 1.0;
+    mc.thermostat.kind = md::ThermostatKind::kLangevin;
+    mc.thermostat.temperature_k = 300.0;
+    runtime::MachineSimulation sim(
+        field, machine::anton_with_torus(edge, edge, edge), spec.positions,
+        spec.box, mc);
+    sim.run(40);
+
+    const auto& prof = obs::Profile::global();
+    const double total = prof.network_total_s();
+    const std::string prefix =
+        "netattr_" + std::to_string(edge * edge * edge) + "n_";
+    for (size_t c = 0; c < obs::kMessageClassCount; ++c) {
+      const auto cls = static_cast<obs::MessageClass>(c);
+      const obs::NetClassTotals t = prof.net(cls);
+      const double share = total > 0 ? t.total_s / total : 0.0;
+      table.add_row({std::to_string(edge * edge * edge),
+                     obs::message_class_name(cls), Table::num(t.total_s, 9),
+                     Table::num(100.0 * share, 1) + " %"});
+      report.emplace_back(
+          prefix + std::string(obs::message_class_name(cls)) + "_s",
+          t.total_s);
+      report.emplace_back(
+          prefix + std::string(obs::message_class_name(cls)) + "_fraction",
+          share);
+    }
+    report.emplace_back(prefix + "total_s", total);
+    // 1.0 when the class totals reproduce the engine's aggregate modeled
+    // network time bit for bit (the attribution contract).
+    report.emplace_back(
+        prefix + "exact",
+        total == sim.accumulated().network_total() ? 1.0 : 0.0);
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
 }  // namespace
 
 int main() {
@@ -200,6 +261,7 @@ int main() {
   MetricList report;
   wall_clock_scaling(report);
   host_md_scaling(report);
+  network_attribution(report);
   bench::write_json_report("f1_scaling", 8, report);
   return 0;
 }

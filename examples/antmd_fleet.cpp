@@ -28,11 +28,16 @@
 //   ./antmd_fleet fleet.manifest
 //       [--status PATH] [--status-interval N] [--max-active N]
 //       [--memory-mb N] [--slice N] [--threads N] [--checkpoint-dir DIR]
-//       [--metrics-out PATH] [--quiet]
+//       [--metrics-out PATH] [--profile] [--profile-out PATH]
+//       [--prom-out PATH] [--quiet]
 //
 // The status file (schema "antmd.fleet.status/v1") is rewritten atomically
 // every N slices, so an operator can poll one JSON document for the whole
-// fleet's phase/progress/fault counters while it runs.
+// fleet's phase/progress/fault counters while it runs.  Under --profile
+// each run additionally carries a "profile" block (modeled network seconds
+// per message class), --profile-out writes the fleet-wide aggregated
+// antmd.profile/v1 document, and --prom-out exposes the metrics registry
+// in Prometheus text format.
 //
 // Exit codes: 0 every run completed; 6 at least one run quarantined or
 // rejected (the status file says which and why); 2 configuration errors;
@@ -45,6 +50,7 @@
 #include "fleet/manifest.hpp"
 #include "fleet/scheduler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/error.hpp"
 
 using namespace antmd;
@@ -57,7 +63,8 @@ int usage() {
       "usage: antmd_fleet MANIFEST [--status PATH] [--status-interval N]\n"
       "                   [--max-active N] [--memory-mb N] [--slice N]\n"
       "                   [--threads N] [--checkpoint-dir DIR]\n"
-      "                   [--metrics-out PATH] [--quiet]\n");
+      "                   [--metrics-out PATH] [--profile]\n"
+      "                   [--profile-out PATH] [--prom-out PATH] [--quiet]\n");
   return 2;
 }
 
@@ -78,6 +85,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string manifest_path;
   std::string metrics_out;
+  std::string profile_out;
+  std::string prom_out;
+  bool profile = false;
   bool quiet = false;
 
   // Overrides applied after the manifest parses.
@@ -114,6 +124,13 @@ int main(int argc, char** argv) {
       over.checkpoint_dir = value();
     } else if (arg == "--metrics-out") {
       metrics_out = value();
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--profile-out") {
+      profile_out = value();
+      profile = true;
+    } else if (arg == "--prom-out") {
+      prom_out = value();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -146,6 +163,10 @@ int main(int argc, char** argv) {
 
     obs::register_standard_metrics();
     obs::set_enabled(true);
+    // Before any run materializes: each machine engine then gets a private
+    // collector, and the scheduler folds it into the fleet-wide profile
+    // when the run's driver goes away (completion, eviction, quarantine).
+    if (profile) obs::set_profiling(true);
 
     fleet::Scheduler scheduler(manifest.scheduler);
     for (fleet::RunSpec& spec : manifest.runs) {
@@ -163,9 +184,25 @@ int main(int argc, char** argv) {
                     s.detail.empty() ? "" : "  -- ", s.detail.c_str());
       }
     }
+    if (profile) {
+      auto& prof = obs::Profile::global();
+      prof.publish_metrics();
+      if (!quiet) std::fputs(prof.render_summary().c_str(), stdout);
+      if (!profile_out.empty() &&
+          !obs::write_text_file(profile_out, prof.to_json())) {
+        std::fprintf(stderr, "antmd_fleet: failed to write profile %s\n",
+                     profile_out.c_str());
+      }
+    }
     if (!metrics_out.empty()) {
       obs::write_metrics_file(metrics_out,
                               obs::MetricsRegistry::global().snapshot());
+    }
+    if (!prom_out.empty() &&
+        !obs::write_text_file(
+            prom_out, obs::MetricsRegistry::global().snapshot().to_prometheus())) {
+      std::fprintf(stderr, "antmd_fleet: failed to write %s\n",
+                   prom_out.c_str());
     }
     return summary.completed == summary.submitted ? 0 : 6;
   } catch (const ConfigError& e) {

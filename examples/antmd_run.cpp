@@ -34,6 +34,19 @@
 //   --no-telemetry         disable all metric collection (telemetry is on
 //                          by default; overhead is <2%, see DESIGN.md)
 //
+// Attribution profiler (config keys `profile`, `profile_out`, `prom_out`;
+// machine engine; see DESIGN.md "Attribution & critical path"):
+//   --profile              collect per-message-class network attribution,
+//                          per-link load histograms and task-graph
+//                          critical-path/slack analysis; prints the
+//                          human-readable summary at exit.  Trajectories
+//                          are bit-identical with profiling on or off.
+//   --profile-out PATH     also write the full antmd.profile/v1 JSON
+//                          document (implies --profile)
+//   --prom-out PATH        write the metrics registry in Prometheus text
+//                          exposition format at exit (works with or
+//                          without --profile)
+//
 // Robustness options (command line overrides the matching config keys
 // `checkpoint`, `checkpoint_interval`, `resume`, `health`):
 //   --checkpoint PATH      write an atomic, CRC-verified v2 checkpoint of
@@ -83,6 +96,7 @@
 #include "md/builder.hpp"
 #include "md/simulation.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "resilience/health.hpp"
 #include "resilience/supervisor.hpp"
@@ -319,9 +333,22 @@ int main(int argc, char** argv) {
   const char* cli_trace_out = nullptr;
   const char* cli_metrics_out = nullptr;
   bool cli_no_telemetry = false;
+  bool cli_profile = false;
+  const char* cli_profile_out = nullptr;
+  const char* cli_prom_out = nullptr;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
-    if (arg.rfind("--trace-out=", 0) == 0) {
+    if (arg == "--profile") {
+      cli_profile = true;
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      cli_profile_out = argv[a] + std::strlen("--profile-out=");
+    } else if (arg == "--profile-out" && a + 1 < argc) {
+      cli_profile_out = argv[++a];
+    } else if (arg.rfind("--prom-out=", 0) == 0) {
+      cli_prom_out = argv[a] + std::strlen("--prom-out=");
+    } else if (arg == "--prom-out" && a + 1 < argc) {
+      cli_prom_out = argv[++a];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
       cli_trace_out = argv[a] + std::strlen("--trace-out=");
     } else if (arg == "--trace-out" && a + 1 < argc) {
       cli_trace_out = argv[++a];
@@ -378,7 +405,8 @@ int main(int argc, char** argv) {
                  "[--checkpoint PATH] [--checkpoint-interval N] "
                  "[--resume] [--supervise] [--max-retries N] "
                  "[--watchdog-ms X] [--fault SPEC] [--trace-out PATH] "
-                 "[--metrics-out PATH] [--no-telemetry]\n");
+                 "[--metrics-out PATH] [--no-telemetry] [--profile] "
+                 "[--profile-out PATH] [--prom-out PATH]\n");
     return 2;
   }
   try {
@@ -396,6 +424,18 @@ int main(int argc, char** argv) {
     if (!trace_out.empty() && telemetry) {
       obs::TraceSession::global().start(trace_out);
     }
+
+    // Attribution profiler: must be switched on before the simulation is
+    // constructed so its collector sees every modeled step, including the
+    // initial force evaluation — that is what makes the per-class sums
+    // bit-comparable to the engine's accumulated() breakdown.
+    std::string profile_out = cfg.get_string("profile_out", "");
+    std::string prom_out = cfg.get_string("prom_out", "");
+    if (cli_profile_out) profile_out = cli_profile_out;
+    if (cli_prom_out) prom_out = cli_prom_out;
+    const bool profiling =
+        cli_profile || cfg.get_bool("profile", false) || !profile_out.empty();
+    if (profiling) obs::set_profiling(true);
 
     auto spec = build_system(cfg);
     auto model = build_model(cfg);
@@ -531,6 +571,29 @@ int main(int argc, char** argv) {
     if (telemetry) {
       print_telemetry_summary(static_cast<size_t>(steps), dt_fs,
                               run_wall_seconds, modeled_ns_day);
+    }
+    if (profiling) {
+      auto& prof = obs::Profile::global();
+      prof.publish_metrics();  // mirror into profile.* gauges pre-dump
+      std::fputs(prof.render_summary().c_str(), stdout);
+      if (!profile_out.empty()) {
+        if (obs::write_text_file(profile_out, prof.to_json())) {
+          std::printf("wrote profile: %s\n", profile_out.c_str());
+        } else {
+          std::fprintf(stderr, "antmd_run: failed to write profile %s\n",
+                       profile_out.c_str());
+        }
+      }
+    }
+    if (!prom_out.empty()) {
+      const std::string body =
+          obs::MetricsRegistry::global().snapshot().to_prometheus();
+      if (obs::write_text_file(prom_out, body)) {
+        std::printf("wrote prometheus metrics: %s\n", prom_out.c_str());
+      } else {
+        std::fprintf(stderr, "antmd_run: failed to write %s\n",
+                     prom_out.c_str());
+      }
     }
     if (!trace_out.empty() && telemetry) {
       auto& session = obs::TraceSession::global();

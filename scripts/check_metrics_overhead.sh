@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
 # Telemetry overhead budget check (DESIGN.md "Observability"): a run with
 # metrics enabled must stay within MAX_OVERHEAD_PCT (default 2%) of the
-# same run with --no-telemetry.
+# same run with --no-telemetry, and so must a run with the attribution
+# profiler on top (--profile collects per-class network attribution,
+# per-link loads and task-graph critical paths; all step-scale feeds).
+#
+# The profiling-OFF run must pay nothing per message: every profiler call
+# site gates on obs::profiling_enabled(), a single relaxed atomic load, so
+# the telemetry-on / profiling-off configuration measures that gate too —
+# a regression that does work behind the gate shows up here as telemetry
+# overhead.
 #
 # Methodology: run each configuration REPS times and compare the *minimum*
 # wall time per configuration — the minimum is the run least disturbed by
@@ -45,13 +53,25 @@ min_wall() {
 echo "measuring: $RUN_BIN $CONFIG ($REPS reps per configuration)"
 off=$(min_wall "$RUN_BIN" "$CONFIG" --no-telemetry)
 on=$(min_wall "$RUN_BIN" "$CONFIG")
+prof=$(min_wall "$RUN_BIN" "$CONFIG" --profile)
 
 overhead=$(echo "$on $off" | awk '{printf "%.2f", ($1 - $2) / $2 * 100.0}')
+prof_overhead=$(echo "$prof $off" | \
+    awk '{printf "%.2f", ($1 - $2) / $2 * 100.0}')
 echo "telemetry off: ${off}s   telemetry on: ${on}s   overhead: ${overhead}%"
+echo "profiling on:  ${prof}s   overhead vs off: ${prof_overhead}%"
 
+status=0
 if awk -v o="$overhead" -v cap="$MAX_OVERHEAD_PCT" 'BEGIN {exit !(o > cap)}'
 then
   echo "FAIL: telemetry overhead ${overhead}% exceeds budget ${MAX_OVERHEAD_PCT}%" >&2
-  exit 1
+  status=1
 fi
+if awk -v o="$prof_overhead" -v cap="$MAX_OVERHEAD_PCT" \
+    'BEGIN {exit !(o > cap)}'
+then
+  echo "FAIL: profiling overhead ${prof_overhead}% exceeds budget ${MAX_OVERHEAD_PCT}%" >&2
+  status=1
+fi
+[[ $status -ne 0 ]] && exit $status
 echo "OK: within the ${MAX_OVERHEAD_PCT}% budget"

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Network-attribution consistency check (DESIGN.md "Attribution & critical
+# path"): runs the bench F1 workload (water-216, cluster kernel, GSE) on
+# two modeled torus sizes with the attribution profiler on, and asserts
+# that the per-message-class network times exactly partition the aggregate
+# modeled network time — the sum of class fractions must equal 1 within
+# 1e-9 (the class *totals* are bit-exact by construction; the fraction sum
+# only divides them by the same aggregate).
+#
+# Results are recorded into BENCH_f1_scaling.json (created if absent,
+# merged if the bench wrote it first) under netcheck_<nodes>n_* keys.
+#
+# Usage: scripts/check_network_attribution.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+RUN_BIN="$BUILD_DIR/examples/antmd_run"
+STEPS="${STEPS:-60}"
+TOLERANCE="${TOLERANCE:-1e-9}"
+REPORT="BENCH_f1_scaling.json"
+
+if [[ ! -x "$RUN_BIN" ]]; then
+  echo "error: $RUN_BIN not found — build the default preset first" >&2
+  exit 2
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+status=0
+for edge in 2 3; do
+  nodes=$((edge * edge * edge))
+  cfg="$workdir/f1_${nodes}n.cfg"
+  out="$workdir/profile_${nodes}n.json"
+  cat > "$cfg" <<EOF
+system = water
+size = 216
+engine = machine
+nodes = $edge
+steps = $STEPS
+dt_fs = 2.0
+thermostat = langevin
+electrostatics = gse
+cutoff = 6.0
+skin = 1.0
+EOF
+  echo "running F1 workload on ${nodes} nodes (${STEPS} steps)..."
+  "$RUN_BIN" "$cfg" --profile-out "$out" > /dev/null
+
+  if ! python3 - "$out" "$nodes" "$TOLERANCE" "$REPORT" <<'PY'
+import json, sys
+
+path, nodes, tol, report = sys.argv[1], int(sys.argv[2]), float(sys.argv[3]), sys.argv[4]
+doc = json.load(open(path))
+assert doc["schema"] == "antmd.profile/v1", doc.get("schema")
+
+net = doc["network"]
+total = net["total_s"]
+class_sum = sum(c["total_s"] for c in net["classes"].values())
+frac_sum = sum(c["fraction"] for c in net["classes"].values())
+if total <= 0:
+    sys.exit(f"FAIL: {nodes}n: no modeled network time collected")
+if class_sum != total:
+    sys.exit(f"FAIL: {nodes}n: class sums {class_sum!r} != aggregate "
+             f"{total!r} (must be bit-exact)")
+if abs(frac_sum - 1.0) > tol:
+    sys.exit(f"FAIL: {nodes}n: class fractions sum to {frac_sum!r}, "
+             f"off by more than {tol}")
+print(f"  {nodes}n: class sums bit-exact "
+      f"(total {total:.9g} s, fraction sum {frac_sum:.17g})")
+
+# Merge netcheck_* keys into the bench report so the dashboards that read
+# BENCH_f1_scaling.json see the attribution consistency too.
+try:
+    rep = json.load(open(report))
+except (FileNotFoundError, json.JSONDecodeError):
+    rep = {"bench": "f1_scaling"}
+prefix = f"netcheck_{nodes}n_"
+rep[prefix + "network_total_s"] = total
+rep[prefix + "fraction_sum"] = frac_sum
+rep[prefix + "exact"] = 1.0
+for name, c in net["classes"].items():
+    rep[prefix + name + "_fraction"] = c["fraction"]
+with open(report, "w") as f:
+    json.dump(rep, f, indent=2)
+    f.write("\n")
+PY
+  then
+    status=1
+  fi
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "FAIL: network attribution check failed" >&2
+  exit 1
+fi
+echo "OK: per-class attribution partitions the aggregate exactly on both tori"
+echo "recorded netcheck_* keys into $REPORT"

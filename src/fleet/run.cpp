@@ -172,6 +172,16 @@ class EngineDriver final : public Driver {
   void install(std::unique_ptr<Sim> sim,
                resilience::SupervisorConfig supervision) {
     sim_ = std::move(sim);
+    // Engines that support profile routing (machine) get a private
+    // collector, so multiplexed tenants never mix their attribution.
+    // Checked at materialization: flipping profiling mid-fleet does not
+    // retroactively create collectors.
+    if constexpr (requires { sim_->set_profile(profile_.get()); }) {
+      if (obs::profiling_enabled()) {
+        profile_ = std::make_unique<obs::Profile>();
+        sim_->set_profile(profile_.get());
+      }
+    }
     supervisor_.emplace(*sim_, std::move(supervision));
   }
 
@@ -194,10 +204,15 @@ class EngineDriver final : public Driver {
   [[nodiscard]] util::Checkpointable& checkpointable() override {
     return *sim_;
   }
+  [[nodiscard]] const obs::Profile* profile() const override {
+    return profile_.get();
+  }
 
  private:
   SystemSpec system_;
   ForceField field_;
+  /// Declared before sim_ so the sim's profile pointer never dangles.
+  std::unique_ptr<obs::Profile> profile_;
   std::unique_ptr<Sim> sim_;
   std::optional<resilience::Supervisor<Sim>> supervisor_;
 };

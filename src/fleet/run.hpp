@@ -11,11 +11,13 @@
 // the checkpoint, exactly like a supervisor restart).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "md/state.hpp"
+#include "obs/profile.hpp"
 #include "resilience/supervisor.hpp"
 #include "util/serialize.hpp"
 #include "util/task_graph.hpp"
@@ -125,6 +127,13 @@ struct RunStatus {
   uint64_t final_digest = 0;
   double final_potential_energy = 0.0;
   double final_temperature = 0.0;
+  /// Attribution-profiler rollup (machine engine under
+  /// obs::profiling_enabled only).  Modeled network seconds per message
+  /// class, whole-life like the counters above: survives eviction because
+  /// each activation's per-run collector is folded onto counters_base.
+  bool has_profile = false;
+  std::array<double, obs::kMessageClassCount> profile_net_s{};
+  double profile_net_total_s = 0.0;
 };
 
 /// Type-erased engine under supervision.  One Driver owns the whole
@@ -146,6 +155,13 @@ class Driver {
   [[nodiscard]] virtual size_t snapshot_bytes() const = 0;
   /// The engine as a checkpoint section source/sink (eviction/rehydration).
   [[nodiscard]] virtual util::Checkpointable& checkpointable() = 0;
+  /// This run's private attribution collector, or nullptr when the engine
+  /// has none (host engine, or profiling disabled at materialization).
+  /// The scheduler folds it into obs::Profile::global() before the driver
+  /// is destroyed, so fleet-wide attribution survives eviction.
+  [[nodiscard]] virtual const obs::Profile* profile() const {
+    return nullptr;
+  }
 };
 
 /// Builds the full engine stack for a spec.  `shared_runtime` (may be

@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "io/checkpoint.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 
@@ -231,8 +233,12 @@ void Scheduler::run_slice(Record& r) {
   {
     // Everything this run executes — its step graph on the worker lanes,
     // its supervisor's checkpoint mirror — runs under its private fault
-    // scope, so an armed chaos schedule hits this tenant alone.
+    // scope, so an armed chaos schedule hits this tenant alone.  The trace
+    // scope mirrors it (same id convention): any spans the slice emits land
+    // under this run's process with namespaced synthetic tracks.
     fault::CurrentScope scope(run_scope(r.status.id));
+    obs::TraceRunScope trace_scope(
+        static_cast<uint32_t>(run_scope(r.status.id)), r.spec.name);
     report = r.driver->advance(slice);
   }
 
@@ -250,6 +256,18 @@ void Scheduler::run_slice(Record& r) {
       r.counters_base.recovery_modeled_s + report.recovery_modeled_s;
   r.status.resident_bytes =
       r.driver->atom_count() * 768 + r.driver->snapshot_bytes();
+  // Like the counters above: the per-run collector starts at zero each
+  // activation, so its totals sit on top of the baseline captured then.
+  if (const obs::Profile* p = r.driver->profile()) {
+    r.status.has_profile = true;
+    for (size_t c = 0; c < obs::kMessageClassCount; ++c) {
+      r.status.profile_net_s[c] =
+          r.counters_base.profile_net_s[c] +
+          p->net(static_cast<obs::MessageClass>(c)).total_s;
+    }
+    r.status.profile_net_total_s =
+        r.counters_base.profile_net_total_s + p->network_total_s();
+  }
 
   if (!report.completed) {
     finish(r, RunPhase::kQuarantined,
@@ -278,6 +296,13 @@ void Scheduler::finish(Record& r, RunPhase phase, std::string detail) {
   r.status.phase = phase;
   r.status.detail = std::move(detail);
   r.status.resident_bytes = 0;
+  // Fold the run's attribution into the fleet-wide profile before its
+  // collector dies with the driver.
+  if (r.driver) {
+    if (const obs::Profile* p = r.driver->profile()) {
+      obs::Profile::global().merge_network(*p);
+    }
+  }
   r.driver.reset();
   remove_active(r.status.id);
   if (r.fault_armed) {
@@ -307,6 +332,9 @@ bool Scheduler::evict(Record& r) {
   r.status.resident_bytes = 0;
   ++r.status.evictions;
   ++evictions_;
+  if (const obs::Profile* p = r.driver->profile()) {
+    obs::Profile::global().merge_network(*p);
+  }
   r.driver.reset();
   remove_active(r.status.id);
   queue_.push_back(r.status.id);
@@ -449,7 +477,23 @@ std::string Scheduler::status_json() const {
        << ", \"resident_bytes\": " << s.resident_bytes
        << ", \"final_digest\": " << s.final_digest << ", \"detail\": \"";
     json_escape(os, s.detail);
-    os << "\"}";
+    os << "\"";
+    if (s.has_profile) {
+      auto num = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        return std::string(buf);
+      };
+      os << ", \"profile\": {\"network_total_s\": "
+         << num(s.profile_net_total_s) << ", \"classes\": {";
+      for (size_t c = 0; c < obs::kMessageClassCount; ++c) {
+        if (c) os << ", ";
+        os << "\"" << obs::message_class_name(static_cast<obs::MessageClass>(c))
+           << "\": " << num(s.profile_net_s[c]);
+      }
+      os << "}}";
+    }
+    os << "}";
     if (i + 1 < runs_.size()) os << ",";
     os << "\n";
   }

@@ -22,12 +22,18 @@ LinkContentionModel::LinkContentionModel(const MachineConfig& config)
 }
 
 ContentionResult LinkContentionModel::multicast_time(
-    const std::vector<NodeWork>& nodes) const {
+    const std::vector<NodeWork>& nodes,
+    std::vector<double>* link_bytes_out) const {
   ANTMD_REQUIRE(nodes.size() == torus_.node_count(),
                 "node work must cover the whole torus");
   const auto& dims = torus_.dims();
 
-  std::vector<double> link_bytes(torus_.node_count() * 6, 0.0);
+  // Route into the caller's buffer when one is supplied, so the profiler
+  // gets the per-link picture without a second routing pass.
+  std::vector<double> local_bytes;
+  std::vector<double>& link_bytes =
+      link_bytes_out ? *link_bytes_out : local_bytes;
+  link_bytes.assign(torus_.node_count() * 6, 0.0);
 
   struct Message {
     std::vector<size_t> links;  ///< directed links along its route

@@ -30,9 +30,13 @@ class LinkContentionModel {
 
   /// Models the position-multicast phase: each node sends its import
   /// volume to its 26 spatial neighbours (faces carry most of the halo),
-  /// dimension-ordered routing, per-link serialization.
+  /// dimension-ordered routing, per-link serialization.  When
+  /// `link_bytes_out` is non-null it receives the per-directed-link byte
+  /// loads (index = TorusTopology::link_id, size node_count * 6) — the
+  /// attribution profiler's per-link feed.
   [[nodiscard]] ContentionResult multicast_time(
-      const std::vector<NodeWork>& nodes) const;
+      const std::vector<NodeWork>& nodes,
+      std::vector<double>* link_bytes_out = nullptr) const;
 
   /// Down-marked directed links (ReliableTransport's view, shared via
   /// TorusTopology::link_id).  Axis legs whose first hop would cross a down

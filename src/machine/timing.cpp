@@ -12,7 +12,8 @@ TimingModel::TimingModel(MachineConfig config, GcCosts costs)
   config_.validate();
 }
 
-StepBreakdown TimingModel::step_time(const StepWork& work) const {
+StepBreakdown TimingModel::step_time(const StepWork& work,
+                                     NetworkAttribution* attribution) const {
   ANTMD_REQUIRE(!work.nodes.empty(), "step work must cover at least 1 node");
   StepBreakdown out;
 
@@ -24,15 +25,19 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
       config_.link_bandwidth_Bps * std::max(1, config_.links_per_node / 2);
   const double mean_hop_lat = torus_.mean_hops() * config_.hop_latency_s;
 
+  NetworkAttribution attr;
   double worst_multicast = 0, worst_pair = 0, worst_gcf = 0, worst_reduce = 0,
          worst_update = 0, worst_pair_masked = 0;
   for (size_t i = 0; i < work.nodes.size(); ++i) {
     const NodeWork& n = work.nodes[i];
     const double slow = node_slowdown(i);
-    double t_mc = n.import_bytes / inject_bw +
-                  static_cast<double>(n.messages) *
-                      config_.message_overhead_s +
-                  (n.import_bytes > 0 ? mean_hop_lat : 0.0);
+    // The phase time is the sum of its attribution components, associated
+    // left to right — exactly the expression the model always charged.
+    const double mc_ser = n.import_bytes / inject_bw;
+    const double mc_queue =
+        static_cast<double>(n.messages) * config_.message_overhead_s;
+    const double mc_lat = n.import_bytes > 0 ? mean_hop_lat : 0.0;
+    const double t_mc = mc_ser + mc_queue + mc_lat;
     double t_pair;
     double t_masked = 0.0;
     if (n.cluster_tiles > 0) {
@@ -55,17 +60,27 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
                         examined / (pair_rate * config_.match_rate_multiple));
     }
     double t_gcf = slow * n.gc_force_flops / gc_rate;
-    double t_red = n.export_bytes / inject_bw +
-                   (n.export_bytes > 0 ? mean_hop_lat : 0.0);
+    const double red_ser = n.export_bytes / inject_bw;
+    const double red_lat = n.export_bytes > 0 ? mean_hop_lat : 0.0;
+    const double t_red = red_ser + red_lat;
     double t_upd = slow * n.gc_update_flops / gc_rate;
-    worst_multicast = std::max(worst_multicast, t_mc);
+    if (t_mc > worst_multicast) {
+      worst_multicast = t_mc;
+      attr.multicast = {mc_ser, mc_queue, mc_lat};
+    }
     if (t_pair > worst_pair) {
       worst_pair = t_pair;
       worst_pair_masked = t_masked;
     }
     worst_gcf = std::max(worst_gcf, t_gcf);
-    worst_reduce = std::max(worst_reduce, t_red);
+    if (t_red > worst_reduce) {
+      worst_reduce = t_red;
+      attr.reduce = {red_ser, 0.0, red_lat};
+    }
     worst_update = std::max(worst_update, t_upd);
+    attr.multicast_messages += n.messages;
+    attr.multicast_bytes += n.import_bytes;
+    attr.reduce_bytes += n.export_bytes;
   }
   out.multicast = worst_multicast;
   out.pair_phase = worst_pair;
@@ -101,9 +116,13 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
       double bisection = torus_.bisection_bandwidth_Bps(config_);
       // Each node talks to the nodes sharing its pencil plane.
       double msgs = 4.0 * std::cbrt(n_nodes) * std::cbrt(n_nodes);
-      out.kspace_fft_comm = transpose_bytes / bisection +
-                            msgs * config_.message_overhead_s +
-                            4.0 * mean_hop_lat;
+      const double fft_ser = transpose_bytes / bisection;
+      const double fft_queue = msgs * config_.message_overhead_s;
+      const double fft_lat = 4.0 * mean_hop_lat;
+      out.kspace_fft_comm = fft_ser + fft_queue + fft_lat;
+      attr.kspace_fft = {fft_ser, fft_queue, fft_lat};
+      attr.kspace_messages = static_cast<uint64_t>(msgs);
+      attr.kspace_bytes = transpose_bytes;
     }
   }
 
@@ -116,6 +135,7 @@ StepBreakdown TimingModel::step_time(const StepWork& work) const {
 
   out.total = out.multicast + out.interaction + out.reduce + out.update +
               out.kspace_total() + out.tempering + out.sync;
+  if (attribution) *attribution = attr;
   return out;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "machine/config.hpp"
@@ -97,20 +98,54 @@ struct StepBreakdown {
                      total
                : 0.0;
   }
+  /// Total network time of the step.  Fixed left-to-right association —
+  /// obs::Profile accumulates its per-class totals in the same order, so
+  /// the profiler's class sum matches this bit-for-bit (profile_test).
+  [[nodiscard]] double network_total() const {
+    return multicast + reduce + kspace_fft_comm + sync + reliability;
+  }
   /// Fraction of the step spent on the network (non-overlapped).
   [[nodiscard]] double network_fraction() const {
-    return total > 0 ? (multicast + reduce + kspace_fft_comm + sync +
-                        reliability) /
-                           total
-                     : 0.0;
+    return total > 0 ? network_total() / total : 0.0;
   }
+};
+
+/// Component split of one network phase's modeled time: serialization
+/// (bytes over injection/bisection bandwidth), queueing (per-message
+/// injection overhead) and contention (hop-latency terms — the part set by
+/// topology and traffic crossing, not by this node's own wire rate).
+struct NetworkCost {
+  double serialization = 0.0;
+  double queueing = 0.0;
+  double contention = 0.0;
+};
+
+/// Per-phase network attribution for one step, filled by
+/// TimingModel::step_time on request (profiling only).  Per-phase costs
+/// describe the worst node — the one that set the bulk-synchronous phase
+/// time; message/byte totals sum over all nodes.  The components are the
+/// model's own terms, so serialization + queueing + contention re-sums to
+/// the matching StepBreakdown field to within floating-point rounding.
+struct NetworkAttribution {
+  NetworkCost multicast;
+  NetworkCost reduce;
+  NetworkCost kspace_fft;
+  uint64_t multicast_messages = 0;  ///< point-to-point messages, all nodes
+  uint64_t kspace_messages = 0;     ///< FFT transpose messages
+  double multicast_bytes = 0.0;     ///< total import volume
+  double reduce_bytes = 0.0;        ///< total export volume
+  double kspace_bytes = 0.0;        ///< FFT transpose volume
 };
 
 class TimingModel {
  public:
   TimingModel(MachineConfig config, GcCosts costs = GcCosts{});
 
-  [[nodiscard]] StepBreakdown step_time(const StepWork& work) const;
+  /// Models one step.  When `attribution` is non-null (attribution
+  /// profiling) the per-phase network component split is filled in too;
+  /// the returned breakdown is bit-identical either way.
+  [[nodiscard]] StepBreakdown step_time(
+      const StepWork& work, NetworkAttribution* attribution = nullptr) const;
 
   [[nodiscard]] const MachineConfig& config() const { return config_; }
   [[nodiscard]] const GcCosts& costs() const { return costs_; }

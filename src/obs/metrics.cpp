@@ -239,6 +239,46 @@ std::string MetricsSnapshot::to_text() const {
   return out;
 }
 
+std::string MetricsSnapshot::to_prometheus() const {
+  // Metric names use dots (subsystem.phase.metric); Prometheus only allows
+  // [a-zA-Z0-9_:].  Map everything else to '_' and prefix the namespace.
+  auto sanitize = [](const std::string& name) {
+    std::string out = "antmd_";
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out.push_back(ok ? c : '_');
+    }
+    return out;
+  };
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + detail::format_double(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " histogram\n";
+    // Prometheus buckets are cumulative; ours are per-bin.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.edges.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out += n + "_bucket{le=\"" + detail::format_double(h.edges[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + detail::format_double(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
 std::vector<PhaseShare> phase_breakdown(const MetricsSnapshot& snapshot) {
   constexpr std::string_view kSuffix = ".time_ns";
   std::vector<PhaseShare> phases;
@@ -323,13 +363,32 @@ void register_standard_metrics(MetricsRegistry& registry) {
   registry.gauge("fleet.active_runs");
   registry.gauge("fleet.queued_runs");
   registry.gauge("fleet.resident_bytes");
+  // profile: the attribution profiler's per-class network split (populated
+  // only when obs::set_profiling(true); see obs/profile.hpp).  Class names
+  // follow obs::message_class_name.
+  registry.gauge("profile.network.total_seconds");
+  for (const char* cls :
+       {"position_multicast", "force_reduction", "kspace_fft", "barrier_sync",
+        "reliability"}) {
+    const std::string base = std::string("profile.network.") + cls;
+    registry.gauge(base + ".seconds");
+    registry.gauge(base + ".serialization_seconds");
+    registry.gauge(base + ".queueing_seconds");
+    registry.gauge(base + ".contention_seconds");
+  }
+  // Per-directed-link bytes routed in one multicast step (contention model).
+  registry.histogram("machine.link.step_bytes",
+                     {1e2, 1e3, 1e4, 1e5, 1e6, 1e7});
 }
 
 bool write_metrics_file(const std::string& path,
                         const MetricsSnapshot& snapshot) {
   const bool json = path.size() >= 5 &&
                     path.compare(path.size() - 5, 5, ".json") == 0;
-  std::string body = json ? snapshot.to_json() : snapshot.to_text();
+  return write_text_file(path, json ? snapshot.to_json() : snapshot.to_text());
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   size_t written = std::fwrite(body.data(), 1, body.size(), f);

@@ -182,6 +182,11 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_json() const;
   /// Line-oriented `name value` dump (greppable).
   [[nodiscard]] std::string to_text() const;
+  /// Prometheus text exposition (version 0.0.4): names sanitized to
+  /// [a-zA-Z0-9_] with an `antmd_` prefix, `# TYPE` lines per family,
+  /// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+  /// `_count`.  Scrape target for fleet aggregation.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// One phase's share of the instrumented time (from *.time_ns counters).
@@ -232,5 +237,9 @@ void register_standard_metrics(MetricsRegistry& registry =
 /// Returns false (and leaves no file guarantees) on I/O failure.
 bool write_metrics_file(const std::string& path,
                         const MetricsSnapshot& snapshot);
+
+/// Writes `body` verbatim to `path`; false on I/O failure.  Shared by the
+/// CLIs for profile / Prometheus dumps.
+bool write_text_file(const std::string& path, const std::string& body);
 
 }  // namespace antmd::obs

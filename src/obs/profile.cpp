@@ -1,0 +1,437 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace antmd::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Link-load histogram edges: bytes carried by one directed link in one
+/// step, decade-spaced.  Bucket i counts loads <= edges[i] (inclusive upper
+/// bounds, same convention as obs::Histogram); the extra bucket overflows.
+const std::vector<double>& default_link_edges() {
+  static const std::vector<double> edges = {1e2, 1e3, 1e4, 1e5, 1e6, 1e7};
+  return edges;
+}
+
+}  // namespace
+
+const char* message_class_name(MessageClass c) {
+  switch (c) {
+    case MessageClass::kPositionMulticast: return "position_multicast";
+    case MessageClass::kForceReduction: return "force_reduction";
+    case MessageClass::kKspaceFft: return "kspace_fft";
+    case MessageClass::kBarrierSync: return "barrier_sync";
+    case MessageClass::kReliability: return "reliability";
+  }
+  return "unknown";
+}
+
+Profile::Profile()
+    : hist_edges_(default_link_edges()),
+      hist_buckets_(default_link_edges().size() + 1, 0) {}
+
+Profile& Profile::global() {
+  static Profile profile;
+  return profile;
+}
+
+void Profile::record_network(MessageClass c, const NetSample& s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NetClassTotals& t = net_[static_cast<size_t>(c)];
+  // Accumulated exactly like the simulation's own StepBreakdown aggregate:
+  // one += of the per-step value per field — the bit-exactness contract.
+  t.total_s += s.total_s;
+  t.serialization_s += s.serialization_s;
+  t.queueing_s += s.queueing_s;
+  t.contention_s += s.contention_s;
+  t.reliability_s += s.reliability_s;
+  t.messages += s.messages;
+  t.bytes += s.bytes;
+}
+
+void Profile::record_links(const std::vector<double>& link_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (link_bytes_.size() < link_bytes.size()) {
+    link_bytes_.resize(link_bytes.size(), 0.0);
+    link_steps_.resize(link_bytes.size(), 0);
+  }
+  for (size_t l = 0; l < link_bytes.size(); ++l) {
+    const double b = link_bytes[l];
+    if (b <= 0.0) continue;
+    link_bytes_[l] += b;
+    ++link_steps_[l];
+    const size_t bucket = static_cast<size_t>(
+        std::lower_bound(hist_edges_.begin(), hist_edges_.end(), b) -
+        hist_edges_.begin());
+    ++hist_buckets_[bucket];
+  }
+}
+
+void Profile::set_link_labels(std::vector<std::string> labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (link_labels_.empty() && !labels.empty()) {
+    link_labels_ = std::move(labels);
+  }
+}
+
+void Profile::record_transport(uint64_t retransmits, uint64_t reroutes,
+                               uint64_t crc_detected, uint64_t drops) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retransmits_ += retransmits;
+  reroutes_ += reroutes;
+  crc_detected_ += crc_detected;
+  drops_ += drops;
+}
+
+void Profile::record_graph(const char* graph, double critical_us,
+                           double busy_us, const std::vector<TaskSpan>& spans) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GraphAccum& g = graphs_[graph];
+  ++g.runs;
+  g.critical_us += critical_us;
+  g.busy_us += busy_us;
+  for (const TaskSpan& s : spans) {
+    TaskAccum& t = g.tasks[s.name];
+    ++t.runs;
+    t.busy_us += s.busy_us;
+    t.slack_us += s.slack_us;
+    t.whatif_saving_us += s.whatif_saving_us;
+    if (s.on_critical_path) ++t.on_critical;
+  }
+}
+
+uint64_t Profile::steps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return steps_;
+}
+
+NetClassTotals Profile::net(MessageClass c) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return net_[static_cast<size_t>(c)];
+}
+
+double Profile::network_total_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Left-to-right in enum order: the same association as
+  // StepBreakdown::network_total(), so the comparison can be exact.
+  double total = 0.0;
+  for (const NetClassTotals& t : net_) total += t.total_s;
+  return total;
+}
+
+std::vector<LinkLoad> Profile::top_links(size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<LinkLoad> loads;
+  for (size_t l = 0; l < link_bytes_.size(); ++l) {
+    if (link_bytes_[l] <= 0.0) continue;
+    LinkLoad load;
+    load.link = l;
+    if (l < link_labels_.size()) load.label = link_labels_[l];
+    load.bytes = link_bytes_[l];
+    load.steps = link_steps_[l];
+    loads.push_back(std::move(load));
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const LinkLoad& a, const LinkLoad& b) {
+              return a.bytes != b.bytes ? a.bytes > b.bytes : a.link < b.link;
+            });
+  if (loads.size() > n) loads.resize(n);
+  return loads;
+}
+
+Profile::LinkHistogram Profile::link_histogram() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {hist_edges_, hist_buckets_};
+}
+
+std::vector<GraphProfile> Profile::graphs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GraphProfile> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, g] : graphs_) {
+    GraphProfile gp;
+    gp.name = name;
+    gp.runs = g.runs;
+    gp.critical_us = g.critical_us;
+    gp.busy_us = g.busy_us;
+    for (const auto& [task, t] : g.tasks) {
+      gp.tasks.push_back({task, t.runs, t.busy_us, t.slack_us,
+                          t.whatif_saving_us, t.on_critical});
+    }
+    // Heaviest tasks first: that is the order every report wants.
+    std::sort(gp.tasks.begin(), gp.tasks.end(),
+              [](const TaskProfile& a, const TaskProfile& b) {
+                return a.busy_us != b.busy_us ? a.busy_us > b.busy_us
+                                              : a.name < b.name;
+              });
+    out.push_back(std::move(gp));
+  }
+  return out;
+}
+
+std::string Profile::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const NetClassTotals& t : net_) total += t.total_s;
+
+  std::string out = "{\n  \"schema\": \"antmd.profile/v1\",\n";
+  out += "  \"steps\": " + std::to_string(steps_) + ",\n";
+
+  out += "  \"network\": {\n    \"total_s\": " + fmt_double(total) +
+         ",\n    \"classes\": {";
+  for (size_t c = 0; c < kMessageClassCount; ++c) {
+    const NetClassTotals& t = net_[c];
+    out += c ? ",\n" : "\n";
+    out += "      \"";
+    out += message_class_name(static_cast<MessageClass>(c));
+    out += "\": {\"total_s\": " + fmt_double(t.total_s) +
+           ", \"serialization_s\": " + fmt_double(t.serialization_s) +
+           ", \"queueing_s\": " + fmt_double(t.queueing_s) +
+           ", \"contention_s\": " + fmt_double(t.contention_s) +
+           ", \"reliability_s\": " + fmt_double(t.reliability_s) +
+           ", \"messages\": " + std::to_string(t.messages) +
+           ", \"bytes\": " + fmt_double(t.bytes) +
+           ", \"fraction\": " + fmt_double(total > 0 ? t.total_s / total : 0.0) +
+           "}";
+  }
+  out += "\n    },\n    \"transport\": {\"retransmits\": " +
+         std::to_string(retransmits_) +
+         ", \"reroutes\": " + std::to_string(reroutes_) +
+         ", \"crc_detected\": " + std::to_string(crc_detected_) +
+         ", \"drops\": " + std::to_string(drops_) + "}\n  },\n";
+
+  out += "  \"links\": {\n    \"histogram\": {\"edges\": [";
+  for (size_t i = 0; i < hist_edges_.size(); ++i) {
+    if (i) out += ", ";
+    out += fmt_double(hist_edges_[i]);
+  }
+  out += "], \"buckets\": [";
+  for (size_t i = 0; i < hist_buckets_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(hist_buckets_[i]);
+  }
+  out += "]},\n    \"top\": [";
+  // Inline top-10 without re-locking (mutex_ is already held).
+  {
+    std::vector<size_t> order;
+    for (size_t l = 0; l < link_bytes_.size(); ++l) {
+      if (link_bytes_[l] > 0.0) order.push_back(l);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return link_bytes_[a] != link_bytes_[b] ? link_bytes_[a] > link_bytes_[b]
+                                              : a < b;
+    });
+    if (order.size() > 10) order.resize(10);
+    for (size_t i = 0; i < order.size(); ++i) {
+      const size_t l = order[i];
+      out += i ? ",\n            " : "\n            ";
+      out += "{\"link\": " + std::to_string(l) + ", \"label\": \"" +
+             json_escape(l < link_labels_.size() ? link_labels_[l] : "") +
+             "\", \"bytes\": " + fmt_double(link_bytes_[l]) +
+             ", \"steps\": " + std::to_string(link_steps_[l]) + "}";
+    }
+  }
+  out += "]\n  },\n";
+
+  out += "  \"critical_path\": {\n    \"graphs\": [";
+  bool first_graph = true;
+  for (const auto& [name, g] : graphs_) {
+    out += first_graph ? "\n" : ",\n";
+    first_graph = false;
+    const double runs = g.runs > 0 ? static_cast<double>(g.runs) : 1.0;
+    out += "      {\"name\": \"" + json_escape(name) +
+           "\", \"runs\": " + std::to_string(g.runs) +
+           ", \"critical_s\": " + fmt_double(g.critical_us * 1e-6) +
+           ", \"busy_s\": " + fmt_double(g.busy_us * 1e-6) +
+           ", \"parallelism\": " +
+           fmt_double(g.critical_us > 0 ? g.busy_us / g.critical_us : 0.0) +
+           ",\n       \"tasks\": [";
+    bool first_task = true;
+    for (const auto& [task, t] : g.tasks) {
+      out += first_task ? "\n" : ",\n";
+      first_task = false;
+      out += "         {\"name\": \"" + json_escape(task) +
+             "\", \"busy_s\": " + fmt_double(t.busy_us * 1e-6) +
+             ", \"busy_share\": " +
+             fmt_double(g.busy_us > 0 ? t.busy_us / g.busy_us : 0.0) +
+             ", \"critical_share\": " +
+             fmt_double(static_cast<double>(t.on_critical) / runs) +
+             ", \"mean_slack_us\": " +
+             fmt_double(t.slack_us / static_cast<double>(t.runs ? t.runs : 1)) +
+             ", \"whatif_saving_s\": " +
+             fmt_double(t.whatif_saving_us * 1e-6) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n    ]\n  }\n}\n";
+  return out;
+}
+
+std::string Profile::render_summary(size_t top_n) const {
+  std::string out;
+  char buf[256];
+  const uint64_t n_steps = steps();
+
+  std::snprintf(buf, sizeof(buf),
+                "profile: modeled network attribution (%llu steps)\n",
+                static_cast<unsigned long long>(n_steps));
+  out += buf;
+  const double total = network_total_s();
+  std::snprintf(buf, sizeof(buf),
+                "  %-20s %12s %7s %10s %10s %10s\n", "class", "time_s",
+                "share", "serial_s", "queue_s", "contend_s");
+  out += buf;
+  for (size_t c = 0; c < kMessageClassCount; ++c) {
+    const NetClassTotals t = net(static_cast<MessageClass>(c));
+    std::snprintf(buf, sizeof(buf),
+                  "  %-20s %12.6g %6.1f%% %10.4g %10.4g %10.4g\n",
+                  message_class_name(static_cast<MessageClass>(c)), t.total_s,
+                  total > 0 ? 100.0 * t.total_s / total : 0.0,
+                  t.serialization_s, t.queueing_s, t.contention_s);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-20s %12.6g\n", "network_total", total);
+  out += buf;
+
+  const std::vector<LinkLoad> links = top_links(top_n);
+  if (!links.empty()) {
+    out += "top contended torus links:\n";
+    for (const LinkLoad& l : links) {
+      std::snprintf(buf, sizeof(buf), "  %-24s %14.6g bytes over %llu steps\n",
+                    l.label.empty() ? ("link#" + std::to_string(l.link)).c_str()
+                                    : l.label.c_str(),
+                    l.bytes, static_cast<unsigned long long>(l.steps));
+      out += buf;
+    }
+  }
+
+  for (const GraphProfile& g : graphs()) {
+    const double runs = g.runs > 0 ? static_cast<double>(g.runs) : 1.0;
+    std::snprintf(buf, sizeof(buf),
+                  "critical path [%s]: %llu runs, parallelism %.2fx\n",
+                  g.name.c_str(), static_cast<unsigned long long>(g.runs),
+                  g.critical_us > 0 ? g.busy_us / g.critical_us : 0.0);
+    out += buf;
+    size_t shown = 0;
+    for (const TaskProfile& t : g.tasks) {
+      if (shown++ >= top_n) break;
+      std::snprintf(
+          buf, sizeof(buf),
+          "  %-28s busy %5.1f%%  on-CP %5.1f%%  slack %9.3g us  "
+          "what-if saves %0.3g us/run\n",
+          t.name.c_str(), g.busy_us > 0 ? 100.0 * t.busy_us / g.busy_us : 0.0,
+          100.0 * static_cast<double>(t.on_critical) / runs,
+          t.slack_us / static_cast<double>(t.runs ? t.runs : 1),
+          t.whatif_saving_us / runs);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void Profile::merge_network(const Profile& other) {
+  // Snapshot the source outside our own lock (no lock ordering issues).
+  std::array<NetClassTotals, kMessageClassCount> net;
+  std::vector<double> bytes;
+  std::vector<uint64_t> steps;
+  std::vector<std::string> labels;
+  std::vector<uint64_t> buckets;
+  uint64_t n_steps, retrans, reroutes, crc, drops;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    net = other.net_;
+    bytes = other.link_bytes_;
+    steps = other.link_steps_;
+    labels = other.link_labels_;
+    buckets = other.hist_buckets_;
+    n_steps = other.steps_;
+    retrans = other.retransmits_;
+    reroutes = other.reroutes_;
+    crc = other.crc_detected_;
+    drops = other.drops_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t c = 0; c < kMessageClassCount; ++c) {
+    net_[c].total_s += net[c].total_s;
+    net_[c].serialization_s += net[c].serialization_s;
+    net_[c].queueing_s += net[c].queueing_s;
+    net_[c].contention_s += net[c].contention_s;
+    net_[c].reliability_s += net[c].reliability_s;
+    net_[c].messages += net[c].messages;
+    net_[c].bytes += net[c].bytes;
+  }
+  if (link_bytes_.size() < bytes.size()) {
+    link_bytes_.resize(bytes.size(), 0.0);
+    link_steps_.resize(bytes.size(), 0);
+  }
+  for (size_t l = 0; l < bytes.size(); ++l) {
+    link_bytes_[l] += bytes[l];
+    link_steps_[l] += steps[l];
+  }
+  if (link_labels_.empty()) link_labels_ = std::move(labels);
+  for (size_t b = 0; b < buckets.size() && b < hist_buckets_.size(); ++b) {
+    hist_buckets_[b] += buckets[b];
+  }
+  steps_ += n_steps;
+  retransmits_ += retrans;
+  reroutes_ += reroutes;
+  crc_detected_ += crc;
+  drops_ += drops;
+}
+
+void Profile::publish_metrics() const {
+  auto& reg = MetricsRegistry::global();
+  reg.gauge("profile.network.total_seconds").set(network_total_s());
+  for (size_t c = 0; c < kMessageClassCount; ++c) {
+    const auto cls = static_cast<MessageClass>(c);
+    const NetClassTotals t = net(cls);
+    std::string base = std::string("profile.network.") +
+                       message_class_name(cls);
+    reg.gauge(base + ".seconds").set(t.total_s);
+    reg.gauge(base + ".serialization_seconds").set(t.serialization_s);
+    reg.gauge(base + ".queueing_seconds").set(t.queueing_s);
+    reg.gauge(base + ".contention_seconds").set(t.contention_s);
+  }
+}
+
+void Profile::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  steps_ = 0;
+  net_ = {};
+  link_bytes_.clear();
+  link_steps_.clear();
+  link_labels_.clear();
+  std::fill(hist_buckets_.begin(), hist_buckets_.end(), 0);
+  retransmits_ = reroutes_ = crc_detected_ = drops_ = 0;
+  graphs_.clear();
+}
+
+}  // namespace antmd::obs

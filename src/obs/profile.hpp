@@ -1,0 +1,229 @@
+// Attribution profiler: who is spending the modeled machine's time.
+//
+// The metrics registry answers "how much" (one aggregate network fraction,
+// per-phase counters); this collector answers "where and why": which message
+// class (position multicast, force reduction, kspace/FFT aggregation,
+// barrier, ack/retransmit reliability), which torus links, and which tasks
+// on the step's critical path.  machine::TimingModel + ReliableTransport
+// feed the network side; util::TaskGraph feeds per-task spans, critical
+// path, slack and what-if savings.
+//
+// Contract (mirrors the metrics layer's):
+//   * Gated on a process-wide profiling flag, independent of the telemetry
+//     flag and off by default.  Every hot-path caller checks
+//     profiling_enabled() — a single relaxed atomic load — before doing any
+//     work, so profiling-off costs nothing per message, task or step.
+//   * Collection never touches simulation state: profiling on vs off is
+//     trajectory-bit-identical (guarded by parallel_determinism_test).
+//   * Bit-exact accounting: each message class maps 1:1 onto one
+//     StepBreakdown network field and is accumulated with the same `+=`
+//     sequence the simulation uses for its own aggregate, so the per-class
+//     sums reproduce StepBreakdown::network_total() exactly — no
+//     double-count, no leak (guarded by profile_test).
+//   * Feeds are step-scale (one call per step / per graph run), so a plain
+//     mutex is fine; there is no per-message locking anywhere.
+//
+// Export: to_json() renders the versioned "antmd.profile/v1" document,
+// render_summary() the human end-of-run table (top links, per-class
+// fractions, critical-path bottlenecks).  See DESIGN.md "Attribution &
+// critical path" for the schema.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace antmd::obs {
+
+namespace detail {
+
+inline std::atomic<bool>& profiling_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+}  // namespace detail
+
+/// Process-wide attribution-profiling switch; off by default.
+inline bool profiling_enabled() {
+  return detail::profiling_flag().load(std::memory_order_relaxed);
+}
+inline void set_profiling(bool on) {
+  detail::profiling_flag().store(on, std::memory_order_relaxed);
+}
+
+/// RAII enable/restore for tests and drivers.
+class ScopedProfiling {
+ public:
+  explicit ScopedProfiling(bool on) : previous_(profiling_enabled()) {
+    set_profiling(on);
+  }
+  ~ScopedProfiling() { set_profiling(previous_); }
+  ScopedProfiling(const ScopedProfiling&) = delete;
+  ScopedProfiling& operator=(const ScopedProfiling&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Message classes on the modeled network.  Each maps 1:1 onto one
+/// StepBreakdown field (the comment), which is what makes the per-class
+/// accounting exactly partition the aggregate network time.
+enum class MessageClass : int {
+  kPositionMulticast = 0,  ///< StepBreakdown::multicast
+  kForceReduction = 1,     ///< StepBreakdown::reduce
+  kKspaceFft = 2,          ///< StepBreakdown::kspace_fft_comm
+  kBarrierSync = 3,        ///< StepBreakdown::sync
+  kReliability = 4,        ///< StepBreakdown::reliability
+};
+inline constexpr size_t kMessageClassCount = 5;
+
+[[nodiscard]] const char* message_class_name(MessageClass c);
+
+/// One step's contribution for one message class.  `total_s` must equal the
+/// matching StepBreakdown field exactly; the component fields decompose it
+/// (serialization = bytes over bandwidth, queueing = per-message injection
+/// overhead, contention = hop-latency / bisection / barrier terms,
+/// reliability = retransmit protocol overhead).  Components are computed
+/// from the same model terms as the total, so they re-sum to it to within
+/// floating-point rounding — the bit-exact guarantee rides on `total_s`.
+struct NetSample {
+  double total_s = 0.0;
+  double serialization_s = 0.0;
+  double queueing_s = 0.0;
+  double contention_s = 0.0;
+  double reliability_s = 0.0;
+  uint64_t messages = 0;
+  double bytes = 0.0;
+};
+
+/// Accumulated per-class totals (same shape as NetSample).
+using NetClassTotals = NetSample;
+
+/// One task's span within one graph run (fed by util::TaskGraph).
+struct TaskSpan {
+  const char* name = "";
+  double busy_us = 0.0;   ///< total work attributed to the task this run
+  double slack_us = 0.0;  ///< how much it could grow without moving the CP
+  /// Critical-path shortening if this task were free (what-if analysis).
+  double whatif_saving_us = 0.0;
+  bool on_critical_path = false;
+};
+
+/// Aggregated per-task record (public query shape).
+struct TaskProfile {
+  std::string name;
+  uint64_t runs = 0;
+  double busy_us = 0.0;
+  double slack_us = 0.0;
+  double whatif_saving_us = 0.0;
+  uint64_t on_critical = 0;  ///< runs in which the task sat on the CP
+};
+
+/// Aggregated per-graph record (public query shape).
+struct GraphProfile {
+  std::string name;
+  uint64_t runs = 0;
+  double critical_us = 0.0;  ///< summed critical-path length
+  double busy_us = 0.0;      ///< summed total work
+  std::vector<TaskProfile> tasks;
+};
+
+/// One torus link's accumulated load (public query shape).
+struct LinkLoad {
+  size_t link = 0;
+  std::string label;   ///< "n<id>(x,y,z).<axis><sign>", empty if unlabeled
+  double bytes = 0.0;  ///< total bytes routed over the link
+  uint64_t steps = 0;  ///< steps in which it carried traffic
+};
+
+class Profile {
+ public:
+  Profile();
+
+  /// The process-wide collector antmd_run and the task runtime feed.
+  /// Fleet runs install per-run instances instead (Driver::profile()).
+  static Profile& global();
+
+  // --- network feed (one call per class per step) ---------------------------
+  void record_network(MessageClass c, const NetSample& s);
+  /// Per-directed-link byte loads for the step (index = torus link id).
+  void record_links(const std::vector<double>& link_bytes);
+  /// Link id -> human label; only the first non-empty set sticks.
+  void set_link_labels(std::vector<std::string> labels);
+  /// Reliability protocol event counts (ReliableTransport delivery record).
+  void record_transport(uint64_t retransmits, uint64_t reroutes,
+                        uint64_t crc_detected, uint64_t drops);
+  void record_step() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++steps_;
+  }
+
+  // --- task-graph feed (one call per graph run) -----------------------------
+  void record_graph(const char* graph, double critical_us, double busy_us,
+                    const std::vector<TaskSpan>& spans);
+
+  // --- queries --------------------------------------------------------------
+  [[nodiscard]] uint64_t steps() const;
+  [[nodiscard]] NetClassTotals net(MessageClass c) const;
+  /// Fixed left-to-right sum over classes in enum order — the same
+  /// association as StepBreakdown::network_total(), hence bit-comparable.
+  [[nodiscard]] double network_total_s() const;
+  [[nodiscard]] std::vector<LinkLoad> top_links(size_t n) const;
+  struct LinkHistogram {
+    std::vector<double> edges;      ///< bucket i counts loads <= edges[i]
+    std::vector<uint64_t> buckets;  ///< size edges+1, last = overflow
+  };
+  [[nodiscard]] LinkHistogram link_histogram() const;
+  [[nodiscard]] std::vector<GraphProfile> graphs() const;
+
+  // --- export ---------------------------------------------------------------
+  /// Versioned "antmd.profile/v1" JSON document.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable end-of-run table: per-class network fractions with the
+  /// serialization/queueing/contention split, top-N contended links, and
+  /// the per-graph critical-path bottleneck/what-if report.
+  [[nodiscard]] std::string render_summary(size_t top_n = 5) const;
+  /// Folds another profile's network/link/transport totals into this one
+  /// (fleet aggregation; task-graph records stay with the global profile).
+  void merge_network(const Profile& other);
+  /// Mirrors the per-class totals into the registry's profile.* gauges so
+  /// metrics dumps (JSON / Prometheus) carry the attribution too.
+  void publish_metrics() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t steps_ = 0;
+  std::array<NetClassTotals, kMessageClassCount> net_{};
+  std::vector<double> link_bytes_;
+  std::vector<uint64_t> link_steps_;
+  std::vector<std::string> link_labels_;
+  std::vector<double> hist_edges_;
+  std::vector<uint64_t> hist_buckets_;  ///< edges+1, last = overflow
+  uint64_t retransmits_ = 0;
+  uint64_t reroutes_ = 0;
+  uint64_t crc_detected_ = 0;
+  uint64_t drops_ = 0;
+
+  struct TaskAccum {
+    uint64_t runs = 0;
+    double busy_us = 0.0;
+    double slack_us = 0.0;
+    double whatif_saving_us = 0.0;
+    uint64_t on_critical = 0;
+  };
+  struct GraphAccum {
+    uint64_t runs = 0;
+    double critical_us = 0.0;
+    double busy_us = 0.0;
+    std::map<std::string, TaskAccum> tasks;
+  };
+  std::map<std::string, GraphAccum> graphs_;
+};
+
+}  // namespace antmd::obs

@@ -42,18 +42,30 @@ bool TraceSession::stop() {
 void TraceSession::emit_complete(const char* name, const char* cat,
                                  double ts_us, double dur_us, uint32_t tid,
                                  const char* arg_name, int64_t arg) {
+  const uint32_t run = run_index_.load(std::memory_order_relaxed);
+  if (tid >= kSyntheticTrackBase) tid += run * kRunTidStride;
   std::lock_guard<std::mutex> lock(mutex_);
   if (!recording_.load(std::memory_order_relaxed)) return;
   if (events_.size() >= kMaxEvents) {
     ++dropped_;
     return;
   }
-  events_.push_back({name, cat, ts_us, dur_us, tid, arg_name, arg});
+  events_.push_back({name, cat, ts_us, dur_us, run, tid, arg_name, arg});
 }
 
 void TraceSession::set_track_name(uint32_t tid, const std::string& name) {
+  const uint32_t run = run_index_.load(std::memory_order_relaxed);
+  if (tid >= kSyntheticTrackBase) tid += run * kRunTidStride;
   std::lock_guard<std::mutex> lock(mutex_);
-  track_names_[tid] = name;
+  track_names_[{run, tid}] = name;
+}
+
+void TraceSession::set_active_run(uint32_t index, const std::string& name) {
+  run_index_.store(index, std::memory_order_relaxed);
+  if (!name.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    process_names_[index] = name;
+  }
 }
 
 size_t TraceSession::event_count() const {
@@ -75,19 +87,28 @@ std::string TraceSession::render_locked() const {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   char buf[256];
   bool first = true;
-  for (const auto& [tid, name] : track_names_) {
+  for (const auto& [pid, name] : process_names_) {
     std::snprintf(buf, sizeof(buf),
-                  "%s\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+                  "%s\n{\"name\": \"process_name\", \"ph\": \"M\", "
+                  "\"pid\": %u, \"tid\": 0, \"args\": {\"name\": \"%s\"}}",
+                  first ? "" : ",", pid, name.c_str());
+    out += buf;
+    first = false;
+  }
+  for (const auto& [key, name] : track_names_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %u, "
                   "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
-                  first ? "" : ",", tid, name.c_str());
+                  first ? "" : ",", key.first, key.second, name.c_str());
     out += buf;
     first = false;
   }
   for (const Event& e : events_) {
     std::snprintf(buf, sizeof(buf),
                   "%s\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u",
-                  first ? "" : ",", e.name, e.cat, e.ts_us, e.dur_us, e.tid);
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %u, \"tid\": %u",
+                  first ? "" : ",", e.name, e.cat, e.ts_us, e.dur_us, e.pid,
+                  e.tid);
     out += buf;
     if (e.arg_name) {
       std::snprintf(buf, sizeof(buf), ", \"args\": {\"%s\": %lld}",

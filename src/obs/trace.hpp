@@ -25,6 +25,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -33,6 +34,17 @@ namespace antmd::obs {
 
 /// Microseconds since the process-wide steady-clock epoch (first use).
 double now_us();
+
+/// Synthetic track ids start here (engine: 1000+node, sampling drivers:
+/// 2000+replica); smaller tids are per-thread tracks.  Only synthetic
+/// tracks are namespaced per fleet run — worker threads are shared.
+inline constexpr uint32_t kSyntheticTrackBase = 1000;
+
+/// Stride between two fleet runs' synthetic track ranges.  Without it two
+/// multiplexed machine runs would interleave spans on the same 1000+node
+/// track; with it run R's node n renders as tid 1000+n+R*stride under
+/// process R (see TraceSession::set_active_run).
+inline constexpr uint32_t kRunTidStride = 100000;
 
 class TraceSession {
  public:
@@ -61,6 +73,16 @@ class TraceSession {
   /// Names a track (rendered by Chrome as the thread name).  Idempotent.
   void set_track_name(uint32_t tid, const std::string& name);
 
+  /// Scopes subsequent events to fleet run `index` (0 = the default solo
+  /// process): events carry pid = index, synthetic tids (>=
+  /// kSyntheticTrackBase) shift by index * kRunTidStride, and a non-empty
+  /// `name` becomes the run's process_name metadata.  A relaxed store —
+  /// safe to call per scheduler slice whether or not a trace is recording.
+  void set_active_run(uint32_t index, const std::string& name = {});
+  [[nodiscard]] uint32_t active_run() const {
+    return run_index_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] size_t event_count() const;
   /// Events discarded after the in-memory cap was hit.
   [[nodiscard]] size_t dropped_count() const;
@@ -74,6 +96,7 @@ class TraceSession {
     const char* cat;
     double ts_us;
     double dur_us;
+    uint32_t pid;  ///< fleet run index (0 = solo process)
     uint32_t tid;
     const char* arg_name;  ///< nullptr = no args
     int64_t arg;
@@ -86,11 +109,30 @@ class TraceSession {
   [[nodiscard]] std::string render_locked() const;
 
   std::atomic<bool> recording_{false};
+  std::atomic<uint32_t> run_index_{0};
   mutable std::mutex mutex_;
   std::string path_;
   std::vector<Event> events_;
-  std::map<uint32_t, std::string> track_names_;
+  /// (pid, tid) -> name; pid keys the fleet run the name belongs to.
+  std::map<std::pair<uint32_t, uint32_t>, std::string> track_names_;
+  std::map<uint32_t, std::string> process_names_;
   size_t dropped_ = 0;
+};
+
+/// RAII run scope for the fleet scheduler: activates run `index` for the
+/// current slice and restores the previous run on exit.
+class TraceRunScope {
+ public:
+  TraceRunScope(uint32_t index, const std::string& name)
+      : previous_(TraceSession::global().active_run()) {
+    TraceSession::global().set_active_run(index, name);
+  }
+  ~TraceRunScope() { TraceSession::global().set_active_run(previous_); }
+  TraceRunScope(const TraceRunScope&) = delete;
+  TraceRunScope& operator=(const TraceRunScope&) = delete;
+
+ private:
+  uint32_t previous_;
 };
 
 /// RAII phase scope: times [construction, destruction), accumulates into

@@ -42,8 +42,9 @@ EngineMetrics& engine_metrics() {
 }
 
 // Trace-track id space: worker threads use their thread index, engine nodes
-// live at 1000+node so Chrome renders one row per modeled node.
-constexpr uint32_t kNodeTrackBase = 1000;
+// live at kSyntheticTrackBase+node so Chrome renders one row per modeled
+// node; TraceSession namespaces these per fleet run (obs/trace.hpp).
+constexpr uint32_t kNodeTrackBase = obs::kSyntheticTrackBase;
 
 }  // namespace
 

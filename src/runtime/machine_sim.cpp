@@ -135,7 +135,9 @@ void MachineSimulation::evaluate_forces(bool kspace_due) {
                        nlist_.pairs(), kspace_due, current_, kspace_cache_);
   work.tempering_decisions = pending_tempering_decisions_;
   pending_tempering_decisions_ = 0;
-  last_breakdown_ = timing_.step_time(work);
+  const bool profiling = obs::profiling_enabled();
+  machine::NetworkAttribution attr;
+  last_breakdown_ = timing_.step_time(work, profiling ? &attr : nullptr);
   // Reliability protocol: every modeled message rides the transport, and
   // any retransmit/backoff/reroute/hang cost lands in the step breakdown —
   // modeled time only, never the physics.
@@ -146,7 +148,9 @@ void MachineSimulation::evaluate_forces(bool kspace_due) {
   modeled_time_s_ += last_breakdown_.total;
   ++steps_timed_;
 
-  if (obs::enabled()) publish_model_metrics(work);
+  if (obs::enabled() || profiling) {
+    publish_model_metrics(work, profiling ? &attr : nullptr);
+  }
 
   uint64_t poison_atom = 0;
   if (fault::should_fire(fault::FaultKind::kNanForce, &poison_atom)) {
@@ -159,7 +163,10 @@ void MachineSimulation::evaluate_forces(bool kspace_due) {
 // Publishes the modeled-performance picture for the step just timed.  Reads
 // only derived quantities (breakdowns, torus geometry, link loads) — never
 // writes back into the simulation, so telemetry cannot change a trajectory.
-void MachineSimulation::publish_model_metrics(const machine::StepWork& work) {
+// `attr` is non-null only under attribution profiling; one contention pass
+// serves both the gauges and the profiler's per-link feed.
+void MachineSimulation::publish_model_metrics(
+    const machine::StepWork& work, const machine::NetworkAttribution* attr) {
   auto& m = machine_metrics();
   m.step_seconds.set(last_breakdown_.total);
   m.total_seconds.set(modeled_time_s_);
@@ -183,9 +190,12 @@ void MachineSimulation::publish_model_metrics(const machine::StepWork& work) {
   }
   // Degraded links reroute in the contention picture too.
   contention_model_->set_down_links(transport_.down_links());
-  auto contention = contention_model_->multicast_time(work.nodes);
+  auto contention = contention_model_->multicast_time(
+      work.nodes, attr ? &link_scratch_ : nullptr);
   m.contention_multicast_s.set(contention.phase_time_s);
   m.contention_max_link_bytes.set(contention.max_link_bytes);
+
+  if (attr) feed_profile(*attr);
 
   const auto& ts = transport_.stats();
   m.transport_messages.add(last_delivery_.messages);
@@ -196,6 +206,80 @@ void MachineSimulation::publish_model_metrics(const machine::StepWork& work) {
   m.transport_links_down.set(
       static_cast<double>(transport_.down_link_count()));
   m.transport_reliability_s.set(ts.reliability_s);
+}
+
+// Feeds the attribution profiler for the step just timed (profiling only).
+// Each message class mirrors its StepBreakdown field with the same per-step
+// `+=` sequence the aggregate uses, so class sums stay bit-exact against
+// accumulated().network_total() (profile_test).
+void MachineSimulation::feed_profile(const machine::NetworkAttribution& attr) {
+  obs::Profile& p = profile_ ? *profile_ : obs::Profile::global();
+
+  obs::NetSample s;
+  s.total_s = last_breakdown_.multicast;
+  s.serialization_s = attr.multicast.serialization;
+  s.queueing_s = attr.multicast.queueing;
+  s.contention_s = attr.multicast.contention;
+  s.messages = attr.multicast_messages;
+  s.bytes = attr.multicast_bytes;
+  p.record_network(obs::MessageClass::kPositionMulticast, s);
+
+  s = {};
+  s.total_s = last_breakdown_.reduce;
+  s.serialization_s = attr.reduce.serialization;
+  s.queueing_s = attr.reduce.queueing;
+  s.contention_s = attr.reduce.contention;
+  s.bytes = attr.reduce_bytes;
+  p.record_network(obs::MessageClass::kForceReduction, s);
+
+  s = {};
+  s.total_s = last_breakdown_.kspace_fft_comm;
+  s.serialization_s = attr.kspace_fft.serialization;
+  s.queueing_s = attr.kspace_fft.queueing;
+  s.contention_s = attr.kspace_fft.contention;
+  s.messages = attr.kspace_messages;
+  s.bytes = attr.kspace_bytes;
+  p.record_network(obs::MessageClass::kKspaceFft, s);
+
+  // The barrier is pure topology latency; the reliability class is pure
+  // protocol overhead (its retransmitted bytes are already charged there).
+  s = {};
+  s.total_s = last_breakdown_.sync;
+  s.contention_s = last_breakdown_.sync;
+  p.record_network(obs::MessageClass::kBarrierSync, s);
+
+  s = {};
+  s.total_s = last_breakdown_.reliability;
+  s.reliability_s = last_breakdown_.reliability;
+  s.messages = last_delivery_.retransmits + last_delivery_.rerouted;
+  p.record_network(obs::MessageClass::kReliability, s);
+
+  p.record_transport(last_delivery_.retransmits, last_delivery_.rerouted,
+                     last_delivery_.corrupt_detected, last_delivery_.drops);
+
+  const auto& torus = engine_.torus();
+  if (link_scratch_.size() == torus.link_count()) {
+    static obs::Histogram& link_hist = obs::MetricsRegistry::global().histogram(
+        "machine.link.step_bytes", {1e2, 1e3, 1e4, 1e5, 1e6, 1e7});
+    for (double b : link_scratch_) {
+      if (b > 0.0) link_hist.observe(b);
+    }
+    p.record_links(link_scratch_);
+    if (!link_labels_fed_) {
+      link_labels_fed_ = true;
+      std::vector<std::string> labels(torus.link_count());
+      for (size_t l = 0; l < labels.size(); ++l) {
+        const size_t src = torus.link_source(l);
+        const auto c = torus.coord_of(src);
+        labels[l] = "n" + std::to_string(src) + "(" + std::to_string(c[0]) +
+                    "," + std::to_string(c[1]) + "," + std::to_string(c[2]) +
+                    ")." + "xyz"[torus.link_axis(l)] +
+                    (torus.link_sign(l) > 0 ? "+" : "-");
+      }
+      p.set_link_labels(std::move(labels));
+    }
+  }
+  p.record_step();
 }
 
 void MachineSimulation::step() {

@@ -15,6 +15,7 @@
 #include "machine/contention.hpp"
 #include "machine/timing.hpp"
 #include "machine/transport.hpp"
+#include "obs/profile.hpp"
 #include "md/constraints.hpp"
 #include "md/neighbor.hpp"
 #include "md/observer.hpp"
@@ -129,10 +130,22 @@ class MachineSimulation : public util::Checkpointable {
     observers_.add(std::move(obs), interval);
   }
 
+  /// Routes attribution-profiler feeds to `profile` instead of
+  /// obs::Profile::global() (fleet: one collector per run).  nullptr
+  /// restores the global sink.  Profiler data only flows while
+  /// obs::profiling_enabled(); like all telemetry it never touches the
+  /// physics.
+  void set_profile(obs::Profile* profile) {
+    profile_ = profile;
+    link_labels_fed_ = false;  // the new sink needs its own labels
+  }
+
  private:
   void evaluate_forces(bool kspace_due);
   void notify_observers();
-  void publish_model_metrics(const machine::StepWork& work);
+  void publish_model_metrics(const machine::StepWork& work,
+                             const machine::NetworkAttribution* attr);
+  void feed_profile(const machine::NetworkAttribution& attr);
   /// The engine's cluster-list argument: the live tile list in cluster
   /// mode, null in pair mode.
   [[nodiscard]] const ff::ClusterPairList* cluster_arg() const {
@@ -164,6 +177,9 @@ class MachineSimulation : public util::Checkpointable {
   // never read by the physics, so it cannot perturb trajectories.
   std::unique_ptr<machine::LinkContentionModel> contention_model_;
   double torus_mean_hops_ = -1.0;  ///< cached, O(nodes²) to compute
+  obs::Profile* profile_ = nullptr;   ///< nullptr = obs::Profile::global()
+  std::vector<double> link_scratch_;  ///< per-link bytes, profiling only
+  bool link_labels_fed_ = false;      ///< link labels built once per sink
 };
 
 }  // namespace antmd::runtime

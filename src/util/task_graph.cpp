@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
@@ -287,15 +288,25 @@ void TaskGraph::run_serial() {
   // Insertion order is a topological order (add() enforces dep < id), and
   // it is exactly the arithmetic the parallel run reproduces bitwise.
   LaneScope scope(tl_runtime, 0);
+  prof_on_ = obs::profiling_enabled();
   for (Node& node : nodes_) {
     obs::TracePhase span(node.name, "exec");
+    const double t0 = prof_on_ ? obs::now_us() : 0.0;
     if (node.body) {
       const size_t grains = node.count_fn();
       for (size_t g = 0; g < grains; ++g) node.body(g);
     } else {
       node.fn();
     }
+    if (prof_on_) {
+      node.busy_ns.store(
+          static_cast<uint64_t>((obs::now_us() - t0) * 1e3),
+          std::memory_order_relaxed);
+    }
   }
+  // The serial schedule profiles through the same analysis: the critical
+  // path is a property of the DAG and the durations, not of the lane count.
+  if (prof_on_) record_profile();
 }
 
 void TaskGraph::prepare() {
@@ -305,12 +316,14 @@ void TaskGraph::prepare() {
   ready_.clear();
   ready_head_ = 0;
   stats_on_ = obs::enabled();
+  prof_on_ = obs::profiling_enabled();
   steals_.store(0, std::memory_order_relaxed);
   idle_polls_.store(0, std::memory_order_relaxed);
   if (stats_on_) lane_busy_us_.assign(lanes(), 0.0);
   for (Node& node : nodes_) {
     node.pending.store(node.n_deps, std::memory_order_relaxed);
     node.first_lane.store(-1, std::memory_order_relaxed);
+    if (prof_on_) node.busy_ns.store(0, std::memory_order_relaxed);
   }
   for (uint32_t id = 0; id < nodes_.size(); ++id) {
     if (nodes_[id].n_deps == 0) make_ready(id);
@@ -404,7 +417,8 @@ bool TaskGraph::execute_one(size_t lane) {
 
 void TaskGraph::run_serial_body(Node& node, size_t lane) {
   if (cancelled_.load(std::memory_order_relaxed)) return;
-  const double t0 = stats_on_ ? obs::now_us() : 0.0;
+  const bool timed = stats_on_ || prof_on_;
+  const double t0 = timed ? obs::now_us() : 0.0;
   {
     obs::TracePhase span(node.name, "exec");
     try {
@@ -413,7 +427,14 @@ void TaskGraph::run_serial_body(Node& node, size_t lane) {
       record_error();
     }
   }
-  if (stats_on_) lane_busy_us_[lane] += obs::now_us() - t0;
+  if (timed) {
+    const double dur_us = obs::now_us() - t0;
+    if (stats_on_) lane_busy_us_[lane] += dur_us;
+    if (prof_on_) {
+      node.busy_ns.fetch_add(static_cast<uint64_t>(dur_us * 1e3),
+                             std::memory_order_relaxed);
+    }
+  }
 }
 
 void TaskGraph::drain_grains(Node& node, uint32_t id, size_t lane) {
@@ -426,7 +447,8 @@ void TaskGraph::drain_grains(Node& node, uint32_t id, size_t lane) {
       steals_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  const double t0 = stats_on_ ? obs::now_us() : 0.0;
+  const bool timed = stats_on_ || prof_on_;
+  const double t0 = timed ? obs::now_us() : 0.0;
   bool republished = false;
   size_t ran = 0;
   {
@@ -457,7 +479,15 @@ void TaskGraph::drain_grains(Node& node, uint32_t id, size_t lane) {
       }
     }
   }
-  if (stats_on_ && ran > 0) lane_busy_us_[lane] += obs::now_us() - t0;
+  if (timed && ran > 0) {
+    const double dur_us = obs::now_us() - t0;
+    if (stats_on_) lane_busy_us_[lane] += dur_us;
+    if (prof_on_) {
+      // Summed over every lane that drained grains: the task's total work.
+      node.busy_ns.fetch_add(static_cast<uint64_t>(dur_us * 1e3),
+                             std::memory_order_relaxed);
+    }
+  }
 }
 
 void TaskGraph::record_error() {
@@ -491,11 +521,68 @@ void TaskGraph::finish(double wall_us) {
       m.critical_path_share.set(max_lane_us / wall_us);
     }
   }
+  if (prof_on_ && !first_error_) record_profile();
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;
     std::rethrow_exception(err);
   }
+}
+
+void TaskGraph::record_profile() {
+  const size_t n = nodes_.size();
+  if (n == 0) return;
+  // Durations are each task's total work (grains summed over lanes), so the
+  // serial and parallel schedules analyze the same quantity; the critical
+  // path is then the DAG's lower bound on step latency under perfect
+  // parallelism, and slack/what-if quantify the overlap opportunities.
+  std::vector<double> dur(n), in_ef(n, 0.0), ef(n), tail(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    dur[i] = static_cast<double>(
+                 nodes_[i].busy_ns.load(std::memory_order_relaxed)) *
+             1e-3;  // ns -> us
+  }
+  // Forward pass over insertion order (a topological order): earliest
+  // finish of each task given its dependencies.
+  double critical = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ef[i] = in_ef[i] + dur[i];
+    critical = std::max(critical, ef[i]);
+    for (TaskId c : nodes_[i].children) in_ef[c] = std::max(in_ef[c], ef[i]);
+  }
+  // Backward pass: longest downstream chain hanging off each task.
+  for (size_t i = n; i-- > 0;) {
+    double down = 0.0;
+    for (TaskId c : nodes_[i].children) down = std::max(down, tail[c]);
+    tail[i] = dur[i] + down;
+  }
+  double busy = 0.0;
+  for (double d : dur) busy += d;
+
+  // What-if: critical path with one task's duration zeroed — the most a
+  // perfect optimization of that task could shorten the step.
+  auto critical_without = [&](size_t skip) {
+    std::vector<double> in(n, 0.0);
+    double longest = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double fin = in[i] + (i == skip ? 0.0 : dur[i]);
+      longest = std::max(longest, fin);
+      for (TaskId c : nodes_[i].children) in[c] = std::max(in[c], fin);
+    }
+    return longest;
+  };
+
+  const double eps = critical * 1e-12;
+  std::vector<obs::TaskSpan> spans(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double through = in_ef[i] + tail[i];  // longest path through i
+    spans[i].name = nodes_[i].name;
+    spans[i].busy_us = dur[i];
+    spans[i].slack_us = std::max(0.0, critical - through);
+    spans[i].whatif_saving_us = critical - critical_without(i);
+    spans[i].on_critical_path = through >= critical - eps;
+  }
+  obs::Profile::global().record_graph(name_, critical, busy, spans);
 }
 
 }  // namespace antmd::util

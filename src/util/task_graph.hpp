@@ -199,6 +199,9 @@ class TaskGraph {
     std::atomic<size_t> done_grains{0};
     size_t grains = 0;  ///< resolved at ready time; fixed while scheduled
     std::atomic<int32_t> first_lane{-1};
+    /// Work attributed to this task this run (grains sum over lanes);
+    /// collected only under attribution profiling.
+    std::atomic<uint64_t> busy_ns{0};
   };
 
   TaskId add_node(const char* name, std::vector<TaskId> deps);
@@ -213,6 +216,10 @@ class TaskGraph {
   void push_ready(uint32_t id);
   void record_error();
   void finish(double wall_us);  ///< metrics + rethrow after lanes quiesce
+  /// Critical-path analysis over this run's per-task busy durations: DAG
+  /// longest path, per-task slack and what-if savings, reported to
+  /// obs::Profile::global().  Runs once per graph run under profiling.
+  void record_profile();
 
   const char* name_;
   std::shared_ptr<TaskRuntime> runtime_;
@@ -230,6 +237,9 @@ class TaskGraph {
 
   // Per-run telemetry (collected only while obs telemetry is enabled).
   bool stats_on_ = false;
+  /// Attribution profiling (obs::profiling_enabled at prepare time):
+  /// per-task durations + critical-path analysis.
+  bool prof_on_ = false;
   std::vector<double> lane_busy_us_;
   std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> idle_polls_{0};

@@ -15,6 +15,7 @@
 #include "md/neighbor.hpp"
 #include "md/simulation.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "runtime/machine_sim.hpp"
 #include "sampling/replica_exchange.hpp"
@@ -104,6 +105,27 @@ TEST(ParallelDeterminism, TelemetryAndTracingChangeNoTrajectoryBit) {
   EXPECT_GT(obs::TraceSession::global().event_count(), 0u);
   expect_bitwise_equal(reference_host, traced_host, 4);
   expect_bitwise_equal(reference_machine, traced_machine, 4);
+}
+
+// The attribution profiler shares the telemetry contract: collection is
+// read-only with respect to the physics, so the same run with profiling
+// enabled must reproduce the reference trajectory bit for bit, serial and
+// threaded, on both engines.
+TEST(ParallelDeterminism, AttributionProfilingChangesNoTrajectoryBit) {
+  auto reference_host_1 = run_host(1);
+  auto reference_host_4 = run_host(4);
+  auto reference_machine_1 = run_machine(1);
+  auto reference_machine_4 = run_machine(4);
+
+  obs::ScopedProfiling profiling(true);
+  obs::Profile::global().reset();
+  expect_bitwise_equal(reference_host_1, run_host(1), 1);
+  expect_bitwise_equal(reference_host_4, run_host(4), 4);
+  expect_bitwise_equal(reference_machine_1, run_machine(1), 1);
+  expect_bitwise_equal(reference_machine_4, run_machine(4), 4);
+  // The profiler did collect: modeled network time for the machine runs.
+  EXPECT_GT(obs::Profile::global().network_total_s(), 0.0);
+  obs::Profile::global().reset();
 }
 
 TEST(ParallelDeterminism, NeighborListPairsMatchSerialBuild) {

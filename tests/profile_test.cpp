@@ -1,0 +1,349 @@
+// Contract tests for the attribution profiler (obs::Profile).
+//
+// The load-bearing guarantee: the per-message-class network totals exactly
+// partition the engine's aggregate modeled network time — same sums, same
+// order, bit for bit.  Everything else (components, links, critical path,
+// exports) is checked against its documented shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "ff/forcefield.hpp"
+#include "machine/config.hpp"
+#include "md/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "runtime/machine_sim.hpp"
+#include "topo/builders.hpp"
+#include "util/task_graph.hpp"
+
+namespace antmd {
+namespace {
+
+/// Builds a small water box on a 2x2x2 modeled torus and advances it with
+/// the global profiler collecting.  Profiling is switched on before
+/// construction so the collector sees every modeled step, including the
+/// constructor's initial force evaluation — the precondition for the
+/// bit-exact comparison against accumulated().
+struct ProfiledRun {
+  obs::ScopedProfiling profiling{true};
+  SystemSpec spec;
+  ForceField field;
+  runtime::MachineSimulation sim;
+
+  static runtime::MachineSimConfig config() {
+    runtime::MachineSimConfig mc;
+    mc.dt_fs = 2.0;
+    mc.neighbor_skin = 1.0;
+    mc.init_temperature_k = 300.0;
+    mc.thermostat.kind = md::ThermostatKind::kLangevin;
+    mc.thermostat.temperature_k = 300.0;
+    return mc;
+  }
+
+  static ff::NonbondedModel model() {
+    ff::NonbondedModel m;
+    m.cutoff = 6.0;
+    m.electrostatics = ff::Electrostatics::kEwaldReal;
+    return m;
+  }
+
+  explicit ProfiledRun(size_t steps)
+      : spec((obs::Profile::global().reset(),
+              build_water_box(216, WaterModel::kRigid3Site))),
+        field(spec.topology, model()),
+        sim(field, machine::anton_with_torus(2, 2, 2), spec.positions,
+            spec.box, config()) {
+    sim.run(steps);
+  }
+};
+
+TEST(Profile, ClassTotalsExactlyPartitionAggregateNetworkTime) {
+  ProfiledRun run(25);
+  const auto& prof = obs::Profile::global();
+  const auto& acc = run.sim.accumulated();
+
+  // Each class total reproduces its StepBreakdown field bit for bit: the
+  // profiler accumulates with the same independent `+=` per field the
+  // engine uses for its own aggregate.
+  EXPECT_EQ(prof.net(obs::MessageClass::kPositionMulticast).total_s,
+            acc.multicast);
+  EXPECT_EQ(prof.net(obs::MessageClass::kForceReduction).total_s, acc.reduce);
+  EXPECT_EQ(prof.net(obs::MessageClass::kKspaceFft).total_s,
+            acc.kspace_fft_comm);
+  EXPECT_EQ(prof.net(obs::MessageClass::kBarrierSync).total_s, acc.sync);
+  EXPECT_EQ(prof.net(obs::MessageClass::kReliability).total_s,
+            acc.reliability);
+
+  // And the class sum reproduces the aggregate (same left-to-right
+  // association): no double-count, no leak.
+  EXPECT_EQ(prof.network_total_s(), acc.network_total());
+  EXPECT_GT(prof.network_total_s(), 0.0);
+
+  // One profile step per modeled step, including the constructor's
+  // initial evaluation.
+  EXPECT_EQ(prof.steps(), 25u + 1u);
+}
+
+TEST(Profile, ComponentsResumToClassTotalWithinRounding) {
+  ProfiledRun run(25);
+  const auto& prof = obs::Profile::global();
+  for (size_t c = 0; c < obs::kMessageClassCount; ++c) {
+    const obs::NetClassTotals t =
+        prof.net(static_cast<obs::MessageClass>(c));
+    const double components =
+        t.serialization_s + t.queueing_s + t.contention_s + t.reliability_s;
+    // Components come from the same model terms as the total, just summed
+    // in a different association — rounding-close, not bit-equal.
+    EXPECT_NEAR(components, t.total_s, 1e-9 * std::max(1.0, t.total_s))
+        << "class " << obs::message_class_name(
+               static_cast<obs::MessageClass>(c));
+  }
+}
+
+TEST(Profile, LinkLoadsArePopulatedAndLabeled) {
+  ProfiledRun run(10);
+  const auto& prof = obs::Profile::global();
+  const auto top = prof.top_links(5);
+  ASSERT_FALSE(top.empty());
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].bytes, top[i].bytes) << "top_links must sort desc";
+  }
+  // Labels follow "n<id>(x,y,z).<axis><sign>".
+  EXPECT_EQ(top[0].label.rfind('n', 0), 0u);
+  EXPECT_NE(top[0].label.find('('), std::string::npos);
+  EXPECT_TRUE(top[0].label.back() == '+' || top[0].label.back() == '-');
+}
+
+TEST(Profile, LinkHistogramEdgesAreInclusive) {
+  obs::Profile p;
+  // Default edges are {1e2, 1e3, ..., 1e7}; a load exactly on an edge must
+  // land in that edge's bucket (inclusive upper bound), not the next one.
+  p.record_links({100.0, 100.1, 1e7, 2e7, 50.0});
+  const auto h = p.link_histogram();
+  ASSERT_EQ(h.buckets.size(), h.edges.size() + 1);
+  ASSERT_GE(h.edges.size(), 2u);
+  EXPECT_EQ(h.edges.front(), 1e2);
+  EXPECT_EQ(h.buckets[0], 2u);  // 50.0 and exactly-100.0
+  EXPECT_EQ(h.buckets[1], 1u);  // 100.1 spills into (1e2, 1e3]
+  EXPECT_EQ(h.buckets[h.edges.size() - 1], 1u);  // exactly-1e7
+  EXPECT_EQ(h.buckets.back(), 1u);               // 2e7 overflows
+}
+
+TEST(Profile, ZeroLoadLinksAreNotCounted) {
+  obs::Profile p;
+  p.record_links({0.0, 0.0, 5.0});
+  const auto h = p.link_histogram();
+  uint64_t counted = 0;
+  for (uint64_t b : h.buckets) counted += b;
+  EXPECT_EQ(counted, 1u);  // only the one link that carried traffic
+  EXPECT_EQ(p.top_links(10).size(), 1u);
+}
+
+TEST(Profile, MergeNetworkSumsTotalsAndTransport) {
+  obs::Profile a;
+  obs::Profile b;
+  obs::NetSample s;
+  s.total_s = 1.5;
+  s.serialization_s = 1.0;
+  s.queueing_s = 0.5;
+  s.messages = 3;
+  s.bytes = 4096.0;
+  a.record_network(obs::MessageClass::kPositionMulticast, s);
+  b.record_network(obs::MessageClass::kPositionMulticast, s);
+  b.record_network(obs::MessageClass::kBarrierSync, s);
+  b.record_links({10.0, 20.0});
+  b.record_transport(2, 1, 0, 0);
+  b.record_step();
+
+  a.merge_network(b);
+  EXPECT_EQ(a.net(obs::MessageClass::kPositionMulticast).total_s, 3.0);
+  EXPECT_EQ(a.net(obs::MessageClass::kPositionMulticast).messages, 6u);
+  EXPECT_EQ(a.net(obs::MessageClass::kBarrierSync).total_s, 1.5);
+  EXPECT_EQ(a.steps(), 1u);
+  EXPECT_EQ(a.top_links(10).size(), 2u);
+}
+
+TEST(Profile, JsonDocumentIsWellFormedAndVersioned) {
+  ProfiledRun run(10);
+  const std::string json = obs::Profile::global().to_json();
+  EXPECT_NE(json.find("\"schema\": \"antmd.profile/v1\""), std::string::npos);
+  for (const char* key :
+       {"\"network\"", "\"classes\"", "\"position_multicast\"",
+        "\"force_reduction\"", "\"kspace_fft\"", "\"barrier_sync\"",
+        "\"reliability\"", "\"links\"", "\"histogram\"", "\"top\"",
+        "\"critical_path\"", "\"transport\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Structural balance (the document quotes no braces inside strings).
+  int depth = 0;
+  int sq = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (c == '[') ++sq;
+    if (c == ']') --sq;
+    EXPECT_GE(depth, 0);
+    EXPECT_GE(sq, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(sq, 0);
+}
+
+TEST(Profile, RenderSummaryNamesClassesAndLinks) {
+  ProfiledRun run(10);
+  const std::string text = obs::Profile::global().render_summary();
+  EXPECT_NE(text.find("position_multicast"), std::string::npos);
+  EXPECT_NE(text.find("kspace_fft"), std::string::npos);
+  EXPECT_NE(text.find("network_total"), std::string::npos);
+  EXPECT_NE(text.find("top contended torus links"), std::string::npos);
+}
+
+TEST(Profile, PublishMetricsMirrorsClassTotalsIntoRegistry) {
+  ProfiledRun run(10);
+  obs::register_standard_metrics();
+  obs::ScopedTelemetry telemetry(true);  // gauge writes gate on telemetry
+  obs::Profile::global().publish_metrics();
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  bool found_total = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "profile.network.total_seconds") {
+      found_total = true;
+      EXPECT_EQ(value, obs::Profile::global().network_total_s());
+    }
+  }
+  EXPECT_TRUE(found_total);
+}
+
+TEST(Profile, PrometheusExpositionHasTypedSanitizedFamilies) {
+  ProfiledRun run(5);
+  obs::register_standard_metrics();
+  obs::ScopedTelemetry telemetry(true);
+  obs::Profile::global().publish_metrics();
+  const std::string prom =
+      obs::MetricsRegistry::global().snapshot().to_prometheus();
+  EXPECT_NE(prom.find("# TYPE antmd_profile_network_total_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  // Every non-comment line is `name{labels} value` with a sanitized name.
+  size_t pos = 0;
+  while (pos < prom.size()) {
+    size_t eol = prom.find('\n', pos);
+    if (eol == std::string::npos) eol = prom.size();
+    const std::string line = prom.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("antmd_", 0), 0u) << line;
+    // Sanitization applies to the metric name (label values like
+    // le="0.5" keep their dots).
+    const std::string name = line.substr(0, line.find_first_of("{ "));
+    EXPECT_EQ(name.find('.'), std::string::npos) << line;
+  }
+}
+
+TEST(Profile, DisabledGateRecordsNothingFromTheEngine) {
+  obs::ScopedProfiling off(false);
+  obs::Profile::global().reset();
+  auto spec = build_water_box(216, WaterModel::kRigid3Site);
+  ForceField field(spec.topology, ProfiledRun::model());
+  runtime::MachineSimulation sim(field, machine::anton_with_torus(2, 2, 2),
+                                 spec.positions, spec.box,
+                                 ProfiledRun::config());
+  sim.run(5);
+  EXPECT_EQ(obs::Profile::global().steps(), 0u);
+  EXPECT_EQ(obs::Profile::global().network_total_s(), 0.0);
+}
+
+TEST(Profile, PerRunSinkReceivesTheFeedInsteadOfGlobal) {
+  obs::ScopedProfiling on(true);
+  obs::Profile mine;
+  auto spec = build_water_box(216, WaterModel::kRigid3Site);
+  ForceField field(spec.topology, ProfiledRun::model());
+  runtime::MachineSimulation sim(field, machine::anton_with_torus(2, 2, 2),
+                                 spec.positions, spec.box,
+                                 ProfiledRun::config());
+  sim.set_profile(&mine);
+  // The constructor's initial evaluation fed the global collector (the
+  // per-run sink was not installed yet); clear it so the assertion below
+  // sees only post-install traffic.
+  obs::Profile::global().reset();
+  sim.run(5);
+  EXPECT_EQ(mine.steps(), 5u);
+  EXPECT_GT(mine.network_total_s(), 0.0);
+  // The network feed went to the per-run sink, not the global collector
+  // (the global may still see task-graph records, which always aggregate
+  // process-wide).
+  EXPECT_EQ(obs::Profile::global().network_total_s(), 0.0);
+  sim.set_profile(nullptr);
+}
+
+TEST(Profile, CriticalPathAnalysisOnDiamondGraph) {
+  obs::ScopedProfiling on(true);
+  obs::Profile::global().reset();
+
+  // a -> {b, c} -> d with b doing ~10x the work of c: the critical path is
+  // a-b-d, c gets slack, and zeroing b must promise the largest saving.
+  auto spin_us = [](double us) {
+    const double t0 = obs::now_us();
+    while (obs::now_us() - t0 < us) {
+    }
+  };
+  util::TaskGraph g(nullptr, "profile_test.diamond");
+  auto a = g.add("pt.a", [&] { spin_us(200.0); });
+  auto b = g.add("pt.b", [&] { spin_us(2000.0); }, {a});
+  auto c = g.add("pt.c", [&] { spin_us(200.0); }, {a});
+  g.add_reduction("pt.d", [&] { spin_us(200.0); }, {b, c});
+  g.run();
+
+  const auto graphs = obs::Profile::global().graphs();
+  const obs::GraphProfile* gp = nullptr;
+  for (const auto& each : graphs) {
+    if (each.name == "profile_test.diamond") gp = &each;
+  }
+  ASSERT_NE(gp, nullptr);
+  EXPECT_EQ(gp->runs, 1u);
+  EXPECT_GT(gp->critical_us, 0.0);
+  // Total work exceeds the critical path (c runs off it).
+  EXPECT_GT(gp->busy_us, gp->critical_us);
+
+  const obs::TaskProfile* tb = nullptr;
+  const obs::TaskProfile* tc = nullptr;
+  for (const auto& t : gp->tasks) {
+    if (t.name == "pt.b") tb = &t;
+    if (t.name == "pt.c") tc = &t;
+  }
+  ASSERT_NE(tb, nullptr);
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tb->on_critical, 1u);  // the heavy branch carries the path
+  EXPECT_EQ(tc->on_critical, 0u);
+  EXPECT_GT(tc->slack_us, 0.0);              // light branch has room
+  EXPECT_NEAR(tb->slack_us, 0.0, 1e-6);      // heavy branch has none
+  EXPECT_GT(tb->whatif_saving_us, tc->whatif_saving_us);
+  EXPECT_GE(tc->whatif_saving_us, 0.0);
+}
+
+TEST(Profile, GraphRecordsAccumulateAcrossRuns) {
+  obs::ScopedProfiling on(true);
+  obs::Profile::global().reset();
+  util::TaskGraph g(nullptr, "profile_test.repeat");
+  g.add("pt.only", [] {});
+  g.run();
+  g.run();
+  g.run();
+  for (const auto& gp : obs::Profile::global().graphs()) {
+    if (gp.name == "profile_test.repeat") {
+      EXPECT_EQ(gp.runs, 3u);
+      ASSERT_EQ(gp.tasks.size(), 1u);
+      EXPECT_EQ(gp.tasks[0].runs, 3u);
+      EXPECT_EQ(gp.tasks[0].on_critical, 3u);  // alone = always critical
+      return;
+    }
+  }
+  FAIL() << "graph profile_test.repeat not recorded";
+}
+
+}  // namespace
+}  // namespace antmd
