@@ -75,6 +75,23 @@
 //                          link_drop:40, packet_corrupt:10:3, node_hang:25:1:5
 //                          kinds: io_write_fail io_short_write nan_force
 //                                 node_fail link_drop packet_corrupt node_hang
+//                                 bit_flip_state bit_flip_table
+//                                 bit_flip_checkpoint_buffer
+//
+// Integrity auditing (config keys `audit_interval`, `audit_shadow_window`,
+// `scrub_interval`; requires --supervise; see DESIGN.md "Silent data
+// corruption"):
+//   --audit-interval N     audit the simulation state every N steps: CRC-64
+//                          digests over positions/velocities/forces/
+//                          energies, shadow re-execution of the trailing
+//                          window, and a scrub of the static tables; a
+//                          mismatch is a detected silent corruption the
+//                          supervisor rolls back (0 = off)
+//   --audit-shadow-window N  steps re-executed per audit (0 = the full
+//                          audit interval: complete coverage, ~2x compute
+//                          inside the interval)
+//   --scrub-interval N     steps between static-data scrubs (0 = at every
+//                          audit)
 //
 // Exit codes: 0 success, 1 unexpected error, 2 configuration/usage,
 // 3 I/O failure, 4 numerical failure, 5 recovery exhausted (a
@@ -98,6 +115,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "resilience/audit.hpp"
 #include "resilience/health.hpp"
 #include "resilience/supervisor.hpp"
 #include "runtime/machine_sim.hpp"
@@ -222,6 +240,13 @@ struct RobustnessOptions {
   int max_retries = 3;
   double watchdog_ms = 0.0;
   std::string report = "antmd_recovery_report.txt";
+  // SDC auditing (supervised runs only; 0 = off).
+  int audit_interval = 0;
+  int audit_shadow_window = 2;
+  int scrub_interval = 0;
+  /// Static-data scrubber built by main() over the force field and
+  /// topology; outlives the supervisor.  Null when auditing is off.
+  resilience::Scrubber* scrubber = nullptr;
 };
 
 /// Runs `sim` to the configured total step count, optionally resuming from
@@ -251,7 +276,11 @@ double run_simulation(Sim& sim, size_t steps, const RobustnessOptions& opt) {
     sc.snapshot_interval = opt.checkpoint_interval;
     sc.checkpoint_path = opt.checkpoint;
     sc.report_path = opt.report;
+    sc.audit.interval = opt.audit_interval;
+    sc.audit.shadow_window = opt.audit_shadow_window;
+    sc.audit.scrub_interval = opt.scrub_interval;
     resilience::Supervisor<Sim> supervisor(sim, sc);
+    if (opt.audit_interval > 0) supervisor.enable_audit(opt.scrubber);
     resilience::RecoveryReport report = supervisor.run(remaining);
     std::fputs(report.render().c_str(), stdout);
     if (!report.completed) {
@@ -329,6 +358,9 @@ int main(int argc, char** argv) {
   bool cli_supervise = false;
   int cli_max_retries = -1;
   double cli_watchdog_ms = -1.0;
+  int cli_audit_interval = -1;
+  int cli_audit_shadow_window = -1;
+  int cli_scrub_interval = -1;
   const char* cli_fault = nullptr;
   const char* cli_trace_out = nullptr;
   const char* cli_metrics_out = nullptr;
@@ -388,6 +420,23 @@ int main(int argc, char** argv) {
           "--watchdog-ms", arg.c_str() + std::strlen("--watchdog-ms="));
     } else if (arg == "--watchdog-ms" && a + 1 < argc) {
       cli_watchdog_ms = parse_double_arg("--watchdog-ms", argv[++a]);
+    } else if (arg.rfind("--audit-interval=", 0) == 0) {
+      cli_audit_interval = parse_int_arg(
+          "--audit-interval", arg.c_str() + std::strlen("--audit-interval="));
+    } else if (arg == "--audit-interval" && a + 1 < argc) {
+      cli_audit_interval = parse_int_arg("--audit-interval", argv[++a]);
+    } else if (arg.rfind("--audit-shadow-window=", 0) == 0) {
+      cli_audit_shadow_window = parse_int_arg(
+          "--audit-shadow-window",
+          arg.c_str() + std::strlen("--audit-shadow-window="));
+    } else if (arg == "--audit-shadow-window" && a + 1 < argc) {
+      cli_audit_shadow_window =
+          parse_int_arg("--audit-shadow-window", argv[++a]);
+    } else if (arg.rfind("--scrub-interval=", 0) == 0) {
+      cli_scrub_interval = parse_int_arg(
+          "--scrub-interval", arg.c_str() + std::strlen("--scrub-interval="));
+    } else if (arg == "--scrub-interval" && a + 1 < argc) {
+      cli_scrub_interval = parse_int_arg("--scrub-interval", argv[++a]);
     } else if (arg.rfind("--fault=", 0) == 0) {
       cli_fault = argv[a] + std::strlen("--fault=");
     } else if (arg == "--fault" && a + 1 < argc) {
@@ -404,7 +453,9 @@ int main(int argc, char** argv) {
                  "usage: antmd_run <config-file> [--threads N] "
                  "[--checkpoint PATH] [--checkpoint-interval N] "
                  "[--resume] [--supervise] [--max-retries N] "
-                 "[--watchdog-ms X] [--fault SPEC] [--trace-out PATH] "
+                 "[--watchdog-ms X] [--fault SPEC] "
+                 "[--audit-interval N] [--audit-shadow-window N] "
+                 "[--scrub-interval N] [--trace-out PATH] "
                  "[--metrics-out PATH] [--no-telemetry] [--profile] "
                  "[--profile-out PATH] [--prom-out PATH]\n");
     return 2;
@@ -478,6 +529,31 @@ int main(int argc, char** argv) {
     if (cli_supervise) robust.supervise = true;
     if (cli_max_retries >= 0) robust.max_retries = cli_max_retries;
     if (cli_watchdog_ms >= 0) robust.watchdog_ms = cli_watchdog_ms;
+    robust.audit_interval = cfg.get_int("audit_interval", 0);
+    robust.audit_shadow_window = cfg.get_int("audit_shadow_window", 2);
+    robust.scrub_interval = cfg.get_int("scrub_interval", 0);
+    if (cli_audit_interval >= 0) robust.audit_interval = cli_audit_interval;
+    if (cli_audit_shadow_window >= 0) {
+      robust.audit_shadow_window = cli_audit_shadow_window;
+    }
+    if (cli_scrub_interval >= 0) robust.scrub_interval = cli_scrub_interval;
+    ANTMD_REQUIRE(robust.audit_interval == 0 || robust.supervise,
+                  "--audit-interval requires --supervise (the supervisor "
+                  "performs the rollback recovery)");
+
+    // Golden CRCs are captured now, before the run can flip any bits: the
+    // scrubber covers the force field (packed spline tables + flattened
+    // exclusion list) and every fixed topology array.
+    resilience::Scrubber scrubber;
+    if (robust.audit_interval > 0) {
+      scrubber.add_object(field);
+      scrubber.add_object(spec.topology);
+      robust.scrubber = &scrubber;
+      std::printf("audit: every %d step(s), shadow window %d, scrubbing "
+                  "%zu region(s) / %zu bytes\n",
+                  robust.audit_interval, robust.audit_shadow_window,
+                  scrubber.region_count(), scrubber.total_bytes());
+    }
 
     std::string fault_spec = cfg.get_string("fault", "");
     if (cli_fault) fault_spec = cli_fault;

@@ -1,0 +1,261 @@
+#!/usr/bin/env bash
+# SDC chaos matrix (DESIGN.md "Failure model & recovery", SDC section):
+# inject every bit-flip fault kind x >=3 fire steps x >=3 bit targets into
+# supervised, audited runs on both engines (host ljfluid, machine water)
+# and assert, for every cell:
+#
+#   detect    — the recovery report counts >= 1 corruption, and the first
+#               silent-corruption event lands within one audit interval of
+#               the injected flip
+#   recover   — the run completes (exit 0, "run completed"); no budget
+#               escalation
+#   identical — the final trajectory frame is byte-identical to the
+#               fault-free reference run's final frame
+#
+# then gate the audit cost: with auditing on at the production stride
+# (interval 500, default shadow window 2) the `resilience.audit` share of
+# the run's instrumented walltime must stay under MAX_OVERHEAD_PCT
+# (default 5%), min-of-REPS in the spirit of
+# scripts/check_metrics_overhead.sh (see the gate section for why the
+# measurement is in-process rather than cross-run).
+#
+# Bit addressing: kBitFlipState payloads are global bit indices over
+# positions||velocities.  The matrix targets bit 0 of byte 5 inside three
+# different position doubles (payload = 64*d + 40): a mid-mantissa flip,
+# ~2^-12 relative, large enough that the machine engine's ~2^-23 fixed-point
+# position grid cannot absorb it (a flip below the grid quantum is erased
+# by the next position update and is *correctly* undetected — see
+# audit_test's machine case) yet small enough not to blow up the forces
+# into a NaN, which would be caught by the numerical guard instead of the
+# auditor.  Table and checkpoint-buffer flips are detected by golden CRC
+# regardless of which bit is hit, so those payloads are arbitrary.
+#
+# Usage: scripts/run_sdc_chaos.sh
+# Env:
+#   ANTMD_RUN_BIN     path to a prebuilt antmd_run; when unset the script
+#                     configures/builds the default tree.  ctest's `-L soak`
+#                     registration sets it to the freshly built CLI.
+#   REPS              timing repetitions for the overhead gate (default 3)
+#   MAX_OVERHEAD_PCT  audit walltime budget in percent (default 5.0)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REPS="${REPS:-3}"
+MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5.0}"
+
+if [[ -z "${ANTMD_RUN_BIN:-}" ]]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build --target antmd_run -j "$(nproc)" >/dev/null
+  ANTMD_RUN_BIN="build/examples/antmd_run"
+fi
+
+WORK="$(mktemp -d /tmp/antmd_sdc_chaos.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+AUDIT_INTERVAL=8
+STEPS=40
+
+# --- engine configs ---------------------------------------------------------
+cat > "$WORK/host.cfg" <<EOF
+system      = ljfluid
+size        = 125
+seed        = 1
+engine      = host
+steps       = $STEPS
+dt_fs       = 4.0
+temperature = 120
+cutoff      = 7.0
+thermostat  = langevin
+threads     = 1
+EOF
+HOST_ATOMS=125
+
+cat > "$WORK/machine.cfg" <<EOF
+system      = water
+size        = 64
+seed        = 1
+engine      = machine
+nodes       = 2
+steps       = $STEPS
+dt_fs       = 2.0
+temperature = 300
+thermostat  = langevin
+cutoff      = 5.0
+skin        = 0.8
+threads     = 1
+EOF
+MACHINE_ATOMS=192   # 64 rigid 3-site waters
+
+# Final trajectory frame (atom lines + 2 header lines) of an xyz file.
+final_frame() {  # path atoms
+  tail -n "$(( $2 + 2 ))" "$1"
+}
+
+# --- fault-free references --------------------------------------------------
+for engine in host machine; do
+  cfg="$WORK/ref_$engine.cfg"
+  cp "$WORK/$engine.cfg" "$cfg"
+  echo "xyz = $WORK/ref_$engine.xyz" >> "$cfg"
+  "$ANTMD_RUN_BIN" "$cfg" > /dev/null
+done
+final_frame "$WORK/ref_host.xyz" "$HOST_ATOMS" > "$WORK/ref_host.frame"
+final_frame "$WORK/ref_machine.xyz" "$MACHINE_ATOMS" > "$WORK/ref_machine.frame"
+
+# --- chaos matrix -----------------------------------------------------------
+# Mid-mantissa position bits (see header); table/buffer targets arbitrary.
+STATE_PAYLOADS=(1384 9960 25640)
+TABLE_PAYLOADS=(1001 50021 200003)
+BUFFER_PAYLOADS=(17 4099 65537)
+FIRE_AFTERS=(6 14 23)   # flips land after steps 7, 15, 24
+
+cells=0
+fail=0
+for engine in host machine; do
+  atoms_var="$(echo "$engine" | tr '[:lower:]' '[:upper:]')_ATOMS"
+  atoms="${!atoms_var}"
+  for kind in bit_flip_state bit_flip_table bit_flip_checkpoint_buffer; do
+    case "$kind" in
+      bit_flip_state)             payloads=("${STATE_PAYLOADS[@]}") ;;
+      bit_flip_table)             payloads=("${TABLE_PAYLOADS[@]}") ;;
+      bit_flip_checkpoint_buffer) payloads=("${BUFFER_PAYLOADS[@]}") ;;
+    esac
+    for fire in "${FIRE_AFTERS[@]}"; do
+      for payload in "${payloads[@]}"; do
+        id="${engine}_${kind}_f${fire}_p${payload}"
+        cfg="$WORK/$id.cfg"
+        cp "$WORK/$engine.cfg" "$cfg"
+        echo "xyz = $WORK/$id.xyz" >> "$cfg"
+        out="$WORK/$id.out"
+        rc=0
+        "$ANTMD_RUN_BIN" "$cfg" --supervise \
+            --checkpoint "$WORK/$id.ckpt" \
+            --checkpoint-interval "$AUDIT_INTERVAL" \
+            --audit-interval "$AUDIT_INTERVAL" --audit-shadow-window 0 \
+            --max-retries 3 \
+            --fault "$kind:$fire:1:$payload" > "$out" 2>&1 || rc=$?
+        (( ++cells ))
+        if (( rc != 0 )); then
+          echo "FAIL $id: exit $rc" >&2
+          sed 's/^/    /' "$out" >&2
+          fail=1
+          continue
+        fi
+        if ! grep -q "recovery report: run completed" "$out"; then
+          echo "FAIL $id: supervisor did not report completion" >&2
+          fail=1
+          continue
+        fi
+        corruptions=$(sed -n 's/.*corruptions: *//p' "$out" | head -n 1)
+        if [[ -z "$corruptions" || "$corruptions" -lt 1 ]]; then
+          echo "FAIL $id: corruption not detected (corruptions=$corruptions)" >&2
+          fail=1
+          continue
+        fi
+        # Detection latency and mechanism.  The recovery event records the
+        # post-rollback step, so the detection step comes from the shadow-
+        # replay detail "steps [a, b]" (b = the audit that caught it); the
+        # scrub and retained-buffer CRC run at every audit point, so for
+        # those kinds the mechanism string itself proves detection landed
+        # at the first audit after the flip (armed at fire_after=$fire ->
+        # the flip lands after step fire+1).
+        flip_step=$(( fire + 1 ))
+        case "$kind" in
+          bit_flip_state)
+            detect_step=$(sed -n \
+              's/.*shadow replay of steps \[[0-9]*, \([0-9]*\)\].*/\1/p' \
+              "$out" | head -n 1)
+            if [[ -z "$detect_step" ]] || \
+               (( detect_step < flip_step )) || \
+               (( detect_step > flip_step + AUDIT_INTERVAL )); then
+              echo "FAIL $id: detection at step '${detect_step:-none}'," \
+                   "flip at $flip_step, interval $AUDIT_INTERVAL" >&2
+              fail=1
+              continue
+            fi ;;
+          bit_flip_table)
+            if ! grep -q "static data corrupt" "$out"; then
+              echo "FAIL $id: table flip not caught by the scrubber" >&2
+              fail=1
+              continue
+            fi ;;
+          bit_flip_checkpoint_buffer)
+            if ! grep -q "snapshot buffer failed its CRC" "$out"; then
+              echo "FAIL $id: buffer flip not caught by the retained CRC" >&2
+              fail=1
+              continue
+            fi ;;
+        esac
+        if ! final_frame "$WORK/$id.xyz" "$atoms" | \
+             cmp -s - "$WORK/ref_$engine.frame"; then
+          echo "FAIL $id: recovered trajectory differs from fault-free run" >&2
+          fail=1
+          continue
+        fi
+      done
+    done
+  done
+done
+
+echo "run_sdc_chaos: $cells matrix cells checked"
+if (( fail )); then
+  echo "run_sdc_chaos: FAIL" >&2
+  exit 1
+fi
+
+# --- audit overhead gate ----------------------------------------------------
+# Longer clean host run; compare supervised-with-audit against supervised-
+# without-audit so the gate isolates the audit cost, not supervision's.
+# Each audit pays two checkpoint restores (each rebuilds the neighbor list
+# and forces, a few step-equivalents, and shifts the displacement-triggered
+# rebuild cadence afterwards) plus the shadow-window replay and digests — a
+# fixed cost per audit, so the production stride (interval 500, default
+# shadow window 2) amortizes it to a few percent on a system large enough
+# that stepping, not serialization, dominates.  The matrix above uses a
+# deliberately tight interval 8 to exercise detection, not to be cheap.
+cat > "$WORK/perf.cfg" <<EOF
+system      = ljfluid
+size        = 512
+seed        = 1
+engine      = host
+steps       = 1500
+dt_fs       = 4.0
+temperature = 120
+cutoff      = 7.0
+thermostat  = langevin
+threads     = 1
+EOF
+
+# Measure with the run's own phase attribution (the `resilience.audit`
+# walltime bucket in the end-of-run summary) rather than cross-run timing:
+# two separate processes land on different memory layouts, and the
+# resulting cache-aliasing jitter (±10% user CPU for identical work on
+# this class of box) swamps a few-percent signal no matter how many reps
+# a min-of-N takes.  The in-process ratio shares one layout between
+# numerator and denominator and repeats to within a few tenths of a
+# percent.  Keep the minimum share over $REPS runs — the run least
+# disturbed by scheduler noise.
+best_share=""
+for _ in $(seq "$REPS"); do
+  "$ANTMD_RUN_BIN" "$WORK/perf.cfg" --supervise \
+      --audit-interval 500 --audit-shadow-window 2 > "$WORK/perf.out"
+  share=$(sed -n \
+    's/| resilience\.audit *| *[0-9.]* *| *\([0-9.]*\) % *|/\1/p' \
+    "$WORK/perf.out" | head -n 1)
+  if [[ -z "$share" ]]; then
+    echo "FAIL: no resilience.audit phase in the run summary" >&2
+    exit 1
+  fi
+  if [[ -z "$best_share" ]] || awk -v a="$share" -v b="$best_share" \
+      'BEGIN {exit !(a < b)}'; then
+    best_share="$share"
+  fi
+done
+echo "audit share of instrumented walltime at stride 500: ${best_share}%"
+if awk -v o="$best_share" -v cap="$MAX_OVERHEAD_PCT" 'BEGIN {exit !(o > cap)}'
+then
+  echo "FAIL: audit overhead ${best_share}% exceeds budget ${MAX_OVERHEAD_PCT}%" >&2
+  exit 1
+fi
+
+echo "run_sdc_chaos: PASS"

@@ -115,6 +115,18 @@ class ForceField {
     return excluded_pairs_;
   }
 
+  /// Visits the static data a step reads — every pair table's knot/packed
+  /// arrays and the flattened exclusion list — as fn(name, data, bytes)
+  /// with mutable pointers, for SDC scrub registration (golden CRC +
+  /// pristine mirror, see resilience/audit.hpp).  All of it is immutable
+  /// once the run starts, which is what makes build-time CRCs sound.
+  template <typename Fn>
+  void visit_scrub_regions(Fn&& fn) {
+    tables_.visit_scrub_regions(fn);
+    fn("exclusions", static_cast<void*>(excluded_pairs_.data()),
+       excluded_pairs_.size() * sizeof(std::pair<uint32_t, uint32_t>));
+  }
+
  private:
   const Topology* topo_;
   ff::PairTableSet tables_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ff/energy.hpp"
@@ -66,6 +67,28 @@ class PairTableSet {
 
   [[nodiscard]] const NonbondedModel& model() const { return model_; }
   [[nodiscard]] size_t type_count() const { return n_types_; }
+
+  /// Visits every table's scrub regions (see RadialTable::
+  /// visit_scrub_regions) as fn(name, data, bytes), with the name prefixed
+  /// by the table's position ("vdw[3]." / "elec.").  Tables are immutable
+  /// once built (set_custom_table replaces whole tables before a run
+  /// starts), so golden CRCs registered over these regions stay valid.
+  template <typename Fn>
+  void visit_scrub_regions(Fn&& fn) {
+    for (size_t t = 0; t < vdw_tables_.size(); ++t) {
+      vdw_tables_[t].visit_scrub_regions(
+          [&](const char* name, void* data, size_t bytes) {
+            fn(("vdw[" + std::to_string(t) + "]." + name).c_str(), data,
+               bytes);
+          });
+    }
+    if (elec_table_) {
+      elec_table_->visit_scrub_regions(
+          [&](const char* name, void* data, size_t bytes) {
+            fn((std::string("elec.") + name).c_str(), data, bytes);
+          });
+    }
+  }
 
  private:
   [[nodiscard]] size_t index(uint32_t a, uint32_t b) const;

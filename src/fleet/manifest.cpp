@@ -108,6 +108,14 @@ void apply_run_key(RunSpec& spec, const std::string& key,
     spec.snapshot_ring_bytes = parse_u64(key, value);
   } else if (key == "watchdog_ms") {
     spec.watchdog_ms = parse_double(key, value);
+  } else if (key == "audit_interval") {
+    spec.audit_interval = parse_int(key, value);
+  } else if (key == "audit_shadow_window") {
+    spec.audit_shadow_window = parse_int(key, value);
+  } else if (key == "scrub_interval") {
+    spec.scrub_interval = parse_int(key, value);
+  } else if (key == "audit_max_recoveries") {
+    spec.audit_max_recoveries = parse_int(key, value);
   } else {
     throw ConfigError("unknown run key: " + key);
   }

@@ -60,6 +60,16 @@ void RunSpec::validate() const {
   if (snapshot_interval < 1) {
     throw ConfigError("run '" + name + "': snapshot_interval must be >= 1");
   }
+  resilience::AuditConfig audit;
+  audit.interval = audit_interval;
+  audit.shadow_window = audit_shadow_window;
+  audit.scrub_interval = scrub_interval;
+  audit.max_recoveries = audit_max_recoveries;
+  try {
+    audit.validate();
+  } catch (const ConfigError& e) {
+    throw ConfigError("run '" + name + "': " + e.what());
+  }
 }
 
 namespace {
@@ -153,6 +163,10 @@ resilience::SupervisorConfig build_supervision(
   sup.snapshot_ring_bytes = spec.snapshot_ring_bytes;
   sup.checkpoint_path = checkpoint_path;
   sup.watchdog_ms = spec.watchdog_ms;
+  sup.audit.interval = spec.audit_interval;
+  sup.audit.shadow_window = spec.audit_shadow_window;
+  sup.audit.scrub_interval = spec.scrub_interval;
+  sup.audit.max_recoveries = spec.audit_max_recoveries;
   return sup;
 }
 
@@ -182,7 +196,17 @@ class EngineDriver final : public Driver {
         sim_->set_profile(profile_.get());
       }
     }
+    const bool audit = supervision.audit.interval > 0;
     supervisor_.emplace(*sim_, std::move(supervision));
+    if (audit) {
+      // Golden CRCs are captured here, at materialization, before any
+      // per-run bit-flip plan can fire: the scrubber covers the force
+      // field (packed spline tables + flattened exclusion list) and the
+      // topology arrays the engine reads every step.
+      scrubber_.add_object(field_);
+      scrubber_.add_object(system_.topology);
+      supervisor_->enable_audit(&scrubber_);
+    }
   }
 
   resilience::RecoveryReport advance(size_t steps) override {
@@ -213,6 +237,9 @@ class EngineDriver final : public Driver {
   ForceField field_;
   /// Declared before sim_ so the sim's profile pointer never dangles.
   std::unique_ptr<obs::Profile> profile_;
+  /// Declared before supervisor_: the supervisor's auditor holds a
+  /// pointer to the scrubber for the supervisor's whole lifetime.
+  resilience::Scrubber scrubber_;
   std::unique_ptr<Sim> sim_;
   std::optional<resilience::Supervisor<Sim>> supervisor_;
 };

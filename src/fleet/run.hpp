@@ -89,6 +89,17 @@ struct RunSpec {
   size_t snapshot_ring_bytes = 0;
   double watchdog_ms = 0.0;  ///< machine engine only; 0 disables
 
+  // SDC auditing (resilience::AuditConfig subset).  audit_interval = 0
+  // leaves auditing off; > 0 audits every N steps and attaches a static-
+  // data scrubber covering the run's spline tables, topology arrays and
+  // exclusion list.  audit_max_recoveries is the per-run corruption
+  // budget: a run that keeps flipping bits is quarantined (escalation),
+  // not retried forever — repeat corruption points at failing hardware.
+  int audit_interval = 0;
+  int audit_shadow_window = 2;   ///< 0 = replay the full audit interval
+  int scrub_interval = 0;        ///< 0 = scrub at every audit
+  int audit_max_recoveries = 3;  ///< corruption episodes before quarantine
+
   /// Throws ConfigError on an unbuildable spec (admission-time check).
   void validate() const;
 };
@@ -117,6 +128,7 @@ struct RunStatus {
   uint64_t restarts = 0;
   uint64_t node_remaps = 0;
   uint64_t watchdog_trips = 0;
+  uint64_t corruptions = 0;  ///< silent-corruption episodes detected
   uint64_t evictions = 0;
   double recovery_modeled_s = 0.0;
   /// Modeled resident footprint while running (0 once the engine is gone).

@@ -252,6 +252,7 @@ void Scheduler::run_slice(Record& r) {
   r.status.node_remaps = r.counters_base.node_remaps + report.node_remaps;
   r.status.watchdog_trips =
       r.counters_base.watchdog_trips + report.watchdog_trips;
+  r.status.corruptions = r.counters_base.corruptions + report.corruptions;
   r.status.recovery_modeled_s =
       r.counters_base.recovery_modeled_s + report.recovery_modeled_s;
   r.status.resident_bytes =
@@ -472,6 +473,7 @@ std::string Scheduler::status_json() const {
        << ", \"restarts\": " << s.restarts
        << ", \"node_remaps\": " << s.node_remaps
        << ", \"watchdog_trips\": " << s.watchdog_trips
+       << ", \"corruptions\": " << s.corruptions
        << ", \"evictions\": " << s.evictions
        << ", \"recovery_modeled_s\": " << s.recovery_modeled_s
        << ", \"resident_bytes\": " << s.resident_bytes
@@ -503,18 +505,16 @@ std::string Scheduler::status_json() const {
 
 void Scheduler::write_status_file() const {
   if (config_.status_path.empty()) return;
-  // Deliberately plain I/O (no io::write_file_atomic): the control plane
-  // must not consume fault-injection events armed against tenants.
-  const std::string tmp = config_.status_path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << status_json();
-    if (!out.flush()) {
-      std::remove(tmp.c_str());
-      return;  // status is advisory; a full disk must not stop the fleet
-    }
+  // write_file_durable: tmp + fsync + rename + dir fsync, with no
+  // fault-injection polling — the control plane must not consume fault
+  // events armed against tenants, and an operator restarting the host
+  // after power loss must see the last status actually written, not a
+  // file the page cache never persisted.
+  try {
+    io::write_file_durable(config_.status_path, status_json());
+  } catch (const IoError&) {
+    // status is advisory; a full disk must not stop the fleet
   }
-  std::rename(tmp.c_str(), config_.status_path.c_str());
 }
 
 void Scheduler::maybe_write_status() {

@@ -4,9 +4,97 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "util/fault.hpp"
 
 namespace antmd::io {
+
+namespace {
+
+// Durability helpers: an ofstream flush hands the bytes to the kernel, but
+// only fsync moves them to stable storage, and only an fsync of the parent
+// directory makes the *rename* durable.  Without these a checkpoint or
+// fleet status file can vanish across power loss even though the write
+// "succeeded" — silently rewinding recovery state.
+
+/// fsync of a just-written file; throws so callers treat a sync failure
+/// like a write failure (the data is not actually safe).
+void sync_file(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError("cannot reopen for fsync: " + path);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw IoError("fsync failed: " + path);
+  }
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+/// Best-effort fsync of the directory containing `path` (some filesystems
+/// refuse directory opens or directory fsync; the rename is still atomic,
+/// just not guaranteed durable there).
+void sync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+void write_file_impl(const std::string& path, std::string_view blob,
+                     bool poll_faults) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw IoError("cannot open checkpoint temp file: " + tmp);
+    }
+    size_t n = blob.size();
+    // Torn write: only part of the blob reaches the disk, but the rename
+    // below still happens — exactly what a crash between write and fsync
+    // produces.  The CRC rejects the result at load time.
+    if (poll_faults && fault::should_fire(fault::FaultKind::kIoShortWrite)) {
+      n /= 2;
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(n));
+    out.flush();
+    if ((poll_faults && fault::should_fire(fault::FaultKind::kIoWriteFail)) ||
+        !out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw IoError("checkpoint write failed (out of space?): " + tmp);
+    }
+  }
+  try {
+    sync_file(tmp);
+  } catch (const IoError&) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename checkpoint into place: " + path);
+  }
+  sync_parent_dir(path);
+}
+
+}  // namespace
 
 std::string encode_checkpoint(const CheckpointSections& sections) {
   util::BinaryWriter w;
@@ -58,29 +146,11 @@ CheckpointSections decode_checkpoint(std::string_view blob) {
 }
 
 void write_file_atomic(const std::string& path, std::string_view blob) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      throw IoError("cannot open checkpoint temp file: " + tmp);
-    }
-    size_t n = blob.size();
-    // Torn write: only part of the blob reaches the disk, but the rename
-    // below still happens — exactly what a crash between write and fsync
-    // produces.  The CRC rejects the result at load time.
-    if (fault::should_fire(fault::FaultKind::kIoShortWrite)) n /= 2;
-    out.write(blob.data(), static_cast<std::streamsize>(n));
-    out.flush();
-    if (fault::should_fire(fault::FaultKind::kIoWriteFail) || !out.good()) {
-      out.close();
-      std::remove(tmp.c_str());
-      throw IoError("checkpoint write failed (out of space?): " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw IoError("cannot rename checkpoint into place: " + path);
-  }
+  write_file_impl(path, blob, /*poll_faults=*/true);
+}
+
+void write_file_durable(const std::string& path, std::string_view blob) {
+  write_file_impl(path, blob, /*poll_faults=*/false);
 }
 
 std::string read_file(const std::string& path) {
@@ -107,21 +177,23 @@ void save_checkpoint_v2(const std::string& path,
 
 std::string backup_path(const std::string& path) { return path + ".bak"; }
 
-void rotate_backup(const std::string& path) {
+std::string rotate_backup(const std::string& path) {
   std::ifstream probe(path, std::ios::binary);
-  if (!probe.good()) return;  // nothing to rotate
+  if (!probe.good()) return {};  // nothing to rotate
   probe.close();
 
   // Only a checkpoint that passes its own CRC may shadow the previous
   // backup: a primary torn by a crash or short write (kIoShortWrite renames
   // a truncated blob into place) is discarded here, so `.bak` keeps the
-  // last generation that actually restores.
+  // last generation that actually restores.  The verification failure is
+  // returned so the caller's recovery report can say *why* the primary was
+  // thrown away instead of silently losing the evidence.
   std::string blob = read_file(path);
   try {
     (void)decode_checkpoint(blob);
-  } catch (const IoError&) {
+  } catch (const IoError& e) {
     std::remove(path.c_str());
-    return;
+    return e.what();
   }
 
   // Promote via temp file + rename: the rename is atomic, so `.bak` is
@@ -143,11 +215,14 @@ void rotate_backup(const std::string& path) {
     throw IoError("cannot rotate checkpoint backup: " + path);
   }
   std::remove(path.c_str());
+  return {};
 }
 
 std::string load_checkpoint_v2_or_backup(
-    const std::string& path, const MutableCheckpointParts& parts) {
+    const std::string& path, const MutableCheckpointParts& parts,
+    std::string* primary_error_out) {
   std::string primary_error;
+  if (primary_error_out) primary_error_out->clear();
   try {
     load_checkpoint_v2(path, parts);
     return path;
@@ -157,6 +232,7 @@ std::string load_checkpoint_v2_or_backup(
   const std::string bak = backup_path(path);
   try {
     load_checkpoint_v2(bak, parts);
+    if (primary_error_out) *primary_error_out = primary_error;
     return bak;
   } catch (const IoError& e) {
     throw IoError("checkpoint unusable (" + primary_error +

@@ -59,15 +59,20 @@ void load_checkpoint_v2(const std::string& path,
 /// rename (replacing any older backup).  A torn or corrupt primary is
 /// deleted instead, so it can never shadow a good `.bak`.  Callers rotate
 /// before each atomic write so a checkpoint that lands torn on disk still
-/// leaves the prior good one restorable.
-void rotate_backup(const std::string& path);
+/// leaves the prior good one restorable.  Returns the verification failure
+/// that got the primary rejected and removed (empty when the primary was
+/// absent or rotated cleanly) — recovery reports record it so "restored
+/// from backup" always says why the primary was distrusted.
+std::string rotate_backup(const std::string& path);
 
 /// load_checkpoint_v2 with degradation: when the primary fails (missing,
 /// truncated, CRC mismatch), falls back to the `.bak` mirror.  Returns the
 /// path actually restored from; throws IoError describing both failures
-/// when neither loads.
+/// when neither loads.  When the backup is used and `primary_error` is
+/// non-null, it receives the reason the primary was rejected.
 std::string load_checkpoint_v2_or_backup(const std::string& path,
-                                         const MutableCheckpointParts& parts);
+                                         const MutableCheckpointParts& parts,
+                                         std::string* primary_error = nullptr);
 
 // --- lower-level access (tests, tooling) -----------------------------------
 
@@ -80,9 +85,18 @@ using CheckpointSections = std::vector<std::pair<std::string, std::string>>;
 /// Parses and validates a container blob.  Throws IoError.
 [[nodiscard]] CheckpointSections decode_checkpoint(std::string_view blob);
 
-/// Atomic write of an arbitrary blob (temp file + rename).  Honors the
-/// kIoWriteFail / kIoShortWrite fault-injection points.
+/// Atomic *and durable* write of an arbitrary blob: temp file, fsync of
+/// the temp file, rename, fsync of the parent directory — so the rename
+/// itself survives power loss, not just the data.  Honors the
+/// kIoWriteFail / kIoShortWrite fault-injection points (which model a
+/// crash between write and fsync).
 void write_file_atomic(const std::string& path, std::string_view blob);
+
+/// write_file_atomic without fault-injection polling, for control-plane
+/// writers (the fleet status file) that must not consume fault events
+/// armed against tenants.  Same tmp + fsync + rename + dir-fsync
+/// durability contract.
+void write_file_durable(const std::string& path, std::string_view blob);
 
 /// Reads a whole file; throws IoError when it cannot be opened.
 [[nodiscard]] std::string read_file(const std::string& path);

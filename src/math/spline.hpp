@@ -108,6 +108,24 @@ class RadialTable {
                                                             : value_.size() - 1; }
   [[nodiscard]] double r_cut() const { return r_cut_; }
 
+  /// Visits every byte range a lookup can read — the four knot arrays
+  /// (evaluate/evaluate_inline) and the packed per-bin copy
+  /// (evaluate_view) — as fn(name, data, bytes) with mutable pointers.
+  /// This is the SDC scrubber's registration hook: the table is immutable
+  /// after from_potential(), so a golden CRC of each region taken at build
+  /// time stays valid for the table's whole life, and a mismatch later is
+  /// proof of memory corruption (repairable by memcpy from the mirror).
+  template <typename Fn>
+  void visit_scrub_regions(Fn&& fn) {
+    auto bytes = [](std::vector<double>& v) { return v.size() * sizeof(double); };
+    fn("spline.value", static_cast<void*>(value_.data()), bytes(value_));
+    fn("spline.dvalue", static_cast<void*>(dvalue_.data()), bytes(dvalue_));
+    fn("spline.gvalue", static_cast<void*>(gvalue_.data()), bytes(gvalue_));
+    fn("spline.dgvalue", static_cast<void*>(dgvalue_.data()),
+       bytes(dgvalue_));
+    fn("spline.packed", static_cast<void*>(packed_.data()), bytes(packed_));
+  }
+
  private:
   RadialTable() = default;
 

@@ -49,10 +49,20 @@ class ObserverList {
 
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 
+  /// Suspends (false) or resumes (true) all notifications.  The SDC audit
+  /// layer disables observers while it re-executes steps during shadow
+  /// verification: replayed steps already happened from the observers'
+  /// point of view, so firing them again would duplicate trajectory
+  /// frames, table rows and metrics samples.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
   /// True when at least one observer fires at this step (lets the caller
   /// skip building a StepInfo — and its O(N) reductions — otherwise).
   [[nodiscard]] bool due(uint64_t step) const {
-    if (entries_.empty() || step % interval_gcd_ != 0) return false;
+    if (!enabled_ || entries_.empty() || step % interval_gcd_ != 0) {
+      return false;
+    }
     for (const auto& e : entries_) {
       if (step % e.interval == 0) return true;
     }
@@ -60,7 +70,9 @@ class ObserverList {
   }
 
   void notify(const StepInfo& info) const {
-    if (entries_.empty() || info.step % interval_gcd_ != 0) return;
+    if (!enabled_ || entries_.empty() || info.step % interval_gcd_ != 0) {
+      return;
+    }
     for (const auto& e : entries_) {
       if (info.step % e.interval == 0) e.fn(info);
     }
@@ -73,6 +85,7 @@ class ObserverList {
   };
   std::vector<Entry> entries_;
   uint64_t interval_gcd_ = 0;  ///< 0 until the first add()
+  bool enabled_ = true;
 };
 
 /// MetricsObserver: a StepObserver publishing the step summary into the

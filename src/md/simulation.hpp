@@ -131,6 +131,12 @@ class Simulation : public util::Checkpointable {
     observers_.add(std::move(obs), interval);
   }
 
+  /// Suspends/resumes step observers (SDC shadow replay: re-executed steps
+  /// must not re-fire trajectory writers or metrics samplers).
+  void set_observers_enabled(bool enabled) {
+    observers_.set_enabled(enabled);
+  }
+
   [[nodiscard]] const ExecutionConfig& execution() const {
     return config_.execution;
   }

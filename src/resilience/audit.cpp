@@ -1,0 +1,113 @@
+#include "resilience/audit.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace antmd::resilience {
+
+void AuditConfig::validate() const {
+  if (interval < 0) {
+    throw ConfigError("audit interval must be >= 0 (0 = off)");
+  }
+  if (shadow_window < 0) {
+    throw ConfigError("audit shadow_window must be >= 0 (0 = full interval)");
+  }
+  if (scrub_interval < 0) {
+    throw ConfigError("audit scrub_interval must be >= 0 (0 = every audit)");
+  }
+  if (max_recoveries < 1) {
+    throw ConfigError("audit max_recoveries must be >= 1");
+  }
+}
+
+std::string StateDigest::diff(const StateDigest& other) const {
+  std::string out;
+  auto note = [&](bool same, const char* name) {
+    if (same) return;
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  note(positions == other.positions, "positions");
+  note(velocities == other.velocities, "velocities");
+  note(box_clock == other.box_clock, "box_clock");
+  note(forces == other.forces, "forces");
+  note(energies == other.energies, "energies");
+  note(driver == other.driver, "driver");
+  return out.empty() ? "none" : out;
+}
+
+namespace {
+
+std::atomic<int>& audit_refcount() {
+  static std::atomic<int> n{0};
+  return n;
+}
+
+}  // namespace
+
+bool audit_enabled() {
+  return audit_refcount().load(std::memory_order_relaxed) > 0;
+}
+
+namespace detail {
+
+void add_audit_refcount(int delta) {
+  audit_refcount().fetch_add(delta, std::memory_order_relaxed);
+}
+
+AuditMetrics& audit_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static AuditMetrics metrics{
+      reg.counter("resilience.audit.audits.count"),
+      reg.counter("resilience.audit.shadow_replays.count"),
+      reg.counter("resilience.audit.shadow_steps.count"),
+      reg.counter("resilience.audit.scrubs.count"),
+      reg.counter("resilience.audit.scrub_repairs.count"),
+      reg.counter("resilience.audit.corruptions.count"),
+      reg.counter("resilience.audit.time_ns"),
+      reg.gauge("resilience.audit.snapshot_bytes")};
+  return metrics;
+}
+
+}  // namespace detail
+
+void Scrubber::add_region(std::string name, void* data, size_t bytes) {
+  if (bytes == 0 || data == nullptr) return;
+  Region r;
+  r.name = std::move(name);
+  r.data = static_cast<unsigned char*>(data);
+  r.bytes = bytes;
+  r.golden_crc = util::crc64(data, bytes);
+  r.mirror.assign(r.data, r.data + bytes);
+  total_bytes_ += bytes;
+  regions_.push_back(std::move(r));
+}
+
+Scrubber::ScrubResult Scrubber::scrub() {
+  ScrubResult result;
+  for (Region& r : regions_) {
+    ++result.regions_checked;
+    if (util::crc64(r.data, r.bytes) == r.golden_crc) continue;
+    std::memcpy(r.data, r.mirror.data(), r.bytes);
+    ++result.repairs;
+    if (!result.detail.empty()) result.detail += ",";
+    result.detail += r.name;
+  }
+  return result;
+}
+
+std::string Scrubber::flip_bit(uint64_t bit_index) {
+  if (total_bytes_ == 0) return {};
+  uint64_t bit = bit_index % (total_bytes_ * 8);
+  for (Region& r : regions_) {
+    const uint64_t region_bits = r.bytes * 8;
+    if (bit < region_bits) {
+      r.data[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+      return r.name;
+    }
+    bit -= region_bits;
+  }
+  return {};
+}
+
+}  // namespace antmd::resilience

@@ -14,6 +14,8 @@ const char* failure_kind_name(FailureKind kind) {
       return "node-failure";
     case FailureKind::kWatchdog:
       return "watchdog";
+    case FailureKind::kSilentCorruption:
+      return "silent-corruption";
     case FailureKind::kNone:
       return "none";
   }
@@ -47,6 +49,7 @@ std::string RecoveryReport::render() const {
      << "  restarts:           " << restarts << "\n"
      << "  node remaps:        " << node_remaps << "\n"
      << "  watchdog trips:     " << watchdog_trips << "\n"
+     << "  corruptions:        " << corruptions << "\n"
      << "  snapshots:          " << snapshots << "\n"
      << "  recovery modeled s: " << recovery_modeled_s << "\n";
   if (!final_error.empty()) {

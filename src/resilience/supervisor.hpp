@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "machine/transport.hpp"  // StepDelivery::kNoNode (header-only use)
 #include "md/engine_api.hpp"
 #include "obs/metrics.hpp"
+#include "resilience/audit.hpp"
 #include "resilience/health.hpp"
 #include "util/error.hpp"
 #include "util/serialize.hpp"
@@ -50,6 +52,7 @@ enum class FailureKind {
   kIo,           ///< IoError from step() or the checkpoint mirror
   kNodeFailure,  ///< a modeled torus node dropped out (remap is automatic)
   kWatchdog,     ///< modeled step time blew the phase deadline
+  kSilentCorruption,  ///< audit digest/scrub/shadow-replay mismatch (SDC)
   kNone,
 };
 
@@ -88,6 +91,11 @@ struct SupervisorConfig {
   double watchdog_ms = 0.0;
   /// Numerical thresholds reused from the HealthGuard layer.
   HealthConfig health;
+  /// SDC audit settings (audit.interval = 0 leaves auditing off; > 0 makes
+  /// run() construct an Auditor — call enable_audit() first to attach a
+  /// static-data Scrubber).  With auditing on, the snapshot ring is fed
+  /// only audit-verified blobs, so every rollback target is known-clean.
+  AuditConfig audit;
   /// Where the RecoveryReport is written on escalation ("" = stderr only).
   std::string report_path;
 };
@@ -111,6 +119,7 @@ struct RecoveryReport {
   uint64_t restarts = 0;
   uint64_t node_remaps = 0;
   uint64_t watchdog_trips = 0;
+  uint64_t corruptions = 0;  ///< silent-corruption episodes detected
   uint64_t snapshots = 0;
   /// Backoff waits and re-run charges attributed to recovery (modeled s).
   double recovery_modeled_s = 0.0;
@@ -204,9 +213,39 @@ class Supervisor {
   /// Advances the simulation `steps` beyond its current step counter under
   /// supervision.  Returns the report; report.completed tells the caller
   /// whether the run delivered every step or escalation abandoned it.
+  /// Activates SDC auditing per config().audit, optionally with a static-
+  /// data scrubber (which must outlive the supervisor).  Idempotent-ish:
+  /// calling again rebuilds the auditor (fresh schedule/baselines).  run()
+  /// calls this automatically when config().audit.interval > 0 and no
+  /// auditor exists yet, so CLI/fleet code only needs an explicit call to
+  /// attach a scrubber.
+  void enable_audit(Scrubber* scrubber = nullptr) {
+    if (config_.audit.interval < 1) {
+      throw ConfigError("enable_audit needs config.audit.interval >= 1");
+    }
+    auditor_.emplace(
+        *sim_, config_.audit, scrubber,
+        [this](uint64_t step, const std::string& blob) {
+          ring_.push(step, blob);
+          ref_energy_ = sim_->potential_energy() + sim_->kinetic_energy();
+          ref_step_ = step;
+          ++report_.snapshots;
+          detail::supervisor_metrics().snapshot_bytes.set(
+              static_cast<double>(ring_.bytes()));
+          if (!config_.checkpoint_path.empty() && mirror_enabled_) {
+            write_mirror(blob);
+          }
+        });
+  }
+
+  [[nodiscard]] const Auditor<Sim>* auditor() const {
+    return auditor_ ? &*auditor_ : nullptr;
+  }
+
   RecoveryReport run(size_t steps) {
     const uint64_t start = sim_->state().step;
     const uint64_t target = start + steps;
+    if (!auditor_ && config_.audit.interval > 0) enable_audit();
     snapshot();
     if constexpr (MachineDriver<Sim>) {
       // First run() only: a node that died between two supervised runs is
@@ -229,10 +268,22 @@ class Supervisor {
         observe_degradations();
         detect(kind, detail);
       }
+      if (kind == FailureKind::kNone && auditor_) {
+        AuditVerdict verdict = auditor_->after_step();
+        if (verdict.corrupted) {
+          kind = FailureKind::kSilentCorruption;
+          detail = std::move(verdict.detail);
+        }
+      }
       if (kind == FailureKind::kNone) {
         attempts_ = 0;
-        if (sim_->state().step - ring_.newest_step() >=
-            static_cast<uint64_t>(config_.snapshot_interval)) {
+        // With auditing on the ring is fed verified blobs by the auditor's
+        // on_verified callback instead — a cadence snapshot here could
+        // capture corruption that has not been detected yet, making the
+        // rollback target part of the problem.
+        if (!auditor_ &&
+            sim_->state().step - ring_.newest_step() >=
+                static_cast<uint64_t>(config_.snapshot_interval)) {
           snapshot();
         }
         continue;
@@ -340,6 +391,23 @@ class Supervisor {
       // No identified culprit: classify like a transient failure below.
     }
 
+    if (kind == FailureKind::kSilentCorruption) {
+      // Corruption episodes are budgeted separately from transient retries:
+      // attempts_ resets on every clean step, so only a dedicated counter
+      // can catch a node that keeps flipping bits across otherwise-healthy
+      // intervals.  Exhausting it escalates (and in a fleet, quarantines).
+      ++report_.corruptions;
+      ++corruption_episodes_;
+      if (corruption_episodes_ > config_.audit.max_recoveries) {
+        escalate(kind,
+                 detail_text + "; corruption budget (" +
+                     std::to_string(config_.audit.max_recoveries) +
+                     " episode(s)) exhausted — repeat corruption points at "
+                     "failing hardware, not bad luck");
+        return;
+      }
+    }
+
     // classify: transient while the episode's retry budget lasts.
     if (attempts_ >= config_.max_retries) {
       escalate(kind, detail_text);
@@ -361,6 +429,7 @@ class Supervisor {
       record(kind, RecoveryAction::kRollback, backoff,
              detail_text + " -> rolled back to step " +
                  std::to_string(ring_.newest_step()));
+      if (auditor_) auditor_->on_recovery();
       return;
     } catch (const Error& ring_error) {
       if (config_.checkpoint_path.empty()) {
@@ -369,12 +438,20 @@ class Supervisor {
         return;
       }
       try {
+        std::string primary_error;
         std::string used = io::load_checkpoint_v2_or_backup(
-            config_.checkpoint_path, {{"sim", sim_}});
+            config_.checkpoint_path, {{"sim", sim_}}, &primary_error);
         ++report_.restarts;
         metrics.restarts.add();
+        // When the `.bak` mirror was used, say why the primary was
+        // distrusted — "restored from backup" alone hides the evidence
+        // (torn write? CRC mismatch? missing file?) the operator needs.
         record(kind, RecoveryAction::kRestart, backoff,
-               detail_text + " -> restarted from " + used);
+               detail_text + " -> restarted from " + used +
+                   (primary_error.empty()
+                        ? std::string{}
+                        : " (primary rejected: " + primary_error + ")"));
+        if (auditor_) auditor_->on_recovery();
         return;
       } catch (const Error& disk_error) {
         escalate(kind, detail_text + "; ring and checkpoint both unusable (" +
@@ -415,7 +492,17 @@ class Supervisor {
     const std::string encoded = io::encode_checkpoint({{"sim", blob}});
     for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
       try {
-        if (attempt == 0) io::rotate_backup(config_.checkpoint_path);
+        if (attempt == 0) {
+          std::string rejected = io::rotate_backup(config_.checkpoint_path);
+          if (!rejected.empty()) {
+            // A corrupt primary discarded at rotation is a detected fault:
+            // put the verification failure in the report instead of
+            // silently deleting the evidence.
+            record(FailureKind::kIo, RecoveryAction::kDegrade, 0.0,
+                   "checkpoint primary failed verification at rotation (" +
+                       rejected + "); previous backup retained");
+          }
+        }
         io::write_file_atomic(config_.checkpoint_path, encoded);
         return;
       } catch (const IoError& e) {
@@ -455,7 +542,9 @@ class Supervisor {
   SupervisorConfig config_;
   SnapshotRing ring_;
   RecoveryReport report_;
+  std::optional<Auditor<Sim>> auditor_;
   int attempts_ = 0;  ///< recovery attempts in the current failure episode
+  int corruption_episodes_ = 0;  ///< lifetime SDC episodes (never resets)
   bool escalated_ = false;
   bool mirror_enabled_ = true;
   double ref_energy_ = 0.0;

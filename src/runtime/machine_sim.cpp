@@ -360,17 +360,29 @@ void MachineSimulation::set_timestep_fs(double dt_fs) {
   dt_ = units::fs_to_internal(dt_fs);
 }
 
-void MachineSimulation::save_checkpoint(util::BinaryWriter& out) const {
+void MachineSimulation::save_physics_checkpoint(
+    util::BinaryWriter& out) const {
   md::write_state(out, state_);
   out.write_f64(dt_);
   thermostat_.save_state(out);
   md::write_force_result(out, kspace_cache_);
+}
+
+void MachineSimulation::save_checkpoint(util::BinaryWriter& out) const {
+  save_physics_checkpoint(out);
   // Modeled-performance accumulators, so a resumed run reports the same
-  // totals as an uninterrupted one.
+  // totals as an uninterrupted one.  The audit bucket is excluded: it holds
+  // *wall* time (nondeterministic), and the SDC auditor digests this exact
+  // blob — any nondeterministic byte here would make every shadow replay
+  // look like corruption.
   out.write_f64(modeled_time_s_);
   out.write_u64(steps_timed_);
-  out.write_pod(accumulated_);
-  out.write_pod(last_breakdown_);
+  machine::StepBreakdown acc = accumulated_;
+  machine::StepBreakdown last = last_breakdown_;
+  acc.audit = 0.0;
+  last.audit = 0.0;
+  out.write_pod(acc);
+  out.write_pod(last);
   // Transport reliability state: down-marked links persist (a dead wire
   // stays dead across a restart) and the cumulative protocol counters keep
   // the resumed run's reliability picture identical to an uninterrupted one.
@@ -399,8 +411,14 @@ void MachineSimulation::restore_checkpoint(util::BinaryReader& in) {
   }
   modeled_time_s_ = in.read_f64();
   steps_timed_ = in.read_u64();
+  // Audit wall-time survives the restore: the work was really done even if
+  // the trajectory it verified (or the replay that consumed it) is gone.
+  const double audit_acc = accumulated_.audit;
+  const double audit_last = last_breakdown_.audit;
   accumulated_ = in.read_pod<machine::StepBreakdown>();
   last_breakdown_ = in.read_pod<machine::StepBreakdown>();
+  accumulated_.audit = audit_acc;
+  last_breakdown_.audit = audit_last;
   std::vector<char> down = in.read_pod_vector<char>();
   auto tstats = in.read_pod<machine::TransportStats>();
   transport_.restore_state(std::move(down), tstats);

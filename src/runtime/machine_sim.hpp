@@ -53,6 +53,12 @@ class MachineSimulation : public util::Checkpointable {
   void run(size_t n);
 
   [[nodiscard]] const State& state() const { return state_; }
+  /// Direct mutable access to the dynamic state, mirroring
+  /// md::Simulation::mutable_state().  External state surgery (replica
+  /// exchange, SDC bit-flip injection in tests) goes through here; call
+  /// invalidate-style paths or rely on the next step's force evaluation to
+  /// pick the change up.
+  [[nodiscard]] State& mutable_state() { return state_; }
   [[nodiscard]] const ForceResult& forces() const { return current_; }
   [[nodiscard]] double potential_energy() const {
     return current_.energy.total();
@@ -121,6 +127,16 @@ class MachineSimulation : public util::Checkpointable {
   void save_checkpoint(util::BinaryWriter& out) const override;
   void restore_checkpoint(util::BinaryReader& in) override;
 
+  /// The determinism-contract prefix of the checkpoint: dynamic state,
+  /// timestep, thermostat RNG and the k-space cache — everything that can
+  /// influence future trajectory bits.  The SDC auditor digests this
+  /// instead of the full blob because the performance accounting that
+  /// follows (modeled time, transport counters) legitimately differs
+  /// between a live path and a replay: a restore rebuilds the neighbor
+  /// list, shifting the rebuild cadence and with it redistribute costs,
+  /// without moving the trajectory by a single bit.
+  void save_physics_checkpoint(util::BinaryWriter& out) const;
+
   /// Marks a tempering/exchange decision in the next step's workload
   /// (cost accounting for sampling methods driven on top of this engine).
   void note_tempering_decision() { ++pending_tempering_decisions_; }
@@ -128,6 +144,21 @@ class MachineSimulation : public util::Checkpointable {
   /// Same step-observation contract as md::Simulation::add_observer.
   void add_observer(md::StepObserver obs, int interval = 1) {
     observers_.add(std::move(obs), interval);
+  }
+
+  /// Suspends/resumes step observers (SDC shadow replay: re-executed steps
+  /// must not re-fire trajectory writers or metrics samplers).
+  void set_observers_enabled(bool enabled) {
+    observers_.set_enabled(enabled);
+  }
+
+  /// Charges `seconds` of audit work against the last step's breakdown.
+  /// Like pair_masked the field is informational — it is never added to
+  /// `total`, so audit time cannot masquerade as physics or trip the
+  /// supervisor watchdog.
+  void charge_audit(double seconds) {
+    last_breakdown_.audit += seconds;
+    accumulated_.audit += seconds;
   }
 
   /// Routes attribution-profiler feeds to `profile` instead of

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
@@ -200,6 +201,33 @@ class Topology {
   [[nodiscard]] size_t degrees_of_freedom() const;
   /// True if atom i is a virtual site (massless, position constructed).
   [[nodiscard]] bool is_virtual_site(uint32_t i) const;
+
+  /// Visits the contiguous POD arrays a step reads — per-atom parameters,
+  /// bonded term lists, constraints, virtual sites, 1-4 pairs — as
+  /// fn(name, data, bytes) with mutable pointers, for SDC scrub
+  /// registration.  The string-bearing containers (types_, molecules_) and
+  /// the exclusion hash set are not visitable as raw bytes; the flattened
+  /// exclusion list is covered via ForceField::visit_scrub_regions instead.
+  template <typename Fn>
+  void visit_scrub_regions(Fn&& fn) {
+    auto emit = [&](const char* name, auto& v) {
+      using T = typename std::remove_reference_t<decltype(v)>::value_type;
+      fn(name, static_cast<void*>(v.data()), v.size() * sizeof(T));
+    };
+    emit("topo.type_ids", type_ids_);
+    emit("topo.masses", masses_);
+    emit("topo.charges", charges_);
+    emit("topo.bonds", bonds_);
+    emit("topo.angles", angles_);
+    emit("topo.dihedrals", dihedrals_);
+    emit("topo.morse_bonds", morse_bonds_);
+    emit("topo.urey_bradleys", urey_bradleys_);
+    emit("topo.impropers", impropers_);
+    emit("topo.go_contacts", go_contacts_);
+    emit("topo.constraints", constraints_);
+    emit("topo.virtual_sites", virtual_sites_);
+    emit("topo.pairs14", pairs14_);
+  }
 
  private:
   static uint64_t pair_key(uint32_t i, uint32_t j) {

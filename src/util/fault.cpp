@@ -66,8 +66,19 @@ obs::Counter& fired_counter(FaultKind kind) {
                &reg.counter("util.fault.node_fail.count"),
                &reg.counter("util.fault.link_drop.count"),
                &reg.counter("util.fault.packet_corrupt.count"),
-               &reg.counter("util.fault.node_hang.count")};
+               &reg.counter("util.fault.node_hang.count"),
+               &reg.counter("util.fault.bit_flip_state.count"),
+               &reg.counter("util.fault.bit_flip_table.count"),
+               &reg.counter("util.fault.bit_flip_checkpoint_buffer.count")};
   return *counters[static_cast<size_t>(kind)];
+}
+
+// Live InjectionPause count.  Non-zero makes every should_fire() a no-op
+// that does not consume events; checked after the armed-plan fast path so
+// the idle cost stays one relaxed load.
+std::atomic<uint32_t>& pause_depth() {
+  static std::atomic<uint32_t> n{0};
+  return n;
 }
 
 uint64_t splitmix64(uint64_t& state) {
@@ -159,6 +170,7 @@ bool armed(FaultKind kind) {
 
 bool should_fire(FaultKind kind, uint64_t* payload) {
   if (armed_plans().load(std::memory_order_relaxed) == 0) return false;
+  if (pause_depth().load(std::memory_order_relaxed) != 0) return false;
   bool fire = false;
   {
     std::lock_guard<std::mutex> lock(mutex());
@@ -196,6 +208,19 @@ uint64_t fired_count_scoped(ScopeId scope, FaultKind kind) {
   return it->second[static_cast<size_t>(kind)].fired;
 }
 
+uint64_t event_count(FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex());
+  return global_slots()[static_cast<size_t>(kind)].events;
+}
+
+InjectionPause::InjectionPause() {
+  pause_depth().fetch_add(1, std::memory_order_relaxed);
+}
+
+InjectionPause::~InjectionPause() {
+  pause_depth().fetch_sub(1, std::memory_order_relaxed);
+}
+
 FaultPlan parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
   std::string kind = spec;
@@ -211,7 +236,13 @@ FaultPlan parse_fault_plan(const std::string& spec) {
   else if (kind == "link_drop") plan.kind = FaultKind::kLinkDrop;
   else if (kind == "packet_corrupt") plan.kind = FaultKind::kPacketCorrupt;
   else if (kind == "node_hang") plan.kind = FaultKind::kNodeHang;
-  else throw ConfigError("unknown fault kind: " + kind);
+  else if (kind == "bit_flip_state") plan.kind = FaultKind::kBitFlipState;
+  else if (kind == "bit_flip_table") plan.kind = FaultKind::kBitFlipTable;
+  else if (kind == "bit_flip_checkpoint_buffer") {
+    plan.kind = FaultKind::kBitFlipCheckpointBuffer;
+  } else {
+    throw ConfigError("unknown fault kind: " + kind);
+  }
   uint64_t* fields[] = {&plan.fire_after, nullptr, &plan.payload};
   int64_t count = plan.count;
   for (int f = 0; !rest.empty() && f < 3; ++f) {

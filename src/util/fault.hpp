@@ -30,6 +30,18 @@
 //   kNodeHang      machine::ReliableTransport      -> a node stops acking
 //                  for a modeled interval; the step stalls until the
 //                  supervisor's phase watchdog fires and remaps the node
+//   kBitFlipState  resilience::Auditor (per step)  -> flips one bit of the
+//                  dynamic fixed-point state (positions/velocities); no
+//                  exception fires — only the audit digest/shadow-replay
+//                  path can see it.  payload selects the bit (see
+//                  resilience/audit.hpp)
+//   kBitFlipTable  resilience::Auditor (per step)  -> flips one bit of a
+//                  registered static region (packed Hermite tables,
+//                  topology arrays, exclusion lists); the scrubber must
+//                  detect and repair it from the golden mirror
+//   kBitFlipCheckpointBuffer resilience::Auditor   -> flips one bit of the
+//                  retained audit snapshot buffer, exercising the
+//                  "recovery source itself corrupted" path
 //
 // The injector is process-global and thread-safe: injection points may sit
 // inside task-graph worker lanes (the cluster-kernel force poison fires
@@ -64,7 +76,10 @@ enum class FaultKind : uint32_t {
   kLinkDrop = 4,      ///< a torus link silently drops a modeled message
   kPacketCorrupt = 5, ///< a modeled message payload is corrupted in flight
   kNodeHang = 6,      ///< a modeled node stops responding for an interval
-  kCount = 7,
+  kBitFlipState = 7,  ///< one bit of dynamic fixed-point state flips
+  kBitFlipTable = 8,  ///< one bit of a static table/topology region flips
+  kBitFlipCheckpointBuffer = 9,  ///< one bit of a retained snapshot flips
+  kCount = 10,
 };
 
 /// Sentinel force quanta injected by kNanForce: dequantizes to ~±5.5e11
@@ -140,10 +155,34 @@ class CurrentScope {
 [[nodiscard]] uint64_t fired_count(FaultKind kind);
 [[nodiscard]] uint64_t fired_count_scoped(ScopeId scope, FaultKind kind);
 
+/// Number of qualifying events `kind`'s global plan has counted since it
+/// was armed.  Checkpoint/resume flows use this to re-arm the remaining
+/// schedule at the same absolute events: re-arming with
+/// fire_after' = fire_after - event_count(kind) keeps the fault firing at
+/// the same absolute step after a resume.
+[[nodiscard]] uint64_t event_count(FaultKind kind);
+
+/// Suspends all fault injection while at least one pause is live:
+/// should_fire() returns false WITHOUT counting the event, so a paused
+/// region is invisible to every armed schedule.  The audit layer's shadow
+/// re-execution wraps itself in this — replayed steps must not consume
+/// fault events, or the chaos schedule would drift relative to the
+/// uninterrupted run.  Process-global (injection points poll from
+/// task-graph worker lanes, so a thread-local pause would miss them);
+/// nestable.
+class InjectionPause {
+ public:
+  InjectionPause();
+  ~InjectionPause();
+  InjectionPause(const InjectionPause&) = delete;
+  InjectionPause& operator=(const InjectionPause&) = delete;
+};
+
 /// Parses a fault spec `kind[:fire_after[:count[:payload]]]` — e.g.
 /// "link_drop:40", "nan_force:10:1", "node_hang:25:1:5" — into a plan.
 /// Kinds: io_write_fail io_short_write nan_force node_fail link_drop
-/// packet_corrupt node_hang.  Throws ConfigError on a malformed spec.
+/// packet_corrupt node_hang bit_flip_state bit_flip_table
+/// bit_flip_checkpoint_buffer.  Throws ConfigError on a malformed spec.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
 
 /// RAII arm/disarm for tests: disarms the plan's kind on scope exit.

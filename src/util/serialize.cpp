@@ -17,6 +17,18 @@ std::array<uint32_t, 256> make_crc_table() {
   return table;
 }
 
+std::array<uint64_t, 256> make_crc64_table() {
+  std::array<uint64_t, 256> table{};
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xC96C5795D7870F42ull ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
 }  // namespace
 
 uint32_t crc32(const void* data, size_t size) {
@@ -27,6 +39,19 @@ uint32_t crc32(const void* data, size_t size) {
     c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t crc64_update(uint64_t crc, const void* data, size_t size) {
+  static const std::array<uint64_t, 256> table = make_crc64_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint64_t crc64(const void* data, size_t size) {
+  return crc64_final(crc64_update(crc64_init(), data, size));
 }
 
 }  // namespace antmd::util

@@ -18,6 +18,7 @@
 #include "topo/builders.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/serialize.hpp"
 
 namespace antmd {
 namespace {
@@ -512,6 +513,90 @@ TEST(FaultScope, GlobalPlanFiresInEveryScope) {
   }
   EXPECT_TRUE(fault::should_fire(fault::FaultKind::kNodeFail));
   fault::disarm_all();
+}
+
+// Fault-schedule invariance under resume: checkpoint a run mid-schedule,
+// note how many qualifying events the armed plan has consumed, restore into
+// a fresh simulation and re-arm the remainder with
+// fire_after' = fire_after - event_count.  The fault must fire at the same
+// absolute step and the finished trajectory must match the uninterrupted
+// run to the last bit — chaos schedules survive checkpoint/resume.
+TEST(FaultSchedule, ResumeReArmsRemainingScheduleAtSameAbsoluteSteps) {
+  auto spec = build_lj_fluid(125, 0.021, 3);
+  auto cfg = langevin_config(120);
+  constexpr size_t kTotal = 60;
+  constexpr size_t kSplit = 20;  // checkpoint before the fault is due
+  constexpr uint64_t kFireAfter = 25;
+
+  auto make_plan = [](uint64_t fire_after) {
+    fault::FaultPlan plan;
+    plan.kind = fault::FaultKind::kNanForce;
+    plan.fire_after = fire_after;
+    plan.count = 1;
+    plan.payload = 7;
+    return plan;
+  };
+  resilience::SupervisorConfig sc;
+  sc.snapshot_interval = 10;
+
+  // Reference: the whole schedule in one uninterrupted supervised run.
+  ForceField field_ref(spec.topology, lj_model());
+  md::Simulation reference(field_ref, spec.positions, spec.box, cfg);
+  resilience::RecoveryReport ref_report;
+  {
+    fault::ScopedFault f(make_plan(kFireAfter));
+    resilience::Supervisor<md::Simulation> sup(reference, sc);
+    ref_report = sup.run(kTotal);
+    EXPECT_TRUE(ref_report.completed) << ref_report.final_error;
+    EXPECT_GE(ref_report.rollbacks, 1u);
+    EXPECT_EQ(fault::fired_count(fault::FaultKind::kNanForce), 1u);
+  }
+
+  // Interrupted run: clean steps, then checkpoint + note consumed events.
+  std::string path = temp_path("resume_schedule.ckpt");
+  uint64_t consumed = 0;
+  {
+    ForceField field(spec.topology, lj_model());
+    md::Simulation sim(field, spec.positions, spec.box, cfg);
+    fault::ScopedFault f(make_plan(kFireAfter));
+    sim.run(kSplit);
+    consumed = fault::event_count(fault::FaultKind::kNanForce);
+    EXPECT_GT(consumed, 0u);
+    EXPECT_LT(consumed, kFireAfter);  // still mid-schedule
+    util::BinaryWriter w;
+    sim.save_checkpoint(w);
+    io::write_file_atomic(path, io::encode_checkpoint({{"sim", w.buffer()}}));
+  }
+
+  // Resume: restore, re-arm the remaining schedule, finish supervised.
+  ForceField field_res(spec.topology, lj_model());
+  md::Simulation resumed(field_res, spec.positions, spec.box, cfg);
+  io::load_checkpoint_v2(path, {{"sim", &resumed}});
+  ASSERT_EQ(resumed.state().step, kSplit);
+  {
+    fault::ScopedFault f(make_plan(kFireAfter - consumed));
+    resilience::Supervisor<md::Simulation> sup(resumed, sc);
+    resilience::RecoveryReport report = sup.run(kTotal - kSplit);
+    EXPECT_TRUE(report.completed) << report.final_error;
+    EXPECT_EQ(fault::fired_count(fault::FaultKind::kNanForce), 1u);
+    // Same number of recovery decisions, at the same absolute steps.
+    ASSERT_EQ(report.events.size(), ref_report.events.size());
+    for (size_t i = 0; i < report.events.size(); ++i) {
+      EXPECT_EQ(report.events[i].step, ref_report.events[i].step) << i;
+      EXPECT_EQ(report.events[i].kind, ref_report.events[i].kind) << i;
+      EXPECT_EQ(report.events[i].action, ref_report.events[i].action) << i;
+    }
+  }
+
+  const State& sa = reference.state();
+  const State& sb = resumed.state();
+  ASSERT_EQ(sb.step, kTotal);
+  for (size_t i = 0; i < sa.positions.size(); ++i) {
+    ASSERT_EQ(sa.positions[i], sb.positions[i]) << "atom " << i;
+    ASSERT_EQ(sa.velocities[i], sb.velocities[i]) << "atom " << i;
+  }
+  EXPECT_EQ(reference.potential_energy(), resumed.potential_energy());
+  std::remove(path.c_str());
 }
 
 TEST(FaultScope, ParseFaultPlanRoundTrips) {

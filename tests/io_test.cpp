@@ -298,6 +298,97 @@ TEST(CheckpointBackup, TornPrimaryNeverShadowsGoodBackup) {
   std::remove(backup_path(path).c_str());
 }
 
+// Durable control-plane writes: write_file_durable follows the same temp
+// file + rename protocol as write_file_atomic (and additionally fsyncs),
+// but never consumes fault-injection events — fleet status files must not
+// eat a tenant's scheduled I/O faults.
+TEST(DurableWrite, SkipsFaultInjectionAndReplacesAtomically) {
+  std::string path = temp_path("durable.json");
+  write_file_durable(path, "generation-1");
+  EXPECT_EQ(read_file(path), "generation-1");
+
+  fault::FaultPlan plan;
+  plan.kind = fault::FaultKind::kIoWriteFail;
+  plan.count = -1;
+  fault::ScopedFault f(plan);
+
+  // An armed write-failure plan neither fires nor advances: the durable
+  // writer is invisible to the chaos schedule.
+  const uint64_t events = fault::event_count(fault::FaultKind::kIoWriteFail);
+  write_file_durable(path, "generation-2");
+  EXPECT_EQ(read_file(path), "generation-2");
+  EXPECT_EQ(fault::fired_count(fault::FaultKind::kIoWriteFail), 0u);
+  EXPECT_EQ(fault::event_count(fault::FaultKind::kIoWriteFail), events);
+
+  // The same plan still fires for the fault-polled atomic writer, and the
+  // durable generation survives the failed replacement.
+  EXPECT_THROW(write_file_atomic(path, "generation-3"), IoError);
+  EXPECT_EQ(read_file(path), "generation-2");
+  std::remove(path.c_str());
+}
+
+// Satellite of the SDC work: when rotation rejects a corrupt primary, the
+// caller learns *why* — the reason string feeds the supervisor's event log
+// so "restored from backup" never hides the evidence.
+TEST(CheckpointBackup, RotationAndFallbackReportWhyPrimaryWasRejected) {
+  struct Blob : util::Checkpointable {
+    uint64_t value = 0;
+    void save_checkpoint(util::BinaryWriter& w) const override {
+      w.write_u64(value);
+    }
+    void restore_checkpoint(util::BinaryReader& r) override {
+      value = r.read_u64();
+    }
+  };
+
+  std::string path = temp_path("rotation_reason.ckpt");
+  std::remove(path.c_str());
+  std::remove(backup_path(path).c_str());
+
+  Blob blob;
+  blob.value = 11;
+  save_checkpoint_v2(path, {{"sim", &blob}});
+  // A healthy rotation has nothing to report.
+  EXPECT_EQ(rotate_backup(path), "");
+
+  // A torn primary is rejected at rotation; the reason names the failure.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "torn-checkpoint-garbage";
+  }
+  std::string reason = rotate_backup(path);
+  EXPECT_FALSE(reason.empty());
+  EXPECT_FALSE(std::ifstream(path).good()) << "torn primary was deleted";
+
+  // Fallback load surfaces the primary's verification failure through the
+  // out-param, so the restart event can say what was wrong with it.
+  blob.value = 12;
+  save_checkpoint_v2(path, {{"sim", &blob}});
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(12);
+    f.put('\xff');
+  }
+  Blob loaded;
+  std::string primary_error;
+  EXPECT_EQ(load_checkpoint_v2_or_backup(path, {{"sim", &loaded}},
+                                         &primary_error),
+            backup_path(path));
+  EXPECT_EQ(loaded.value, 11u);
+  EXPECT_FALSE(primary_error.empty());
+
+  // A healthy primary leaves the out-param empty.
+  save_checkpoint_v2(path, {{"sim", &blob}});
+  primary_error = "stale";
+  EXPECT_EQ(load_checkpoint_v2_or_backup(path, {{"sim", &loaded}},
+                                         &primary_error),
+            path);
+  EXPECT_EQ(primary_error, "");
+
+  std::remove(path.c_str());
+  std::remove(backup_path(path).c_str());
+}
+
 // The nonbonded_kernel config knob: both spellings resolve, the default is
 // cluster, and anything else is a ConfigError that names the bad value —
 // exactly what the antmd_run driver does with the key.

@@ -293,6 +293,95 @@ TEST(Supervisor, NodeDropoutIsObservedAsDegradeEvent) {
   EXPECT_EQ(report.events[0].action, resilience::RecoveryAction::kDegrade);
 }
 
+// Transport retry-budget exhaustion: a link that drops every packet burns
+// the per-message retry budget, gets down-marked, and traffic reroutes the
+// long way around the torus ring.  The cost lands exclusively in the
+// reliability accounting — the physics is bit-identical to the healthy run
+// — and the degraded link state survives a checkpoint restart, after which
+// the run continues bit-identically.
+TEST(Supervisor, TransportRetryBudgetExhaustionDownMarksAndStaysBitExact) {
+  auto spec = build_lj_fluid(216, 0.021, 5);
+  auto model = lj_model();
+  auto cfg = machine_config();
+  constexpr size_t kSteps = 20;
+
+  ForceField field_ref(spec.topology, model);
+  runtime::MachineSimulation reference(field_ref,
+                                       machine::anton_with_torus(2, 2, 2),
+                                       spec.positions, spec.box, cfg);
+  reference.run(kSteps);
+
+  ForceField field(spec.topology, model);
+  runtime::MachineSimulation sim(field, machine::anton_with_torus(2, 2, 2),
+                                 spec.positions, spec.box, cfg);
+  std::string path = temp_path("transport_budget.ckpt");
+  resilience::RecoveryReport report;
+  {
+    // Every send attempt on the scheduled link times out: the retry budget
+    // can never succeed and the transport must escalate to a down-mark.
+    fault::FaultPlan plan;
+    plan.kind = fault::FaultKind::kLinkDrop;
+    plan.fire_after = 0;
+    plan.count = -1;
+    fault::ScopedFault f(plan);
+
+    resilience::SupervisorConfig sc;
+    sc.snapshot_interval = 10;
+    sc.checkpoint_path = path;
+    resilience::Supervisor<runtime::MachineSimulation> supervisor(sim, sc);
+    report = supervisor.run(kSteps);
+  }
+
+  // The run completed without supervisor-level recovery: retry-budget
+  // exhaustion is a transport-layer degradation, not a run failure.
+  EXPECT_TRUE(report.completed) << report.final_error;
+  EXPECT_EQ(report.rollbacks, 0u);
+
+  const machine::TransportStats& stats = sim.transport().stats();
+  const int budget = sim.transport().config().retry_budget;
+  EXPECT_GT(stats.drops, 0u);
+  EXPECT_GE(stats.retransmits, static_cast<uint64_t>(budget));
+  EXPECT_GT(stats.rerouted, 0u);
+  EXPECT_GT(sim.transport().down_link_count(), 0u);
+  // The protocol overhead is charged to reliability (modeled time), never
+  // to physics phases — and the trajectory proves it.
+  EXPECT_GT(stats.reliability_s, 0.0);
+  EXPECT_GT(sim.accumulated().reliability, 0.0);
+  const State& sa = reference.state();
+  const State& sb = sim.state();
+  ASSERT_EQ(sa.positions.size(), sb.positions.size());
+  for (size_t i = 0; i < sa.positions.size(); ++i) {
+    ASSERT_EQ(sa.positions[i], sb.positions[i]) << "atom " << i;
+    ASSERT_EQ(sa.velocities[i], sb.velocities[i]) << "atom " << i;
+  }
+  EXPECT_EQ(reference.potential_energy(), sim.potential_energy());
+
+  // Restart from the supervisor's mirror: the down-marked links and the
+  // cumulative reliability counters come back, and the continued run is
+  // bit-identical to the uninterrupted one.
+  ForceField field2(spec.topology, model);
+  runtime::MachineSimulation restored(field2, machine::anton_with_torus(2, 2, 2),
+                                      spec.positions, spec.box, cfg);
+  io::load_checkpoint_v2_or_backup(path, {{"sim", &restored}});
+  ASSERT_EQ(restored.state().step, kSteps);
+  EXPECT_EQ(restored.transport().down_link_count(),
+            sim.transport().down_link_count());
+  EXPECT_EQ(restored.transport().stats().retransmits, stats.retransmits);
+  EXPECT_EQ(restored.transport().stats().reliability_s, stats.reliability_s);
+
+  sim.run(10);
+  restored.run(10);
+  for (size_t i = 0; i < sim.state().positions.size(); ++i) {
+    ASSERT_EQ(sim.state().positions[i], restored.state().positions[i])
+        << "atom " << i;
+    ASSERT_EQ(sim.state().velocities[i], restored.state().velocities[i])
+        << "atom " << i;
+  }
+  EXPECT_EQ(sim.potential_energy(), restored.potential_energy());
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+}
+
 TEST(RecoveryReport, RenderAndAtomicWrite) {
   resilience::RecoveryReport report;
   report.completed = false;
