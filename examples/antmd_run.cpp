@@ -107,6 +107,7 @@
 #include <string>
 
 #include "ff/forcefield.hpp"
+#include "ff/nonbonded_simd.hpp"
 #include "io/checkpoint.hpp"
 #include "io/config.hpp"
 #include "io/trajectory.hpp"
@@ -561,6 +562,17 @@ int main(int argc, char** argv) {
       fault::arm(fault::parse_fault_plan(fault_spec));
       std::printf("fault armed: %s\n", fault_spec.c_str());
     }
+
+    // Cluster-kernel ISA selection: "auto" keeps the cpuid-probed widest
+    // variant (or whatever ANTMD_FORCE_ISA pinned for the process); naming
+    // an ISA fails fast if this CPU/build lacks it.  Every variant is
+    // bit-identical, so this only ever changes speed, never a trajectory.
+    std::string simd = cfg.get_string("nonbonded_simd", "auto");
+    if (simd != "auto") {
+      ff::set_kernel_isa(ff::parse_kernel_isa(simd));
+    }
+    std::printf("nonbonded simd: %s\n",
+                ff::to_string(ff::active_kernel_isa()));
 
     std::string engine = cfg.get_string("engine", "host");
     double run_wall_seconds = 0.0;

@@ -16,7 +16,7 @@ cmake --build --preset tsan -j "$(nproc)"
 # concurrent metrics registry + trace session).  fault_test covers the
 # scoped fault registry polled from worker lanes; fleet_test multiplexes
 # many supervised engines over one shared worker pool.
-FILTER="${1:-obs_test|profile_test|util_test|graph_determinism_test|md_test|runtime_test|sampling_test|parallel_determinism_test|supervisor_test|fault_test|fleet_test}"
+FILTER="${1:-obs_test|profile_test|util_test|graph_determinism_test|md_test|runtime_test|sampling_test|parallel_determinism_test|supervisor_test|fault_test|fleet_test|simd_kernel_test}"
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
   ctest --test-dir build-tsan -R "$FILTER" --output-on-failure

@@ -17,7 +17,7 @@ cmake --build --preset ubsan -j "$(nproc)"
 # audit_test covers the CRC-64 kernel, scrubber bit addressing and the
 # shadow-replay digest path; the rest mirror the ASan suite so both
 # sanitizers see the same checkpoint/fault/recovery surface.
-FILTER="${1:-util_test|io_test|md_test|runtime_test|sampling_test|checkpoint_test|fault_test|supervisor_test|profile_test|audit_test}"
+FILTER="${1:-util_test|io_test|md_test|runtime_test|sampling_test|checkpoint_test|fault_test|supervisor_test|profile_test|audit_test|simd_kernel_test}"
 
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
   ctest --test-dir build-ubsan -R "$FILTER" --output-on-failure

@@ -1,5 +1,6 @@
 #include "ff/nonbonded.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "math/units.hpp"
@@ -49,11 +50,15 @@ RadialTable make_elec_table(const NonbondedModel& model) {
 RadialTable make_lj_table(double sigma, double epsilon,
                           const NonbondedModel& model) {
   if (epsilon == 0.0 || sigma == 0.0) {
-    // A genuinely zero interaction: flat zero table.
+    // A genuinely zero interaction: flat zero table.  Built with the
+    // model's bin count — not a token few — so its geometry matches every
+    // other table and keeps the SIMD gather arena uniform (a zero table
+    // evaluates to ±0 identically at any bin count, so this is bit-neutral
+    // for the scalar kernels too).
     return RadialTable::from_potential([](double) { return 0.0; },
                                        [](double) { return 0.0; },
-                                       model.table_inner, model.cutoff, 8,
-                                       false);
+                                       model.table_inner, model.cutoff,
+                                       model.table_bins, false);
   }
   auto energy = [sigma, epsilon](double r) {
     double s6 = std::pow(sigma / r, 6);
@@ -108,6 +113,38 @@ PairTableSet::PairTableSet(const Topology& topo, const NonbondedModel& model)
   if (model.electrostatics != Electrostatics::kNone) {
     elec_table_ = make_elec_table(model);
   }
+  rebuild_simd_arena();
+}
+
+void PairTableSet::rebuild_simd_arena() {
+  arena_ = SimdTableArena{};
+  const RadialTableView ref = vdw_tables_.front().view();
+  for (const RadialTable& t : vdw_tables_) {
+    const RadialTableView v = t.view();
+    if (v.s_min != ref.s_min || v.s_max != ref.s_max ||
+        v.inv_ds != ref.inv_ds || v.ds != ref.ds || v.last != ref.last) {
+      return;  // non-uniform geometry: SIMD dispatch falls back to scalar
+    }
+  }
+  const size_t stride = 8 * (ref.last + 1);
+  const size_t total = n_types_ * n_types_ * stride;
+  // Gather offsets are int32 lane values; leave generous headroom.
+  if (total > (size_t{1} << 30)) return;
+  arena_.s_min = ref.s_min;
+  arena_.s_max = ref.s_max;
+  arena_.inv_ds = ref.inv_ds;
+  arena_.ds = ref.ds;
+  arena_.last = ref.last;
+  arena_.stride = stride;
+  arena_.data.resize(total);
+  for (uint32_t a = 0; a < n_types_; ++a) {
+    for (uint32_t b = 0; b < n_types_; ++b) {
+      const RadialTableView v = vdw_tables_[index(a, b)].view();
+      std::copy_n(v.packed, stride,
+                  arena_.data.data() + (a * n_types_ + b) * stride);
+    }
+  }
+  arena_.valid = true;
 }
 
 size_t PairTableSet::index(uint32_t a, uint32_t b) const {
@@ -122,6 +159,7 @@ void PairTableSet::set_custom_table(uint32_t type_a, uint32_t type_b,
   size_t idx = index(type_a, type_b);
   vdw_tables_[idx] = std::move(table);
   custom_[idx] = true;
+  rebuild_simd_arena();
 }
 
 bool PairTableSet::is_custom(uint32_t type_a, uint32_t type_b) const {

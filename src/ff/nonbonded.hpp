@@ -44,6 +44,27 @@ struct NonbondedModel {
 };
 
 /// Per-type-pair VDW tables plus one shared electrostatic kernel table.
+/// Contiguous gather arena over every VDW table's packed knot data, built
+/// for the integer-SIMD cluster kernels (ff/nonbonded_simd*.  A vector
+/// gather needs one base pointer plus per-lane int32 offsets, so the
+/// per-table packed vectors are copied side by side into one dense
+/// [type_a * n_types + type_b] grid of `stride`-double slabs.  Valid only
+/// when every VDW table shares identical bin geometry (s_min/s_max/ds/bin
+/// count — always true for tables built by one NonbondedModel) and the
+/// total fits int32 indexing; otherwise `valid` is false and dispatch
+/// falls back to the scalar kernel.  The electrostatic table is a single
+/// table and needs no arena (its own packed base gathers directly).
+struct SimdTableArena {
+  bool valid = false;
+  double s_min = 0.0;
+  double s_max = 0.0;
+  double inv_ds = 0.0;
+  double ds = 0.0;
+  size_t last = 0;    ///< highest valid bin index (shared by all tables)
+  size_t stride = 0;  ///< doubles per type pair: 8 * (last + 1)
+  std::vector<double> data;  ///< n_types² slabs, dense in (a, b)
+};
+
 class PairTableSet {
  public:
   /// Builds LJ tables for every type pair (Lorentz–Berthelot) and the
@@ -67,6 +88,11 @@ class PairTableSet {
 
   [[nodiscard]] const NonbondedModel& model() const { return model_; }
   [[nodiscard]] size_t type_count() const { return n_types_; }
+
+  /// Gather arena for the SIMD cluster kernels; check `.valid` before use
+  /// (false when custom tables broke geometry uniformity — the scalar
+  /// kernel handles that case).  Rebuilt by set_custom_table.
+  [[nodiscard]] const SimdTableArena& simd_arena() const { return arena_; }
 
   /// Visits every table's scrub regions (see RadialTable::
   /// visit_scrub_regions) as fn(name, data, bytes), with the name prefixed
@@ -92,12 +118,14 @@ class PairTableSet {
 
  private:
   [[nodiscard]] size_t index(uint32_t a, uint32_t b) const;
+  void rebuild_simd_arena();
 
   NonbondedModel model_;
   size_t n_types_ = 0;
   std::vector<RadialTable> vdw_tables_;     // triangular, indexed by index()
   std::vector<bool> custom_;
   std::optional<RadialTable> elec_table_;
+  SimdTableArena arena_;
 };
 
 /// Evaluates the pair list: per-pair table lookups, fixed-point force and

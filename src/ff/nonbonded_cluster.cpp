@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "ff/nonbonded_simd.hpp"
 #include "util/error.hpp"
 
 namespace antmd::ff {
@@ -52,8 +53,8 @@ namespace {
 // loop, so per-pair type loads and grid indexing disappear.  All variants
 // produce bit-identical results to the generic path; they only shed work
 // that is provably dead.
-template <bool kHasElec, bool kUnitScale, bool kTightTables,
-          bool kSingleType = false>
+template <bool kHasElec, bool kUnitScale, bool kTightTables, bool kSingleType,
+          unsigned kWidth>
 void cluster_entries_impl(const ClusterPairList& list,
                           std::span<const ClusterPairEntry> entries,
                           std::span<const RadialTableView> grid,
@@ -86,23 +87,26 @@ void cluster_entries_impl(const ClusterPairList& list,
 
   int64_t e_vdw_q = 0;
   int64_t e_elec_q = 0;
-  // Local virial accumulators: summed per pair in entry order (the same
-  // per-component chains as `virial += outer(d, f)` would produce) but kept
-  // out of the sink until the end, so the compiler keeps them in registers
-  // instead of re-loading the sink every pair (it cannot prove no aliasing).
-  double v00 = 0, v01 = 0, v02 = 0;
-  double v10 = 0, v11 = 0, v12 = 0;
-  double v20 = 0, v21 = 0, v22 = 0;
+  // Canonical virial grouping: 8 sub-accumulators per component, indexed
+  // s = (row parity)*4 + column.  Each sub-accumulator sums its own pairs
+  // in entry order (rows ascending within an entry — the mask-bit walk is
+  // row-major), and the partials are merged in ascending s at the end.
+  // This is exactly the lane structure of the SIMD evaluators: 4 lanes
+  // cover one tile row (lane b == column b, even/odd rows in separate
+  // vector accumulators), 8 lanes cover an even/odd row pair — so scalar
+  // and vector virials match bit for bit.
+  constexpr unsigned kVSub = 2 * kClusterJWidth;
+  double vc[9][kVSub] = {};
 
   // Entries arrive sorted by (ci, cj), so consecutive tiles share their
   // i-cluster.  The i-side quanta accumulate across the whole run and hit
   // memory once per run (~tens of tiles) instead of once per tile; integer
   // addition is order-independent, so per-atom totals are unchanged.
-  int64_t fi[kClusterSize][3] = {};
+  int64_t fi[kWidth][3] = {};
   uint32_t run_ci = entries.empty() ? 0u : entries.front().ci;
   auto flush_fi = [&](uint32_t ci) {
-    const size_t b = static_cast<size_t>(ci) * kClusterSize;
-    for (unsigned k = 0; k < kClusterSize; ++k) {
+    const size_t b = static_cast<size_t>(ci) * kWidth;
+    for (unsigned k = 0; k < kWidth; ++k) {
       if ((fi[k][0] | fi[k][1] | fi[k][2]) != 0) {
         forces.add_quanta(list.atoms[b + k], {fi[k][0], fi[k][1], fi[k][2]});
         fi[k][0] = 0; fi[k][1] = 0; fi[k][2] = 0;
@@ -115,13 +119,13 @@ void cluster_entries_impl(const ClusterPairList& list,
       flush_fi(run_ci);
       run_ci = e.ci;
     }
-    const size_t bi = static_cast<size_t>(e.ci) * kClusterSize;
-    const size_t bj = static_cast<size_t>(e.cj) * kClusterSize;
+    const size_t bi = static_cast<size_t>(e.ci) * kWidth;
+    const size_t bj = static_cast<size_t>(e.cj) * kClusterJWidth;
     // The j-side quanta stay in registers for the tile; one scatter per
     // touched slot at tile end instead of a memory round trip per pair.
-    int64_t fj[kClusterSize][3] = {};
+    int64_t fj[kClusterJWidth][3] = {};
 
-    for (uint32_t m = e.mask; m != 0; m &= m - 1) {
+    for (uint64_t m = e.mask; m != 0; m &= m - 1) {
       const unsigned bit = static_cast<unsigned>(std::countr_zero(m));
       const unsigned a = bit >> 2;
       const unsigned b = bit & 3;
@@ -173,12 +177,13 @@ void cluster_entries_impl(const ClusterPairList& list,
       const int64_t qz = fixed::quantize_round(fz, fixed::kForceScale);
       fi[a][0] += qx; fi[a][1] += qy; fi[a][2] += qz;
       fj[b][0] -= qx; fj[b][1] -= qy; fj[b][2] -= qz;
-      v00 += dx * fx; v01 += dx * fy; v02 += dx * fz;
-      v10 += dy * fx; v11 += dy * fy; v12 += dy * fz;
-      v20 += dz * fx; v21 += dz * fy; v22 += dz * fz;
+      const unsigned s = ((a & 1u) << 2) | b;
+      vc[0][s] += dx * fx; vc[1][s] += dx * fy; vc[2][s] += dx * fz;
+      vc[3][s] += dy * fx; vc[4][s] += dy * fy; vc[5][s] += dy * fz;
+      vc[6][s] += dz * fx; vc[7][s] += dz * fy; vc[8][s] += dz * fz;
     }
 
-    for (unsigned k = 0; k < kClusterSize; ++k) {
+    for (unsigned k = 0; k < kClusterJWidth; ++k) {
       // Padded slots (and untouched lanes) carry all-zero quanta.
       if ((fj[k][0] | fj[k][1] | fj[k][2]) != 0) {
         forces.add_quanta(list.atoms[bj + k], {fj[k][0], fj[k][1], fj[k][2]});
@@ -188,10 +193,53 @@ void cluster_entries_impl(const ClusterPairList& list,
   if (!entries.empty()) flush_fi(run_ci);
 
   Mat3 v;
-  v.m = {v00, v01, v02, v10, v11, v12, v20, v21, v22};
+  for (unsigned k = 0; k < 9; ++k) {
+    double t = vc[k][0];
+    for (unsigned s = 1; s < kVSub; ++s) t += vc[k][s];
+    v.m[k] = t;
+  }
   virial += v;
   energy.vdw.add_raw(e_vdw_q);
   energy.coulomb_real.add_raw(e_elec_q);
+}
+
+template <unsigned kWidth>
+void run_scalar_width(const ClusterPairList& list,
+                      std::span<const ClusterPairEntry> entries,
+                      std::span<const RadialTableView> grid, size_t n_types,
+                      const RadialTableView& elec, bool has_elec, bool unit,
+                      bool tight, double cutoff2, const Box& box,
+                      FixedForceArray& forces, EnergyBreakdown& energy,
+                      Mat3& virial, double vdw_scale,
+                      double charge_product_scale) {
+  auto run = [&](auto impl) {
+    impl(list, entries, grid, n_types, elec, cutoff2, box, forces, energy,
+         virial, vdw_scale, charge_product_scale);
+  };
+  const bool single = n_types == 1;
+  if (has_elec) {
+    if (unit && tight && single)
+      run(cluster_entries_impl<true, true, true, true, kWidth>);
+    else if (unit && tight)
+      run(cluster_entries_impl<true, true, true, false, kWidth>);
+    else if (unit)
+      run(cluster_entries_impl<true, true, false, false, kWidth>);
+    else if (tight)
+      run(cluster_entries_impl<true, false, true, false, kWidth>);
+    else
+      run(cluster_entries_impl<true, false, false, false, kWidth>);
+  } else {
+    if (unit && tight && single)
+      run(cluster_entries_impl<false, true, true, true, kWidth>);
+    else if (unit && tight)
+      run(cluster_entries_impl<false, true, true, false, kWidth>);
+    else if (unit)
+      run(cluster_entries_impl<false, true, false, false, kWidth>);
+    else if (tight)
+      run(cluster_entries_impl<false, false, true, false, kWidth>);
+    else
+      run(cluster_entries_impl<false, false, false, false, kWidth>);
+  }
 }
 
 }  // namespace
@@ -202,6 +250,50 @@ void compute_cluster_entries(const ClusterPairList& list,
                              FixedForceArray& forces, EnergyBreakdown& energy,
                              Mat3& virial, double vdw_scale,
                              double charge_product_scale) {
+  ANTMD_REQUIRE(cluster_width_supported(list.width),
+                "unsupported cluster width");
+  // ISA dispatch: every SIMD variant is bit-identical to the scalar path,
+  // so this only changes speed.  The gather arena gate falls back to
+  // scalar when custom tables broke geometry uniformity.
+  if (const KernelIsa isa = active_kernel_isa();
+      isa != KernelIsa::kScalar && tables.simd_arena().valid) {
+    switch (isa) {
+#if defined(ANTMD_HAVE_SIMD_SSE41)
+      case KernelIsa::kSse41:
+        compute_cluster_entries_sse41(list, entries, tables, box, forces,
+                                      energy, virial, vdw_scale,
+                                      charge_product_scale);
+        return;
+#endif
+#if defined(ANTMD_HAVE_SIMD_AVX2)
+      case KernelIsa::kAvx2:
+        compute_cluster_entries_avx2(list, entries, tables, box, forces,
+                                     energy, virial, vdw_scale,
+                                     charge_product_scale);
+        return;
+#endif
+#if defined(ANTMD_HAVE_SIMD_AVX512)
+      case KernelIsa::kAvx512:
+        compute_cluster_entries_avx512(list, entries, tables, box, forces,
+                                       energy, virial, vdw_scale,
+                                       charge_product_scale);
+        return;
+#endif
+      default:
+        break;  // active ISA not compiled in: scalar handles it
+    }
+  }
+  compute_cluster_entries_scalar(list, entries, tables, box, forces, energy,
+                                 virial, vdw_scale, charge_product_scale);
+}
+
+void compute_cluster_entries_scalar(
+    const ClusterPairList& list, std::span<const ClusterPairEntry> entries,
+    const PairTableSet& tables, const Box& box, FixedForceArray& forces,
+    EnergyBreakdown& energy, Mat3& virial, double vdw_scale,
+    double charge_product_scale) {
+  ANTMD_REQUIRE(cluster_width_supported(list.width),
+                "unsupported cluster width");
   const double cutoff2 = tables.model().cutoff * tables.model().cutoff;
   const bool has_elec = tables.elec_table().has_value();
   const RadialTableView elec =
@@ -222,26 +314,16 @@ void compute_cluster_entries(const ClusterPairList& list,
   }
   const bool unit = vdw_scale == 1.0 && charge_product_scale == 1.0;
 
-  auto run = [&](auto impl) {
-    impl(list, entries, std::span<const RadialTableView>(grid), n_types, elec,
-         cutoff2, box, forces, energy, virial, vdw_scale,
-         charge_product_scale);
-  };
-  const bool single = n_types == 1;
-  if (has_elec) {
-    if (unit && tight && single)
-      run(cluster_entries_impl<true, true, true, true>);
-    else if (unit && tight)  run(cluster_entries_impl<true, true, true>);
-    else if (unit)           run(cluster_entries_impl<true, true, false>);
-    else if (tight)          run(cluster_entries_impl<true, false, true>);
-    else                     run(cluster_entries_impl<true, false, false>);
+  if (list.width == kMaxClusterWidth) {
+    run_scalar_width<kMaxClusterWidth>(
+        list, entries, std::span<const RadialTableView>(grid), n_types, elec,
+        has_elec, unit, tight, cutoff2, box, forces, energy, virial, vdw_scale,
+        charge_product_scale);
   } else {
-    if (unit && tight && single)
-      run(cluster_entries_impl<false, true, true, true>);
-    else if (unit && tight)  run(cluster_entries_impl<false, true, true>);
-    else if (unit)           run(cluster_entries_impl<false, true, false>);
-    else if (tight)          run(cluster_entries_impl<false, false, true>);
-    else                     run(cluster_entries_impl<false, false, false>);
+    run_scalar_width<kMinClusterWidth>(
+        list, entries, std::span<const RadialTableView>(grid), n_types, elec,
+        has_elec, unit, tight, cutoff2, box, forces, energy, virial, vdw_scale,
+        charge_product_scale);
   }
 }
 

@@ -2,21 +2,30 @@
 // antmd's deterministic fixed-point contract).
 //
 // The flat pair list streams one (i, j) entry per interaction; the cluster
-// list regroups *exactly the same pair set* into 4x4 tiles: atoms are
-// ordered by cell-list cell, chunked into clusters of kClusterSize, and
-// every surviving flat pair becomes one bit in the 16-bit interaction mask
-// of its (cluster_i, cluster_j) tile.  The kernel gathers coordinates and
-// per-atom parameters once per cluster (SoA), walks the mask bits, and
-// accumulates forces/energies through the same quantize-once fixed-point
-// path as ff::compute_pairs — so the two kernels are bit-identical in every
-// fixed-point sum, and the tile structure only changes memory traffic and
-// per-pair overhead, not physics.
+// list regroups *exactly the same pair set* into width×4 tiles (the GROMACS
+// N×M split: i-clusters of `width` atoms — 4 or 8 at runtime — against
+// fixed 4-atom j-groups): atoms are ordered by a fine spatial grid, chunked
+// into clusters of `width`, and every surviving flat pair becomes one bit
+// in the interaction mask of its (cluster_i, j_group) tile.  Keeping the j
+// side at 4 slots means an empty half of a wide tile is simply never
+// emitted, so widening the i side does not dilute the mask fill.  The
+// kernel gathers coordinates and per-atom parameters once per cluster
+// (SoA), walks the mask bits, and accumulates forces/energies through the
+// same quantize-once fixed-point path as ff::compute_pairs — so the two
+// kernels are bit-identical in every fixed-point sum, and the tile
+// structure only changes memory traffic and per-pair overhead, not physics.
 //
 // Determinism contract (mirrors util::ExecutionContext):
 //   - forces and energies are integer sums → independent of tile order,
 //     chunking and thread count, and bit-identical to the flat kernel;
-//   - the double-precision virial is summed per fixed-size entry chunk and
-//     the chunk partials are reduced in ascending chunk order, so it too is
+//   - the double-precision virial is accumulated in 8 sub-accumulators
+//     indexed s = (row parity)*4 + column, merged in ascending s at the end
+//     of each entry span.  That grouping is exactly the lane structure a
+//     SIMD evaluator has — 4 lanes cover one tile row (lane b == column b),
+//     8 lanes cover an even/odd row pair — so scalar and vector kernels
+//     produce the *same bits* for the virial too;
+//   - the virial is additionally summed per fixed-size entry chunk and the
+//     chunk partials are reduced in ascending chunk order, so it is
 //     bit-identical across thread counts (chunk boundaries depend only on
 //     the list, never on the thread count).
 #pragma once
@@ -43,8 +52,22 @@ enum class NonbondedKernel {
 [[nodiscard]] NonbondedKernel parse_nonbonded_kernel(const std::string& name);
 [[nodiscard]] const char* to_string(NonbondedKernel kernel);
 
-/// Atoms per cluster (one tile covers kClusterSize² candidate pairs).
-inline constexpr uint32_t kClusterSize = 4;
+/// Supported i-cluster widths (one tile covers width × kClusterJWidth
+/// candidate pairs).  Width 4 is the narrow legacy shape; width 8 doubles
+/// the i-side reuse for SIMD row streaming and is the default.
+inline constexpr uint32_t kMinClusterWidth = 4;
+inline constexpr uint32_t kMaxClusterWidth = 8;
+inline constexpr uint32_t kDefaultClusterWidth = 8;
+
+/// J-side tile width: always 4 slots.  Tile entries key on 4-slot j-groups
+/// (two per 8-atom cluster), so the mask layout — bit a*4+b — is the same
+/// at every i-width and empty tile halves are never streamed.
+inline constexpr uint32_t kClusterJWidth = 4;
+
+/// True for the widths the kernels are compiled for.
+[[nodiscard]] constexpr bool cluster_width_supported(uint32_t width) {
+  return width == kMinClusterWidth || width == kMaxClusterWidth;
+}
 
 /// Slot sentinel for the ragged last cluster.
 inline constexpr uint32_t kPadAtom = 0xffffffffu;
@@ -66,14 +89,16 @@ struct ClusterEvalScratch {
   bool clean = true;
 };
 
-/// One cluster-i × cluster-j tile.  Bit (a*kClusterSize + b) of `mask` is
-/// set when slot a of cluster ci interacts with slot b of cluster cj; the
-/// mask encodes exactly the flat list's pair set (in reach at build time,
-/// exclusions removed, each unordered pair exactly once), never padding.
+/// One i-cluster × j-group tile.  `ci` indexes width-slot i-clusters,
+/// `cj` indexes 4-slot j-groups (cj*kClusterJWidth is its slot base).  Bit
+/// (a*kClusterJWidth + b) of `mask` is set when slot a of cluster ci
+/// interacts with slot b of group cj; the mask encodes exactly the flat
+/// list's pair set (in reach at build time, exclusions removed, each
+/// unordered pair exactly once, i-side slot < j-side slot), never padding.
 struct ClusterPairEntry {
   uint32_t ci = 0;
-  uint32_t cj = 0;   ///< ci <= cj
-  uint16_t mask = 0;
+  uint32_t cj = 0;    ///< ci's slot base never exceeds cj's last slot
+  uint64_t mask = 0;  ///< 16 bits used at width 4, 32 at width 8
   /// Periodic shift of cj's cell relative to ci's at build time, encoded as
   /// (sx+1) + 3*(sy+1) + 9*(sz+1) with s ∈ {-1,0,1} (13 = no wrap).  This is
   /// what the hardware import machinery would key on; the software kernel
@@ -87,27 +112,39 @@ struct ClusterPairEntry {
 /// Built by md::NeighborList from its flat pair vector (see
 /// NeighborList::clusters()); consumed by compute_clusters().
 struct ClusterPairList {
+  /// Atoms per cluster: 4 or 8 (see cluster_width_supported).
+  uint32_t width = kDefaultClusterWidth;
   /// Slot -> global atom id, kPadAtom in padded slots; size is
-  /// cluster_count() * kClusterSize.
+  /// cluster_count() * width.
   std::vector<uint32_t> atoms;
   std::vector<uint32_t> slot_types;   ///< padded slots hold 0
   std::vector<double> slot_charges;   ///< padded slots hold 0.0
   std::vector<ClusterPairEntry> entries;  ///< sorted by (ci, cj)
   size_t real_pairs = 0;  ///< total mask popcount == flat pair count
+  size_t active_rows = 0;  ///< tile rows with at least one mask bit set
 
   [[nodiscard]] size_t cluster_count() const {
-    return atoms.size() / kClusterSize;
+    return atoms.size() / width;
   }
-  /// Pipeline lanes a 4x4-tile evaluator streams (incl. masked-off ones).
+  /// Pipeline lanes a width×4-tile evaluator streams (incl. masked-off
+  /// ones).
   [[nodiscard]] size_t lane_count() const {
-    return entries.size() * kClusterSize * kClusterSize;
+    return entries.size() * width * kClusterJWidth;
   }
-  /// Useful-work fraction of the streamed lanes (telemetry gauge).
+  /// Useful-work fraction of all tile lanes (telemetry gauge).
   [[nodiscard]] double fill_ratio() const {
     size_t lanes = lane_count();
     return lanes ? static_cast<double>(real_pairs) /
                        static_cast<double>(lanes)
                  : 0.0;
+  }
+  /// Useful-work fraction of the lanes a row-skipping evaluator actually
+  /// streams (the SIMD kernels stream kClusterJWidth lanes per active row
+  /// and skip all-zero rows entirely).
+  [[nodiscard]] double streamed_fill_ratio() const {
+    return active_rows ? static_cast<double>(real_pairs) /
+                             static_cast<double>(active_rows * kClusterJWidth)
+                       : 0.0;
   }
 
   // Kernel scratch, reused across steps.  Mutable because force evaluation
@@ -133,6 +170,16 @@ void compute_cluster_entries(const ClusterPairList& list,
                              FixedForceArray& forces, EnergyBreakdown& energy,
                              Mat3& virial, double vdw_scale = 1.0,
                              double charge_product_scale = 1.0);
+
+/// The scalar tile loop, bypassing ISA dispatch — the reference every SIMD
+/// variant must match bit for bit (see ff/nonbonded_simd.hpp and
+/// tests/simd_kernel_test.cpp).  compute_cluster_entries routes here when
+/// the active ISA is scalar or the tables are outside the SIMD envelope.
+void compute_cluster_entries_scalar(
+    const ClusterPairList& list, std::span<const ClusterPairEntry> entries,
+    const PairTableSet& tables, const Box& box, FixedForceArray& forces,
+    EnergyBreakdown& energy, Mat3& virial, double vdw_scale = 1.0,
+    double charge_product_scale = 1.0);
 
 /// The deterministic chunk partition for a list: a function of the entry
 /// count alone, never of the lane count, so per-chunk virial partials keep

@@ -1,0 +1,22 @@
+// AVX2 cluster kernel TU.  Compiled with -mavx2 -ffp-contract=off (AVX2
+// hosts have FMA; contraction must stay off for bit-identity); see
+// nonbonded_simd_impl.hpp for the exactness contract.
+#include "ff/nonbonded_simd.hpp"
+#include "ff/nonbonded_simd_impl.hpp"
+#include "math/simd.hpp"
+
+namespace antmd::ff {
+
+void compute_cluster_entries_avx2(const ClusterPairList& list,
+                                  std::span<const ClusterPairEntry> entries,
+                                  const PairTableSet& tables, const Box& box,
+                                  FixedForceArray& forces,
+                                  EnergyBreakdown& energy, Mat3& virial,
+                                  double vdw_scale,
+                                  double charge_product_scale) {
+  simd_detail::run_cluster_entries_simd<simd::Avx2Traits>(
+      list, entries, tables, box, forces, energy, virial, vdw_scale,
+      charge_product_scale);
+}
+
+}  // namespace antmd::ff

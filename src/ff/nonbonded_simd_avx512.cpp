@@ -1,0 +1,23 @@
+// AVX-512 cluster kernel TU (F for 8-lane doubles and 32-bit gathers, DQ
+// for the direct packed double→int64 conversion).  Compiled with
+// -mavx512f -mavx512dq -ffp-contract=off; see nonbonded_simd_impl.hpp for
+// the exactness contract.
+#include "ff/nonbonded_simd.hpp"
+#include "ff/nonbonded_simd_impl.hpp"
+#include "math/simd.hpp"
+
+namespace antmd::ff {
+
+void compute_cluster_entries_avx512(const ClusterPairList& list,
+                                    std::span<const ClusterPairEntry> entries,
+                                    const PairTableSet& tables, const Box& box,
+                                    FixedForceArray& forces,
+                                    EnergyBreakdown& energy, Mat3& virial,
+                                    double vdw_scale,
+                                    double charge_product_scale) {
+  simd_detail::run_cluster_entries_simd<simd::Avx512Traits>(
+      list, entries, tables, box, forces, energy, virial, vdw_scale,
+      charge_product_scale);
+}
+
+}  // namespace antmd::ff

@@ -1,0 +1,21 @@
+// SSE4.1 cluster kernel TU.  Compiled with -msse4.1 -ffp-contract=off;
+// see nonbonded_simd_impl.hpp for the exactness contract.
+#include "ff/nonbonded_simd.hpp"
+#include "ff/nonbonded_simd_impl.hpp"
+#include "math/simd.hpp"
+
+namespace antmd::ff {
+
+void compute_cluster_entries_sse41(const ClusterPairList& list,
+                                   std::span<const ClusterPairEntry> entries,
+                                   const PairTableSet& tables, const Box& box,
+                                   FixedForceArray& forces,
+                                   EnergyBreakdown& energy, Mat3& virial,
+                                   double vdw_scale,
+                                   double charge_product_scale) {
+  simd_detail::run_cluster_entries_simd<simd::Sse41Traits>(
+      list, entries, tables, box, forces, energy, virial, vdw_scale,
+      charge_product_scale);
+}
+
+}  // namespace antmd::ff

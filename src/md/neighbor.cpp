@@ -53,9 +53,15 @@ std::array<int, 3> CellList::cell_of(uint32_t atom) const {
 }
 
 NeighborList::NeighborList(const Topology& topo, double cutoff, double skin,
-                           bool cluster_mode)
-    : topo_(&topo), cutoff_(cutoff), skin_(skin), cluster_mode_(cluster_mode) {
+                           bool cluster_mode, uint32_t cluster_width)
+    : topo_(&topo),
+      cutoff_(cutoff),
+      skin_(skin),
+      cluster_mode_(cluster_mode),
+      cluster_width_(cluster_width) {
   ANTMD_REQUIRE(cutoff > 0 && skin >= 0, "bad neighbor-list parameters");
+  ANTMD_REQUIRE(ff::cluster_width_supported(cluster_width),
+                "cluster width must be 4 or 8");
 }
 
 void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
@@ -158,29 +164,42 @@ void NeighborList::build(std::span<const Vec3> positions, const Box& box) {
                pairs_.end());
 
   reference_positions_.assign(positions.begin(), positions.end());
-  if (cluster_mode_) build_clusters(cells, positions.size());
+  if (cluster_mode_) build_clusters(cells, positions, box);
   ++build_count_;
 }
 
-void NeighborList::build_clusters(const CellList& cells, size_t atom_count) {
+void NeighborList::build_clusters(const CellList& cells,
+                                  std::span<const Vec3> positions,
+                                  const Box& box) {
   ff::ClusterPairList& cl = clusters_;
+  const uint32_t w = cluster_width_;
+  const size_t atom_count = positions.size();
 
-  // Cell-major atom order (same traversal the build used): clusters are
-  // spatially compact, so the 4x4 tiles over them stay densely masked.
+  // Fine-grid atom order: bin atoms on a grid sized so each cell holds
+  // ~width atoms (much finer than the reach-sized build cells) and emit
+  // cell-major, ascending atom index within a cell.  Consecutive slots are
+  // then spatially adjacent at the *cluster* scale, so width×width tiles
+  // stay densely masked — with reach-sized cells a width-8 cluster would
+  // span unrelated corners of a cell and the masks go sparse.
+  const double target_edge =
+      std::cbrt(box.volume() * static_cast<double>(w) /
+                std::max<double>(1.0, static_cast<double>(atom_count)));
+  CellList fine(box, std::max(target_edge, 1e-6));
+  fine.assign(positions, box);
   std::vector<uint32_t> order;
   order.reserve(atom_count);
-  for (int cz = 0; cz < cells.nz(); ++cz) {
-    for (int cy = 0; cy < cells.ny(); ++cy) {
-      for (int cx = 0; cx < cells.nx(); ++cx) {
-        const auto& c = cells.cell(cx, cy, cz);
+  for (int cz = 0; cz < fine.nz(); ++cz) {
+    for (int cy = 0; cy < fine.ny(); ++cy) {
+      for (int cx = 0; cx < fine.nx(); ++cx) {
+        const auto& c = fine.cell(cx, cy, cz);
         order.insert(order.end(), c.begin(), c.end());
       }
     }
   }
 
-  const size_t n_clusters =
-      (atom_count + ff::kClusterSize - 1) / ff::kClusterSize;
-  const size_t slots = n_clusters * ff::kClusterSize;
+  const size_t n_clusters = (atom_count + w - 1) / w;
+  const size_t slots = n_clusters * w;
+  cl.width = w;
   cl.atoms.assign(slots, ff::kPadAtom);
   cl.slot_types.assign(slots, 0);
   cl.slot_charges.assign(slots, 0.0);
@@ -199,22 +218,22 @@ void NeighborList::build_clusters(const CellList& cells, size_t atom_count) {
   // the tile list encodes the flat pair set by construction — the kernels
   // compute identical interactions and the equivalence tests can assert
   // exact pair-count accounting.
-  std::vector<std::pair<uint64_t, uint16_t>> keyed;
+  // Canonical orientation: the lower slot takes the i side.  ci indexes
+  // width-slot i-clusters, cj indexes 4-slot j-groups (ff::kClusterJWidth),
+  // so each unordered pair lands in exactly one tile bit.
+  std::vector<std::pair<uint64_t, uint64_t>> keyed;
   keyed.reserve(pairs_.size());
+  constexpr uint32_t jw = ff::kClusterJWidth;
   for (const ff::PairEntry& p : pairs_) {
-    const uint32_t si = slot_of[p.i];
-    const uint32_t sj = slot_of[p.j];
-    uint32_t ci = si / ff::kClusterSize;
-    uint32_t cj = sj / ff::kClusterSize;
-    uint32_t a = si % ff::kClusterSize;
-    uint32_t b = sj % ff::kClusterSize;
-    if (ci > cj) {
-      std::swap(ci, cj);
-      std::swap(a, b);
-    }
-    keyed.emplace_back(
-        (static_cast<uint64_t>(ci) << 32) | cj,
-        static_cast<uint16_t>(1u << (a * ff::kClusterSize + b)));
+    uint32_t si = slot_of[p.i];
+    uint32_t sj = slot_of[p.j];
+    if (si > sj) std::swap(si, sj);
+    const uint32_t ci = si / w;
+    const uint32_t cj = sj / jw;
+    const uint32_t a = si % w;
+    const uint32_t b = sj % jw;
+    keyed.emplace_back((static_cast<uint64_t>(ci) << 32) | cj,
+                       uint64_t{1} << (a * jw + b));
   }
   std::sort(keyed.begin(), keyed.end(),
             [](const auto& x, const auto& y) { return x.first < y.first; });
@@ -223,8 +242,8 @@ void NeighborList::build_clusters(const CellList& cells, size_t atom_count) {
   // clusters' lead atoms (a cluster can straddle a cell boundary; anything
   // that is not a clean one-cell wrap is recorded as "no wrap").
   auto shift_code = [&](uint32_t ci, uint32_t cj) {
-    const auto cell_i = cells.cell_of(cl.atoms[ci * ff::kClusterSize]);
-    const auto cell_j = cells.cell_of(cl.atoms[cj * ff::kClusterSize]);
+    const auto cell_i = cells.cell_of(cl.atoms[ci * w]);
+    const auto cell_j = cells.cell_of(cl.atoms[cj * jw]);
     const int dims[3] = {cells.nx(), cells.ny(), cells.nz()};
     int code = 0;
     int mult = 1;
@@ -244,9 +263,10 @@ void NeighborList::build_clusters(const CellList& cells, size_t atom_count) {
 
   cl.entries.clear();
   cl.real_pairs = pairs_.size();
+  cl.active_rows = 0;
   for (size_t k = 0; k < keyed.size();) {
     const uint64_t key = keyed[k].first;
-    uint16_t mask = 0;
+    uint64_t mask = 0;
     while (k < keyed.size() && keyed[k].first == key) mask |= keyed[k++].second;
     ff::ClusterPairEntry e;
     e.ci = static_cast<uint32_t>(key >> 32);
@@ -254,6 +274,9 @@ void NeighborList::build_clusters(const CellList& cells, size_t atom_count) {
     e.mask = mask;
     e.shift = shift_code(e.ci, e.cj);
     cl.entries.push_back(e);
+    for (uint32_t a = 0; a < w; ++a) {
+      if ((mask >> (ff::kClusterJWidth * a)) & 0xfu) ++cl.active_rows;
+    }
   }
 }
 

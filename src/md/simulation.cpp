@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "ff/nonbonded_simd.hpp"
 #include "math/units.hpp"
 #include "md/engine_api.hpp"
 #include "md/serialize.hpp"
@@ -31,6 +32,7 @@ struct MdMetrics {
   obs::Histogram& step_us;
   obs::Gauge& nonbonded_kernel;  ///< 0 = pair, 1 = cluster
   obs::Gauge& cluster_fill;      ///< useful-lane fraction of the tile list
+  obs::Gauge& nonbonded_isa;     ///< dispatched ff::KernelIsa (0 = scalar)
 };
 
 MdMetrics& md_metrics() {
@@ -46,7 +48,8 @@ MdMetrics& md_metrics() {
                     {10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000,
                      300000, 1000000}),
       reg.gauge("md.sim.nonbonded.kernel"),
-      reg.gauge("md.sim.nonbonded.cluster_fill")};
+      reg.gauge("md.sim.nonbonded.cluster_fill"),
+      reg.gauge("md.sim.nonbonded.isa")};
   return m;
 }
 
@@ -69,6 +72,10 @@ void SimulationConfig::validate() const {
     throw ConfigError("neighbor_skin must be >= 0, got " +
                             std::to_string(neighbor_skin));
   }
+  if (!ff::cluster_width_supported(cluster_width)) {
+    throw ConfigError("cluster_width must be 4 or 8, got " +
+                      std::to_string(cluster_width));
+  }
 }
 
 Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
@@ -78,7 +85,8 @@ Simulation::Simulation(ForceField& ff, std::vector<Vec3> positions, Box box,
       config_(config),
       dt_(units::fs_to_internal(config.dt_fs)),
       nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin,
-             config.nonbonded_kernel == ff::NonbondedKernel::kCluster),
+             config.nonbonded_kernel == ff::NonbondedKernel::kCluster,
+             config.cluster_width),
       constraints_(ff.topology(), 1e-8, 500,
                    config.constraint_algorithm),
       thermostat_(ff.topology(), config.thermostat),
@@ -242,6 +250,8 @@ void Simulation::compute_nonbonded_into(ForceResult& out) {
     md_metrics().nonbonded_kernel.set(nlist_.cluster_mode() ? 1.0 : 0.0);
     if (nlist_.cluster_mode()) {
       md_metrics().cluster_fill.set(nlist_.clusters().fill_ratio());
+      md_metrics().nonbonded_isa.set(
+          static_cast<double>(ff::active_kernel_isa()));
     }
   }
 }

@@ -41,10 +41,12 @@ struct SimulationConfig {
   /// If >= 0, draw Maxwell–Boltzmann velocities at this temperature.
   double init_temperature_k = 300.0;
   uint64_t velocity_seed = 1234;
-  /// Real-space nonbonded hot path: flat pair loop or blocked 4x4
-  /// cluster-pair tiles.  Bit-identical results either way (the golden and
-  /// equivalence tests enforce it); cluster is the fast default.
+  /// Real-space nonbonded hot path: flat pair loop or blocked cluster-pair
+  /// tiles.  Bit-identical results either way (the golden and equivalence
+  /// tests enforce it); cluster is the fast default.
   ff::NonbondedKernel nonbonded_kernel = ff::NonbondedKernel::kCluster;
+  /// Atoms per cluster for the tiled kernel: 4 or 8 (8 feeds 8-wide SIMD).
+  uint32_t cluster_width = ff::kDefaultClusterWidth;
   /// Host parallelism (neighbor-list rebuilds here; force partitions in the
   /// machine runtime).  Defaults to fully serial.
   ExecutionConfig execution;

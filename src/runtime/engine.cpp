@@ -89,10 +89,9 @@ void DistributedEngine::redistribute(std::span<const Vec3> positions,
     for (const ff::ClusterPairEntry& e : clusters_->entries) {
       NodePartition& part = parts_[effective_node(
           owners[clusters_->atoms[static_cast<size_t>(e.ci) *
-                                  ff::kClusterSize]])];
+                                  clusters_->width]])];
       part.cluster_entries.push_back(e);
-      part.cluster_real_pairs +=
-          static_cast<size_t>(std::popcount(static_cast<uint32_t>(e.mask)));
+      part.cluster_real_pairs += static_cast<size_t>(std::popcount(e.mask));
     }
   } else {
     auto pair_nodes = decomp_.assign_pairs(pairs, positions, box,
@@ -184,12 +183,15 @@ void DistributedEngine::fill_comm_counts(std::span<const Vec3> /*positions*/,
     // cluster's positions to the evaluating node whether or not every lane
     // is masked in (that coarsening is the import cost of blocking).
     for (const auto& e : part.cluster_entries) {
-      for (unsigned k = 0; k < ff::kClusterSize; ++k) {
+      for (unsigned k = 0; k < clusters_->width; ++k) {
         uint32_t ai =
-            clusters_->atoms[static_cast<size_t>(e.ci) * ff::kClusterSize + k];
+            clusters_->atoms[static_cast<size_t>(e.ci) * clusters_->width + k];
         if (ai != ff::kPadAtom) need(ai);
-        uint32_t aj =
-            clusters_->atoms[static_cast<size_t>(e.cj) * ff::kClusterSize + k];
+      }
+      for (unsigned k = 0; k < ff::kClusterJWidth; ++k) {
+        uint32_t aj = clusters_->atoms[static_cast<size_t>(e.cj) *
+                                           ff::kClusterJWidth +
+                                       k];
         if (aj != ff::kPadAtom) need(aj);
       }
     }
@@ -283,8 +285,8 @@ void DistributedEngine::evaluate_node(const NodePartition& part,
     nw.pairs = part.cluster_real_pairs;
     nw.pairs_examined = part.cluster_real_pairs;
     nw.cluster_tiles = part.cluster_entries.size();
-    nw.cluster_lanes =
-        part.cluster_entries.size() * ff::kClusterSize * ff::kClusterSize;
+    nw.cluster_lanes = part.cluster_entries.size() * clusters_->width *
+                       ff::kClusterJWidth;
   } else {
     nw.pairs = part.pairs.size();
     nw.pairs_examined = part.pairs.size();

@@ -3,6 +3,7 @@
 #include <memory>
 #include <string>
 
+#include "ff/nonbonded_simd.hpp"
 #include "math/units.hpp"
 #include "md/engine_api.hpp"
 #include "md/serialize.hpp"
@@ -30,6 +31,7 @@ struct MachineMetrics {
   obs::Gauge& net_fraction;
   obs::Gauge& cluster_fill;
   obs::Gauge& pair_masked_s;
+  obs::Gauge& nonbonded_isa;  ///< dispatched ff::KernelIsa (0 = scalar)
   obs::Gauge& torus_mean_hops;
   obs::Gauge& torus_diameter;
   obs::Gauge& contention_multicast_s;
@@ -56,6 +58,7 @@ MachineMetrics& machine_metrics() {
                           reg.gauge("machine.model.network_fraction"),
                           reg.gauge("machine.model.cluster_fill"),
                           reg.gauge("machine.model.pair_masked_seconds"),
+                          reg.gauge("machine.model.nonbonded_isa"),
                           reg.gauge("machine.torus.mean_hops"),
                           reg.gauge("machine.torus.diameter"),
                           reg.gauge("machine.contention.multicast_seconds"),
@@ -103,7 +106,8 @@ MachineSimulation::MachineSimulation(ForceField& ff,
       engine_(ff, machine_cfg, config.engine),
       dt_(units::fs_to_internal(config.dt_fs)),
       nlist_(ff.topology(), ff.model().cutoff, config.neighbor_skin,
-             config.nonbonded_kernel == ff::NonbondedKernel::kCluster),
+             config.nonbonded_kernel == ff::NonbondedKernel::kCluster,
+             config.cluster_width),
       constraints_(ff.topology(), 1e-8, 500,
                    config.constraint_algorithm),
       thermostat_(ff.topology(), config.thermostat),
@@ -177,6 +181,7 @@ void MachineSimulation::publish_model_metrics(
   if (nlist_.cluster_mode()) {
     m.cluster_fill.set(nlist_.clusters().fill_ratio());
     m.pair_masked_s.set(last_breakdown_.pair_masked);
+    m.nonbonded_isa.set(static_cast<double>(ff::active_kernel_isa()));
   }
 
   const auto& torus = engine_.torus();

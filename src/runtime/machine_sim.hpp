@@ -39,6 +39,8 @@ struct MachineSimConfig {
   /// Same knob as md::SimulationConfig::nonbonded_kernel; cluster mode also
   /// switches the timing model to per-tile-lane HTIS accounting.
   ff::NonbondedKernel nonbonded_kernel = ff::NonbondedKernel::kCluster;
+  /// Atoms per cluster for the tiled kernel: 4 or 8.
+  uint32_t cluster_width = ff::kDefaultClusterWidth;
   EngineOptions engine;
   machine::TransportConfig transport;
 };

@@ -156,7 +156,7 @@ TEST(NeighborListTest, ClusterTilesEncodeExactlyTheFlatPairs) {
   list.build(spec.positions, spec.box);
   const auto& cl = list.clusters();
 
-  ASSERT_EQ(cl.atoms.size(), cl.cluster_count() * ff::kClusterSize);
+  ASSERT_EQ(cl.atoms.size(), cl.cluster_count() * cl.width);
   ASSERT_EQ(cl.slot_types.size(), cl.atoms.size());
   ASSERT_EQ(cl.slot_charges.size(), cl.atoms.size());
 
@@ -166,12 +166,14 @@ TEST(NeighborListTest, ClusterTilesEncodeExactlyTheFlatPairs) {
   std::set<std::pair<uint32_t, uint32_t>> decoded;
   size_t bits_total = 0;
   for (const auto& e : cl.entries) {
-    ASSERT_LE(e.ci, e.cj);
+    // The i-side slot base never exceeds the j-group's last slot (the lower
+    // slot of each pair takes the i side).
+    ASSERT_LE(e.ci * cl.width, e.cj * ff::kClusterJWidth + 3);
     ASSERT_LT(e.shift, 27) << "shift code out of range";
-    for (uint32_t m = e.mask; m != 0; m &= m - 1) {
+    for (uint64_t m = e.mask; m != 0; m &= m - 1) {
       const unsigned bit = static_cast<unsigned>(std::countr_zero(m));
-      const uint32_t i = cl.atoms[e.ci * ff::kClusterSize + (bit >> 2)];
-      const uint32_t j = cl.atoms[e.cj * ff::kClusterSize + (bit & 3)];
+      const uint32_t i = cl.atoms[e.ci * cl.width + (bit >> 2)];
+      const uint32_t j = cl.atoms[e.cj * ff::kClusterJWidth + (bit & 3)];
       ASSERT_NE(i, ff::kPadAtom) << "mask bit touches a padding slot";
       ASSERT_NE(j, ff::kPadAtom) << "mask bit touches a padding slot";
       decoded.insert({std::min(i, j), std::max(i, j)});

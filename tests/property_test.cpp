@@ -2,10 +2,15 @@
 // with TEST_P / INSTANTIATE_TEST_SUITE_P.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <string>
 
 #include "ff/forcefield.hpp"
+#include "ff/nonbonded_cluster.hpp"
+#include "ff/nonbonded_simd.hpp"
 #include "math/fixed.hpp"
 #include "math/pbc.hpp"
 #include "math/rng.hpp"
@@ -282,11 +287,110 @@ INSTANTIATE_TEST_SUITE_P(Alphas, SoftcoreAlphas,
                          ::testing::Values(0.25, 0.5, 1.0));
 
 // ---------------------------------------------------------------------------
-// Physics invariants hold for BOTH nonbonded kernels (flat pair list and
-// blocked cluster-pair).  Parameterized so each invariant runs against each
-// hot-path implementation.
+// Cluster-builder properties across i-widths: the tile masks are an exact
+// re-encoding of the flat pair list at every supported width, and widening
+// the i-side raises the useful-lane fraction a row-skipping (SIMD)
+// evaluator streams.
 // ---------------------------------------------------------------------------
-class KernelSweep : public ::testing::TestWithParam<ff::NonbondedKernel> {};
+class ClusterWidths : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ClusterWidths, MasksEncodeExactlyTheFlatPairs) {
+  const uint32_t width = GetParam();
+  for (uint64_t seed : {5u, 11u, 23u}) {
+    auto spec = build_lj_fluid(343, 0.021, seed);
+    md::NeighborList list(spec.topology, 7.0, 1.2, /*cluster_mode=*/true,
+                          width);
+    list.build(spec.positions, spec.box);
+    const auto& cl = list.clusters();
+    ASSERT_EQ(cl.width, width);
+
+    std::set<std::pair<uint32_t, uint32_t>> flat;
+    for (const auto& pr : list.pairs()) flat.insert({pr.i, pr.j});
+
+    std::set<std::pair<uint32_t, uint32_t>> decoded;
+    size_t bits_total = 0;
+    size_t rows_with_bits = 0;
+    for (const auto& e : cl.entries) {
+      for (uint32_t a = 0; a < width; ++a) {
+        const uint64_t row = (e.mask >> (a * ff::kClusterJWidth)) & 0xfull;
+        if (row != 0) ++rows_with_bits;
+      }
+      for (uint64_t m = e.mask; m != 0; m &= m - 1) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(m));
+        const uint32_t i = cl.atoms[e.ci * width + (bit >> 2)];
+        const uint32_t j =
+            cl.atoms[e.cj * ff::kClusterJWidth + (bit & 3)];
+        ASSERT_NE(i, ff::kPadAtom) << "mask bit touches a padding slot";
+        ASSERT_NE(j, ff::kPadAtom) << "mask bit touches a padding slot";
+        decoded.insert({std::min(i, j), std::max(i, j)});
+        ++bits_total;
+      }
+    }
+    EXPECT_EQ(decoded, flat) << "width=" << width << " seed=" << seed;
+    EXPECT_EQ(bits_total, flat.size()) << "a pair appears in two tiles";
+    EXPECT_EQ(cl.real_pairs, flat.size());
+    EXPECT_EQ(cl.active_rows, rows_with_bits)
+        << "active_rows must count exactly the rows a row-skipping "
+           "evaluator streams";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ClusterWidths,
+                         ::testing::Values(ff::kMinClusterWidth,
+                                           ff::kMaxClusterWidth),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// At production scale the 8-wide tiles must actually pay off: the lanes a
+// row-skipping evaluator streams are busier than the narrow shape's, and
+// far busier than the naive all-lanes figure.
+TEST(ClusterBuilder, WideTilesRaiseStreamedFillAt12kAtoms) {
+  auto spec = build_lj_fluid(12000, 0.021, 7);
+  md::NeighborList narrow(spec.topology, 7.0, 1.0, true,
+                          ff::kMinClusterWidth);
+  md::NeighborList wide(spec.topology, 7.0, 1.0, true, ff::kMaxClusterWidth);
+  narrow.build(spec.positions, spec.box);
+  wide.build(spec.positions, spec.box);
+  const auto& cn = narrow.clusters();
+  const auto& cw = wide.clusters();
+  // Same pair set at either width.
+  EXPECT_EQ(cn.real_pairs, cw.real_pairs);
+  // Row skipping beats streaming every tile lane...
+  EXPECT_GT(cw.streamed_fill_ratio(), cw.fill_ratio());
+  // ...and the wide shape clears the narrow baseline (~0.31 naive fill at
+  // this density) by a sound margin.
+  EXPECT_GT(cw.streamed_fill_ratio(), 0.45);
+  EXPECT_GT(cw.streamed_fill_ratio(), cn.fill_ratio());
+}
+
+// ---------------------------------------------------------------------------
+// Physics invariants hold for BOTH nonbonded kernels (flat pair list and
+// blocked cluster-pair), and for the cluster kernel under every compiled
+// SIMD variant — the ISA is set per test case and must reproduce the same
+// physics (it is specified bit-identical, so these sweeps double as a
+// sanity net under real dynamics, not just the differential fixtures).
+// ---------------------------------------------------------------------------
+struct KernelCase {
+  ff::NonbondedKernel kernel;
+  ff::KernelIsa isa;
+};
+
+class KernelSweep : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    const ff::KernelIsa isa = GetParam().isa;
+    if (!ff::kernel_isa_supported(isa)) {
+      GTEST_SKIP() << ff::to_string(isa)
+                   << " is not supported by this build/CPU";
+    }
+    ff::set_kernel_isa(isa);
+    if (ff::active_kernel_isa() != isa) {
+      GTEST_SKIP() << "ANTMD_FORCE_ISA pins the kernel ISA";
+    }
+  }
+  void TearDown() override { ff::set_kernel_isa(ff::probe_kernel_isa()); }
+};
 
 /// Real-space nonbonded evaluation through the selected kernel, with a
 /// fresh neighbor list built for the given positions/box.
@@ -314,7 +418,7 @@ TEST_P(KernelSweep, NewtonThirdLawNetForceExactlyZero) {
   model.cutoff = 6.0;
   model.electrostatics = ff::Electrostatics::kReactionCutoff;
   ForceField field(spec.topology, model);
-  ForceResult res = nonbonded_only(spec.topology, field, GetParam(),
+  ForceResult res = nonbonded_only(spec.topology, field, GetParam().kernel,
                                    spec.positions, spec.box);
   std::array<int64_t, 3> net{0, 0, 0};
   for (size_t i = 0; i < res.forces.size(); ++i) {
@@ -342,18 +446,18 @@ TEST_P(KernelSweep, VirialMatchesNumericalVolumeDerivative) {
     for (auto& p : pos) p = p * lambda;
     Box box(spec.box.edges().x * lambda, spec.box.edges().y * lambda,
             spec.box.edges().z * lambda);
-    ForceResult r = nonbonded_only(spec.topology, field, GetParam(), pos, box);
+    ForceResult r = nonbonded_only(spec.topology, field, GetParam().kernel, pos, box);
     return r.energy.total();
   };
 
-  ForceResult base = nonbonded_only(spec.topology, field, GetParam(),
+  ForceResult base = nonbonded_only(spec.topology, field, GetParam().kernel,
                                     spec.positions, spec.box);
   const double h = 1e-5;
   const double du_dlambda = (scaled_energy(1.0 + h) - scaled_energy(1.0 - h)) /
                             (2.0 * h);
   const double w = trace(base.virial);
   EXPECT_NEAR(w, -du_dlambda, 5e-3 * std::abs(w) + 0.1)
-      << "kernel=" << ff::to_string(GetParam());
+      << "kernel=" << ff::to_string(GetParam().kernel);
 }
 
 // Energy conservation over a long NVE trajectory through the full
@@ -370,7 +474,7 @@ TEST_P(KernelSweep, NveDriftBoundedOver2kSteps) {
   cfg.init_temperature_k = 110.0;
   cfg.thermostat.kind = md::ThermostatKind::kNone;
   cfg.com_removal_interval = 0;
-  cfg.nonbonded_kernel = GetParam();
+  cfg.nonbonded_kernel = GetParam().kernel;
   md::Simulation sim(field, spec.positions, spec.box, cfg);
   sim.run(50);
   double e0 = sim.potential_energy() + sim.kinetic_energy();
@@ -378,7 +482,7 @@ TEST_P(KernelSweep, NveDriftBoundedOver2kSteps) {
   double e1 = sim.potential_energy() + sim.kinetic_energy();
   EXPECT_TRUE(std::isfinite(e1));
   EXPECT_NEAR(e1, e0, 0.02 * (std::abs(e0) + 10.0))
-      << "kernel=" << ff::to_string(GetParam());
+      << "kernel=" << ff::to_string(GetParam().kernel);
 }
 
 // The nonbonded energy depends only on relative geometry: rigid translation
@@ -391,7 +495,7 @@ TEST_P(KernelSweep, TranslationAndRotationInvariance) {
   model.electrostatics = ff::Electrostatics::kNone;
   ForceField field(spec.topology, model);
   const double e_ref =
-      nonbonded_only(spec.topology, field, GetParam(), spec.positions,
+      nonbonded_only(spec.topology, field, GetParam().kernel, spec.positions,
                      spec.box)
           .energy.total();
   const double tol = 1e-6 * std::abs(e_ref) + 1e-8;
@@ -400,9 +504,9 @@ TEST_P(KernelSweep, TranslationAndRotationInvariance) {
   std::vector<Vec3> shifted(spec.positions);
   for (auto& p : shifted) p = p + Vec3{1.234, -2.345, 0.777};
   const double e_shift =
-      nonbonded_only(spec.topology, field, GetParam(), shifted, spec.box)
+      nonbonded_only(spec.topology, field, GetParam().kernel, shifted, spec.box)
           .energy.total();
-  EXPECT_NEAR(e_shift, e_ref, tol) << "kernel=" << ff::to_string(GetParam());
+  EXPECT_NEAR(e_shift, e_ref, tol) << "kernel=" << ff::to_string(GetParam().kernel);
 
   // Rotation: (x, y, z) -> (L - y, x, z) for the cubic cell.
   const double edge = spec.box.edges().x;
@@ -410,17 +514,23 @@ TEST_P(KernelSweep, TranslationAndRotationInvariance) {
   std::vector<Vec3> rotated(spec.positions);
   for (auto& p : rotated) p = Vec3{edge - p.y, p.x, p.z};
   const double e_rot =
-      nonbonded_only(spec.topology, field, GetParam(), rotated, spec.box)
+      nonbonded_only(spec.topology, field, GetParam().kernel, rotated, spec.box)
           .energy.total();
-  EXPECT_NEAR(e_rot, e_ref, tol) << "kernel=" << ff::to_string(GetParam());
+  EXPECT_NEAR(e_rot, e_ref, tol) << "kernel=" << ff::to_string(GetParam().kernel);
 }
 
-INSTANTIATE_TEST_SUITE_P(Kernels, KernelSweep,
-                         ::testing::Values(ff::NonbondedKernel::kPair,
-                                           ff::NonbondedKernel::kCluster),
-                         [](const auto& info) {
-                           return std::string(ff::to_string(info.param));
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelSweep,
+    ::testing::Values(
+        KernelCase{ff::NonbondedKernel::kPair, ff::KernelIsa::kScalar},
+        KernelCase{ff::NonbondedKernel::kCluster, ff::KernelIsa::kScalar},
+        KernelCase{ff::NonbondedKernel::kCluster, ff::KernelIsa::kSse41},
+        KernelCase{ff::NonbondedKernel::kCluster, ff::KernelIsa::kAvx2},
+        KernelCase{ff::NonbondedKernel::kCluster, ff::KernelIsa::kAvx512}),
+    [](const auto& info) {
+      return std::string(ff::to_string(info.param.kernel)) + "_" +
+             ff::to_string(info.param.isa);
+    });
 
 }  // namespace
 }  // namespace antmd
